@@ -1,0 +1,54 @@
+"""Ablation: cross-process aggregation strategies for non-scalable
+detection (paper §IV-A tests single-process / mean / median / variance /
+clustering; we sweep all of them on the same runs).
+
+The SST pending-scan loop is both imbalanced and non-scaling, so
+variance-aware and clustered aggregation should flag it at least as
+strongly as the mean.
+"""
+
+from repro.apps import get_app
+from repro.bench import emit, profile_app
+from repro.detection import NonScalableConfig, detect_non_scalable
+from repro.detection.aggregation import AggregationStrategy
+from repro.ppg import build_ppg
+from repro.util.tables import Table
+
+
+def build() -> str:
+    spec = get_app("sst")
+    scales = [4, 8, 16, 32]
+    ppgs = []
+    for p in scales:
+        profile, comm, _ = profile_app(spec, p)
+        ppgs.append(build_ppg(spec.psg, p, profile, comm))
+
+    table = Table(
+        "Ablation: aggregation strategy for non-scalable detection (SST)",
+        ["strategy", "#flagged", "top vertex", "top slope"],
+    )
+    flagged_by: dict[AggregationStrategy, set[int]] = {}
+    for strategy in AggregationStrategy:
+        found = detect_non_scalable(
+            ppgs, NonScalableConfig(strategy=strategy)
+        )
+        flagged_by[strategy] = {v.vid for v in found}
+        top = found[0] if found else None
+        table.add_row(
+            strategy.value,
+            len(found),
+            spec.psg.vertices[top.vid].label if top else "-",
+            f"{top.slope:+.2f}" if top else "-",
+        )
+        assert found, f"{strategy}: SST must show non-scalable vertices"
+
+    # every strategy agrees on at least one problematic vertex
+    common = set.intersection(*flagged_by.values())
+    text = table.render()
+    text += f"\n\nvertices flagged by every strategy: {len(common)}"
+    assert common, "strategies must agree on the core problem"
+    return text
+
+
+def test_ablation_aggregation(benchmark):
+    emit("ablation_aggregation", benchmark.pedantic(build, rounds=1, iterations=1))

@@ -1,0 +1,72 @@
+"""Ablation: graph contraction and the MaxLoopDepth knob.
+
+Contraction trades graph size (and hence runtime annotation and storage
+cost) against granularity.  The sweep shows: vertices monotonically grow
+with MaxLoopDepth, MPI vertices are invariant, and detection still finds
+the same root-cause function at every setting — contraction does not hurt
+diagnosis on these apps, it only cuts cost.
+"""
+
+from repro import ScalAna
+from repro.apps import get_app
+from repro.bench import emit
+from repro.minilang.parser import parse_program
+from repro.psg import build_complete_psg, contract_psg
+from repro.util.tables import Table
+
+# deep MPI-free loop nest: the structure contraction actually bites on
+DEEP = """def main() {
+    for (var a = 0; a < 2; a = a + 1) {
+        for (var b = 0; b < 2; b = b + 1) {
+            for (var c = 0; c < 2; c = c + 1) {
+                for (var d = 0; d < 2; d = d + 1) {
+                    compute(flops = 1000000);
+                }
+                compute(flops = 500000);
+            }
+        }
+        allreduce(bytes = 8);
+    }
+}"""
+
+
+def build() -> str:
+    prog = parse_program(DEEP, "deep.mm")
+    complete = build_complete_psg(prog)
+    t1 = Table(
+        "Ablation: MaxLoopDepth sweep on a depth-4 loop nest",
+        ["MaxLoopDepth", "#vertices", "#Loop", "#Comp", "#MPI", "reduction"],
+    )
+    sizes = []
+    for depth in range(0, 6):
+        res = contract_psg(complete, max_loop_depth=depth)
+        s = res.psg.stats()
+        sizes.append(s["total"])
+        t1.add_row(depth, s["total"], s["loop"], s["comp"], s["mpi"],
+                   f"{res.reduction * 100:.0f}%")
+        assert s["mpi"] == complete.stats()["mpi"]
+    assert sizes == sorted(sizes), "vertex count must grow with MaxLoopDepth"
+    assert sizes[0] < sizes[-1]
+
+    # detection quality across the knob, on a real case study
+    t2 = Table(
+        "Detection of the Zeus-MP root cause across MaxLoopDepth",
+        ["MaxLoopDepth", "PSG size", "top root cause", "function"],
+    )
+    for depth in (0, 1, 10):
+        tool = ScalAna.for_app(get_app("zeusmp"), seed=3, max_loop_depth=depth)
+        runs = tool.profile_scales([8, 32])
+        report = tool.detect(runs)
+        top = report.root_causes[0] if report.root_causes else None
+        t2.add_row(
+            depth, len(tool.psg),
+            top.label if top else "-", top.function if top else "-",
+        )
+        assert top is not None and top.function == "bval3d", (
+            f"MaxLoopDepth={depth}: diagnosis must survive contraction"
+        )
+    return t1.render() + "\n\n" + t2.render()
+
+
+def test_ablation_contraction(benchmark):
+    emit("ablation_contraction", benchmark.pedantic(build, rounds=1, iterations=1))

@@ -1,0 +1,74 @@
+"""Extension experiment: the modeling-based baseline family (§VII, [30]/[18]).
+
+Fits Barnes/Extra-P-style regression models from small-scale runs of
+Zeus-MP, extrapolates to a held-out larger scale, and contrasts the
+diagnosis with ScalAna's: the model predicts *which vertices dominate at
+scale*, but names no cross-process root cause — ScalAna's backtracking
+does, from the same data.
+"""
+
+from repro import ScalAna
+from repro.apps import get_app
+from repro.baselines import fit_scaling_model
+from repro.bench import emit, profile_app
+from repro.ppg import build_ppg
+from repro.util.tables import Table
+
+TRAIN = [4, 8, 16, 32]
+HELD_OUT = 128
+
+
+def build() -> str:
+    spec = get_app("zeusmp")
+    ppgs = []
+    for p in TRAIN + [HELD_OUT]:
+        profile, comm, _ = profile_app(spec, p)
+        ppgs.append(build_ppg(spec.psg, p, profile, comm))
+    model = fit_scaling_model(ppgs[:-1])
+    held = ppgs[-1]
+
+    predicted = model.predict_total(HELD_OUT)
+    actual = max(
+        sum(held.vertex_times(vid)[r] for vid in spec.psg.vertices)
+        for r in range(held.nprocs)
+    )
+    err = abs(predicted - actual) / actual
+
+    lines = [
+        f"Modeling baseline on Zeus-MP: trained at {TRAIN}, "
+        f"extrapolated to P={HELD_OUT}",
+        "",
+        f"  predicted makespan: {predicted:9.2f}s",
+        f"  measured makespan:  {actual:9.2f}s",
+        f"  extrapolation error: {err * 100:.1f}%",
+        "",
+    ]
+    assert err < 0.25, "regression extrapolation should land within 25%"
+
+    table = Table(
+        f"top predicted runtime shares at P={HELD_OUT} (Extra-P-style)",
+        ["vertex", "slope", f"share @{HELD_OUT}"],
+    )
+    shares = model.predicted_shares(HELD_OUT)
+    for vid, share in sorted(shares.items(), key=lambda kv: -kv[1])[:5]:
+        m = model.vertices[vid]
+        table.add_row(m.label, f"{m.fit.alpha:+.2f}", f"{share * 100:5.1f}%")
+    lines.append(table.render())
+
+    # ScalAna from the same runs: a *located* root cause, not just a share
+    tool = ScalAna.for_app(spec, seed=3)
+    runs = tool.profile_scales(TRAIN + [HELD_OUT])
+    report = tool.detect(runs)
+    top = report.root_causes[0]
+    lines.append("")
+    lines.append(
+        "ScalAna on the same runs additionally names the cross-process root "
+        f"cause: {top.label} at {top.location} (in {top.function}), reached "
+        f"from symptom {top.symptom_label} via ranks {list(top.path_ranks)}."
+    )
+    assert top.function == "bval3d"
+    return "\n".join(lines)
+
+
+def test_baseline_modeling(benchmark):
+    emit("baseline_modeling", benchmark.pedantic(build, rounds=1, iterations=1))

@@ -1,0 +1,50 @@
+"""Fig. 10: average runtime overhead of the three tools per program,
+averaged over 4..128 processes (without I/O).
+
+Paper: ScalAna 0.72%..9.73% (avg 3.52%) — far below Scalasca, comparable
+to or below HPCToolkit.
+"""
+
+import numpy as np
+
+from repro.apps import EVALUATED_APPS, get_app
+from repro.bench import app_scales, emit, measure_three_tools
+from repro.util.tables import Table
+
+SCALES = [4, 8, 16, 32, 64, 128]
+
+
+def build() -> str:
+    table = Table(
+        "Fig. 10: average runtime overhead, 4..128 processes (percent)",
+        ["Program", "Scalasca-like", "HPCToolkit-like", "ScalAna"],
+    )
+    scal_avgs = []
+    for name in EVALUATED_APPS:
+        spec = get_app(name)
+        tr, pf, sc = [], [], []
+        for p in app_scales(spec, SCALES):
+            rep = measure_three_tools(spec, p)
+            tr.append(rep.tracer.overhead_percent)
+            pf.append(rep.profiler.overhead_percent)
+            sc.append(rep.scalana.overhead_percent)
+        table.add_row(
+            name.upper(),
+            f"{np.mean(tr):6.2f}%",
+            f"{np.mean(pf):6.2f}%",
+            f"{np.mean(sc):6.2f}%",
+        )
+        scal_avgs.append(np.mean(sc))
+        assert np.mean(sc) < np.mean(tr), f"{name}: ScalAna must beat tracing"
+        assert np.mean(sc) <= np.mean(pf) * 1.05, f"{name}: ScalAna <= profiling"
+    text = table.render()
+    text += (
+        f"\n\nScalAna average across programs: {np.mean(scal_avgs):.2f}% "
+        "(paper: 3.52% average on Gorgon, range 0.72-9.73%)"
+    )
+    assert 0.5 < np.mean(scal_avgs) < 10.0
+    return text
+
+
+def test_fig10_runtime_overhead(benchmark):
+    emit("fig10_runtime_overhead", benchmark.pedantic(build, rounds=1, iterations=1))

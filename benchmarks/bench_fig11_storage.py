@@ -1,0 +1,41 @@
+"""Fig. 11: storage cost of the three tools at 128 processes (121 for
+BT/SP, as in the paper).
+
+Paper: ScalAna stores KBs, HPCToolkit MBs, Scalasca MBs-to-GBs.
+"""
+
+from repro.apps import EVALUATED_APPS, get_app
+from repro.bench import app_scales, emit, measure_three_tools
+from repro.util.tables import Table, format_bytes
+
+
+def build() -> str:
+    table = Table(
+        "Fig. 11: storage cost at 128 processes (121 for BT/SP)",
+        ["Program", "P", "Scalasca-like", "HPCToolkit-like", "ScalAna"],
+    )
+    for name in EVALUATED_APPS:
+        spec = get_app(name)
+        p = app_scales(spec, [128])[-1]
+        rep = measure_three_tools(spec, p)
+        table.add_row(
+            name.upper(), p,
+            format_bytes(rep.tracer.storage_bytes),
+            format_bytes(rep.profiler.storage_bytes),
+            format_bytes(rep.scalana.storage_bytes),
+        )
+        assert rep.scalana.storage_bytes < rep.profiler.storage_bytes
+        assert rep.profiler.storage_bytes < rep.tracer.storage_bytes
+        assert rep.scalana.storage_bytes < 2 * 1024 * 1024, (
+            f"{name}: ScalAna storage must stay in the KB-to-low-MB range"
+        )
+    text = table.render()
+    text += (
+        "\n\npaper shape: ScalAna KBs << HPCToolkit MBs << Scalasca GBs "
+        "(e.g. CG: 314 KB vs 11.45 MB vs 6.77 GB)"
+    )
+    return text
+
+
+def test_fig11_storage(benchmark):
+    emit("fig11_storage", benchmark.pedantic(build, rounds=1, iterations=1))

@@ -1,0 +1,57 @@
+"""Fig. 13: Zeus-MP runtime overhead and storage vs the two baselines over
+4..64 processes.
+
+Paper: ScalAna 1.85% / HPCToolkit 2.01% average runtime overhead, Scalasca
+40.89% at 64 ranks; storage 20 MB (ScalAna) vs 28.26 GB (Scalasca traces).
+"""
+
+import numpy as np
+
+from repro.apps import get_app
+from repro.bench import emit, measure_three_tools
+from repro.util.tables import Table, format_bytes
+
+SCALES = [4, 8, 16, 32, 64]
+
+
+def build() -> str:
+    spec = get_app("zeusmp")
+    reports = [measure_three_tools(spec, p) for p in SCALES]
+
+    t1 = Table(
+        "Fig. 13(a): Zeus-MP runtime overhead (percent)",
+        ["P", "Scalasca-like", "HPCToolkit-like", "ScalAna"],
+    )
+    for rep in reports:
+        t1.add_row(
+            rep.nprocs,
+            f"{rep.tracer.overhead_percent:.2f}%",
+            f"{rep.profiler.overhead_percent:.2f}%",
+            f"{rep.scalana.overhead_percent:.2f}%",
+        )
+    t2 = Table(
+        "Fig. 13(b): Zeus-MP storage cost",
+        ["P", "Scalasca-like", "HPCToolkit-like", "ScalAna"],
+    )
+    for rep in reports:
+        t2.add_row(
+            rep.nprocs,
+            format_bytes(rep.tracer.storage_bytes),
+            format_bytes(rep.profiler.storage_bytes),
+            format_bytes(rep.scalana.storage_bytes),
+        )
+    last = reports[-1]
+    assert last.tracer.overhead_percent > 3 * last.scalana.overhead_percent
+    assert last.tracer.storage_bytes > 100 * last.scalana.storage_bytes
+    scal_mean = np.mean([r.scalana.overhead_percent for r in reports])
+    text = t1.render() + "\n\n" + t2.render()
+    text += (
+        f"\n\nScalAna mean overhead {scal_mean:.2f}% "
+        "(paper: 1.85% ScalAna / 2.01% HPCToolkit / 40.89% Scalasca @64; "
+        "storage 20 MB vs 28.26 GB)"
+    )
+    return text
+
+
+def test_fig13_zeusmp_overhead(benchmark):
+    emit("fig13_zeusmp_overhead", benchmark.pedantic(build, rounds=1, iterations=1))

@@ -1,0 +1,76 @@
+"""Fig. 4: the three PSG generation stages on the paper's Fig. 3 example —
+local PSGs -> complete (inlined) PSG -> contracted PSG with MaxLoopDepth=1.
+"""
+
+from repro.minilang.parser import parse_program
+from repro.psg import build_complete_psg, build_local_psg, contract_psg
+from repro.bench import emit
+from repro.util.tables import Table
+
+FIG3 = """\
+def main() {
+    for (var i = 0; i < 100; i = i + 1) {
+        compute(flops = 100, name = "fill");
+        for (var j = 0; j < i; j = j + 1) {
+            compute(flops = 10, name = "sum");
+        }
+        for (var k = 0; k < i; k = k + 1) {
+            compute(flops = 10, name = "product");
+        }
+        foo();
+        bcast(root = 0, bytes = 8);
+    }
+}
+
+def foo() {
+    if (rank % 2 == 0) {
+        send(dest = rank + 1, tag = 0, bytes = 64);
+    } else {
+        recv(src = rank - 1, tag = 0);
+    }
+}
+"""
+
+
+def render_tree(psg) -> str:
+    lines = []
+    for v in psg.iter_preorder():
+        pad = "  " * psg.depth_of(v.vid)
+        arm = f" [{v.arm}]" if v.arm else ""
+        lines.append(f"  {pad}{v.label}{arm}")
+    return "\n".join(lines)
+
+
+def build() -> str:
+    prog = parse_program(FIG3, "fig3.mm")
+    local_main = build_local_psg(prog.function("main"))
+    local_foo = build_local_psg(prog.function("foo"))
+    complete = build_complete_psg(prog)
+    contracted = contract_psg(complete, max_loop_depth=1)
+
+    table = Table(
+        "Fig. 4: PSG generation stages (paper Fig. 3 example, MaxLoopDepth=1)",
+        ["stage", "total", "Loop", "Branch", "Comp", "MPI", "Call"],
+    )
+    for label, psg in (
+        ("(a) local PSG of main", local_main),
+        ("(a) local PSG of foo", local_foo),
+        ("(b) complete PSG", complete),
+        ("(c) contracted PSG", contracted.psg),
+    ):
+        s = psg.stats()
+        table.add_row(label, s["total"], s["loop"], s["branch"], s["comp"],
+                      s["mpi"], s["call"])
+
+    # paper's outcome: Loop1.1 + Loop1.2 + the fill merge into a single Comp
+    s = contracted.psg.stats()
+    assert s["loop"] == 1 and s["comp"] == 1 and s["mpi"] == 3 and s["branch"] == 1
+
+    text = table.render()
+    text += "\n\ncontracted PSG structure (matches paper Fig. 4(c)):\n"
+    text += render_tree(contracted.psg)
+    return text
+
+
+def test_fig4_psg_stages(benchmark):
+    emit("fig4_psg_stages", benchmark.pedantic(build, rounds=1, iterations=1))

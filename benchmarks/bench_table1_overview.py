@@ -1,0 +1,52 @@
+"""Table I: time overhead and storage of Scalasca-like tracing,
+HPCToolkit-like profiling, and ScalAna on NPB-CG at 128 processes.
+
+Paper values (CG class C, 128 ranks): Scalasca 25.3% / 6.77 GB,
+HPCToolkit 8.41% / 11.45 MB, ScalAna 3.53% / 314 KB.  We check the *shape*:
+tracing >> profiling > ScalAna in time, and orders of magnitude apart in
+storage.
+"""
+
+from repro.apps import get_app
+from repro.bench import emit, measure_three_tools
+from repro.util.tables import Table, format_bytes
+
+
+def build_table() -> str:
+    spec = get_app("cg")
+    report = measure_three_tools(spec, 128)
+    table = Table(
+        "Table I: qualitative performance and storage analysis (NPB-CG, 128 ranks)",
+        ["Tool", "Approach", "Time Overhead", "Storage Cost"],
+    )
+    table.add_row(
+        "Scalasca-like", "Tracing-based",
+        f"{report.tracer.overhead_percent:.2f}%",
+        format_bytes(report.tracer.storage_bytes),
+    )
+    table.add_row(
+        "HPCToolkit-like", "Profiling-based",
+        f"{report.profiler.overhead_percent:.2f}%",
+        format_bytes(report.profiler.storage_bytes),
+    )
+    table.add_row(
+        "ScalAna", "Graph-based",
+        f"{report.scalana.overhead_percent:.2f}%",
+        format_bytes(report.scalana.storage_bytes),
+    )
+    text = table.render()
+    text += (
+        "\n\npaper: Scalasca 25.3% / 6.77 GB; HPCToolkit 8.41% / 11.45 MB; "
+        "ScalAna 3.53% / 314 KB (shape: tracing >> profiling > ScalAna)"
+    )
+    # shape assertions
+    assert report.tracer.overhead_seconds > report.profiler.overhead_seconds
+    assert report.profiler.overhead_seconds > report.scalana.overhead_seconds
+    assert report.tracer.storage_bytes > 20 * report.profiler.storage_bytes
+    assert report.profiler.storage_bytes > 20 * report.scalana.storage_bytes
+    return text
+
+
+def test_table1_overview(benchmark):
+    text = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    emit("table1_overview", text)

@@ -1,0 +1,50 @@
+"""Table IV: post-mortem detection cost at 128 processes.
+
+Paper: 0.29 s (EP) .. 11.81 s (Zeus-MP) — "little cost comparing to the
+execution time of the program" (up to 8.44%).  We measure the wall time of
+the full offline pipeline (PPG assembly + both detectors + backtracking)
+on profiles from 4..128 ranks.
+"""
+
+import time
+
+from repro.apps import EVALUATED_APPS, get_app
+from repro.bench import app_scales, emit, profile_app
+from repro.detection import detect_abnormal, detect_non_scalable, backtrack_root_causes
+from repro.ppg import build_ppg
+from repro.util.tables import Table
+
+SCALES = [16, 64, 128]
+
+
+def build() -> str:
+    table = Table(
+        "Table IV: post-mortem detection cost at 128 processes",
+        ["Program", "detection (s)", "app time (s)", "ratio"],
+    )
+    for name in EVALUATED_APPS:
+        spec = get_app(name)
+        scales = app_scales(spec, SCALES)
+        inputs = [profile_app(spec, p) for p in scales]
+        app_time = inputs[-1][2].total_time
+        t0 = time.perf_counter()
+        ppgs = [
+            build_ppg(spec.psg, p, profile, comm)
+            for p, (profile, comm, _res) in zip(scales, inputs)
+        ]
+        ns = detect_non_scalable(ppgs)
+        ab = detect_abnormal(ppgs[-1])
+        backtrack_root_causes(ppgs[-1], ns, ab)
+        dt = time.perf_counter() - t0
+        table.add_row(
+            name.upper(), f"{dt:.3f}", f"{app_time:.1f}",
+            f"{100 * dt / app_time:.2f}%" if app_time else "-",
+        )
+        assert dt < 30.0, f"{name}: detection must stay cheap"
+    text = table.render()
+    text += "\n\npaper: 0.29 s (EP) .. 11.81 s (Zeus-MP), at most 8.44% of app time"
+    return text
+
+
+def test_table4_detection_cost(benchmark):
+    emit("table4_detection_cost", benchmark.pedantic(build, rounds=1, iterations=1))

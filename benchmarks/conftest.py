@@ -1,0 +1,7 @@
+"""Benchmark suite configuration.
+
+Collects ``bench_*.py`` files; each test regenerates one table or figure of
+the paper and persists its output under ``benchmarks/results/``.
+"""
+
+collect_ignore_glob = ["results/*"]

@@ -1,0 +1,67 @@
+"""Compare the three measurement approaches on one application.
+
+Reproduces the Table I trade-off interactively: a Scalasca-like tracer
+(complete information, huge cost), an HPCToolkit-like call-path profiler
+(cheap, but a flat hotspot list with no causal links), and ScalAna
+(cheap AND causal).
+
+Run:  python examples/compare_tools.py [app] [nprocs]
+"""
+
+import sys
+
+from repro import ScalAna
+from repro.apps import get_app
+from repro.baselines import ProfilerTool, TracerTool
+from repro.simulator import MachineModel, SimulationConfig
+from repro.util.tables import Table, format_bytes
+
+
+def main() -> None:
+    app_name = sys.argv[1] if len(sys.argv) > 1 else "zeusmp"
+    nprocs = int(sys.argv[2]) if len(sys.argv) > 2 else 32
+    spec = get_app(app_name)
+    spec.check_nprocs(nprocs)
+    config = SimulationConfig(
+        nprocs=nprocs, params=spec.merged_params(), seed=5,
+        machine=spec.machine or MachineModel(),
+    )
+
+    tracer = TracerTool()
+    trace_run = tracer.run(spec.program, spec.psg, config)
+    profiler_run = ProfilerTool().run(spec.program, spec.psg, config)
+    scal = ScalAna.for_app(spec, seed=5)
+    scal_run = scal.profile(nprocs)
+
+    table = Table(
+        f"Measurement cost on {app_name} at {nprocs} ranks "
+        f"(app time {scal_run.app_time:.1f}s)",
+        ["tool", "time overhead", "storage"],
+    )
+    for rep in (trace_run.overhead, profiler_run.overhead, scal_run.overhead):
+        table.add_row(rep.tool, f"{rep.overhead_percent:.2f}%",
+                      format_bytes(rep.storage_bytes))
+    print(table.render())
+
+    print("\n-- what the tracer knows (wait-state analysis, perfect info) --")
+    analysis = tracer.analyze(trace_run)
+    for vid, wait in analysis.top_wait_vertices(3):
+        cause = analysis.main_cause_of(vid)
+        v = spec.psg.vertices[vid]
+        c = spec.psg.vertices[cause] if cause is not None else None
+        print(f"  {v.label} at {v.location}: {wait:.1f}s waiting"
+              + (f"  <- caused by {c.label} at {c.location}" if c else ""))
+
+    print("\n-- what the flat profiler reports (hotspots, no causality) --")
+    for h in profiler_run.profile.hotspots(spec.psg, k=4):
+        print(f"  {h.label} at {h.location}: total {h.total_time:.1f}s, "
+              f"imbalance {h.imbalance:.2f}x")
+
+    print("\n-- what ScalAna reports (causal paths at profiling cost) --")
+    runs = [scal.profile(max(2, nprocs // 4)), scal_run]
+    report = scal.detect(runs)
+    print(report.render(max_causes=3))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Writing and analyzing your own MiniMPI application.
+
+Demonstrates the larger language surface: user functions with arguments,
+recursion, function pointers (indirect calls, resolved at runtime like the
+paper's §III-B3), wildcard receives, and a master/worker pattern — then
+runs the full pipeline on it.
+
+Run:  python examples/custom_app.py
+"""
+
+from repro import ScalAna
+
+SOURCE = """\
+// A master/worker job queue with a skewed work distribution.
+def main() {
+    var chunks = 6;
+    if (rank == 0) {
+        master(chunks);
+    } else {
+        worker(chunks);
+    }
+    barrier();
+    // everyone post-processes; workers with big chunks arrive late
+    allreduce(bytes = 64);
+}
+
+def master(chunks) {
+    for (var c = 0; c < chunks * (nprocs - 1); c = c + 1) {
+        // receive a result from any worker
+        recv(src = ANY, tag = 2);
+    }
+}
+
+def worker(chunks) {
+    // pick the kernel through a function pointer
+    var kernel = &simulate_chunk;
+    for (var c = 0; c < chunks; c = c + 1) {
+        kernel(c);
+        send(dest = 0, tag = 2, bytes = 4096);
+    }
+}
+
+def simulate_chunk(c) {
+    // skew: later ranks draw systematically larger chunks
+    var scale = 1 + 3 * rank / nprocs;
+    refine(200000000 * scale, 2);
+}
+
+// recursive adaptive refinement
+def refine(work, depth) {
+    compute(flops = work, bytes = work / 4, locality = 0.7, name = "chunk_kernel");
+    if (depth > 0) {
+        refine(work / 2, depth - 1);
+    }
+}
+"""
+
+
+def main() -> None:
+    tool = ScalAna(source=SOURCE, filename="jobqueue.mm", seed=11)
+
+    static = tool.static_analysis()
+    stats = static.psg.stats()
+    print(f"static analysis: {stats['total']} vertices, "
+          f"{stats['mpi']} MPI, {stats['call']} unresolved call(s) "
+          f"(the function pointer + recursion)\n")
+
+    runs = tool.profile_scales([4, 8, 16])
+    for run in runs:
+        targets = {
+            t for ts in run.comm.indirect_targets.values() for t in ts
+        }
+        print(f"  P={run.nprocs:3d}  time {run.app_time:7.2f}s  "
+              f"indirect calls resolved to {sorted(targets)}")
+
+    report = tool.detect(runs)
+    print()
+    print(tool.view(report))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""The SST case study (paper §VI-D2), end to end.
+
+SST (Structural Simulation Toolkit) barely scales: most simulated events
+are sequential and the per-rank work is roughly constant.  On top of that,
+``RequestGenCPU::handleEvent`` satisfied each pending request with an O(n)
+array scan whose cost differs wildly across ranks — the imbalance surfaces
+as waiting in ``MPI_Waitall``/``MPI_Allreduce`` of the synchronization
+exchange.  ScalAna's PMU vectors make the diagnosis directly readable:
+per-rank TOT_INS of the scan vertex differ by 4-5x.
+
+Run:  python examples/sst_case_study.py
+"""
+
+from repro import ScalAna
+from repro.apps import get_app
+from repro.psg.graph import VertexType
+
+SCALES = [4, 8, 16, 32]
+
+
+def main() -> None:
+    base = ScalAna.for_app(get_app("sst"), seed=3)
+    fixed = ScalAna.for_app(get_app("sst_fixed"), seed=3)
+
+    print("== scaling (paper: 1.28x @16, 1.20x @32 vs 4 ranks) ==")
+    runs = base.profile_scales(SCALES)
+    for run in runs:
+        print(f"  P={run.nprocs:3d}  {run.app_time:7.2f}s  "
+              f"speedup {runs[0].app_time / run.app_time:.2f}x")
+
+    print("\n== ScalAna diagnosis ==")
+    report = base.detect(runs)
+    print(report.render(max_causes=2))
+    top = report.root_causes[0]
+    assert top.function == "handle_event"
+
+    print("\n== the PMU evidence (paper Fig. 15) ==")
+    scan = [
+        v for v in base.psg.vertices.values()
+        if v.function == "handle_event" and v.vtype is VertexType.COMP
+    ][0]
+    res_b = base.run_uninstrumented(16)
+    res_f = fixed.run_uninstrumented(16)
+    ins_b = [res_b.vertex_counters[(r, scan.vid)].tot_ins for r in range(16)]
+    ins_f = [res_f.vertex_counters[(r, scan.vid)].tot_ins for r in range(16)]
+    print(f"  TOT_INS across ranks, array scan: "
+          f"min {min(ins_b):.2e}  max {max(ins_b):.2e}  "
+          f"({max(ins_b) / min(ins_b):.1f}x imbalance)")
+    print(f"  TOT_INS across ranks, map lookup: "
+          f"min {min(ins_f):.2e}  max {max(ins_f):.2e}")
+    print(f"  reduction: {100 * (1 - sum(ins_f) / sum(ins_b)):.2f}%  "
+          "(paper: 99.92%)")
+
+    print("\n== after the fix (array -> unordered map) ==")
+    for p in SCALES:
+        tb = base.run_uninstrumented(p).total_time
+        tf = fixed.run_uninstrumented(p).total_time
+        print(f"  P={p:3d}  before {tb:7.2f}s  after {tf:7.2f}s  "
+              f"improvement {100 * (tb - tf) / tb:.1f}%")
+    print("\npaper: +73.12% at 32 ranks")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,202 @@
+"""repro: a reproduction of ScalAna (Jin et al., SC 2020).
+
+ScalAna combines static program analysis with light-weight runtime
+profiling to detect the root cause of scaling loss in parallel programs.
+This package reimplements the complete system over a MiniMPI language
+frontend and a discrete-event MPI simulator (see DESIGN.md for the full
+substitution map).
+
+Quickstart
+----------
+>>> from repro import ScalAna
+>>> from repro.apps import get_app
+>>> app = get_app("cg")
+>>> tool = ScalAna.for_app(app)
+>>> runs = tool.profile_scales([4, 8, 16])
+>>> report = tool.detect(runs)
+>>> print(report.render())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.apps.spec import AppSpec
+from repro.detection import (
+    AbnormalConfig,
+    BacktrackConfig,
+    DetectionReport,
+    NonScalableConfig,
+    detect_scaling_loss,
+)
+from repro.detection.aggregation import AggregationStrategy
+from repro.minilang import parse_program
+from repro.psg import DEFAULT_MAX_LOOP_DEPTH, StaticAnalysisResult, build_psg
+from repro.runtime import DEFAULT_FREQ_HZ, ProfiledRun, profile_run
+from repro.simulator import (
+    DelayInjection,
+    MachineModel,
+    NetworkModel,
+    SimulationConfig,
+    simulate,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ScalAna",
+    "analyze_program",
+    "AppSpec",
+    "DetectionReport",
+    "MachineModel",
+    "NetworkModel",
+    "SimulationConfig",
+    "DelayInjection",
+    "__version__",
+]
+
+
+@dataclass
+class ScalAna:
+    """The end-user facade, mirroring the paper's four usage steps (§V):
+
+    1. ``static_analysis()``  — compile with ScalAna-static (PSG generation),
+    2. ``profile(nprocs)``    — run with ScalAna-prof at each scale,
+    3. ``detect(runs)``       — ScalAna-detect (offline root-cause analysis),
+    4. ``view(report)``       — ScalAna-viewer (text rendering with source).
+
+    User-tunable knobs match the paper: ``max_loop_depth`` (MaxLoopDepth),
+    ``abnorm_thd`` (AbnormThd), and the 200 Hz sampling frequency.
+    """
+
+    source: str
+    filename: str = "<string>"
+    params: dict = field(default_factory=dict)
+    machine: MachineModel = field(default_factory=MachineModel)
+    network: NetworkModel = field(default_factory=NetworkModel)
+    max_loop_depth: int = DEFAULT_MAX_LOOP_DEPTH
+    abnorm_thd: float = 1.3
+    freq_hz: float = DEFAULT_FREQ_HZ
+    seed: int = 0
+    injected_delays: list[DelayInjection] = field(default_factory=list)
+    aggregation: AggregationStrategy = AggregationStrategy.MEAN
+    _static: Optional[StaticAnalysisResult] = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def for_app(cls, app: AppSpec, **overrides) -> "ScalAna":
+        """Build a tool instance for a registry application."""
+        kwargs = dict(
+            source=app.source,
+            filename=app.filename,
+            params=dict(app.params),
+        )
+        if app.machine is not None:
+            kwargs["machine"] = app.machine
+        if app.network is not None:
+            kwargs["network"] = app.network
+        kwargs.update(overrides)
+        return cls(**kwargs)
+
+    # -- step 1: ScalAna-static ----------------------------------------------
+
+    def static_analysis(self) -> StaticAnalysisResult:
+        if self._static is None:
+            program = parse_program(self.source, self.filename)
+            self._static = build_psg(program, max_loop_depth=self.max_loop_depth)
+        return self._static
+
+    @property
+    def psg(self):
+        return self.static_analysis().psg
+
+    # -- step 2: ScalAna-prof --------------------------------------------------
+
+    def simulation_config(self, nprocs: int, **overrides) -> SimulationConfig:
+        kwargs = dict(
+            nprocs=nprocs,
+            params=dict(self.params),
+            machine=self.machine,
+            network=self.network,
+            seed=self.seed,
+            injected_delays=list(self.injected_delays),
+        )
+        kwargs.update(overrides)
+        return SimulationConfig(**kwargs)
+
+    def profile(
+        self, nprocs: int, *, repetitions: int = 1, **config_overrides
+    ) -> ProfiledRun:
+        """Run the program at ``nprocs`` under ScalAna's runtime.
+
+        ``repetitions > 1`` averages several derived-seed runs, the paper's
+        §VI-A methodology for noisy machines.
+        """
+        static = self.static_analysis()
+        config = self.simulation_config(nprocs, **config_overrides)
+        if repetitions > 1:
+            from repro.runtime import profile_run_averaged
+
+            return profile_run_averaged(
+                static.program, static.psg, config,
+                repetitions=repetitions, freq_hz=self.freq_hz,
+            )
+        return profile_run(
+            static.program, static.psg, config, freq_hz=self.freq_hz
+        )
+
+    def profile_scales(
+        self, scales: Sequence[int], *, repetitions: int = 1
+    ) -> list[ProfiledRun]:
+        return [self.profile(p, repetitions=repetitions) for p in scales]
+
+    # -- step 3: ScalAna-detect ---------------------------------------------
+
+    def detect(self, runs: Sequence[ProfiledRun]) -> DetectionReport:
+        return detect_scaling_loss(
+            runs,
+            psg=self.psg,
+            nonscalable_config=NonScalableConfig(strategy=self.aggregation),
+            abnormal_config=AbnormalConfig(abnorm_thd=self.abnorm_thd),
+            backtrack_config=BacktrackConfig(),
+        )
+
+    # -- step 4: ScalAna-viewer ------------------------------------------------
+
+    def view(self, report: DetectionReport, context: int = 2) -> str:
+        from repro.tools.viewer import render_report_with_source
+
+        return render_report_with_source(report, self.source, context=context)
+
+    # -- convenience -------------------------------------------------------------
+
+    def run_uninstrumented(self, nprocs: int):
+        """Plain simulation (no measurement): the baseline for overhead."""
+        static = self.static_analysis()
+        return simulate(static.program, static.psg, self.simulation_config(nprocs))
+
+
+def analyze_program(
+    source_or_app: str | AppSpec,
+    scales: Sequence[int],
+    *,
+    filename: str = "<string>",
+    params: Optional[dict] = None,
+    **tool_kwargs,
+) -> DetectionReport:
+    """One-shot pipeline: static analysis + profiling at ``scales`` + detection."""
+    if isinstance(source_or_app, AppSpec):
+        tool = ScalAna.for_app(source_or_app, **tool_kwargs)
+        if params:
+            tool.params.update(params)
+    else:
+        tool = ScalAna(
+            source=source_or_app,
+            filename=filename,
+            params=dict(params or {}),
+            **tool_kwargs,
+        )
+    runs = tool.profile_scales(scales)
+    return tool.detect(runs)

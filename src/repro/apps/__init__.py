@@ -1,0 +1,36 @@
+"""Benchmark and case-study applications, written in the MiniMPI DSL.
+
+``get_app(name)`` returns an :class:`AppSpec`; the evaluated set mirrors the
+paper's Table II: the eight mini-NPB kernels plus the Zeus-MP / SST /
+Nekbone analogs (each case-study app also has a ``*_fixed`` variant
+implementing the paper's optimization).
+"""
+
+from repro.apps.nekbone import NEKBONE, NEKBONE_FIXED
+from repro.apps.npb import NPB_APPS
+from repro.apps.registry import (
+    APPS,
+    CASE_STUDY_APPS,
+    EVALUATED_APPS,
+    app_names,
+    get_app,
+)
+from repro.apps.spec import AppSpec
+from repro.apps.sst import SST, SST_FIXED
+from repro.apps.zeusmp import ZEUSMP, ZEUSMP_FIXED
+
+__all__ = [
+    "AppSpec",
+    "APPS",
+    "EVALUATED_APPS",
+    "CASE_STUDY_APPS",
+    "app_names",
+    "get_app",
+    "NPB_APPS",
+    "ZEUSMP",
+    "ZEUSMP_FIXED",
+    "SST",
+    "SST_FIXED",
+    "NEKBONE",
+    "NEKBONE_FIXED",
+]

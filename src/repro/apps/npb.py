@@ -1,0 +1,341 @@
+"""Mini-NPB: the eight NAS Parallel Benchmark kernels in MiniMPI.
+
+Each kernel keeps the *communication skeleton* of the original (that is
+what every ScalAna analysis depends on) with computation reduced to
+workload statements scaled by the ``n``/``niter`` parameters:
+
+* **CG** — conjugate gradient: per-iteration matvec plus hypercube-pattern
+  ``sendrecv`` reduction exchanges and a residual ``allreduce``,
+* **EP** — embarrassingly parallel: one big independent compute, then three
+  small ``allreduce`` calls for the tallies,
+* **FT** — 3-D FFT: local FFT compute plus a global ``alltoall`` transpose
+  per iteration,
+* **MG** — multigrid V-cycle: per-level smoothing with nearest-neighbor
+  halo ``sendrecv`` at shrinking sizes, plus a norm ``allreduce``,
+* **LU** — SSOR: a blocking send/recv *wavefront pipeline* sweeping down
+  then up the rank line (the classic pipeline-fill scaling loss),
+* **IS** — integer sort: local ranking, key-distribution ``alltoall`` and
+  an ``allreduce`` verification,
+* **BT**/**SP** — multi-partition solvers on a square process grid with
+  face exchanges (isend/irecv + waitall) in both grid directions per
+  direction sweep; they require square process counts like the originals
+  (the paper runs them on 4..121 ranks).
+
+Hypercube partners are computed arithmetically (the DSL has no xor):
+``partner = rank + s`` when ``(rank / s) % 2 == 0`` else ``rank - s``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.apps.spec import AppSpec
+
+__all__ = ["NPB_APPS", "make_npb_specs"]
+
+
+def _is_pow2(p: int) -> bool:
+    return p >= 1 and (p & (p - 1)) == 0
+
+
+def _is_square(p: int) -> bool:
+    r = int(math.isqrt(p))
+    return r * r == p
+
+
+CG_SOURCE = """\
+def main() {
+    var niter_i = niter;
+    conj_grad();
+    for (var it = 0; it < niter_i; it = it + 1) {
+        conj_grad();
+        // residual norm
+        allreduce(bytes = 8);
+    }
+}
+
+def conj_grad() {
+    // sparse matvec: nnz/nprocs work, memory bound
+    compute(flops = 2 * nnz / nprocs, bytes = 20 * nnz / nprocs,
+            locality = 0.6, name = "matvec");
+    // sum-reduce partial vectors over hypercube exchange (transpose comm)
+    var s = 1;
+    while (s < nprocs) {
+        var partner = rank - s;
+        if ((rank / s) % 2 == 0) {
+            partner = rank + s;
+        }
+        sendrecv(dest = partner, tag = 11, bytes = 8 * n / nprocs,
+                 src = partner);
+        compute(flops = n / nprocs, bytes = 16 * n / nprocs, name = "merge");
+        s = s * 2;
+    }
+    // two dot products per iteration
+    allreduce(bytes = 8);
+    allreduce(bytes = 8);
+}
+"""
+
+EP_SOURCE = """\
+def main() {
+    // independent gaussian-pair generation: perfectly parallel
+    compute(flops = 60 * m / nprocs, bytes = 16 * m / nprocs,
+            locality = 0.95, name = "gaussian_pairs");
+    // tally reductions
+    allreduce(bytes = 8);
+    allreduce(bytes = 8);
+    allreduce(bytes = 80);
+}
+"""
+
+FT_SOURCE = """\
+def main() {
+    // initial FFT setup
+    compute(flops = 5 * n / nprocs, bytes = 16 * n / nprocs, name = "init");
+    for (var it = 0; it < niter; it = it + 1) {
+        // local 2-D FFTs on the slab
+        compute(flops = 25 * n * log2(n) / nprocs,
+                bytes = 16 * n / nprocs, locality = 0.8, name = "fft_local");
+        // global transpose
+        alltoall(bytes = 16 * n / (nprocs * nprocs));
+        // final 1-D FFT + checksum
+        compute(flops = 5 * n * log2(n) / nprocs,
+                bytes = 16 * n / nprocs, locality = 0.8, name = "fft_z");
+        allreduce(bytes = 16);
+    }
+}
+"""
+
+MG_SOURCE = """\
+def main() {
+    // grid halves per level in 3-D: level count ~ log8(n), capped like the
+    // original's LT..LB hierarchy
+    var levels = floor(log2(n) / 3) - 1;
+    if (levels < 2) {
+        levels = 2;
+    }
+    if (levels > 9) {
+        levels = 9;
+    }
+    for (var it = 0; it < niter; it = it + 1) {
+        vcycle(levels);
+        // norm check
+        allreduce(bytes = 8);
+    }
+}
+
+def vcycle(levels) {
+    // down-sweep: restrict
+    for (var l = 0; l < levels; l = l + 1) {
+        var points = n / pow(8, l);
+        if (points < nprocs) {
+            points = nprocs;
+        }
+        compute(flops = 15 * points / nprocs, bytes = 24 * points / nprocs,
+                locality = 0.7, name = "smooth");
+        halo(points);
+    }
+    // up-sweep: prolongate
+    for (var l = 0; l < levels; l = l + 1) {
+        var points = n / pow(8, levels - 1 - l);
+        if (points < nprocs) {
+            points = nprocs;
+        }
+        compute(flops = 12 * points / nprocs, bytes = 24 * points / nprocs,
+                locality = 0.7, name = "prolongate");
+        halo(points);
+    }
+}
+
+def halo(points) {
+    var up = (rank + 1) % nprocs;
+    var down = (rank - 1 + nprocs) % nprocs;
+    var facebytes = 8 * pow(points / nprocs, 0.667) + 64;
+    sendrecv(dest = up, tag = 21, bytes = facebytes, src = down);
+    sendrecv(dest = down, tag = 22, bytes = facebytes, src = up);
+}
+"""
+
+LU_SOURCE = """\
+def main() {
+    for (var it = 0; it < niter; it = it + 1) {
+        // lower-triangular sweep: wavefront pipelined down the rank line,
+        // one k-plane at a time (ranks overlap on different planes)
+        sweep_down();
+        // upper-triangular sweep: pipeline back up
+        sweep_up();
+        // residual
+        allreduce(bytes = 40);
+    }
+}
+
+def sweep_down() {
+    for (var k = 0; k < nplanes; k = k + 1) {
+        if (rank > 0) {
+            recv(src = rank - 1, tag = 31);
+        }
+        compute(flops = 50 * n / (nprocs * nplanes),
+                bytes = 30 * n / (nprocs * nplanes),
+                locality = 0.75, name = "blts");
+        if (rank < nprocs - 1) {
+            send(dest = rank + 1, tag = 31, bytes = 8 * nslice);
+        }
+    }
+}
+
+def sweep_up() {
+    for (var k = 0; k < nplanes; k = k + 1) {
+        if (rank < nprocs - 1) {
+            recv(src = rank + 1, tag = 32);
+        }
+        compute(flops = 50 * n / (nprocs * nplanes),
+                bytes = 30 * n / (nprocs * nplanes),
+                locality = 0.75, name = "buts");
+        if (rank > 0) {
+            send(dest = rank - 1, tag = 32, bytes = 8 * nslice);
+        }
+    }
+}
+"""
+
+IS_SOURCE = """\
+def main() {
+    for (var it = 0; it < niter; it = it + 1) {
+        // local key ranking
+        compute(flops = 8 * keys / nprocs, bytes = 12 * keys / nprocs,
+                locality = 0.5, name = "rank_keys");
+        // bucket-size exchange then key redistribution
+        alltoall(bytes = 4 * buckets / nprocs + 16);
+        alltoall(bytes = 4 * keys / (nprocs * nprocs) + 64);
+        // partial verification
+        allreduce(bytes = 8);
+    }
+}
+"""
+
+_BTSP_TEMPLATE = """\
+def main() {{
+    var side = floor(sqrt(nprocs));
+    var row = rank / side;
+    var col = rank % side;
+    for (var it = 0; it < niter; it = it + 1) {{
+        xsolve(side, row, col);
+        ysolve(side, row, col);
+        zsolve(side, row, col);
+        allreduce(bytes = 40);
+    }}
+}}
+
+def xsolve(side, row, col) {{
+    compute(flops = {flops} * n / nprocs, bytes = {mem} * n / nprocs,
+            locality = 0.8, name = "x_solve");
+    var east = row * side + (col + 1) % side;
+    var west = row * side + (col - 1 + side) % side;
+    isend(dest = east, tag = 41, bytes = {face} * n / (nprocs * side), req = sx);
+    irecv(src = west, tag = 41, req = rx);
+    waitall();
+}}
+
+def ysolve(side, row, col) {{
+    compute(flops = {flops} * n / nprocs, bytes = {mem} * n / nprocs,
+            locality = 0.8, name = "y_solve");
+    var north = ((row + 1) % side) * side + col;
+    var south = ((row - 1 + side) % side) * side + col;
+    isend(dest = north, tag = 42, bytes = {face} * n / (nprocs * side), req = sy);
+    irecv(src = south, tag = 42, req = ry);
+    waitall();
+}}
+
+def zsolve(side, row, col) {{
+    compute(flops = {zflops} * n / nprocs, bytes = {mem} * n / nprocs,
+            locality = 0.8, name = "z_solve");
+    var east = row * side + (col + 1) % side;
+    var west = row * side + (col - 1 + side) % side;
+    isend(dest = west, tag = 43, bytes = {face} * n / (nprocs * side), req = sz);
+    irecv(src = east, tag = 43, req = rz);
+    waitall();
+}}
+"""
+
+BT_SOURCE = _BTSP_TEMPLATE.format(flops=120, zflops=140, mem=60, face=40)
+SP_SOURCE = _BTSP_TEMPLATE.format(flops=70, zflops=80, mem=45, face=30)
+
+
+def make_npb_specs() -> dict[str, AppSpec]:
+    """Build the mini-NPB application registry entries."""
+    specs = {
+        "cg": AppSpec(
+            name="cg",
+            source=CG_SOURCE,
+            filename="cg.mm",
+            description="Conjugate gradient with hypercube reduction exchanges",
+            params={"n": 150_000_000, "nnz": 150_000_000_000, "niter": 40},
+            nprocs_valid=_is_pow2,
+            nprocs_note="power-of-two process counts",
+            paper_kloc=2.0,
+        ),
+        "ep": AppSpec(
+            name="ep",
+            source=EP_SOURCE,
+            filename="ep.mm",
+            description="Embarrassingly parallel random-number tally",
+            params={"m": 40_000_000_000},
+            paper_kloc=0.6,
+        ),
+        "ft": AppSpec(
+            name="ft",
+            source=FT_SOURCE,
+            filename="ft.mm",
+            description="3-D FFT with alltoall transpose",
+            params={"n": 200_000_000, "niter": 12},
+            paper_kloc=2.5,
+        ),
+        "mg": AppSpec(
+            name="mg",
+            source=MG_SOURCE,
+            filename="mg.mm",
+            description="Multigrid V-cycle with per-level halo exchanges",
+            params={"n": 32_000_000_000, "niter": 8},
+            paper_kloc=2.8,
+        ),
+        "lu": AppSpec(
+            name="lu",
+            source=LU_SOURCE,
+            filename="lu.mm",
+            description="SSOR wavefront pipeline (blocking send/recv chain)",
+            params={"n": 2_000_000_000, "nslice": 400_000, "niter": 12, "nplanes": 16},
+            paper_kloc=7.7,
+        ),
+        "is": AppSpec(
+            name="is",
+            source=IS_SOURCE,
+            filename="is.mm",
+            description="Integer bucket sort with alltoall key redistribution",
+            params={"keys": 10_000_000_000, "buckets": 1024, "niter": 10},
+            paper_kloc=1.3,
+        ),
+        "bt": AppSpec(
+            name="bt",
+            source=BT_SOURCE,
+            filename="bt.mm",
+            description="Block-tridiagonal multi-partition solver (square grid)",
+            params={"n": 1_000_000_000, "niter": 12},
+            nprocs_valid=_is_square,
+            nprocs_note="square process counts (1, 4, 9, 16, ...)",
+            paper_kloc=9.3,
+        ),
+        "sp": AppSpec(
+            name="sp",
+            source=SP_SOURCE,
+            filename="sp.mm",
+            description="Scalar-pentadiagonal multi-partition solver (square grid)",
+            params={"n": 1_000_000_000, "niter": 14},
+            nprocs_valid=_is_square,
+            nprocs_note="square process counts (1, 4, 9, 16, ...)",
+            paper_kloc=5.1,
+        ),
+    }
+    return specs
+
+
+NPB_APPS = make_npb_specs()

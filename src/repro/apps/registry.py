@@ -1,0 +1,47 @@
+"""Application registry: every program the evaluation runs."""
+
+from __future__ import annotations
+
+from repro.apps.nekbone import NEKBONE, NEKBONE_FIXED
+from repro.apps.npb import NPB_APPS
+from repro.apps.spec import AppSpec
+from repro.apps.sst import SST, SST_FIXED
+from repro.apps.zeusmp import ZEUSMP, ZEUSMP_FIXED
+
+__all__ = [
+    "APPS",
+    "EVALUATED_APPS",
+    "CASE_STUDY_APPS",
+    "get_app",
+    "app_names",
+]
+
+APPS: dict[str, AppSpec] = {}
+APPS.update(NPB_APPS)
+for _spec in (ZEUSMP, ZEUSMP_FIXED, SST, SST_FIXED, NEKBONE, NEKBONE_FIXED):
+    APPS[_spec.name] = _spec
+
+#: The 11 programs of the paper's evaluation (Table II order).
+EVALUATED_APPS: tuple[str, ...] = (
+    "bt", "cg", "ep", "ft", "mg", "sp", "lu", "is", "sst", "nekbone", "zeusmp",
+)
+
+#: The three case studies of §VI-D with their fixed variants.
+CASE_STUDY_APPS: dict[str, tuple[str, str]] = {
+    "zeusmp": ("zeusmp", "zeusmp_fixed"),
+    "sst": ("sst", "sst_fixed"),
+    "nekbone": ("nekbone", "nekbone_fixed"),
+}
+
+
+def get_app(name: str) -> AppSpec:
+    """Look up an application by name (raises with suggestions on typos)."""
+    try:
+        return APPS[name]
+    except KeyError:
+        available = ", ".join(sorted(APPS))
+        raise KeyError(f"unknown app {name!r}; available: {available}") from None
+
+
+def app_names() -> list[str]:
+    return sorted(APPS)

@@ -1,0 +1,59 @@
+"""Application specification: a named MiniMPI program + run configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Callable, Optional
+
+from repro.minilang import ast_nodes as ast
+from repro.minilang.parser import parse_program
+from repro.psg import StaticAnalysisResult, build_psg
+from repro.simulator.costmodel import MachineModel, NetworkModel
+
+__all__ = ["AppSpec"]
+
+
+@dataclass
+class AppSpec:
+    """One runnable application (or one variant of it)."""
+
+    name: str
+    source: str
+    filename: str
+    description: str
+    #: default problem parameters (overridable per run)
+    params: dict = field(default_factory=dict)
+    #: machine override (e.g. Nekbone's per-core memory-speed variance)
+    machine: Optional[MachineModel] = None
+    network: Optional[NetworkModel] = None
+    #: returns True when nprocs is valid for this app (e.g. BT needs squares)
+    nprocs_valid: Callable[[int], bool] = lambda p: p >= 1
+    #: human description of the constraint, for error messages
+    nprocs_note: str = "any process count"
+    #: paper code-size reference (KLoC), for the Table II comparison
+    paper_kloc: float = 0.0
+
+    @cached_property
+    def program(self) -> ast.Program:
+        return parse_program(self.source, self.filename)
+
+    @cached_property
+    def static(self) -> StaticAnalysisResult:
+        return build_psg(self.program)
+
+    @property
+    def psg(self):
+        return self.static.psg
+
+    def check_nprocs(self, nprocs: int) -> None:
+        if not self.nprocs_valid(nprocs):
+            raise ValueError(
+                f"{self.name} cannot run on {nprocs} processes ({self.nprocs_note})"
+            )
+
+    def merged_params(self, overrides: Optional[dict] = None) -> dict:
+        merged = dict(self.params)
+        if overrides:
+            merged.update(overrides)
+        return merged

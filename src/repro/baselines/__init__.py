@@ -1,0 +1,39 @@
+"""Baseline measurement tools the paper compares against.
+
+Both baselines run over the *same* simulated execution as ScalAna, so all
+comparisons (Table I, Figs. 10/11/13, the case-study storage numbers) are
+apples-to-apples: same app, same scale, same ground truth, different
+measurement strategy.
+"""
+
+from repro.baselines.tracer import TraceAnalysis, TracerTool, TracerRun
+from repro.baselines.profiler_tool import (
+    CallPathProfile,
+    ProfilerTool,
+    ProfilerRun,
+    Hotspot,
+)
+from repro.baselines.modeling import ScalingModel, VertexModel, fit_scaling_model
+from repro.baselines.waitstates import (
+    WaitState,
+    WaitStateKind,
+    WaitStateProfile,
+    classify_wait_states,
+)
+
+__all__ = [
+    "TracerTool",
+    "TracerRun",
+    "TraceAnalysis",
+    "ProfilerTool",
+    "ProfilerRun",
+    "CallPathProfile",
+    "Hotspot",
+    "ScalingModel",
+    "VertexModel",
+    "fit_scaling_model",
+    "WaitState",
+    "WaitStateKind",
+    "WaitStateProfile",
+    "classify_wait_states",
+]

@@ -1,0 +1,132 @@
+"""HPCToolkit-like call-path sampling profiler baseline.
+
+Flat statistical profiling: samples attribute time to call paths; the
+output is a hotspot list.  The tool deliberately reproduces the limitation
+the paper leans on in every case study: it *finds* the bottleneck vertices
+(the waiting MPI calls, the hot loops) but records **no causal links
+between them** — "the outputs from HPCToolkit will show multiple
+bottlenecks without analysis on their underlying relationship to infer
+which one is the actual root cause" (§VI-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.minilang import ast_nodes as ast
+from repro.psg.graph import PSG
+from repro.runtime.accounting import (
+    DEFAULT_PARAMS,
+    OverheadReport,
+    ToolCostParams,
+    profiler_costs,
+)
+from repro.runtime.sampling import DEFAULT_FREQ_HZ, sample_result
+from repro.simulator.engine import SimulationConfig, SimulationResult, simulate
+
+__all__ = ["Hotspot", "CallPathProfile", "ProfilerRun", "ProfilerTool"]
+
+
+@dataclass(frozen=True)
+class Hotspot:
+    """One entry of the flat hotspot list."""
+
+    vid: int
+    label: str
+    location: str
+    callpath: tuple[str, ...]
+    total_time: float  # summed over ranks
+    mean_time: float
+    max_time: float
+
+    @property
+    def imbalance(self) -> float:
+        return self.max_time / self.mean_time if self.mean_time > 0 else 1.0
+
+
+@dataclass
+class CallPathProfile:
+    """Per-(rank, call path) sampled times — what hpcprof stores."""
+
+    nprocs: int
+    #: (rank, vid) -> sampled seconds
+    times: dict[tuple[int, int], float] = field(default_factory=dict)
+    unique_callpaths: int = 0
+
+    def hotspots(self, psg: PSG, k: int = 10) -> list[Hotspot]:
+        by_vid: dict[int, list[float]] = {}
+        for (rank, vid), t in self.times.items():
+            by_vid.setdefault(vid, [0.0] * self.nprocs)[rank] += t
+        out = []
+        for vid, per_rank in by_vid.items():
+            v = psg.vertices[vid]
+            total = sum(per_rank)
+            if total <= 0:
+                continue
+            path = tuple(p.label for p in psg.calling_path(vid))
+            out.append(
+                Hotspot(
+                    vid=vid,
+                    label=v.label,
+                    location=str(v.location),
+                    callpath=path,
+                    total_time=total,
+                    mean_time=total / self.nprocs,
+                    max_time=max(per_rank),
+                )
+            )
+        out.sort(key=lambda h: -h.total_time)
+        return out[:k]
+
+
+@dataclass
+class ProfilerRun:
+    nprocs: int
+    profile: CallPathProfile
+    overhead: OverheadReport
+    result: SimulationResult
+
+
+class ProfilerTool:
+    """Run an app under call-path sampling and report hotspots."""
+
+    def __init__(
+        self,
+        freq_hz: float = DEFAULT_FREQ_HZ,
+        params: ToolCostParams = DEFAULT_PARAMS,
+    ) -> None:
+        self.freq_hz = freq_hz
+        self.params = params
+
+    def run(
+        self, program: ast.Program, psg: PSG, config: SimulationConfig
+    ) -> ProfilerRun:
+        result = simulate(program, psg, config)
+        sampled = sample_result(result, self.freq_hz)
+        profile = CallPathProfile(nprocs=config.nprocs)
+        for (rank, vid), vec in sampled.perf.items():
+            profile.times[(rank, vid)] = vec.time
+        # distinct call paths per rank = distinct sampled vertices (each PSG
+        # vertex corresponds to one inlined call path by construction)
+        per_rank_paths: dict[int, set[int]] = {}
+        for (rank, vid) in sampled.perf:
+            per_rank_paths.setdefault(rank, set()).add(vid)
+        profile.unique_callpaths = sum(len(s) for s in per_rank_paths.values())
+        mean_paths = (
+            profile.unique_callpaths / max(1, len(per_rank_paths))
+            if per_rank_paths
+            else 0.0
+        )
+        overhead = profiler_costs(
+            app_time=result.total_time,
+            nprocs=config.nprocs,
+            total_samples=sampled.total_samples,
+            unique_callpaths_per_rank=mean_paths,
+            params=self.params,
+        )
+        return ProfilerRun(
+            nprocs=config.nprocs,
+            profile=profile,
+            overhead=overhead,
+            result=result,
+        )

@@ -1,0 +1,197 @@
+"""Scalasca-like tracing baseline.
+
+Full event tracing: one timestamped record per region enter/exit and per
+MPI event on every rank.  This gives perfect information — the wait-state
+analysis below finds root causes accurately, as Scalasca does with human
+guidance — at the storage and runtime cost the paper's Table I and Figs.
+10/11/13 show dwarfing ScalAna's.
+
+The trace is materialized as actual records so the storage accounting is
+honest (bytes = records x record size), and the wait-state analysis really
+runs over the trace (a simplified Bohme-style backward replay [64]).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.minilang import ast_nodes as ast
+from repro.psg.graph import PSG
+from repro.runtime.accounting import (
+    DEFAULT_PARAMS,
+    OverheadReport,
+    ToolCostParams,
+    tracer_costs,
+)
+from repro.simulator.engine import SimulationConfig, SimulationResult, simulate
+from repro.simulator.events import SegmentKind
+
+__all__ = ["TraceEvent", "TracerRun", "TraceAnalysis", "TracerTool"]
+
+
+@dataclass(slots=True, frozen=True)
+class TraceEvent:
+    """One OTF2-style trace record."""
+
+    rank: int
+    time: float
+    kind: str  # "enter" | "exit" | "mpi_send" | "mpi_recv" | "mpi_coll"
+    vid: int
+    peer: int = -1
+    tag: int = -1
+    nbytes: int = 0
+
+
+@dataclass
+class TracerRun:
+    """A full trace of one execution plus its cost accounting."""
+
+    nprocs: int
+    events: list[TraceEvent]
+    overhead: OverheadReport
+    result: SimulationResult
+
+    @property
+    def event_count(self) -> int:
+        return len(self.events)
+
+
+@dataclass
+class TraceAnalysis:
+    """Wait-state analysis output: per-vertex aggregate waiting time and the
+    direct-cause vertex behind each wait (one backward-replay hop)."""
+
+    wait_by_vertex: dict[int, float] = field(default_factory=dict)
+    #: (waiting vid) -> {causing vid: attributed seconds}
+    wait_causes: dict[int, dict[int, float]] = field(default_factory=dict)
+
+    def top_wait_vertices(self, k: int = 5) -> list[tuple[int, float]]:
+        return sorted(self.wait_by_vertex.items(), key=lambda kv: -kv[1])[:k]
+
+    def main_cause_of(self, vid: int) -> Optional[int]:
+        causes = self.wait_causes.get(vid)
+        if not causes:
+            return None
+        return max(causes, key=lambda c: causes[c])
+
+
+class TracerTool:
+    """Run an app under full tracing and analyze the trace."""
+
+    def __init__(self, params: ToolCostParams = DEFAULT_PARAMS) -> None:
+        self.params = params
+
+    def run(
+        self, program: ast.Program, psg: PSG, config: SimulationConfig
+    ) -> TracerRun:
+        result = simulate(program, psg, config)
+        events: list[TraceEvent] = []
+        for seg in result.segments:
+            if seg.kind is SegmentKind.COMPUTE:
+                events.append(TraceEvent(seg.rank, seg.start, "enter", seg.vid))
+                events.append(TraceEvent(seg.rank, seg.end, "exit", seg.vid))
+            else:
+                kind = "mpi_coll" if seg.mpi_op is not None and seg.mpi_op.value not in (
+                    "send", "recv", "isend", "irecv", "sendrecv", "wait", "waitall"
+                ) else "mpi_p2p"
+                events.append(TraceEvent(seg.rank, seg.start, "enter", seg.vid))
+                events.append(
+                    TraceEvent(seg.rank, seg.end, kind, seg.vid)
+                )
+        # one extra record per matched message (sender/receiver endpoints)
+        for rec in result.p2p_records:
+            events.append(
+                TraceEvent(
+                    rec.send_rank, rec.send_time, "mpi_send", rec.send_vid,
+                    peer=rec.recv_rank, tag=rec.tag, nbytes=rec.nbytes,
+                )
+            )
+            events.append(
+                TraceEvent(
+                    rec.recv_rank, rec.completion, "mpi_recv", rec.recv_vid,
+                    peer=rec.send_rank, tag=rec.tag, nbytes=rec.nbytes,
+                )
+            )
+        events.sort(key=lambda e: (e.time, e.rank))
+        mpi_events = sum(1 for e in events if e.kind.startswith("mpi"))
+        region_events = len(events) - mpi_events
+        compute_seconds = sum(
+            seg.duration
+            for seg in result.segments
+            if seg.kind is SegmentKind.COMPUTE
+        )
+        overhead = tracer_costs(
+            app_time=result.total_time,
+            nprocs=config.nprocs,
+            mpi_events=mpi_events,
+            region_events=region_events,
+            compute_seconds=compute_seconds,
+            params=self.params,
+        )
+        return TracerRun(
+            nprocs=config.nprocs, events=events, overhead=overhead, result=result
+        )
+
+    def analyze(self, run: TracerRun) -> TraceAnalysis:
+        """Bohme-style wait-state analysis over the complete records.
+
+        For every waiting event (receiver blocked longer than the intrinsic
+        op cost), attribute the wait to the code the *peer* was executing
+        when it finally posted — one backward-replay hop through the
+        complete trace.
+        """
+        analysis = TraceAnalysis()
+        result = run.result
+        # Index: per rank, time-ordered compute segments for cause lookup.
+        compute_by_rank: dict[int, list] = defaultdict(list)
+        for seg in result.segments:
+            if seg.kind is SegmentKind.COMPUTE:
+                compute_by_rank[seg.rank].append(seg)
+        for segs in compute_by_rank.values():
+            segs.sort(key=lambda s: s.start)
+
+        def cause_at(rank: int, t: float) -> Optional[int]:
+            """Vertex rank was computing at (or last before) time t."""
+            segs = compute_by_rank.get(rank)
+            if not segs:
+                return None
+            lo, hi = 0, len(segs)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if segs[mid].start <= t:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            idx = lo - 1
+            if idx < 0:
+                return None
+            return segs[idx].vid
+
+        for rec in result.p2p_records:
+            if rec.wait_time <= 0:
+                continue
+            wvid = rec.wait_vid
+            analysis.wait_by_vertex[wvid] = (
+                analysis.wait_by_vertex.get(wvid, 0.0) + rec.wait_time
+            )
+            cause = cause_at(rec.send_rank, rec.send_time)
+            if cause is not None:
+                causes = analysis.wait_causes.setdefault(wvid, {})
+                causes[cause] = causes.get(cause, 0.0) + rec.wait_time
+        for crec in result.collective_records:
+            laggard = crec.last_arrival_rank
+            for rank in crec.arrivals:
+                w = crec.wait_of(rank)
+                if w <= 0:
+                    continue
+                vid = crec.vids[rank]
+                analysis.wait_by_vertex[vid] = (
+                    analysis.wait_by_vertex.get(vid, 0.0) + w
+                )
+                cause = cause_at(laggard, crec.arrivals[laggard])
+                if cause is not None:
+                    causes = analysis.wait_causes.setdefault(vid, {})
+                    causes[cause] = causes.get(cause, 0.0) + w
+        return analysis

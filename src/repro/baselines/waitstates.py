@@ -1,0 +1,135 @@
+"""Scalasca-style wait-state classification over complete traces.
+
+Scalasca's automatic trace analysis classifies inefficiency patterns; the
+ones reproducible in our eager-protocol simulator are implemented:
+
+* **Late Sender** — a receive (or its wait) blocked because the matching
+  send was posted late: ``send_time > recv_post``,
+* **Transfer** — the receiver posted after the send but still waited for
+  the payload to cross the wire (bandwidth/latency bound),
+* **Wait at Barrier / Wait at NxN / Late Broadcast / Wait at Reduce** —
+  per-collective-class imbalance waiting, attributed to early arrivers.
+
+This gives the tracer baseline the same *diagnostic* power Scalasca has in
+the paper's comparison — finding where waiting happens and what kind it is
+— while the storage/overhead accounting shows what that power costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.minilang.ast_nodes import MpiOp
+from repro.simulator.engine import SimulationResult
+
+__all__ = ["WaitStateKind", "WaitState", "WaitStateProfile", "classify_wait_states"]
+
+
+class WaitStateKind(Enum):
+    LATE_SENDER = "Late Sender"
+    TRANSFER = "Transfer"
+    WAIT_AT_BARRIER = "Wait at Barrier"
+    WAIT_AT_NXN = "Wait at NxN"
+    LATE_BROADCAST = "Late Broadcast"
+    WAIT_AT_REDUCE = "Wait at Reduce"
+
+
+_COLLECTIVE_KIND = {
+    MpiOp.BARRIER: WaitStateKind.WAIT_AT_BARRIER,
+    MpiOp.ALLREDUCE: WaitStateKind.WAIT_AT_NXN,
+    MpiOp.ALLTOALL: WaitStateKind.WAIT_AT_NXN,
+    MpiOp.ALLGATHER: WaitStateKind.WAIT_AT_NXN,
+    MpiOp.BCAST: WaitStateKind.LATE_BROADCAST,
+    MpiOp.SCATTER: WaitStateKind.LATE_BROADCAST,
+    MpiOp.REDUCE: WaitStateKind.WAIT_AT_REDUCE,
+    MpiOp.GATHER: WaitStateKind.WAIT_AT_REDUCE,
+}
+
+
+@dataclass(frozen=True)
+class WaitState:
+    kind: WaitStateKind
+    rank: int
+    vid: int
+    seconds: float
+    #: the rank whose lateness caused the wait (-1 when not applicable)
+    culprit_rank: int = -1
+
+
+@dataclass
+class WaitStateProfile:
+    states: list[WaitState] = field(default_factory=list)
+
+    def total_by_kind(self) -> dict[WaitStateKind, float]:
+        out: dict[WaitStateKind, float] = {}
+        for s in self.states:
+            out[s.kind] = out.get(s.kind, 0.0) + s.seconds
+        return out
+
+    def total_waiting(self) -> float:
+        return sum(s.seconds for s in self.states)
+
+    def worst_culprits(self, k: int = 3) -> list[tuple[int, float]]:
+        """Ranks most often waited-for, with the total seconds they caused."""
+        blame: dict[int, float] = {}
+        for s in self.states:
+            if s.culprit_rank >= 0:
+                blame[s.culprit_rank] = blame.get(s.culprit_rank, 0.0) + s.seconds
+        return sorted(blame.items(), key=lambda kv: -kv[1])[:k]
+
+    def render(self) -> str:
+        lines = ["wait-state classification (Scalasca-style):"]
+        totals = self.total_by_kind()
+        for kind in WaitStateKind:
+            if kind in totals:
+                lines.append(f"  {kind.value:<18s} {totals[kind]:12.4f} s")
+        lines.append(f"  {'total':<18s} {self.total_waiting():12.4f} s")
+        culprits = self.worst_culprits()
+        if culprits:
+            blame = ", ".join(f"rank {r} ({t:.2f}s)" for r, t in culprits)
+            lines.append(f"  most waited-for: {blame}")
+        return "\n".join(lines)
+
+
+def classify_wait_states(result: SimulationResult) -> WaitStateProfile:
+    """Classify every waiting event of a completed run."""
+    profile = WaitStateProfile()
+    for rec in result.p2p_records:
+        if rec.wait_time <= 0.0:
+            continue
+        if rec.send_time > rec.recv_post:
+            kind = WaitStateKind.LATE_SENDER
+            # the portion of the wait before the send was even posted is
+            # the sender's fault; the wire time is Transfer
+            late = min(rec.wait_time, rec.send_time - rec.recv_post)
+            profile.states.append(
+                WaitState(kind, rec.recv_rank, rec.wait_vid, late, rec.send_rank)
+            )
+            rest = rec.wait_time - late
+            if rest > 0:
+                profile.states.append(
+                    WaitState(
+                        WaitStateKind.TRANSFER, rec.recv_rank, rec.wait_vid, rest
+                    )
+                )
+        else:
+            profile.states.append(
+                WaitState(
+                    WaitStateKind.TRANSFER,
+                    rec.recv_rank,
+                    rec.wait_vid,
+                    rec.wait_time,
+                )
+            )
+    for crec in result.collective_records:
+        kind = _COLLECTIVE_KIND[crec.mpi_op]
+        laggard = crec.last_arrival_rank
+        for rank in crec.arrivals:
+            w = crec.wait_of(rank)
+            if w <= 0.0 or rank == laggard:
+                continue
+            profile.states.append(
+                WaitState(kind, rank, crec.vids[rank], w, laggard)
+            )
+    return profile

@@ -1,0 +1,25 @@
+"""Benchmark harness support: shared by everything under ``benchmarks/``."""
+
+from repro.bench.harness import (
+    BENCH_SEED,
+    ThreeToolReport,
+    app_scales,
+    emit,
+    measure_three_tools,
+    profile_app,
+    results_dir,
+    run_app,
+    speedup_curve,
+)
+
+__all__ = [
+    "BENCH_SEED",
+    "ThreeToolReport",
+    "app_scales",
+    "emit",
+    "measure_three_tools",
+    "profile_app",
+    "results_dir",
+    "run_app",
+    "speedup_curve",
+]

@@ -1,0 +1,99 @@
+"""Scaling loss detection (paper §IV): problematic vertices + root causes.
+
+:func:`detect_scaling_loss` is the offline ``ScalAna-detect`` step: it takes
+profiled runs at several scales, builds the PPG of the largest run, flags
+non-scalable and abnormal vertices, backtracks root causes, and assembles a
+ranked report.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Sequence
+
+from repro.detection.abnormal import (
+    DEFAULT_ABNORM_THD,
+    AbnormalConfig,
+    AbnormalVertex,
+    detect_abnormal,
+)
+from repro.detection.aggregation import (
+    AggregationStrategy,
+    aggregate,
+    cluster_processes,
+)
+from repro.detection.backtracking import (
+    BacktrackConfig,
+    RootCausePath,
+    backtrack_from,
+    backtrack_root_causes,
+)
+from repro.detection.nonscalable import (
+    NonScalableConfig,
+    NonScalableVertex,
+    detect_non_scalable,
+)
+from repro.detection.report import DetectionReport, RootCause, build_report
+from repro.ppg.build import PPG, build_ppg
+from repro.runtime import ProfiledRun
+
+__all__ = [
+    "AggregationStrategy",
+    "aggregate",
+    "cluster_processes",
+    "NonScalableConfig",
+    "NonScalableVertex",
+    "detect_non_scalable",
+    "AbnormalConfig",
+    "AbnormalVertex",
+    "detect_abnormal",
+    "DEFAULT_ABNORM_THD",
+    "BacktrackConfig",
+    "RootCausePath",
+    "backtrack_from",
+    "backtrack_root_causes",
+    "DetectionReport",
+    "RootCause",
+    "build_report",
+    "detect_scaling_loss",
+]
+
+
+def detect_scaling_loss(
+    runs: Sequence[ProfiledRun],
+    *,
+    nonscalable_config: NonScalableConfig = NonScalableConfig(),
+    abnormal_config: AbnormalConfig = AbnormalConfig(),
+    backtrack_config: BacktrackConfig = BacktrackConfig(),
+    psg=None,
+) -> DetectionReport:
+    """Run the full offline detection pipeline over profiled runs.
+
+    ``runs`` must contain at least two scales of the same program; the PPG
+    of the largest scale is the one analyzed for abnormality and root
+    causes (scaling problems show at scale).
+    """
+    if not runs:
+        raise ValueError("no profiled runs given")
+    if psg is None:
+        raise ValueError("detect_scaling_loss needs the program's PSG")
+    t0 = _time.perf_counter()
+    runs = sorted(runs, key=lambda r: r.nprocs)
+    ppgs = [
+        build_ppg(psg, run.nprocs, run.profile, run.comm) for run in runs
+    ]
+    largest = ppgs[-1]
+    non_scalable = (
+        detect_non_scalable(ppgs, nonscalable_config) if len(ppgs) >= 2 else []
+    )
+    abnormal = detect_abnormal(largest, abnormal_config)
+    paths = backtrack_root_causes(largest, non_scalable, abnormal, backtrack_config)
+    report = build_report(
+        largest,
+        tuple(r.nprocs for r in runs),
+        non_scalable,
+        abnormal,
+        paths,
+        detection_seconds=_time.perf_counter() - t0,
+    )
+    return report

@@ -1,0 +1,84 @@
+"""Abnormal vertex detection (paper §IV-A).
+
+"For a given job scale, we can also compare the performance data of the
+same vertex among different processes.  Since for typical SPMD programs,
+the same vertex tends to execute the same workload among different
+processes.  If a vertex has significantly different execution time, we can
+mark this vertex as a potential abnormal vertex."
+
+The threshold is the user-defined ``AbnormThd`` (paper default 1.3): a
+vertex is abnormal when ``max(time) / mean(time) > AbnormThd``; the
+*abnormal ranks* are those whose time exceeds ``AbnormThd * mean``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ppg.build import PPG
+
+__all__ = ["AbnormalVertex", "AbnormalConfig", "detect_abnormal", "DEFAULT_ABNORM_THD"]
+
+#: The paper's evaluation setting (§VI-A).
+DEFAULT_ABNORM_THD = 1.3
+
+
+@dataclass(frozen=True)
+class AbnormalConfig:
+    abnorm_thd: float = DEFAULT_ABNORM_THD
+    #: ignore vertices whose mean time is below this share of the mean
+    #: total rank time (measurement noise floor).
+    min_time_fraction: float = 0.005
+
+
+@dataclass(frozen=True)
+class AbnormalVertex:
+    vid: int
+    imbalance: float  # max / mean
+    mean_time: float
+    max_time: float
+    abnormal_ranks: tuple[int, ...]  # ranks exceeding AbnormThd * mean
+
+    @property
+    def worst_rank(self) -> int:
+        return self.abnormal_ranks[0]
+
+
+def detect_abnormal(
+    ppg: PPG, config: AbnormalConfig = AbnormalConfig()
+) -> list[AbnormalVertex]:
+    """Find vertices with significantly imbalanced time across ranks."""
+    if config.abnorm_thd <= 1.0:
+        raise ValueError("AbnormThd must be > 1.0")
+    total_mean_time = (
+        sum(sum(ppg.vertex_times(vid)) for vid in ppg.psg.vertices) / ppg.nprocs
+    )
+    floor = total_mean_time * config.min_time_fraction
+
+    out: list[AbnormalVertex] = []
+    for vid in ppg.psg.vertices:
+        times = np.asarray(ppg.vertex_times(vid), dtype=float)
+        mean = float(times.mean())
+        if mean <= 0.0 or mean < floor:
+            continue
+        peak = float(times.max())
+        imbalance = peak / mean
+        if imbalance <= config.abnorm_thd:
+            continue
+        cut = config.abnorm_thd * mean
+        ranks = np.where(times > cut)[0]
+        # order abnormal ranks by decreasing excess time
+        ranks = sorted((int(r) for r in ranks), key=lambda r: -times[r])
+        out.append(
+            AbnormalVertex(
+                vid=vid,
+                imbalance=imbalance,
+                mean_time=mean,
+                max_time=peak,
+                abnormal_ranks=tuple(ranks),
+            )
+        )
+    out.sort(key=lambda a: -(a.imbalance * a.mean_time))
+    return out

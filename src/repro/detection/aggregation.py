@@ -1,0 +1,88 @@
+"""Cross-process aggregation strategies for non-scalable vertex detection.
+
+Paper §IV-A: "The simplest strategy is to use the performance data for a
+particular process ... Another strategy is to use the mean or median value
+... and the performance variance among different processes to reflect load
+distribution.  We can also partition all processes into different groups by
+clustering algorithms and then aggregate for each group.  In our
+implementation, we test all strategies mentioned above."
+
+All of them are implemented here and ablated in
+``benchmarks/bench_ablation_aggregation.py``.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["AggregationStrategy", "aggregate", "cluster_processes"]
+
+
+class AggregationStrategy(Enum):
+    SINGLE_PROCESS = "single"  # rank 0's value
+    MEAN = "mean"
+    MEDIAN = "median"
+    MAX = "max"
+    #: mean + one standard deviation: penalizes imbalanced vertices
+    VARIANCE_AWARE = "variance"
+    #: mean of the slowest cluster (1-D 2-means)
+    CLUSTERED = "clustered"
+
+
+def cluster_processes(values: Sequence[float], k: int = 2) -> list[int]:
+    """1-D k-means labels for per-process values (deterministic init).
+
+    Initializes centroids at evenly spaced quantiles, runs Lloyd's
+    iterations to convergence.  Returns a label per process, where labels
+    are ordered by ascending centroid (label k-1 = slowest group).
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot cluster an empty sequence")
+    k = min(k, arr.size)
+    centroids = np.quantile(arr, np.linspace(0.0, 1.0, k))
+    # ensure distinct starting centroids
+    for i in range(1, k):
+        if centroids[i] <= centroids[i - 1]:
+            centroids[i] = centroids[i - 1] + 1e-12
+    labels = np.zeros(arr.size, dtype=int)
+    for _ in range(100):
+        dists = np.abs(arr[:, None] - centroids[None, :])
+        new_labels = np.argmin(dists, axis=1)
+        if np.array_equal(new_labels, labels) and _ > 0:
+            break
+        labels = new_labels
+        for j in range(k):
+            members = arr[labels == j]
+            if members.size:
+                centroids[j] = members.mean()
+    order = np.argsort(centroids)
+    relabel = {int(old): rank for rank, old in enumerate(order)}
+    return [relabel[int(l)] for l in labels]
+
+
+def aggregate(
+    values: Sequence[float], strategy: AggregationStrategy = AggregationStrategy.MEAN
+) -> float:
+    """Merge per-process values of one vertex into a scalar for fitting."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot aggregate an empty sequence")
+    if strategy is AggregationStrategy.SINGLE_PROCESS:
+        return float(arr[0])
+    if strategy is AggregationStrategy.MEAN:
+        return float(arr.mean())
+    if strategy is AggregationStrategy.MEDIAN:
+        return float(np.median(arr))
+    if strategy is AggregationStrategy.MAX:
+        return float(arr.max())
+    if strategy is AggregationStrategy.VARIANCE_AWARE:
+        return float(arr.mean() + arr.std())
+    if strategy is AggregationStrategy.CLUSTERED:
+        labels = np.asarray(cluster_processes(arr, k=2))
+        slowest = arr[labels == labels.max()]
+        return float(slowest.mean())
+    raise ValueError(f"unknown strategy {strategy!r}")

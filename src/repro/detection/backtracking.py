@@ -1,0 +1,190 @@
+"""Backtracking root-cause detection (paper §IV-B, Algorithm 1).
+
+Starting from each detected non-scalable vertex (then from uncovered
+abnormal vertices), the algorithm walks *backward* over the PPG:
+
+* at an **MPI vertex** it follows the inter-process communication
+  dependence edge — jumping to the matched sender's vertex on the sending
+  rank (for collectives: to the laggard rank everyone waited for);
+  communication edges without observed waiting events are pruned away at
+  PPG construction, which shrinks the search space and avoids false paths,
+* at an **unscanned Loop/Branch vertex** it follows only the control
+  dependence edge, descending to the end of the structure's body ("the
+  traversal continues from the end vertex of this loop"),
+* otherwise it follows the data-dependence edge (the previous vertex in
+  execution order on the same rank),
+
+stopping at root vertices or at collective communication vertices (which
+synchronize every rank, so no delay propagates backward through them).
+
+The result is a set of causal paths connecting the problematic vertices;
+each path's *root cause* is its deepest computation/loop vertex.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.detection.abnormal import AbnormalVertex
+from repro.detection.nonscalable import NonScalableVertex
+from repro.ppg.build import PPG, PPGNode
+from repro.psg.graph import VertexType
+
+__all__ = ["RootCausePath", "BacktrackConfig", "backtrack_root_causes", "backtrack_from"]
+
+#: Hard bound on one walk — a correct walk terminates long before this.
+_MAX_STEPS = 100_000
+
+
+@dataclass(frozen=True)
+class BacktrackConfig:
+    max_steps: int = _MAX_STEPS
+
+
+@dataclass
+class RootCausePath:
+    """One causal path, from symptom backwards to cause."""
+
+    start: PPGNode
+    nodes: list[PPGNode] = field(default_factory=list)
+    #: why the walk terminated: "root" | "collective" | "exhausted" | "cycle"
+    terminated: str = ""
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def ranks(self) -> list[int]:
+        """Distinct ranks the path traverses, in first-visit order."""
+        seen: list[int] = []
+        for rank, _vid in self.nodes:
+            if rank not in seen:
+                seen.append(rank)
+        return seen
+
+    def cause_node(self, ppg: PPG) -> PPGNode:
+        """The root cause on this path: the most *significant* Comp/Loop
+        vertex reached while walking backward, scored by mean time times
+        cross-rank imbalance (zero-cost structure vertices traversed on the
+        way never win).  Ties go to the deeper (later-reached) node; falls
+        back to the last non-terminal node when the path holds no
+        computation at all."""
+        best: PPGNode | None = None
+        best_score = 0.0
+        fallback: PPGNode | None = None
+        fallback_mean = -1.0
+        for node in reversed(self.nodes):
+            vt = ppg.psg.vertices[node[1]].vtype
+            if vt not in (VertexType.COMP, VertexType.LOOP):
+                continue
+            times = ppg.vertex_times(node[1])
+            mean = sum(times) / len(times) if times else 0.0
+            if mean > fallback_mean:
+                fallback, fallback_mean = node, mean
+            if mean <= 0.0:
+                continue
+            # a perfectly balanced vertex cannot make other ranks wait:
+            # score by the imbalance *excess*
+            imbalance = max(times) / mean
+            score = mean * (imbalance - 1.0)
+            if score > best_score:
+                best, best_score = node, score
+        if best is not None:
+            return best
+        if fallback is not None:
+            # every computation on the path is balanced (e.g. an Amdahl
+            # serial section): blame the largest one
+            return fallback
+        return self.nodes[-1] if self.nodes else self.start
+
+
+def backtrack_from(
+    ppg: PPG, start: PPGNode, config: BacktrackConfig = BacktrackConfig()
+) -> RootCausePath:
+    """Run one backward walk (the ``Backtracking`` function of Algorithm 1)."""
+    path = RootCausePath(start=start, nodes=[start])
+    in_path: set[PPGNode] = {start}
+    descended: set[PPGNode] = set()
+    v = start
+
+    for _step in range(config.max_steps):
+        nxt = _backward_step(ppg, v, descended, is_start=(v == start))
+        if nxt is None:
+            path.terminated = "exhausted"
+            return path
+        if ppg.is_root(nxt):
+            path.terminated = "root"
+            return path
+        if nxt in in_path:
+            path.terminated = "cycle"
+            return path
+        path.nodes.append(nxt)
+        in_path.add(nxt)
+        if ppg.is_collective(nxt) and nxt[1] != v[1]:
+            # Arrived at a *different* collective vertex: collectives
+            # synchronize every rank, so no delay propagates backward past
+            # them.  (A same-vid hop is the laggard jump within the starting
+            # collective — the walk continues on the laggard's rank.)
+            path.terminated = "collective"
+            return path
+        v = nxt
+    path.terminated = "exhausted"
+    return path
+
+
+def _backward_step(
+    ppg: PPG, v: PPGNode, descended: set[PPGNode], *, is_start: bool
+) -> Optional[PPGNode]:
+    vertex = ppg.psg.vertices[v[1]]
+    if vertex.vtype is VertexType.MPI:
+        if ppg.is_collective(v):
+            laggard = ppg.collective_laggard(v[1])
+            if laggard is not None and laggard != v[0]:
+                return (laggard, v[1])
+            return ppg.data_dep_pred(v)
+        comm = ppg.comm_pred(v)
+        if comm is not None and comm != v:
+            return comm
+        return ppg.data_dep_pred(v)
+    if vertex.vtype in (VertexType.LOOP, VertexType.BRANCH) and v not in descended:
+        descended.add(v)
+        inner = ppg.control_dep_pred(v)
+        if inner is not None:
+            return inner
+        return ppg.data_dep_pred(v)
+    return ppg.data_dep_pred(v)
+
+
+def backtrack_root_causes(
+    ppg: PPG,
+    non_scalable: Sequence[NonScalableVertex],
+    abnormal: Sequence[AbnormalVertex],
+    config: BacktrackConfig = BacktrackConfig(),
+) -> list[RootCausePath]:
+    """The ``Main`` function of Algorithm 1.
+
+    Walks from every non-scalable vertex first (starting on the rank where
+    it cost the most time), then from abnormal vertices not already covered
+    by an earlier path.
+    """
+    paths: list[RootCausePath] = []
+    scanned: set[PPGNode] = set()
+
+    def run(start: PPGNode) -> None:
+        p = backtrack_from(ppg, start, config)
+        paths.append(p)
+        scanned.update(p.nodes)
+
+    for ns in non_scalable:
+        times = ppg.vertex_times(ns.vid)
+        worst_rank = max(range(ppg.nprocs), key=lambda r: times[r])
+        run((worst_rank, ns.vid))
+
+    for ab in abnormal:
+        starts = [(r, ab.vid) for r in ab.abnormal_ranks]
+        if all(s in scanned for s in starts):
+            continue
+        start = next(s for s in starts if s not in scanned)
+        run(start)
+
+    return paths

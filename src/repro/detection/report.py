@@ -1,0 +1,141 @@
+"""Root-cause reporting: turning paths into ``file:line`` diagnoses.
+
+ScalAna "reports back to the programmer which lines of the source code
+cause the problems" (§II) and its GUI lists "the root cause vertices and
+their calling paths ... sorted according to the length of execution time
+and the imbalance among different parallel processes" (§V).  This module is
+the text equivalent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.detection.abnormal import AbnormalVertex
+from repro.detection.backtracking import RootCausePath
+from repro.detection.nonscalable import NonScalableVertex
+from repro.ppg.build import PPG
+from repro.util.stats import relative_imbalance
+
+__all__ = ["RootCause", "DetectionReport", "build_report"]
+
+
+@dataclass(frozen=True)
+class RootCause:
+    """One diagnosed root cause, ready to show to the programmer."""
+
+    vid: int
+    label: str
+    location: str
+    function: str
+    #: symptom this cause explains (the path's starting vertex)
+    symptom_vid: int
+    symptom_label: str
+    symptom_location: str
+    #: ranks traversed by the causal path
+    path_ranks: tuple[int, ...]
+    #: locations along the path, symptom -> cause
+    path_locations: tuple[str, ...]
+    mean_time: float
+    imbalance: float
+    score: float
+
+
+@dataclass
+class DetectionReport:
+    nprocs: int
+    scales: tuple[int, ...]
+    non_scalable: list[NonScalableVertex] = field(default_factory=list)
+    abnormal: list[AbnormalVertex] = field(default_factory=list)
+    paths: list[RootCausePath] = field(default_factory=list)
+    root_causes: list[RootCause] = field(default_factory=list)
+    detection_seconds: float = 0.0
+
+    def cause_locations(self) -> list[str]:
+        return [rc.location for rc in self.root_causes]
+
+    def render(self, max_causes: int = 10) -> str:
+        lines = [
+            f"ScalAna detection report ({self.nprocs} processes, "
+            f"scales {list(self.scales)})",
+            f"  non-scalable vertices: {len(self.non_scalable)}",
+            f"  abnormal vertices:     {len(self.abnormal)}",
+            f"  causal paths:          {len(self.paths)}",
+            "",
+            "Root causes (most severe first):",
+        ]
+        if not self.root_causes:
+            lines.append("  (none found)")
+        for i, rc in enumerate(self.root_causes[:max_causes], 1):
+            lines.append(
+                f"  {i}. {rc.label} at {rc.location}  "
+                f"[imbalance {rc.imbalance:.2f}x, mean {rc.mean_time:.4f}s]"
+            )
+            lines.append(
+                f"     symptom: {rc.symptom_label} at {rc.symptom_location}"
+            )
+            lines.append(
+                f"     path: "
+                + " <- ".join(_dedup_consecutive(rc.path_locations))
+                + f"  (ranks {list(rc.path_ranks)})"
+            )
+        return "\n".join(lines)
+
+
+def _dedup_consecutive(items: tuple[str, ...]) -> list[str]:
+    out: list[str] = []
+    for item in items:
+        if not out or out[-1] != item:
+            out.append(item)
+    return out
+
+
+def build_report(
+    ppg: PPG,
+    scales: tuple[int, ...],
+    non_scalable: list[NonScalableVertex],
+    abnormal: list[AbnormalVertex],
+    paths: list[RootCausePath],
+    detection_seconds: float = 0.0,
+) -> DetectionReport:
+    """Assemble and rank the final report from detector outputs."""
+    causes: dict[tuple[int, int], RootCause] = {}
+    for path in paths:
+        if not path.nodes:
+            continue
+        cause = path.cause_node(ppg)
+        cvid = cause[1]
+        cv = ppg.psg.vertices[cvid]
+        sv = ppg.psg.vertices[path.start[1]]
+        times = ppg.vertex_times(cvid)
+        mean_time = sum(times) / len(times) if times else 0.0
+        imbalance = relative_imbalance(times) if any(t > 0 for t in times) else 1.0
+        key = (cvid, path.start[1])
+        if key in causes:
+            continue
+        causes[key] = RootCause(
+            vid=cvid,
+            label=cv.label,
+            location=str(cv.location),
+            function=cv.function,
+            symptom_vid=path.start[1],
+            symptom_label=sv.label,
+            symptom_location=str(sv.location),
+            path_ranks=tuple(path.ranks()),
+            path_locations=tuple(
+                str(ppg.psg.vertices[vid].location) for _r, vid in path.nodes
+            ),
+            mean_time=mean_time,
+            imbalance=imbalance,
+            score=mean_time * imbalance,
+        )
+    ranked = sorted(causes.values(), key=lambda rc: -rc.score)
+    return DetectionReport(
+        nprocs=ppg.nprocs,
+        scales=scales,
+        non_scalable=non_scalable,
+        abnormal=abnormal,
+        paths=paths,
+        root_causes=ranked,
+        detection_seconds=detection_seconds,
+    )

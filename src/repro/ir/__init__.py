@@ -1,0 +1,25 @@
+"""Compiler middle-end: control-flow graphs and structure recovery.
+
+ScalAna builds its Program Structure Graph by "traversing the control flow
+graph of the procedure at the level of the intermediate representation"
+(paper §III-A).  This package provides that layer for MiniMPI: per-function
+CFGs of basic blocks, dominator trees, and natural-loop detection.  The PSG
+builder consumes the AST directly (it is structured source), but the CFG
+analyses are cross-checked against the AST-derived structure — each detected
+natural loop must correspond to a ``for``/``while`` statement and vice versa
+— which is the repo's guard that the structural analysis is sound.
+"""
+
+from repro.ir.cfg import BasicBlock, ControlFlowGraph, build_cfg
+from repro.ir.dominators import compute_dominators, dominator_tree
+from repro.ir.loops import Loop, find_natural_loops
+
+__all__ = [
+    "BasicBlock",
+    "ControlFlowGraph",
+    "build_cfg",
+    "compute_dominators",
+    "dominator_tree",
+    "Loop",
+    "find_natural_loops",
+]

@@ -1,0 +1,194 @@
+"""Control-flow graph construction from MiniMPI ASTs.
+
+Each function is lowered to a CFG of :class:`BasicBlock`s.  Simple
+statements (declarations, assignments, compute, MPI calls, user calls)
+accumulate into the current block; control statements end blocks and add
+edges:
+
+* ``if``   — the condition terminates a block with two successors
+  (then-entry, else-entry/join),
+* ``for``  — init joins the preceding block, a dedicated *header* block
+  holds the condition with edges to body-entry and exit; the body's tail
+  (after the step) loops back to the header,
+* ``while`` — same shape without init/step,
+* ``return`` — edge to the function's exit block; following statements in
+  the block are unreachable and start a dangling block.
+
+The CFG is a faithful reducible graph: every loop in it is a natural loop
+whose header holds exactly one ``ForStmt``/``WhileStmt`` condition, which is
+what :mod:`repro.ir.loops` verifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.minilang import ast_nodes as ast
+
+__all__ = ["BasicBlock", "ControlFlowGraph", "build_cfg"]
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line sequence of statements with a single entry and exit."""
+
+    block_id: int
+    #: Simple statements executed in order.
+    statements: list[ast.Stmt] = field(default_factory=list)
+    #: The control statement whose condition terminates this block, if any.
+    terminator: Optional[ast.Stmt] = None
+    successors: list[int] = field(default_factory=list)
+    predecessors: list[int] = field(default_factory=list)
+    #: Human-readable role tag: "entry", "exit", "loop_header", "body", ...
+    role: str = "body"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"BasicBlock({self.block_id}, role={self.role!r}, "
+            f"stmts={len(self.statements)}, succ={self.successors})"
+        )
+
+
+class ControlFlowGraph:
+    """The CFG of one function."""
+
+    def __init__(self, function_name: str) -> None:
+        self.function_name = function_name
+        self.blocks: dict[int, BasicBlock] = {}
+        self._next_id = 0
+        self.entry = self.new_block(role="entry")
+        self.exit = self.new_block(role="exit")
+
+    def new_block(self, role: str = "body") -> BasicBlock:
+        block = BasicBlock(block_id=self._next_id, role=role)
+        self._next_id += 1
+        self.blocks[block.block_id] = block
+        return block
+
+    def add_edge(self, src: BasicBlock | int, dst: BasicBlock | int) -> None:
+        sid = src.block_id if isinstance(src, BasicBlock) else src
+        did = dst.block_id if isinstance(dst, BasicBlock) else dst
+        if did not in self.blocks[sid].successors:
+            self.blocks[sid].successors.append(did)
+        if sid not in self.blocks[did].predecessors:
+            self.blocks[did].predecessors.append(sid)
+
+    # -- queries -----------------------------------------------------------
+
+    def reachable_blocks(self) -> set[int]:
+        """Block ids reachable from the entry."""
+        seen: set[int] = set()
+        stack = [self.entry.block_id]
+        while stack:
+            bid = stack.pop()
+            if bid in seen:
+                continue
+            seen.add(bid)
+            stack.extend(self.blocks[bid].successors)
+        return seen
+
+    def edge_list(self) -> list[tuple[int, int]]:
+        return [
+            (b.block_id, s) for b in self.blocks.values() for s in b.successors
+        ]
+
+    def statement_count(self) -> int:
+        return sum(len(b.statements) for b in self.blocks.values()) + sum(
+            1 for b in self.blocks.values() if b.terminator is not None
+        )
+
+    def loop_headers(self) -> list[BasicBlock]:
+        return [b for b in self.blocks.values() if b.role == "loop_header"]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"ControlFlowGraph({self.function_name!r}, {len(self.blocks)} blocks)"
+
+
+class _CfgBuilder:
+    def __init__(self, func: ast.FunctionDef) -> None:
+        self.func = func
+        self.cfg = ControlFlowGraph(func.name)
+
+    def build(self) -> ControlFlowGraph:
+        last = self._lower_block(self.func.body, self.cfg.entry)
+        if last is not None:
+            self.cfg.add_edge(last, self.cfg.exit)
+        return self.cfg
+
+    def _lower_block(
+        self, block: ast.Block, current: Optional[BasicBlock]
+    ) -> Optional[BasicBlock]:
+        """Lower statements into ``current``; returns the open trailing block
+        (``None`` when control definitely left, e.g. after ``return``)."""
+        for stmt in block.statements:
+            if current is None:
+                # Unreachable code after a return still gets blocks so that
+                # the PSG can show it; it is simply not connected.
+                current = self.cfg.new_block(role="unreachable")
+            if isinstance(stmt, ast.ReturnStmt):
+                current.statements.append(stmt)
+                self.cfg.add_edge(current, self.cfg.exit)
+                current = None
+            elif isinstance(stmt, ast.IfStmt):
+                current = self._lower_if(stmt, current)
+            elif isinstance(stmt, ast.ForStmt):
+                current = self._lower_for(stmt, current)
+            elif isinstance(stmt, ast.WhileStmt):
+                current = self._lower_while(stmt, current)
+            else:
+                current.statements.append(stmt)
+        return current
+
+    def _lower_if(self, stmt: ast.IfStmt, current: BasicBlock) -> BasicBlock:
+        current.terminator = stmt
+        then_entry = self.cfg.new_block(role="then")
+        join = self.cfg.new_block(role="join")
+        self.cfg.add_edge(current, then_entry)
+        then_exit = self._lower_block(stmt.then_body, then_entry)
+        if then_exit is not None:
+            self.cfg.add_edge(then_exit, join)
+        if stmt.else_body is not None:
+            else_entry = self.cfg.new_block(role="else")
+            self.cfg.add_edge(current, else_entry)
+            else_exit = self._lower_block(stmt.else_body, else_entry)
+            if else_exit is not None:
+                self.cfg.add_edge(else_exit, join)
+        else:
+            self.cfg.add_edge(current, join)
+        return join
+
+    def _lower_for(self, stmt: ast.ForStmt, current: BasicBlock) -> BasicBlock:
+        if stmt.init is not None:
+            current.statements.append(stmt.init)
+        header = self.cfg.new_block(role="loop_header")
+        header.terminator = stmt
+        self.cfg.add_edge(current, header)
+        body_entry = self.cfg.new_block(role="loop_body")
+        exit_block = self.cfg.new_block(role="loop_exit")
+        self.cfg.add_edge(header, body_entry)
+        self.cfg.add_edge(header, exit_block)
+        body_exit = self._lower_block(stmt.body, body_entry)
+        if body_exit is not None:
+            if stmt.step is not None:
+                body_exit.statements.append(stmt.step)
+            self.cfg.add_edge(body_exit, header)  # back edge
+        return exit_block
+
+    def _lower_while(self, stmt: ast.WhileStmt, current: BasicBlock) -> BasicBlock:
+        header = self.cfg.new_block(role="loop_header")
+        header.terminator = stmt
+        self.cfg.add_edge(current, header)
+        body_entry = self.cfg.new_block(role="loop_body")
+        exit_block = self.cfg.new_block(role="loop_exit")
+        self.cfg.add_edge(header, body_entry)
+        self.cfg.add_edge(header, exit_block)
+        body_exit = self._lower_block(stmt.body, body_entry)
+        if body_exit is not None:
+            self.cfg.add_edge(body_exit, header)  # back edge
+        return exit_block
+
+
+def build_cfg(func: ast.FunctionDef) -> ControlFlowGraph:
+    """Lower one function to a control-flow graph."""
+    return _CfgBuilder(func).build()

@@ -1,0 +1,106 @@
+"""Natural-loop detection over MiniMPI CFGs.
+
+A *back edge* is an edge ``u -> h`` where ``h`` dominates ``u``; the natural
+loop of that edge is ``h`` plus every block that can reach ``u`` without
+passing through ``h``.  Because the CFG builder emits structured, reducible
+graphs, each detected loop's header carries exactly one ``ForStmt`` or
+``WhileStmt`` terminator — the cross-check tying the dataflow view back to
+the AST view that the PSG builder uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.ir.cfg import ControlFlowGraph
+from repro.ir.dominators import compute_dominators, dominates
+from repro.minilang import ast_nodes as ast
+
+__all__ = ["Loop", "find_natural_loops", "loop_nesting_depths"]
+
+
+@dataclass
+class Loop:
+    """One natural loop: its header block, member blocks, and AST statement."""
+
+    header: int
+    blocks: set[int] = field(default_factory=set)
+    back_edges: list[tuple[int, int]] = field(default_factory=list)
+    #: The ``for``/``while`` statement whose condition lives in the header.
+    statement: Optional[ast.Stmt] = None
+    #: Filled by nesting analysis: None for top-level loops.
+    parent_header: Optional[int] = None
+    depth: int = 1
+
+    def __contains__(self, block_id: int) -> bool:
+        return block_id in self.blocks
+
+
+def find_natural_loops(cfg: ControlFlowGraph) -> list[Loop]:
+    """All natural loops of ``cfg``, with nesting depths filled in.
+
+    Loops sharing a header are merged (cannot happen for structured MiniMPI
+    CFGs, but the algorithm is general).  Result is sorted by header id.
+    """
+    idom = compute_dominators(cfg)
+    loops: dict[int, Loop] = {}
+
+    for u, h in cfg.edge_list():
+        if u not in idom or h not in idom:
+            continue  # unreachable
+        if not dominates(idom, h, u):
+            continue
+        loop = loops.setdefault(h, Loop(header=h))
+        loop.back_edges.append((u, h))
+        # Collect the loop body: everything reaching u without passing h.
+        loop.blocks.add(h)
+        stack = [u]
+        while stack:
+            bid = stack.pop()
+            if bid in loop.blocks:
+                continue
+            loop.blocks.add(bid)
+            stack.extend(
+                p for p in cfg.blocks[bid].predecessors if p not in loop.blocks
+            )
+
+    for loop in loops.values():
+        term = cfg.blocks[loop.header].terminator
+        if isinstance(term, (ast.ForStmt, ast.WhileStmt)):
+            loop.statement = term
+
+    result = sorted(loops.values(), key=lambda lp: lp.header)
+    _fill_nesting(result)
+    return result
+
+
+def _fill_nesting(loops: list[Loop]) -> None:
+    """Compute parent/depth from block-set containment.
+
+    Loop A is nested in B iff A's blocks are a strict subset of B's; the
+    parent is the smallest enclosing loop.
+    """
+    for inner in loops:
+        best: Optional[Loop] = None
+        for outer in loops:
+            if outer is inner:
+                continue
+            if inner.blocks < outer.blocks:
+                if best is None or len(outer.blocks) < len(best.blocks):
+                    best = outer
+        inner.parent_header = best.header if best is not None else None
+
+    by_header = {lp.header: lp for lp in loops}
+    for loop in loops:
+        depth = 1
+        node = loop
+        while node.parent_header is not None:
+            depth += 1
+            node = by_header[node.parent_header]
+        loop.depth = depth
+
+
+def loop_nesting_depths(cfg: ControlFlowGraph) -> dict[int, int]:
+    """Map from loop-header block id to nesting depth (1 = outermost)."""
+    return {loop.header: loop.depth for loop in find_natural_loops(cfg)}

@@ -1,0 +1,385 @@
+"""AST node definitions for MiniMPI.
+
+Design notes
+------------
+* Every node carries a :class:`SourceLocation` — ScalAna's entire output is
+  "which source line is the root cause", so locations are first-class.
+* Every *statement* additionally gets a unique ``stmt_id`` assigned by
+  :func:`assign_statement_ids` after parsing.  PSG vertices reference
+  statements by id; the simulator's interposition layer and the sampler use
+  the same ids, which is how runtime data is attached to static graph
+  vertices (paper §III-B1).
+* MPI operations are modelled as a single :class:`MpiStmt` with an
+  :class:`MpiOp` discriminator rather than one class per call: the static
+  analysis and the interpreter both dispatch on the op enum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterator, Optional
+
+from repro.minilang.errors import SourceLocation
+
+__all__ = [
+    "Node",
+    "Expr",
+    "IntLit",
+    "FloatLit",
+    "StringLit",
+    "BoolLit",
+    "AnyLit",
+    "VarRef",
+    "FuncRef",
+    "UnaryExpr",
+    "BinaryExpr",
+    "CallExpr",
+    "Stmt",
+    "VarDecl",
+    "Assign",
+    "ForStmt",
+    "WhileStmt",
+    "IfStmt",
+    "CallStmt",
+    "ReturnStmt",
+    "ComputeStmt",
+    "MpiStmt",
+    "MpiOp",
+    "Block",
+    "FunctionDef",
+    "Program",
+    "assign_statement_ids",
+    "walk_statements",
+    "BUILTIN_FUNCS",
+    "COLLECTIVE_OPS",
+    "P2P_OPS",
+    "NONBLOCKING_OPS",
+    "WAIT_OPS",
+]
+
+
+# --------------------------------------------------------------------------
+# Base classes
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Node:
+    location: SourceLocation
+
+
+@dataclass
+class Expr(Node):
+    pass
+
+
+@dataclass
+class Stmt(Node):
+    #: Unique id over the whole program, assigned post-parse; -1 = unassigned.
+    stmt_id: int = field(default=-1, kw_only=True)
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float
+
+
+@dataclass
+class StringLit(Expr):
+    value: str
+
+
+@dataclass
+class BoolLit(Expr):
+    value: bool
+
+
+@dataclass
+class AnyLit(Expr):
+    """The ``ANY`` wildcard, usable as MPI source or tag (MPI_ANY_SOURCE/TAG)."""
+
+
+@dataclass
+class VarRef(Expr):
+    name: str
+
+
+@dataclass
+class FuncRef(Expr):
+    """``&name`` — a first-class reference to a function, for indirect calls."""
+
+    name: str
+
+
+@dataclass
+class UnaryExpr(Expr):
+    op: str  # "-" or "!"
+    operand: Expr
+
+
+@dataclass
+class BinaryExpr(Expr):
+    op: str  # + - * / % < > <= >= == != && ||
+    left: Expr
+    right: Expr
+
+
+#: Pure builtin functions usable inside expressions.
+BUILTIN_FUNCS = frozenset(
+    {"min", "max", "abs", "log2", "sqrt", "pow", "floor", "ceil", "hashrand"}
+)
+
+
+@dataclass
+class CallExpr(Expr):
+    """A call to a *pure builtin* (min/max/log2/...) inside an expression."""
+
+    func: str
+    args: list[Expr]
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Block(Node):
+    statements: list[Stmt]
+
+
+@dataclass
+class VarDecl(Stmt):
+    name: str
+    init: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Stmt):
+    name: str
+    value: Expr
+
+
+@dataclass
+class ForStmt(Stmt):
+    """``for (init; cond; step) body`` — init/step are optional assignments."""
+
+    init: Optional[Stmt]
+    cond: Optional[Expr]
+    step: Optional[Stmt]
+    body: Block = None  # type: ignore[assignment]
+
+
+@dataclass
+class WhileStmt(Stmt):
+    cond: Expr
+    body: Block = None  # type: ignore[assignment]
+
+
+@dataclass
+class IfStmt(Stmt):
+    cond: Expr
+    then_body: Block = None  # type: ignore[assignment]
+    else_body: Optional[Block] = None
+
+
+@dataclass
+class CallStmt(Stmt):
+    """A user-function call.
+
+    ``callee`` is an expression; when it is a plain :class:`VarRef` naming a
+    defined function the call is *direct*, otherwise (a variable holding a
+    :class:`FuncRef`) it is *indirect* and the static analysis defers target
+    resolution to runtime, exactly like the paper's function-pointer handling
+    (§III-B3).
+    """
+
+    callee: Expr
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class ComputeStmt(Stmt):
+    """An abstract computation workload.
+
+    ``flops`` drives arithmetic cost; ``mem_bytes`` drives the memory
+    subsystem (load/store count, cache behaviour); ``locality`` in [0, 1]
+    scales cache friendliness (1 = streaming-friendly, 0 = pointer-chasing) —
+    it is what the SST case study's array→map fix changes.  ``threads``
+    models OpenMP-style intra-rank parallelism (the paper's §V extension):
+    the same work finishes faster on more cores, with the instruction
+    counts unchanged.  ``name`` labels the vertex in reports.
+    """
+
+    flops: Expr = None  # type: ignore[assignment]
+    mem_bytes: Optional[Expr] = None
+    locality: Optional[Expr] = None
+    threads: Optional[Expr] = None
+    name: str = ""
+
+
+class MpiOp(Enum):
+    SEND = "send"
+    RECV = "recv"
+    ISEND = "isend"
+    IRECV = "irecv"
+    WAIT = "wait"
+    WAITALL = "waitall"
+    SENDRECV = "sendrecv"
+    BCAST = "bcast"
+    REDUCE = "reduce"
+    ALLREDUCE = "allreduce"
+    BARRIER = "barrier"
+    ALLTOALL = "alltoall"
+    ALLGATHER = "allgather"
+    GATHER = "gather"
+    SCATTER = "scatter"
+
+    @property
+    def display_name(self) -> str:
+        """The familiar ``MPI_Xxx`` spelling used in reports."""
+        return _DISPLAY[self]
+
+
+_DISPLAY = {
+    MpiOp.SEND: "MPI_Send",
+    MpiOp.RECV: "MPI_Recv",
+    MpiOp.ISEND: "MPI_Isend",
+    MpiOp.IRECV: "MPI_Irecv",
+    MpiOp.WAIT: "MPI_Wait",
+    MpiOp.WAITALL: "MPI_Waitall",
+    MpiOp.SENDRECV: "MPI_Sendrecv",
+    MpiOp.BCAST: "MPI_Bcast",
+    MpiOp.REDUCE: "MPI_Reduce",
+    MpiOp.ALLREDUCE: "MPI_Allreduce",
+    MpiOp.BARRIER: "MPI_Barrier",
+    MpiOp.ALLTOALL: "MPI_Alltoall",
+    MpiOp.ALLGATHER: "MPI_Allgather",
+    MpiOp.GATHER: "MPI_Gather",
+    MpiOp.SCATTER: "MPI_Scatter",
+}
+
+COLLECTIVE_OPS = frozenset(
+    {
+        MpiOp.BCAST,
+        MpiOp.REDUCE,
+        MpiOp.ALLREDUCE,
+        MpiOp.BARRIER,
+        MpiOp.ALLTOALL,
+        MpiOp.ALLGATHER,
+        MpiOp.GATHER,
+        MpiOp.SCATTER,
+    }
+)
+P2P_OPS = frozenset(
+    {MpiOp.SEND, MpiOp.RECV, MpiOp.ISEND, MpiOp.IRECV, MpiOp.SENDRECV}
+)
+NONBLOCKING_OPS = frozenset({MpiOp.ISEND, MpiOp.IRECV})
+WAIT_OPS = frozenset({MpiOp.WAIT, MpiOp.WAITALL})
+
+
+@dataclass
+class MpiStmt(Stmt):
+    """An MPI call.  Unused fields are ``None`` depending on ``op``.
+
+    Fields mirror the MPI argument surface:
+
+    * ``dest`` / ``src``: peer rank expressions (``src`` may be ``ANY``),
+    * ``tag``: message tag expression (may be ``ANY`` on receives),
+    * ``bytes_expr``: message payload size,
+    * ``root``: root rank for rooted collectives,
+    * ``request``: request handle *name* for isend/irecv/wait,
+    * ``recv_src`` / ``recv_tag``: the receive half of ``sendrecv``.
+    """
+
+    op: MpiOp = None  # type: ignore[assignment]
+    dest: Optional[Expr] = None
+    src: Optional[Expr] = None
+    tag: Optional[Expr] = None
+    bytes_expr: Optional[Expr] = None
+    root: Optional[Expr] = None
+    request: Optional[str] = None
+    recv_src: Optional[Expr] = None
+    recv_tag: Optional[Expr] = None
+
+
+# --------------------------------------------------------------------------
+# Top level
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class FunctionDef(Node):
+    name: str
+    params: list[str]
+    body: Block = None  # type: ignore[assignment]
+
+
+@dataclass
+class Program(Node):
+    functions: dict[str, FunctionDef] = field(default_factory=dict)
+    filename: str = "<string>"
+
+    def function(self, name: str) -> FunctionDef:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise KeyError(f"program has no function {name!r}") from None
+
+    @property
+    def entry(self) -> FunctionDef:
+        return self.function("main")
+
+
+# --------------------------------------------------------------------------
+# Post-parse passes
+# --------------------------------------------------------------------------
+
+
+def walk_statements(block: Block) -> Iterator[Stmt]:
+    """Yield every statement in ``block``, depth-first, including nested ones."""
+    for stmt in block.statements:
+        yield stmt
+        if isinstance(stmt, ForStmt):
+            if stmt.init is not None:
+                yield stmt.init
+            if stmt.step is not None:
+                yield stmt.step
+            yield from walk_statements(stmt.body)
+        elif isinstance(stmt, WhileStmt):
+            yield from walk_statements(stmt.body)
+        elif isinstance(stmt, IfStmt):
+            yield from walk_statements(stmt.then_body)
+            if stmt.else_body is not None:
+                yield from walk_statements(stmt.else_body)
+
+
+def assign_statement_ids(program: Program) -> int:
+    """Assign unique, deterministic ``stmt_id``s across the whole program.
+
+    Returns the number of statements.  Ids are assigned in (function-name,
+    pre-order) order so they are stable across parses of identical source.
+    """
+    next_id = 0
+    for name in sorted(program.functions):
+        func = program.functions[name]
+        for stmt in walk_statements(func.body):
+            stmt.stmt_id = next_id
+            next_id += 1
+    return next_id

@@ -1,0 +1,158 @@
+"""Pretty-printer for MiniMPI ASTs.
+
+The printer emits canonical source that re-parses to a structurally
+equivalent AST — this round-trip is checked by a hypothesis property test,
+which in turn guards both the lexer and the parser.
+"""
+
+from __future__ import annotations
+
+from repro.minilang import ast_nodes as ast
+
+__all__ = ["pretty_print", "expr_to_str"]
+
+_INDENT = "    "
+
+
+def expr_to_str(expr: ast.Expr) -> str:
+    """Render an expression with explicit parentheses (canonical form)."""
+    if isinstance(expr, ast.IntLit):
+        return str(expr.value)
+    if isinstance(expr, ast.FloatLit):
+        text = repr(expr.value)
+        # guarantee the literal re-lexes as a FLOAT
+        if "e" not in text and "E" not in text and "." not in text:
+            text += ".0"
+        return text
+    if isinstance(expr, ast.StringLit):
+        escaped = expr.value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    if isinstance(expr, ast.BoolLit):
+        return "true" if expr.value else "false"
+    if isinstance(expr, ast.AnyLit):
+        return "ANY"
+    if isinstance(expr, ast.VarRef):
+        return expr.name
+    if isinstance(expr, ast.FuncRef):
+        return f"&{expr.name}"
+    if isinstance(expr, ast.UnaryExpr):
+        return f"({expr.op}{expr_to_str(expr.operand)})"
+    if isinstance(expr, ast.BinaryExpr):
+        return f"({expr_to_str(expr.left)} {expr.op} {expr_to_str(expr.right)})"
+    if isinstance(expr, ast.CallExpr):
+        args = ", ".join(expr_to_str(a) for a in expr.args)
+        return f"{expr.func}({args})"
+    raise TypeError(f"unknown expression node {type(expr).__name__}")
+
+
+def _clause_to_str(stmt: ast.Stmt | None) -> str:
+    """Render a for-header clause (no trailing semicolon)."""
+    if stmt is None:
+        return ""
+    if isinstance(stmt, ast.VarDecl):
+        assert stmt.init is not None
+        return f"var {stmt.name} = {expr_to_str(stmt.init)}"
+    if isinstance(stmt, ast.Assign):
+        return f"{stmt.name} = {expr_to_str(stmt.value)}"
+    raise TypeError(f"invalid for-clause {type(stmt).__name__}")
+
+
+def _mpi_to_str(stmt: ast.MpiStmt) -> str:
+    parts: list[str] = []
+    op = stmt.op
+    if op is ast.MpiOp.SENDRECV:
+        parts.append(f"dest = {expr_to_str(stmt.dest)}")
+        parts.append(f"tag = {expr_to_str(stmt.tag)}")
+        parts.append(f"bytes = {expr_to_str(stmt.bytes_expr)}")
+        parts.append(f"src = {expr_to_str(stmt.recv_src)}")
+        if stmt.recv_tag is not None and stmt.recv_tag is not stmt.tag:
+            parts.append(f"recv_tag = {expr_to_str(stmt.recv_tag)}")
+    else:
+        if stmt.dest is not None:
+            parts.append(f"dest = {expr_to_str(stmt.dest)}")
+        if stmt.src is not None:
+            parts.append(f"src = {expr_to_str(stmt.src)}")
+        if stmt.tag is not None:
+            parts.append(f"tag = {expr_to_str(stmt.tag)}")
+        if stmt.bytes_expr is not None:
+            parts.append(f"bytes = {expr_to_str(stmt.bytes_expr)}")
+        if stmt.root is not None:
+            parts.append(f"root = {expr_to_str(stmt.root)}")
+        if stmt.request is not None:
+            parts.append(f"req = {stmt.request}")
+    return f"{op.value}({', '.join(parts)});"
+
+
+def _stmt_lines(stmt: ast.Stmt, depth: int) -> list[str]:
+    pad = _INDENT * depth
+    if isinstance(stmt, ast.VarDecl):
+        if stmt.init is None:
+            return [f"{pad}var {stmt.name};"]
+        return [f"{pad}var {stmt.name} = {expr_to_str(stmt.init)};"]
+    if isinstance(stmt, ast.Assign):
+        return [f"{pad}{stmt.name} = {expr_to_str(stmt.value)};"]
+    if isinstance(stmt, ast.ForStmt):
+        header = (
+            f"{pad}for ({_clause_to_str(stmt.init)}; "
+            f"{expr_to_str(stmt.cond) if stmt.cond else ''}; "
+            f"{_clause_to_str(stmt.step)}) {{"
+        )
+        lines = [header]
+        lines.extend(_block_lines(stmt.body, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, ast.WhileStmt):
+        lines = [f"{pad}while ({expr_to_str(stmt.cond)}) {{"]
+        lines.extend(_block_lines(stmt.body, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, ast.IfStmt):
+        lines = [f"{pad}if ({expr_to_str(stmt.cond)}) {{"]
+        lines.extend(_block_lines(stmt.then_body, depth + 1))
+        if stmt.else_body is not None:
+            lines.append(f"{pad}}} else {{")
+            lines.extend(_block_lines(stmt.else_body, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, ast.ReturnStmt):
+        if stmt.value is None:
+            return [f"{pad}return;"]
+        return [f"{pad}return {expr_to_str(stmt.value)};"]
+    if isinstance(stmt, ast.ComputeStmt):
+        parts = [f"flops = {expr_to_str(stmt.flops)}"]
+        if stmt.mem_bytes is not None:
+            parts.append(f"bytes = {expr_to_str(stmt.mem_bytes)}")
+        if stmt.locality is not None:
+            parts.append(f"locality = {expr_to_str(stmt.locality)}")
+        if stmt.threads is not None:
+            parts.append(f"threads = {expr_to_str(stmt.threads)}")
+        if stmt.name:
+            escaped = stmt.name.replace("\\", "\\\\").replace('"', '\\"')
+            parts.append(f'name = "{escaped}"')
+        return [f"{pad}compute({', '.join(parts)});"]
+    if isinstance(stmt, ast.MpiStmt):
+        return [f"{pad}{_mpi_to_str(stmt)}"]
+    if isinstance(stmt, ast.CallStmt):
+        callee = expr_to_str(stmt.callee)
+        args = ", ".join(expr_to_str(a) for a in stmt.args)
+        return [f"{pad}{callee}({args});"]
+    raise TypeError(f"unknown statement node {type(stmt).__name__}")
+
+
+def _block_lines(block: ast.Block, depth: int) -> list[str]:
+    lines: list[str] = []
+    for stmt in block.statements:
+        lines.extend(_stmt_lines(stmt, depth))
+    return lines
+
+
+def pretty_print(program: ast.Program) -> str:
+    """Render a whole program as canonical MiniMPI source text."""
+    chunks: list[str] = []
+    for name, func in program.functions.items():
+        params = ", ".join(func.params)
+        lines = [f"def {name}({params}) {{"]
+        lines.extend(_block_lines(func.body, 1))
+        lines.append("}")
+        chunks.append("\n".join(lines))
+    return "\n\n".join(chunks) + "\n"

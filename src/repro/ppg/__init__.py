@@ -1,0 +1,5 @@
+"""Program Performance Graph (paper §III-C)."""
+
+from repro.ppg.build import PPG, PPGNode, build_ppg
+
+__all__ = ["PPG", "PPGNode", "build_ppg"]

@@ -1,0 +1,75 @@
+"""Program Structure Graph construction (paper §III-A).
+
+The three phases — intra-procedural local PSGs, inter-procedural inlining
+over the program call graph, and graph contraction — are exposed
+individually, plus :func:`build_psg` which runs the whole static pipeline
+the way ``ScalAna-static`` does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.minilang import ast_nodes as ast
+from repro.psg.callgraph import CallGraph, CallSite, build_call_graph
+from repro.psg.contraction import (
+    DEFAULT_MAX_LOOP_DEPTH,
+    ContractionResult,
+    contract_psg,
+)
+from repro.psg.graph import PSG, InlinePath, PSGVertex, VertexType
+from repro.psg.interproc import build_complete_psg, refine_indirect_calls
+from repro.psg.intraproc import StructureMismatchError, build_local_psg
+
+__all__ = [
+    "PSG",
+    "PSGVertex",
+    "VertexType",
+    "InlinePath",
+    "CallGraph",
+    "CallSite",
+    "build_call_graph",
+    "build_local_psg",
+    "build_complete_psg",
+    "refine_indirect_calls",
+    "contract_psg",
+    "ContractionResult",
+    "DEFAULT_MAX_LOOP_DEPTH",
+    "StructureMismatchError",
+    "StaticAnalysisResult",
+    "build_psg",
+]
+
+
+@dataclass(frozen=True)
+class StaticAnalysisResult:
+    """Everything ``ScalAna-static`` produces at compile time."""
+
+    program: ast.Program
+    call_graph: CallGraph
+    complete_psg: PSG
+    contracted: ContractionResult
+
+    @property
+    def psg(self) -> PSG:
+        """The contracted PSG used at runtime and by detection."""
+        return self.contracted.psg
+
+
+def build_psg(
+    program: ast.Program,
+    *,
+    max_loop_depth: int = DEFAULT_MAX_LOOP_DEPTH,
+    entry: str = "main",
+    verify_cfg: bool = True,
+) -> StaticAnalysisResult:
+    """Run the full static pipeline: call graph -> complete PSG -> contraction."""
+    call_graph = build_call_graph(program)
+    complete = build_complete_psg(program, entry=entry, verify_cfg=verify_cfg)
+    contracted = contract_psg(complete, max_loop_depth)
+    return StaticAnalysisResult(
+        program=program,
+        call_graph=call_graph,
+        complete_psg=complete,
+        contracted=contracted,
+    )

@@ -1,0 +1,211 @@
+"""Inter-procedural PSG construction (paper §III-A, second phase).
+
+Combines local PSGs into one complete graph by a top-down traversal of the
+program call graph from ``main``, replacing every user-defined call with a
+clone of the callee's local PSG (splicing its body in place of the call
+vertex, as Fig. 4(b) shows).  Three special cases follow the paper exactly:
+
+* **MPI calls** are kept as-is,
+* **recursive calls** are not re-inlined: the call vertex stays and gets a
+  ``recursion_target`` cycle edge back to the already-inlined instance,
+* **indirect calls** (function pointers) keep an ``indirect`` Call vertex;
+  :func:`refine_indirect_calls` splices observed targets in after runtime
+  collection (§III-B3).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.minilang import ast_nodes as ast
+from repro.psg.graph import PSG, InlinePath, PSGVertex, VertexType
+from repro.psg.intraproc import build_local_psg
+
+__all__ = ["build_complete_psg", "refine_indirect_calls", "InlineBudgetError"]
+
+#: Safety valve: a program whose static inlining expands beyond this many
+#: vertices is almost certainly mutually recursive in a way the recursion
+#: guard should have caught; fail loudly rather than consume all memory.
+_MAX_VERTICES = 2_000_000
+
+
+class InlineBudgetError(RuntimeError):
+    """Static inlining exceeded the vertex budget."""
+
+
+def build_complete_psg(
+    program: ast.Program,
+    *,
+    entry: str = "main",
+    verify_cfg: bool = True,
+) -> PSG:
+    """Build the complete (pre-contraction) PSG of ``program``."""
+    locals_: dict[str, PSG] = {
+        name: build_local_psg(func, verify_cfg=verify_cfg)
+        for name, func in program.functions.items()
+    }
+    if entry not in locals_:
+        raise KeyError(f"program has no entry function {entry!r}")
+
+    psg = PSG(name=f"{program.filename}:{entry}")
+    entry_func = program.functions[entry]
+    root = psg.new_vertex(
+        VertexType.ROOT,
+        name=entry,
+        location=entry_func.location,
+        function=entry,
+    )
+    _splice(
+        psg,
+        program,
+        locals_,
+        source=locals_[entry],
+        source_parent=locals_[entry].root_id,
+        target_parent=root.vid,
+        inline_path=(),
+        stack={entry: root.vid},
+    )
+    return psg
+
+
+def _splice(
+    psg: PSG,
+    program: ast.Program,
+    locals_: Mapping[str, PSG],
+    *,
+    source: PSG,
+    source_parent: int,
+    target_parent: int,
+    inline_path: InlinePath,
+    stack: dict[str, int],
+) -> None:
+    """Clone the children of ``source_parent`` (in ``source``) under
+    ``target_parent`` (in ``psg``), inlining user calls on the way."""
+    for child_id in source.vertices[source_parent].children:
+        child = source.vertices[child_id]
+        if len(psg.vertices) > _MAX_VERTICES:
+            raise InlineBudgetError(
+                f"PSG exceeded {_MAX_VERTICES} vertices while inlining"
+            )
+        if child.vtype is VertexType.CALL:
+            callee_name = child.name
+            if callee_name in program.functions:
+                if callee_name in stack:
+                    # Recursive call: keep the vertex, close the cycle.
+                    v = _clone_vertex(psg, child, target_parent, inline_path)
+                    v.recursion_target = stack[callee_name]
+                    continue
+                # Direct call: splice the callee body in place.
+                callee_local = locals_[callee_name]
+                call_path = inline_path + (child.stmt_ids[0],)
+                stack[callee_name] = target_parent
+                _splice(
+                    psg,
+                    program,
+                    locals_,
+                    source=callee_local,
+                    source_parent=callee_local.root_id,
+                    target_parent=target_parent,
+                    inline_path=call_path,
+                    stack=stack,
+                )
+                del stack[callee_name]
+                continue
+            # Indirect call (target unknown statically): keep, mark.
+            v = _clone_vertex(psg, child, target_parent, inline_path)
+            v.indirect = True
+            continue
+
+        v = _clone_vertex(psg, child, target_parent, inline_path)
+        if child.children:
+            _splice(
+                psg,
+                program,
+                locals_,
+                source=source,
+                source_parent=child_id,
+                target_parent=v.vid,
+                inline_path=inline_path,
+                stack=stack,
+            )
+
+
+def _clone_vertex(
+    psg: PSG, src: PSGVertex, parent: int, inline_path: InlinePath
+) -> PSGVertex:
+    return psg.new_vertex(
+        src.vtype,
+        name=src.name,
+        location=src.location,
+        stmt_ids=src.stmt_ids,
+        inline_path=inline_path,
+        function=src.function,
+        parent=parent,
+        arm=src.arm,
+        mpi_op=src.mpi_op,
+        indirect=src.indirect,
+        loop_depth=src.loop_depth,
+    )
+
+
+def refine_indirect_calls(
+    psg: PSG,
+    program: ast.Program,
+    observed_targets: Mapping[tuple[InlinePath, int], set[str]],
+    *,
+    verify_cfg: bool = False,
+) -> int:
+    """Runtime refinement of indirect calls (paper §III-B3).
+
+    ``observed_targets`` maps the (inline path, call-site stmt id) of an
+    indirect Call vertex to the set of function names it was observed to
+    invoke.  Each target's local PSG is spliced *under* the Call vertex
+    (keeping the vertex so multiple dynamic targets stay distinguishable).
+    Returns the number of call sites refined.
+    """
+    refined = 0
+    indirect = [
+        v
+        for v in list(psg.vertices.values())
+        if v.vtype is VertexType.CALL and v.indirect
+    ]
+    locals_cache: dict[str, PSG] = {}
+    for v in indirect:
+        key = (v.inline_path, v.stmt_ids[0])
+        targets = observed_targets.get(key)
+        if not targets:
+            continue
+        for target in sorted(targets):
+            if target not in program.functions:
+                raise KeyError(f"observed indirect target {target!r} is not defined")
+            if target not in locals_cache:
+                locals_cache[target] = build_local_psg(
+                    program.functions[target], verify_cfg=verify_cfg
+                )
+            callee_local = locals_cache[target]
+            call_path = v.inline_path + (v.stmt_ids[0],)
+            _splice(
+                psg,
+                program,
+                locals_cache_program_view(program),
+                source=callee_local,
+                source_parent=callee_local.root_id,
+                target_parent=v.vid,
+                inline_path=call_path,
+                stack={target: v.vid},
+            )
+        v.indirect = False  # now resolved
+        refined += 1
+    return refined
+
+
+def locals_cache_program_view(program: ast.Program) -> Mapping[str, PSG]:
+    """Lazy local-PSG mapping used during indirect-call refinement."""
+
+    class _Lazy(dict):
+        def __missing__(self, key: str) -> PSG:
+            local = build_local_psg(program.functions[key], verify_cfg=False)
+            self[key] = local
+            return local
+
+    return _Lazy()

@@ -1,0 +1,169 @@
+"""Intra-procedural PSG construction (paper §III-A, first phase).
+
+Builds a *local* PSG per function: a Root vertex for the function entry,
+then one vertex per Loop / Branch / MPI call / computation / user call, in
+execution order.  Scalar bookkeeping statements (declarations, assignments,
+returns) carry no measurable workload and are not materialized — the paper's
+``Comp`` vertices are "collections of computation instructions", which for
+MiniMPI means ``compute`` statements.
+
+The builder also cross-checks its structural view against the dataflow
+view: the number of Loop vertices must equal the number of natural loops
+detected on the function's CFG (:mod:`repro.ir.loops`).  A mismatch would
+mean the frontend and the middle-end disagree about program structure, so it
+raises instead of producing a silently wrong graph.
+"""
+
+from __future__ import annotations
+
+from repro.ir.cfg import build_cfg
+from repro.ir.loops import find_natural_loops
+from repro.minilang import ast_nodes as ast
+from repro.psg.graph import PSG, VertexType
+
+__all__ = ["build_local_psg", "StructureMismatchError"]
+
+
+class StructureMismatchError(RuntimeError):
+    """CFG-derived and AST-derived loop structure disagree."""
+
+
+def build_local_psg(func: ast.FunctionDef, *, verify_cfg: bool = True) -> PSG:
+    """Build the local PSG of one function."""
+    psg = PSG(name=func.name)
+    root = psg.new_vertex(
+        VertexType.ROOT,
+        name=func.name,
+        location=func.location,
+        function=func.name,
+    )
+    _lower_block(psg, func.body, parent=root.vid, func_name=func.name, depth=0)
+
+    if verify_cfg:
+        cfg = build_cfg(func)
+        cfg_loops = find_natural_loops(cfg)
+        psg_loops = [
+            v for v in psg.vertices.values() if v.vtype is VertexType.LOOP
+        ]
+        if len(cfg_loops) != len(psg_loops):
+            raise StructureMismatchError(
+                f"{func.name}: CFG found {len(cfg_loops)} natural loops but the "
+                f"PSG has {len(psg_loops)} Loop vertices"
+            )
+        cfg_depths = sorted(lp.depth for lp in cfg_loops)
+        psg_depths = sorted(v.loop_depth for v in psg_loops)
+        if cfg_depths != psg_depths:
+            raise StructureMismatchError(
+                f"{func.name}: loop nesting depths disagree "
+                f"(CFG {cfg_depths} vs PSG {psg_depths})"
+            )
+    _prune_empty_structures(psg)
+    return psg
+
+
+def _prune_empty_structures(psg: PSG) -> None:
+    """Remove Loop/Branch vertices whose bodies produced no vertices.
+
+    Such structures contain only scalar bookkeeping (e.g. computing a peer
+    rank); they carry no measurable workload and would only inflate vertex
+    counts.  Pruning runs bottom-up so nested empty structures collapse.
+    """
+    changed = True
+    while changed:
+        changed = False
+        for vid in list(psg.vertices):
+            v = psg.vertices.get(vid)
+            if v is None or v.parent is None:
+                continue
+            if v.vtype in (VertexType.LOOP, VertexType.BRANCH) and not v.children:
+                parent = psg.vertices[v.parent]
+                parent.children.remove(vid)
+                for sid in v.stmt_ids:
+                    psg.stmt_index.pop((v.inline_path, sid), None)
+                del psg.vertices[vid]
+                changed = True
+
+
+def _lower_block(
+    psg: PSG, block: ast.Block, *, parent: int, func_name: str, depth: int
+) -> None:
+    for stmt in block.statements:
+        if isinstance(stmt, ast.ComputeStmt):
+            psg.new_vertex(
+                VertexType.COMP,
+                name=stmt.name or str(stmt.location),
+                location=stmt.location,
+                stmt_ids=[stmt.stmt_id],
+                function=func_name,
+                parent=parent,
+            )
+        elif isinstance(stmt, ast.MpiStmt):
+            psg.new_vertex(
+                VertexType.MPI,
+                name=stmt.op.display_name,
+                location=stmt.location,
+                stmt_ids=[stmt.stmt_id],
+                function=func_name,
+                parent=parent,
+                mpi_op=stmt.op,
+            )
+        elif isinstance(stmt, (ast.ForStmt, ast.WhileStmt)):
+            loop = psg.new_vertex(
+                VertexType.LOOP,
+                name=f"{func_name}@{stmt.location.line}",
+                location=stmt.location,
+                stmt_ids=[stmt.stmt_id],
+                function=func_name,
+                parent=parent,
+                loop_depth=depth + 1,
+            )
+            _lower_block(
+                psg, stmt.body, parent=loop.vid, func_name=func_name, depth=depth + 1
+            )
+        elif isinstance(stmt, ast.IfStmt):
+            branch = psg.new_vertex(
+                VertexType.BRANCH,
+                name=f"{func_name}@{stmt.location.line}",
+                location=stmt.location,
+                stmt_ids=[stmt.stmt_id],
+                function=func_name,
+                parent=parent,
+            )
+            _lower_block(
+                psg,
+                stmt.then_body,
+                parent=branch.vid,
+                func_name=func_name,
+                depth=depth,
+            )
+            then_count = len(branch.children)
+            for vid in branch.children:
+                psg.vertices[vid].arm = "then"
+            if stmt.else_body is not None:
+                _lower_block(
+                    psg,
+                    stmt.else_body,
+                    parent=branch.vid,
+                    func_name=func_name,
+                    depth=depth,
+                )
+                for vid in branch.children[then_count:]:
+                    psg.vertices[vid].arm = "else"
+        elif isinstance(stmt, ast.CallStmt):
+            callee = stmt.callee
+            name = callee.name if isinstance(callee, ast.VarRef) else "<indirect>"
+            psg.new_vertex(
+                VertexType.CALL,
+                name=name,
+                location=stmt.location,
+                stmt_ids=[stmt.stmt_id],
+                function=func_name,
+                parent=parent,
+                indirect=not isinstance(callee, ast.VarRef),
+            )
+        elif isinstance(stmt, (ast.VarDecl, ast.Assign, ast.ReturnStmt)):
+            # Scalar bookkeeping: no vertex (negligible workload, paper §III-A
+            # contraction rationale).
+            continue
+        else:  # pragma: no cover - parser cannot currently produce others
+            raise TypeError(f"unexpected statement {type(stmt).__name__}")

@@ -1,0 +1,188 @@
+"""PMPI-style communication-dependence collection (paper §III-B2).
+
+ScalAna interposes on MPI calls (via PMPI) and applies two techniques this
+module reproduces faithfully:
+
+* **Sampling-based instrumentation** — a random number is drawn at each
+  interposed call; parameters are recorded only when it falls below the
+  sampling threshold, so regular patterns are still captured without paying
+  full-trace cost (Vetter's random sampling [28]).
+* **Graph-guided communication compression** — the PSG already encodes the
+  program's communication structure, so a (vertex, peer, tag, size) tuple is
+  stored only once no matter how many loop iterations repeat it.
+
+The request-converter of the paper's Fig. 5 is implemented explicitly:
+``irecv`` stores ``(source, tag)`` keyed by request; at ``wait`` time, if
+either was a wildcard, the actual values are taken from the matched message
+(the simulated ``status.MPI_SOURCE`` / ``status.MPI_TAG``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.minilang.ast_nodes import MpiOp
+from repro.simulator.engine import SimulationResult
+from repro.simulator.events import CollectiveRecord, P2PRecord
+from repro.util.rng import RngStream
+
+__all__ = ["CommEdge", "CollectiveGroup", "CommDependence", "collect_comm_dependence"]
+
+
+@dataclass(frozen=True)
+class CommEdge:
+    """One *unique* point-to-point dependence (after compression)."""
+
+    send_rank: int
+    send_vid: int
+    recv_rank: int
+    recv_vid: int
+    wait_vid: int
+    tag: int
+    nbytes: int
+
+    def key(self) -> tuple:
+        return (
+            self.send_rank,
+            self.send_vid,
+            self.recv_rank,
+            self.recv_vid,
+            self.wait_vid,
+            self.tag,
+            self.nbytes,
+        )
+
+
+@dataclass(frozen=True)
+class CollectiveGroup:
+    """One unique collective signature: op + per-rank vertex + size."""
+
+    mpi_op: MpiOp
+    root: int
+    nbytes: int
+    vids: tuple[tuple[int, int], ...]  # sorted (rank, vid) pairs
+
+    def key(self) -> tuple:
+        return (self.mpi_op, self.root, self.nbytes, self.vids)
+
+
+@dataclass
+class CommDependence:
+    """Compressed communication-dependence data of one run."""
+
+    edges: dict[tuple, CommEdge] = field(default_factory=dict)
+    #: per edge key: (observation count, max waiting time seen)
+    edge_stats: dict[tuple, tuple[int, float]] = field(default_factory=dict)
+    groups: dict[tuple, CollectiveGroup] = field(default_factory=dict)
+    #: per group key: (count, max wait seen, laggard rank everyone waited for)
+    group_stats: dict[tuple, tuple[int, float, int]] = field(default_factory=dict)
+    observed_events: int = 0
+    recorded_events: int = 0
+    #: (inline_path, stmt_id) -> set of observed indirect-call targets
+    indirect_targets: dict[tuple, set[str]] = field(default_factory=dict)
+
+    def edge_list(self) -> list[CommEdge]:
+        return list(self.edges.values())
+
+    def max_wait(self, edge: CommEdge) -> float:
+        return self.edge_stats.get(edge.key(), (0, 0.0))[1]
+
+    @property
+    def compression_ratio(self) -> float:
+        """Observed / stored — the win of graph-guided compression."""
+        stored = len(self.edges) + len(self.groups)
+        if stored == 0:
+            return 1.0
+        return self.observed_events / stored
+
+
+class _RequestConverter:
+    """Fig. 5's ``requestConverter``: resolves wildcard source/tag at wait.
+
+    In the simulator the matched message always knows its true source and
+    tag, so this class only mirrors the mechanism (store declared values at
+    irecv, override from "status" at wait when uncertain) — tested against
+    the direct values to prove the code path is equivalent.
+    """
+
+    def __init__(self) -> None:
+        self._declared: dict[int, tuple[object, object]] = {}
+
+    def on_irecv(self, record_id: int, src: object, tag: object) -> None:
+        self._declared[record_id] = (src, tag)
+
+    def on_wait(self, record_id: int, status_src: int, status_tag: int) -> tuple[int, int]:
+        declared_src, declared_tag = self._declared.pop(record_id, (None, None))
+        src = declared_src if isinstance(declared_src, int) else status_src
+        tag = declared_tag if isinstance(declared_tag, int) else status_tag
+        return src, tag
+
+
+def collect_comm_dependence(
+    result: SimulationResult,
+    *,
+    sample_probability: float = 1.0,
+    seed: int = 0,
+) -> CommDependence:
+    """Run the interposition layer over a simulation's event stream.
+
+    ``sample_probability`` is the random-instrumentation threshold: 1.0
+    records every call (the compression still deduplicates); lower values
+    trade completeness for overhead, as the paper's technique does.
+    """
+    if not (0.0 < sample_probability <= 1.0):
+        raise ValueError("sample_probability must be in (0, 1]")
+    rng = RngStream(seed, "comm_sampling")
+    dep = CommDependence()
+    converter = _RequestConverter()
+
+    for rec_id, rec in enumerate(result.p2p_records):
+        dep.observed_events += 1
+        if sample_probability < 1.0 and not rng.bernoulli(sample_probability):
+            continue
+        dep.recorded_events += 1
+        # Fig. 5: store declared (source, tag) at irecv; resolve wildcards
+        # from status at wait.  The resolved values must equal the matched
+        # message's — asserted here, tested explicitly in the test suite.
+        converter.on_irecv(rec_id, rec.declared_src, rec.declared_tag)
+        src, tag = converter.on_wait(rec_id, rec.send_rank, rec.tag)
+        assert src == rec.send_rank and tag == rec.tag
+        edge = CommEdge(
+            send_rank=src,
+            send_vid=rec.send_vid,
+            recv_rank=rec.recv_rank,
+            recv_vid=rec.recv_vid,
+            wait_vid=rec.wait_vid,
+            tag=tag,
+            nbytes=rec.nbytes,
+        )
+        key = edge.key()
+        count, max_wait = dep.edge_stats.get(key, (0, 0.0))
+        dep.edges[key] = edge
+        dep.edge_stats[key] = (count + 1, max(max_wait, rec.wait_time))
+
+    for crec in result.collective_records:
+        dep.observed_events += 1
+        if sample_probability < 1.0 and not rng.bernoulli(sample_probability):
+            continue
+        dep.recorded_events += 1
+        group = CollectiveGroup(
+            mpi_op=crec.mpi_op,
+            root=crec.root,
+            nbytes=crec.nbytes,
+            vids=tuple(sorted(crec.vids.items())),
+        )
+        key = group.key()
+        count, max_wait, laggard = dep.group_stats.get(key, (0, 0.0, -1))
+        worst = max(crec.wait_of(r) for r in crec.arrivals)
+        if worst >= max_wait:
+            laggard = crec.last_arrival_rank
+        dep.groups[key] = group
+        dep.group_stats[key] = (count + 1, max(max_wait, worst), laggard)
+
+    for note in result.indirect_notes:
+        key = (note.inline_path, note.stmt_id)
+        dep.indirect_targets.setdefault(key, set()).add(note.target)
+
+    return dep

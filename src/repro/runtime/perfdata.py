@@ -1,0 +1,36 @@
+"""Performance vectors: the data attached to each PPG vertex.
+
+The paper associates each PSG vertex with "a performance vector that records
+the execution time and key hardware performance data, such as cache miss
+rate and branch miss count" (§III-B1).  Ours carries time, waiting time,
+visit count and the four simulated PMU counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simulator.costmodel import PerfCounters
+
+__all__ = ["PerformanceVector"]
+
+
+@dataclass
+class PerformanceVector:
+    """Measured performance of one PSG vertex on one rank."""
+
+    time: float = 0.0
+    wait: float = 0.0
+    visits: int = 0
+    counters: PerfCounters = field(default_factory=PerfCounters)
+
+    def merge(self, other: "PerformanceVector") -> None:
+        self.time += other.time
+        self.wait += other.wait
+        self.visits += other.visits
+        self.counters += other.counters
+
+    @property
+    def compute_time(self) -> float:
+        """Time excluding waiting — useful to separate imbalance causes."""
+        return max(0.0, self.time - self.wait)

@@ -1,0 +1,110 @@
+"""Collective-operation bookkeeping.
+
+MPI matches collectives by call order per communicator: the k-th collective
+call of every rank belongs to the same instance.  The tracker enforces that
+all ranks agree on the operation, root and payload of each instance —
+disagreement is a program bug (and a classic MPI deadlock source), so it
+raises :class:`CollectiveMismatchError` with both call sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.minilang.ast_nodes import MpiOp
+from repro.minilang.errors import SourceLocation
+
+__all__ = ["CollectiveInstance", "CollectiveTracker", "CollectiveMismatchError"]
+
+
+class CollectiveMismatchError(RuntimeError):
+    """Two ranks issued different collectives at the same instance index."""
+
+
+@dataclass
+class CollectiveInstance:
+    index: int
+    nprocs: int
+    mpi_op: MpiOp
+    root: int
+    nbytes: int
+    location: SourceLocation
+    #: rank -> (arrival time, vertex id)
+    arrivals: dict[int, tuple[float, int]] = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        return len(self.arrivals) == self.nprocs
+
+    def arrive(
+        self, rank: int, time: float, vid: int, op: MpiOp, root: int,
+        nbytes: int, location: SourceLocation,
+    ) -> None:
+        if rank in self.arrivals:
+            raise CollectiveMismatchError(
+                f"rank {rank} arrived twice at collective #{self.index}"
+            )
+        if op is not self.mpi_op or root != self.root:
+            raise CollectiveMismatchError(
+                f"collective #{self.index}: rank {rank} called "
+                f"{op.display_name}(root={root}) at {location} but another rank "
+                f"called {self.mpi_op.display_name}(root={self.root}) at "
+                f"{self.location}"
+            )
+        self.arrivals[rank] = (time, vid)
+
+    @property
+    def max_arrival(self) -> float:
+        return max(t for t, _ in self.arrivals.values())
+
+    @property
+    def root_arrival(self) -> float:
+        return self.arrivals[self.root][0]
+
+
+class CollectiveTracker:
+    """Groups per-rank collective calls into instances by call order."""
+
+    def __init__(self, nprocs: int) -> None:
+        self.nprocs = nprocs
+        self._counters: list[int] = [0] * nprocs
+        self._instances: dict[int, CollectiveInstance] = {}
+        self.completed: int = 0
+
+    def arrive(
+        self,
+        rank: int,
+        time: float,
+        vid: int,
+        op: MpiOp,
+        root: int,
+        nbytes: int,
+        location: SourceLocation,
+    ) -> tuple[CollectiveInstance, bool]:
+        """Record ``rank`` entering its next collective.  Returns the
+        instance and whether this arrival completed it."""
+        index = self._counters[rank]
+        self._counters[rank] += 1
+        inst = self._instances.get(index)
+        if inst is None:
+            inst = CollectiveInstance(
+                index=index,
+                nprocs=self.nprocs,
+                mpi_op=op,
+                root=root,
+                nbytes=nbytes,
+                location=location,
+            )
+            self._instances[index] = inst
+        inst.arrive(rank, time, vid, op, root, nbytes, location)
+        if inst.complete:
+            del self._instances[index]
+            self.completed += 1
+            return inst, True
+        return inst, False
+
+    def open_instances(self) -> list[CollectiveInstance]:
+        """Instances some ranks have entered but not all — useful for
+        deadlock diagnostics."""
+        return sorted(self._instances.values(), key=lambda i: i.index)

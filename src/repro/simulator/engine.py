@@ -1,0 +1,659 @@
+"""The discrete-event simulation engine.
+
+A sequential conservative DES: all runnable ranks sit in a min-heap keyed by
+their local virtual clock, and the engine always steps the rank with the
+smallest clock.  Because a rank's ops are handled in nondecreasing global
+time order, message matching is causal and deterministic — the property the
+whole reproduction rests on (two runs of the same configuration are
+bit-identical).
+
+Blocking semantics:
+
+* sends are *eager*: they complete locally after a software overhead; the
+  payload arrives at the destination after a latency + size/bandwidth delay,
+* a blocking receive completes at ``max(post, arrival) + overhead``; any gap
+  between post and arrival is recorded as a *waiting event*, which is what
+  the backtracking detector's edge pruning keys on (paper §IV-B),
+* non-blocking receives complete at their matching MPI_Wait / MPI_Waitall,
+  where the waiting time is attributed to the wait vertex — matching how
+  delays surface in real MPI programs (and in the paper's case studies,
+  all three of which blame loops *behind* ``MPI_Waitall``),
+* collectives group by per-rank call order; synchronizing collectives
+  (barrier/allreduce/alltoall/allgather) complete for everyone at
+  ``max(arrivals) + cost``; rooted ones follow root-relative rules.
+
+The engine also detects deadlock (heap empty, ranks still blocked) and
+reports a per-rank stuck-at diagnostic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterator, Optional
+
+from repro.minilang import ast_nodes as ast
+from repro.minilang.ast_nodes import MpiOp
+from repro.psg.graph import PSG
+from repro.simulator import ops
+from repro.simulator.collectives import CollectiveTracker
+from repro.simulator.costmodel import (
+    CostModel,
+    MachineModel,
+    NetworkModel,
+    PerfCounters,
+)
+from repro.simulator.errors import DeadlockError, MpiUsageError, SimulationError
+from repro.simulator.events import (
+    CollectiveRecord,
+    IndirectNote,
+    P2PRecord,
+    Segment,
+    SegmentKind,
+)
+from repro.simulator.interp import Interpreter
+from repro.simulator.matching import Mailbox, Message, PostedRecv
+
+__all__ = ["DelayInjection", "SimulationConfig", "SimulationResult", "Engine", "simulate"]
+
+
+@dataclass(frozen=True)
+class DelayInjection:
+    """Inject ``extra_seconds`` into every execution of the compute statement
+    at ``filename:line`` on ``rank`` — the paper's motivating experiment
+    (Fig. 2) injects such a delay into process 4 of NPB-CG."""
+
+    rank: int
+    filename: str
+    line: int
+    extra_seconds: float
+
+
+@dataclass
+class SimulationConfig:
+    nprocs: int
+    params: dict = field(default_factory=dict)
+    machine: MachineModel = field(default_factory=MachineModel)
+    network: NetworkModel = field(default_factory=NetworkModel)
+    seed: int = 0
+    max_iterations: int = 10_000_000
+    record_segments: bool = True
+    injected_delays: list[DelayInjection] = field(default_factory=list)
+    entry: str = "main"
+
+    def __post_init__(self) -> None:
+        if self.nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+
+
+@dataclass
+class SimulationResult:
+    """Ground truth of one run."""
+
+    nprocs: int
+    config: SimulationConfig
+    finish_times: list[float]
+    segments: list[Segment]
+    p2p_records: list[P2PRecord]
+    collective_records: list[CollectiveRecord]
+    indirect_notes: list[IndirectNote]
+    #: exact per-(rank, vid) aggregates maintained during the run
+    vertex_time: dict[tuple[int, int], float]
+    vertex_wait: dict[tuple[int, int], float]
+    vertex_counters: dict[tuple[int, int], PerfCounters]
+    vertex_visits: dict[tuple[int, int], int]
+    mpi_call_count: int
+    compute_count: int
+
+    @property
+    def total_time(self) -> float:
+        """Makespan: the finish time of the slowest rank."""
+        return max(self.finish_times) if self.finish_times else 0.0
+
+    def rank_vertex_time(self, rank: int) -> dict[int, float]:
+        return {
+            vid: t for (r, vid), t in self.vertex_time.items() if r == rank
+        }
+
+    def time_of(self, vid: int) -> list[float]:
+        """Per-rank exact time of one PSG vertex (0.0 where never executed)."""
+        return [self.vertex_time.get((r, vid), 0.0) for r in range(self.nprocs)]
+
+
+class _Status(Enum):
+    READY = 0
+    BLOCKED = 1
+    DONE = 2
+
+
+@dataclass
+class _Request:
+    name: str
+    kind: str  # "send" | "recv"
+    post_time: float
+    vid: int
+    #: For recv requests: earliest completion time once matched.
+    ready_time: Optional[float] = None
+    record: Optional[P2PRecord] = None
+
+    @property
+    def matched(self) -> bool:
+        return self.kind == "send" or self.ready_time is not None
+
+
+class _Proc:
+    __slots__ = (
+        "pid", "gen", "clock", "status", "token", "blocked_on", "block_start",
+        "requests", "waitall_reqs",
+    )
+
+    def __init__(self, pid: int, gen: Iterator[ops.Op]) -> None:
+        self.pid = pid
+        self.gen = gen
+        self.clock = 0.0
+        self.status = _Status.READY
+        self.token = -1
+        self.blocked_on: Optional[tuple] = None
+        self.block_start = 0.0
+        #: request name -> FIFO of outstanding requests
+        self.requests: dict[str, list[_Request]] = {}
+        #: requests captured by an in-progress waitall
+        self.waitall_reqs: list[_Request] = []
+
+
+class Engine:
+    """Runs one MiniMPI program at one scale and produces ground truth."""
+
+    def __init__(self, program: ast.Program, psg: PSG, config: SimulationConfig) -> None:
+        self.program = program
+        self.psg = psg
+        self.config = config
+        self.cost = CostModel(config.machine, config.network, seed=config.seed)
+        self.tracker = CollectiveTracker(config.nprocs)
+        self.mailboxes = [Mailbox(r) for r in range(config.nprocs)]
+        self.procs: list[_Proc] = []
+        self._heap: list[tuple[float, int, int]] = []
+        self._counter = itertools.count()
+        # recording
+        self.segments: list[Segment] = []
+        self.p2p_records: list[P2PRecord] = []
+        self.collective_records: list[CollectiveRecord] = []
+        self.indirect_notes: list[IndirectNote] = []
+        self.vertex_time: dict[tuple[int, int], float] = {}
+        self.vertex_wait: dict[tuple[int, int], float] = {}
+        self.vertex_counters: dict[tuple[int, int], PerfCounters] = {}
+        self.vertex_visits: dict[tuple[int, int], int] = {}
+        self.mpi_call_count = 0
+        self.compute_count = 0
+        #: irecv PostedRecv.seq -> its _Request, until matched
+        self._recv_reqs: dict[int, _Request] = {}
+        # delay injection lookup
+        self._delays: dict[tuple[int, str, int], float] = {}
+        for d in config.injected_delays:
+            key = (d.rank, d.filename, d.line)
+            self._delays[key] = self._delays.get(key, 0.0) + d.extra_seconds
+
+    # ------------------------------------------------------------------
+    # recording helpers
+    # ------------------------------------------------------------------
+
+    def _record_segment(
+        self,
+        rank: int,
+        vid: int,
+        kind: SegmentKind,
+        start: float,
+        end: float,
+        wait: float = 0.0,
+        mpi_op: Optional[MpiOp] = None,
+        counters: Optional[PerfCounters] = None,
+    ) -> None:
+        key = (rank, vid)
+        self.vertex_time[key] = self.vertex_time.get(key, 0.0) + (end - start)
+        if wait:
+            self.vertex_wait[key] = self.vertex_wait.get(key, 0.0) + wait
+        self.vertex_visits[key] = self.vertex_visits.get(key, 0) + 1
+        if counters is not None:
+            agg = self.vertex_counters.get(key)
+            if agg is None:
+                self.vertex_counters[key] = PerfCounters() + counters
+            else:
+                agg += counters
+        if self.config.record_segments:
+            self.segments.append(
+                Segment(rank=rank, vid=vid, kind=kind, start=start, end=end,
+                        wait=wait, mpi_op=mpi_op)
+            )
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        cfg = self.config
+        for pid in range(cfg.nprocs):
+            interp = Interpreter(
+                self.program,
+                self.psg,
+                pid,
+                cfg.nprocs,
+                cfg.params,
+                max_iterations=cfg.max_iterations,
+                entry=cfg.entry,
+            )
+            proc = _Proc(pid, interp.run())
+            self.procs.append(proc)
+            self._push(proc)
+
+        finish = [0.0] * cfg.nprocs
+        while self._heap:
+            clock, token, pid = heapq.heappop(self._heap)
+            proc = self.procs[pid]
+            if proc.status is not _Status.READY or proc.token != token:
+                continue  # stale entry
+            self._step(proc)
+
+        blocked = [p for p in self.procs if p.status is _Status.BLOCKED]
+        if blocked:
+            raise DeadlockError(
+                f"deadlock: {len(blocked)} of {cfg.nprocs} ranks blocked",
+                [self._describe_block(p) for p in blocked],
+            )
+        for p in self.procs:
+            finish[p.pid] = p.clock
+
+        return SimulationResult(
+            nprocs=cfg.nprocs,
+            config=cfg,
+            finish_times=finish,
+            segments=self.segments,
+            p2p_records=self.p2p_records,
+            collective_records=self.collective_records,
+            indirect_notes=self.indirect_notes,
+            vertex_time=self.vertex_time,
+            vertex_wait=self.vertex_wait,
+            vertex_counters=self.vertex_counters,
+            vertex_visits=self.vertex_visits,
+            mpi_call_count=self.mpi_call_count,
+            compute_count=self.compute_count,
+        )
+
+    def _push(self, proc: _Proc) -> None:
+        proc.status = _Status.READY
+        proc.token = next(self._counter)
+        heapq.heappush(self._heap, (proc.clock, proc.token, proc.pid))
+
+    def _describe_block(self, proc: _Proc) -> str:
+        kind = proc.blocked_on[0] if proc.blocked_on else "?"
+        detail = ""
+        if kind == "recv":
+            recv: PostedRecv = proc.blocked_on[1]
+            src = "ANY" if recv.src is ops.ANY else recv.src
+            tag = "ANY" if recv.tag is ops.ANY else recv.tag
+            detail = f"recv(src={src}, tag={tag})"
+        elif kind == "wait":
+            detail = f"wait(req={proc.blocked_on[1].name})"
+        elif kind == "waitall":
+            detail = f"waitall({len(proc.blocked_on[1])} incomplete)"
+        elif kind == "collective":
+            inst = proc.blocked_on[1]
+            detail = f"{inst.mpi_op.display_name} #{inst.index} ({len(inst.arrivals)}/{inst.nprocs} arrived)"
+        return f"rank {proc.pid} blocked at t={proc.clock:.6f} in {detail}"
+
+    # ------------------------------------------------------------------
+    # stepping one process
+    # ------------------------------------------------------------------
+
+    def _step(self, proc: _Proc) -> None:
+        """Run ``proc`` op-by-op while it stays the globally minimal clock."""
+        while True:
+            try:
+                op = next(proc.gen)
+            except StopIteration:
+                proc.status = _Status.DONE
+                return
+            parked = self._handle(proc, op)
+            if parked:
+                return
+            if self._heap and proc.clock > self._heap[0][0]:
+                self._push(proc)
+                return
+            # else: still the minimum — keep stepping without heap churn.
+
+    def _handle(self, proc: _Proc, op: ops.Op) -> bool:
+        """Process one op.  Returns True when the proc was parked (or is
+        otherwise no longer runnable in this step)."""
+        if isinstance(op, ops.ComputeOp):
+            self._handle_compute(proc, op)
+            return False
+        if isinstance(op, ops.SendOp):
+            self._handle_send(proc, op)
+            return False
+        if isinstance(op, ops.RecvOp):
+            return self._handle_recv(proc, op)
+        if isinstance(op, ops.WaitOp):
+            return self._handle_wait(proc, op)
+        if isinstance(op, ops.WaitAllOp):
+            return self._handle_waitall(proc, op)
+        if isinstance(op, ops.CollectiveOp):
+            return self._handle_collective(proc, op)
+        if isinstance(op, ops.IndirectCallNote):
+            self.indirect_notes.append(
+                IndirectNote(
+                    rank=proc.pid,
+                    stmt_id=op.stmt_id,
+                    inline_path=op.inline_path,
+                    target=op.target,
+                )
+            )
+            return False
+        raise SimulationError(f"engine cannot handle {type(op).__name__}")
+
+    # -- compute -----------------------------------------------------------
+
+    def _handle_compute(self, proc: _Proc, op: ops.ComputeOp) -> None:
+        duration, counters = self.cost.compute_cost(proc.pid, op.workload)
+        key = (proc.pid, op.location.filename, op.location.line)
+        extra = self._delays.get(key)
+        if extra:
+            duration += extra
+        start = proc.clock
+        proc.clock = start + duration
+        self.compute_count += 1
+        self._record_segment(
+            proc.pid, op.vid, SegmentKind.COMPUTE, start, proc.clock,
+            counters=counters,
+        )
+
+    # -- point-to-point ------------------------------------------------------
+
+    def _handle_send(self, proc: _Proc, op: ops.SendOp) -> None:
+        self.mpi_call_count += 1
+        start = proc.clock
+        proc.clock = start + self.cost.send_overhead()
+        msg = Message(
+            src=proc.pid,
+            dest=op.dest,
+            tag=op.tag,
+            nbytes=op.nbytes,
+            send_time=start,
+            arrival=start + self.cost.p2p_transfer(op.nbytes),
+            send_vid=op.vid,
+        )
+        if op.request is not None:  # isend: completes locally right away
+            proc.requests.setdefault(op.request, []).append(
+                _Request(name=op.request, kind="send", post_time=start, vid=op.vid)
+            )
+        self._record_segment(
+            proc.pid, op.vid, SegmentKind.MPI, start, proc.clock, mpi_op=op.mpi_op
+        )
+        match = self.mailboxes[op.dest].deliver(msg)
+        if match is not None:
+            self._complete_match(match)
+
+    def _handle_recv(self, proc: _Proc, op: ops.RecvOp) -> bool:
+        self.mpi_call_count += 1
+        recv = PostedRecv(
+            rank=proc.pid,
+            src=op.src,
+            tag=op.tag,
+            post_time=proc.clock,
+            recv_vid=op.vid,
+            request=op.request,
+        )
+        match = self.mailboxes[proc.pid].post_recv(recv)
+        if op.request is not None:
+            # irecv: never blocks; completion is observed at wait time.
+            req = _Request(
+                name=op.request, kind="recv", post_time=proc.clock, vid=op.vid
+            )
+            proc.requests.setdefault(op.request, []).append(req)
+            recv.request = op.request
+            self._attach_request(proc.pid, recv, req)
+            if match is not None:
+                self._complete_match(match)
+            start = proc.clock
+            proc.clock = start + self.cost.recv_overhead()
+            self._record_segment(
+                proc.pid, op.vid, SegmentKind.MPI, start, proc.clock, mpi_op=op.mpi_op
+            )
+            return False
+        # blocking recv
+        if match is not None:
+            self._finish_blocking_recv(proc, op, match)
+            return False
+        proc.blocked_on = ("recv", recv, op)
+        proc.block_start = proc.clock
+        proc.status = _Status.BLOCKED
+        return True
+
+    def _finish_blocking_recv(self, proc: _Proc, op: ops.RecvOp, match) -> None:
+        start = proc.clock
+        ready = match.ready_time
+        completion = max(start, ready) + self.cost.recv_overhead()
+        wait = max(0.0, match.message.arrival - start)
+        proc.clock = completion
+        self._record_segment(
+            proc.pid, op.vid, SegmentKind.MPI, start, completion,
+            wait=wait, mpi_op=op.mpi_op,
+        )
+        self.p2p_records.append(
+            P2PRecord(
+                send_rank=match.message.src,
+                send_vid=match.message.send_vid,
+                recv_rank=proc.pid,
+                recv_vid=op.vid,
+                tag=match.message.tag,
+                nbytes=match.message.nbytes,
+                send_time=match.message.send_time,
+                arrival=match.message.arrival,
+                recv_post=match.recv.post_time,
+                completion=completion,
+                wait_vid=op.vid,
+                wait_time=wait,
+                declared_src=None if match.recv.src is ops.ANY else match.recv.src,
+                declared_tag=None if match.recv.tag is ops.ANY else match.recv.tag,
+            )
+        )
+
+    def _attach_request(self, rank: int, recv: PostedRecv, req: _Request) -> None:
+        """Remember which _Request a posted irecv belongs to so a later
+        deliver() can complete it."""
+        self._recv_reqs[recv.seq] = req
+
+    def _complete_match(self, match) -> None:
+        """A deliver() or post_recv() produced a match for a receive that is
+        either a parked blocking recv or an irecv request."""
+        recv = match.recv
+        proc = self.procs[recv.rank]
+        if recv.request is None:
+            # Parked blocking recv: wake the process.
+            assert proc.status is _Status.BLOCKED and proc.blocked_on is not None
+            kind, parked_recv, op = proc.blocked_on
+            assert kind == "recv" and parked_recv.seq == recv.seq
+            proc.blocked_on = None
+            self._finish_blocking_recv(proc, op, match)
+            self._push(proc)
+            return
+        # irecv: mark the request ready; maybe wake a waiting process.
+        req = self._recv_reqs.pop(recv.seq)
+        req.ready_time = match.ready_time
+        req.record = P2PRecord(
+            send_rank=match.message.src,
+            send_vid=match.message.send_vid,
+            recv_rank=recv.rank,
+            recv_vid=recv.recv_vid,
+            tag=match.message.tag,
+            nbytes=match.message.nbytes,
+            send_time=match.message.send_time,
+            arrival=match.message.arrival,
+            recv_post=recv.post_time,
+            completion=float("nan"),
+            declared_src=None if recv.src is ops.ANY else recv.src,
+            declared_tag=None if recv.tag is ops.ANY else recv.tag,
+        )
+        self.p2p_records.append(req.record)
+        if proc.status is _Status.BLOCKED and proc.blocked_on is not None:
+            kind = proc.blocked_on[0]
+            if kind == "wait" and proc.blocked_on[1] is req:
+                _, _, wop = proc.blocked_on
+                proc.blocked_on = None
+                self._finish_wait(proc, wop, req, block_start=proc.block_start)
+                self._push(proc)
+            elif kind == "waitall":
+                remaining, wop = proc.blocked_on[1], proc.blocked_on[2]
+                remaining.discard(id(req))
+                if not remaining:
+                    proc.blocked_on = None
+                    self._finish_waitall(proc, wop, block_start=proc.block_start)
+                    self._push(proc)
+
+    # -- wait / waitall -------------------------------------------------------
+
+    def _handle_wait(self, proc: _Proc, op: ops.WaitOp) -> bool:
+        self.mpi_call_count += 1
+        queue = proc.requests.get(op.request)
+        if not queue:
+            raise MpiUsageError(
+                f"{op.location}: rank {proc.pid} waits on unknown request "
+                f"{op.request!r}"
+            )
+        req = queue.pop(0)
+        if not queue:
+            del proc.requests[op.request]
+        if req.matched:
+            self._finish_wait(proc, op, req, block_start=proc.clock)
+            return False
+        proc.blocked_on = ("wait", req, op)
+        proc.block_start = proc.clock
+        proc.status = _Status.BLOCKED
+        return True
+
+    def _finish_wait(
+        self, proc: _Proc, op: ops.WaitOp, req: _Request, *, block_start: float
+    ) -> None:
+        if req.kind == "send":
+            start = block_start
+            proc.clock = start + self.cost.recv_overhead()
+            self._record_segment(
+                proc.pid, op.vid, SegmentKind.MPI, start, proc.clock,
+                mpi_op=MpiOp.WAIT,
+            )
+            return
+        assert req.ready_time is not None
+        start = block_start
+        completion = max(start, req.ready_time) + self.cost.recv_overhead()
+        wait = max(0.0, req.ready_time - start)
+        proc.clock = completion
+        if req.record is not None:
+            req.record.completion = completion
+            req.record.wait_vid = op.vid
+            req.record.wait_time = wait
+        self._record_segment(
+            proc.pid, op.vid, SegmentKind.MPI, start, completion,
+            wait=wait, mpi_op=MpiOp.WAIT,
+        )
+
+    def _outstanding_requests(self, proc: _Proc) -> list[_Request]:
+        out: list[_Request] = []
+        for queue in proc.requests.values():
+            out.extend(queue)
+        out.sort(key=lambda r: r.post_time)
+        return out
+
+    def _handle_waitall(self, proc: _Proc, op: ops.WaitAllOp) -> bool:
+        self.mpi_call_count += 1
+        outstanding = self._outstanding_requests(proc)
+        unmatched = {id(r) for r in outstanding if not r.matched}
+        proc.waitall_reqs = outstanding
+        if not unmatched:
+            self._finish_waitall(proc, op, block_start=proc.clock)
+            return False
+        proc.blocked_on = ("waitall", unmatched, op)
+        proc.block_start = proc.clock
+        proc.status = _Status.BLOCKED
+        return True
+
+    def _finish_waitall(self, proc: _Proc, op: ops.WaitAllOp, *, block_start: float) -> None:
+        outstanding = proc.waitall_reqs
+        ready_times = [block_start]
+        for req in outstanding:
+            if req.kind == "recv":
+                assert req.ready_time is not None
+                ready_times.append(req.ready_time)
+        completion = max(ready_times) + self.cost.recv_overhead()
+        wait = max(0.0, max(ready_times) - block_start)
+        proc.clock = completion
+        for req in outstanding:
+            if req.record is not None:
+                req.record.completion = completion
+                req.record.wait_vid = op.vid
+                req.record.wait_time = max(0.0, req.ready_time - block_start)
+        proc.requests.clear()
+        proc.waitall_reqs = []
+        self._record_segment(
+            proc.pid, op.vid, SegmentKind.MPI, block_start, completion,
+            wait=wait, mpi_op=MpiOp.WAITALL,
+        )
+
+    # -- collectives ------------------------------------------------------------
+
+    def _handle_collective(self, proc: _Proc, op: ops.CollectiveOp) -> bool:
+        self.mpi_call_count += 1
+        inst, complete = self.tracker.arrive(
+            proc.pid, proc.clock, op.vid, op.mpi_op, op.root, op.nbytes, op.location
+        )
+        if not complete:
+            proc.blocked_on = ("collective", inst, op)
+            proc.block_start = proc.clock
+            proc.status = _Status.BLOCKED
+            return True
+        # Last arrival: complete the instance for everyone.
+        nprocs = self.config.nprocs
+        cost = self.cost.collective_cost(inst.mpi_op, nprocs, inst.nbytes)
+        max_arrival = inst.max_arrival
+        root_arrival = inst.root_arrival
+        completions: dict[int, float] = {}
+        for rank, (arrival, _vid) in inst.arrivals.items():
+            if inst.mpi_op in (MpiOp.BCAST, MpiOp.SCATTER):
+                completions[rank] = max(arrival, root_arrival + cost)
+            elif inst.mpi_op in (MpiOp.REDUCE, MpiOp.GATHER):
+                if rank == inst.root:
+                    completions[rank] = max_arrival + cost
+                else:
+                    completions[rank] = arrival + self.cost.network.call_overhead
+            else:  # synchronizing collectives
+                completions[rank] = max_arrival + cost
+        record = CollectiveRecord(
+            index=inst.index,
+            mpi_op=inst.mpi_op,
+            root=inst.root,
+            nbytes=inst.nbytes,
+            vids={r: vid for r, (_t, vid) in inst.arrivals.items()},
+            arrivals={r: t for r, (t, _vid) in inst.arrivals.items()},
+            completions=completions,
+        )
+        self.collective_records.append(record)
+        for rank, (arrival, vid) in inst.arrivals.items():
+            other = self.procs[rank]
+            completion = completions[rank]
+            wait = max(0.0, completion - arrival - cost)
+            self._record_segment(
+                rank, vid, SegmentKind.MPI, arrival, completion,
+                wait=wait, mpi_op=inst.mpi_op,
+            )
+            if rank == proc.pid:
+                proc.clock = completion
+            else:
+                assert other.status is _Status.BLOCKED
+                other.blocked_on = None
+                other.clock = completion
+                self._push(other)
+        return False
+
+
+def simulate(program: ast.Program, psg: PSG, config: SimulationConfig) -> SimulationResult:
+    """Convenience wrapper: run one simulation to completion."""
+    return Engine(program, psg, config).run()

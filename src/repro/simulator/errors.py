@@ -1,0 +1,35 @@
+"""Simulator error types with MPI-debugging-quality diagnostics."""
+
+from __future__ import annotations
+
+__all__ = [
+    "SimulationError",
+    "MpiUsageError",
+    "DeadlockError",
+    "IterationLimitError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Base class for errors raised while simulating a MiniMPI program."""
+
+
+class MpiUsageError(SimulationError):
+    """Invalid MPI usage: bad rank, negative tag, wait on unknown request..."""
+
+
+class DeadlockError(SimulationError):
+    """No process can make progress.
+
+    Carries a per-rank diagnostic of where each blocked process was stuck,
+    like the output of a parallel debugger's stack-dump.
+    """
+
+    def __init__(self, message: str, blocked: list[str]) -> None:
+        self.blocked = blocked
+        details = "\n".join(f"  {line}" for line in blocked)
+        super().__init__(f"{message}\n{details}")
+
+
+class IterationLimitError(SimulationError):
+    """A loop exceeded the configured iteration budget (runaway program)."""

@@ -1,0 +1,108 @@
+"""Event records produced by a simulation run.
+
+These are the *ground truth* of an execution: every timeline segment, every
+matched point-to-point message, every collective instance.  The three
+measurement tools are built as different views over this ground truth —
+the tracer keeps (a serialization of) all of it, the call-path profiler
+keeps sampled aggregates, and ScalAna keeps sampled aggregates *plus*
+compressed communication dependence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Optional
+
+from repro.minilang.ast_nodes import MpiOp
+
+__all__ = ["SegmentKind", "Segment", "P2PRecord", "CollectiveRecord", "IndirectNote"]
+
+
+class SegmentKind(IntEnum):
+    COMPUTE = 0
+    MPI = 1
+
+
+@dataclass(slots=True)
+class Segment:
+    """One contiguous span of a rank's timeline attributed to a PSG vertex."""
+
+    rank: int
+    vid: int
+    kind: SegmentKind
+    start: float
+    end: float
+    #: Portion of the span spent waiting on other ranks (MPI only).
+    wait: float = 0.0
+    mpi_op: Optional[MpiOp] = None
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(slots=True)
+class P2PRecord:
+    """One matched point-to-point message."""
+
+    send_rank: int
+    send_vid: int
+    recv_rank: int
+    recv_vid: int
+    tag: int
+    nbytes: int
+    send_time: float  # when the send was posted
+    arrival: float  # when the payload reached the receiver
+    recv_post: float  # when the receive was posted
+    completion: float  # when the receiver's (wait-)call returned
+    #: Vertex where the receiver actually blocked (recv itself, or the
+    #: MPI_Wait/MPI_Waitall completing an irecv).
+    wait_vid: int = -1
+    wait_time: float = 0.0
+    #: Source/tag as *declared* at the receive; None means a wildcard
+    #: (MPI_ANY_SOURCE / MPI_ANY_TAG) that must be resolved from status.
+    declared_src: Optional[int] = None
+    declared_tag: Optional[int] = None
+
+    @property
+    def had_wait(self) -> bool:
+        """Did the receiver actually wait on this message?  Backtracking
+        prunes communication edges without waiting events (paper §IV-B)."""
+        return self.wait_time > 0.0
+
+
+@dataclass(slots=True)
+class CollectiveRecord:
+    """One completed collective instance (the i-th collective of the run)."""
+
+    index: int
+    mpi_op: MpiOp
+    root: int
+    nbytes: int
+    #: Per-rank PSG vertex the collective executed under.
+    vids: dict[int, int] = None  # type: ignore[assignment]
+    arrivals: dict[int, float] = None  # type: ignore[assignment]
+    completions: dict[int, float] = None  # type: ignore[assignment]
+
+    def wait_of(self, rank: int) -> float:
+        """Time ``rank`` spent blocked in this collective beyond the
+        intrinsic operation cost."""
+        op_cost = min(
+            self.completions[r] - self.arrivals[r] for r in self.arrivals
+        )
+        return max(0.0, (self.completions[rank] - self.arrivals[rank]) - op_cost)
+
+    @property
+    def last_arrival_rank(self) -> int:
+        return max(self.arrivals, key=lambda r: (self.arrivals[r], r))
+
+
+@dataclass(slots=True)
+class IndirectNote:
+    """Runtime resolution of an indirect call site (paper §III-B3)."""
+
+    rank: int
+    stmt_id: int
+    inline_path: tuple[int, ...]
+    target: str

@@ -1,0 +1,498 @@
+"""The per-rank MiniMPI interpreter.
+
+Each simulated MPI process is a Python generator produced by
+:meth:`Interpreter.run`.  The interpreter executes the AST for its rank,
+evaluating expressions locally (they are pure) and *yielding* an op record
+(:mod:`repro.simulator.ops`) whenever simulated time must advance or
+coordination with other ranks is needed.  The engine drives all ranks'
+generators in virtual-time order.
+
+Attribution: the interpreter tracks the dynamic inline path (the stack of
+call-site statement ids) and resolves each executed statement to its PSG
+vertex via ``psg.lookup_stmt`` — this is the runtime half of the paper's
+"associate performance data with the corresponding PSG vertex" (§III-B1).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Optional
+
+from repro.minilang import ast_nodes as ast
+from repro.minilang.ast_nodes import MpiOp
+from repro.psg.graph import PSG
+from repro.simulator import ops
+from repro.simulator.costmodel import Workload
+from repro.simulator.errors import IterationLimitError, MpiUsageError, SimulationError
+
+__all__ = ["Interpreter", "FuncRefValue"]
+
+
+@dataclass(frozen=True)
+class FuncRefValue:
+    """Runtime value of ``&func`` — a first-class function reference."""
+
+    name: str
+
+
+class _Return(Exception):
+    """Internal non-error signal used to unwind a returning function."""
+
+    def __init__(self, value: object) -> None:
+        self.value = value
+
+
+def _hashrand(args: tuple) -> float:
+    """Deterministic pseudo-random in [0, 1) from the argument tuple.
+
+    Apps use this to write reproducible load imbalance (e.g. per-rank,
+    per-iteration work variation) without any hidden RNG state.
+    """
+    h = hashlib.blake2b(repr(args).encode(), digest_size=8).digest()
+    return int.from_bytes(h, "little") / 2.0**64
+
+
+_BUILTIN_IMPL = {
+    "min": min,
+    "max": max,
+    "abs": abs,
+    "log2": math.log2,
+    "sqrt": math.sqrt,
+    "pow": pow,
+    "floor": math.floor,
+    "ceil": math.ceil,
+}
+
+
+class Interpreter:
+    """Executes one rank of a MiniMPI program as a generator of ops."""
+
+    def __init__(
+        self,
+        program: ast.Program,
+        psg: PSG,
+        rank: int,
+        nprocs: int,
+        params: Optional[Mapping[str, object]] = None,
+        *,
+        max_iterations: int = 10_000_000,
+        entry: str = "main",
+    ) -> None:
+        if not (0 <= rank < nprocs):
+            raise ValueError(f"rank {rank} out of range for {nprocs} processes")
+        self.program = program
+        self.psg = psg
+        self.rank = rank
+        self.nprocs = nprocs
+        self.params = dict(params or {})
+        self.max_iterations = max_iterations
+        self.entry = entry
+        self.iterations = 0
+        self._vid_cache: dict[tuple[tuple[int, ...], int], int] = {}
+
+    # ------------------------------------------------------------------
+    # driver
+    # ------------------------------------------------------------------
+
+    def run(self) -> Iterator[ops.Op]:
+        func = self.program.functions.get(self.entry)
+        if func is None:
+            raise SimulationError(f"program has no entry function {self.entry!r}")
+        if func.params:
+            raise SimulationError(f"entry function {self.entry!r} must take no arguments")
+        try:
+            yield from self._exec_func(func, [], ())
+        except _Return:
+            pass
+
+    # ------------------------------------------------------------------
+    # statement execution
+    # ------------------------------------------------------------------
+
+    def _exec_func(
+        self, func: ast.FunctionDef, args: list[object], inline_path: tuple[int, ...]
+    ) -> Iterator[ops.Op]:
+        if len(args) != len(func.params):
+            raise SimulationError(
+                f"{func.name}() takes {len(func.params)} arguments, got {len(args)}"
+            )
+        frame = dict(zip(func.params, args))
+        try:
+            yield from self._exec_block(func.body, frame, inline_path)
+        except _Return:
+            return
+
+    def _exec_block(
+        self, block: ast.Block, frame: dict, inline_path: tuple[int, ...]
+    ) -> Iterator[ops.Op]:
+        for stmt in block.statements:
+            yield from self._exec_stmt(stmt, frame, inline_path)
+
+    def _exec_stmt(
+        self, stmt: ast.Stmt, frame: dict, inline_path: tuple[int, ...]
+    ) -> Iterator[ops.Op]:
+        if isinstance(stmt, ast.VarDecl):
+            frame[stmt.name] = self._eval(stmt.init, frame) if stmt.init else 0
+        elif isinstance(stmt, ast.Assign):
+            if stmt.name not in frame:
+                raise SimulationError(
+                    f"{stmt.location}: assignment to undeclared variable {stmt.name!r}"
+                )
+            frame[stmt.name] = self._eval(stmt.value, frame)
+        elif isinstance(stmt, ast.ReturnStmt):
+            value = self._eval(stmt.value, frame) if stmt.value else None
+            raise _Return(value)
+        elif isinstance(stmt, ast.ComputeStmt):
+            yield self._make_compute(stmt, frame, inline_path)
+        elif isinstance(stmt, ast.MpiStmt):
+            yield from self._exec_mpi(stmt, frame, inline_path)
+        elif isinstance(stmt, ast.IfStmt):
+            if self._truthy(self._eval(stmt.cond, frame)):
+                yield from self._exec_block(stmt.then_body, frame, inline_path)
+            elif stmt.else_body is not None:
+                yield from self._exec_block(stmt.else_body, frame, inline_path)
+        elif isinstance(stmt, ast.ForStmt):
+            if stmt.init is not None:
+                yield from self._exec_stmt(stmt.init, frame, inline_path)
+            while stmt.cond is None or self._truthy(self._eval(stmt.cond, frame)):
+                self._count_iteration(stmt)
+                yield from self._exec_block(stmt.body, frame, inline_path)
+                if stmt.step is not None:
+                    yield from self._exec_stmt(stmt.step, frame, inline_path)
+        elif isinstance(stmt, ast.WhileStmt):
+            while self._truthy(self._eval(stmt.cond, frame)):
+                self._count_iteration(stmt)
+                yield from self._exec_block(stmt.body, frame, inline_path)
+        elif isinstance(stmt, ast.CallStmt):
+            yield from self._exec_call(stmt, frame, inline_path)
+        else:  # pragma: no cover
+            raise SimulationError(f"cannot execute {type(stmt).__name__}")
+
+    def _exec_call(
+        self, stmt: ast.CallStmt, frame: dict, inline_path: tuple[int, ...]
+    ) -> Iterator[ops.Op]:
+        callee = stmt.callee
+        target: Optional[str] = None
+        indirect = False
+        if isinstance(callee, ast.VarRef) and callee.name in self.program.functions:
+            target = callee.name
+        else:
+            value = self._eval(callee, frame)
+            if not isinstance(value, FuncRefValue):
+                raise SimulationError(
+                    f"{stmt.location}: call target is not a function "
+                    f"(got {type(value).__name__})"
+                )
+            target = value.name
+            indirect = True
+        func = self.program.functions.get(target)
+        if func is None:
+            raise SimulationError(f"{stmt.location}: call to undefined function {target!r}")
+        if indirect:
+            yield ops.IndirectCallNote(
+                vid=-1,
+                location=stmt.location,
+                stmt_id=stmt.stmt_id,
+                inline_path=inline_path,
+                target=target,
+            )
+        args = [self._eval(a, frame) for a in stmt.args]
+        yield from self._exec_func(func, args, inline_path + (stmt.stmt_id,))
+
+    def _count_iteration(self, stmt: ast.Stmt) -> None:
+        self.iterations += 1
+        if self.iterations > self.max_iterations:
+            raise IterationLimitError(
+                f"{stmt.location}: exceeded {self.max_iterations} loop iterations "
+                f"on rank {self.rank} (runaway loop?)"
+            )
+
+    # ------------------------------------------------------------------
+    # MPI statements
+    # ------------------------------------------------------------------
+
+    def _exec_mpi(
+        self, stmt: ast.MpiStmt, frame: dict, inline_path: tuple[int, ...]
+    ) -> Iterator[ops.Op]:
+        vid = self._vid_of(stmt, inline_path)
+        loc = stmt.location
+        op = stmt.op
+
+        if op in (MpiOp.SEND, MpiOp.ISEND):
+            dest = self._eval_rank(stmt.dest, frame, loc, "dest")
+            tag = self._eval_tag(stmt.tag, frame, loc, allow_any=False)
+            nbytes = self._eval_bytes(stmt.bytes_expr, frame, loc)
+            yield ops.SendOp(
+                vid=vid,
+                location=loc,
+                dest=dest,
+                tag=tag,
+                nbytes=nbytes,
+                mpi_op=op,
+                blocking=op is MpiOp.SEND,
+                request=stmt.request,
+            )
+        elif op in (MpiOp.RECV, MpiOp.IRECV):
+            src = self._eval_rank_or_any(stmt.src, frame, loc, "src")
+            tag = self._eval_tag(stmt.tag, frame, loc, allow_any=True)
+            yield ops.RecvOp(
+                vid=vid,
+                location=loc,
+                src=src,
+                tag=tag,
+                mpi_op=op,
+                blocking=op is MpiOp.RECV,
+                request=stmt.request,
+            )
+        elif op is MpiOp.SENDRECV:
+            dest = self._eval_rank(stmt.dest, frame, loc, "dest")
+            tag = self._eval_tag(stmt.tag, frame, loc, allow_any=False)
+            nbytes = self._eval_bytes(stmt.bytes_expr, frame, loc)
+            src = self._eval_rank_or_any(stmt.recv_src, frame, loc, "src")
+            recv_tag = self._eval_tag(stmt.recv_tag, frame, loc, allow_any=True)
+            yield ops.SendOp(
+                vid=vid, location=loc, dest=dest, tag=tag, nbytes=nbytes,
+                mpi_op=MpiOp.SENDRECV, blocking=False,
+            )
+            yield ops.RecvOp(
+                vid=vid, location=loc, src=src, tag=recv_tag,
+                mpi_op=MpiOp.SENDRECV, blocking=True,
+            )
+        elif op is MpiOp.WAIT:
+            assert stmt.request is not None
+            yield ops.WaitOp(vid=vid, location=loc, request=stmt.request)
+        elif op is MpiOp.WAITALL:
+            yield ops.WaitAllOp(vid=vid, location=loc)
+        else:  # collectives
+            root = 0
+            if stmt.root is not None:
+                root = self._eval_rank(stmt.root, frame, loc, "root")
+            nbytes = self._eval_bytes(stmt.bytes_expr, frame, loc)
+            yield ops.CollectiveOp(
+                vid=vid, location=loc, mpi_op=op, root=root, nbytes=nbytes
+            )
+
+    def _make_compute(
+        self, stmt: ast.ComputeStmt, frame: dict, inline_path: tuple[int, ...]
+    ) -> ops.ComputeOp:
+        flops = self._eval_number(stmt.flops, frame, stmt.location, "flops")
+        mem = (
+            self._eval_number(stmt.mem_bytes, frame, stmt.location, "bytes")
+            if stmt.mem_bytes is not None
+            else 0.0
+        )
+        locality = (
+            self._eval_number(stmt.locality, frame, stmt.location, "locality")
+            if stmt.locality is not None
+            else 1.0
+        )
+        threads = (
+            self._eval_number(stmt.threads, frame, stmt.location, "threads")
+            if stmt.threads is not None
+            else 1.0
+        )
+        if flops < 0 or mem < 0:
+            raise MpiUsageError(f"{stmt.location}: negative workload")
+        if threads < 1:
+            raise MpiUsageError(f"{stmt.location}: threads must be >= 1")
+        return ops.ComputeOp(
+            vid=self._vid_of(stmt, inline_path),
+            location=stmt.location,
+            workload=Workload(
+                flops=float(flops),
+                mem_bytes=float(mem),
+                locality=float(locality),
+                threads=float(threads),
+            ),
+        )
+
+    def _vid_of(self, stmt: ast.Stmt, inline_path: tuple[int, ...]) -> int:
+        key = (inline_path, stmt.stmt_id)
+        vid = self._vid_cache.get(key)
+        if vid is None:
+            found = self.psg.lookup_stmt(inline_path, stmt.stmt_id)
+            if found is None:
+                # Statement reached through an unrefined indirect call: the
+                # static PSG has no vertex for the target's body, so the
+                # work attributes to the innermost Call vertex on the path
+                # (the paper instruments indirect-call entry/exit, §III-B3).
+                for k in range(len(inline_path), 0, -1):
+                    found = self.psg.lookup_stmt(
+                        inline_path[: k - 1], inline_path[k - 1]
+                    )
+                    if found is not None:
+                        break
+            if found is None:
+                raise SimulationError(
+                    f"{stmt.location}: no PSG vertex for statement "
+                    f"{stmt.stmt_id} at inline path {inline_path}"
+                )
+            vid = found
+            self._vid_cache[key] = vid
+        return vid
+
+    # ------------------------------------------------------------------
+    # expression evaluation (pure)
+    # ------------------------------------------------------------------
+
+    def _truthy(self, value: object) -> bool:
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, (int, float)):
+            return value != 0
+        raise SimulationError(f"value {value!r} is not usable as a condition")
+
+    def _eval(self, expr: ast.Expr, frame: dict) -> object:
+        if isinstance(expr, ast.IntLit):
+            return expr.value
+        if isinstance(expr, ast.FloatLit):
+            return expr.value
+        if isinstance(expr, ast.StringLit):
+            return expr.value
+        if isinstance(expr, ast.BoolLit):
+            return expr.value
+        if isinstance(expr, ast.AnyLit):
+            return ops.ANY
+        if isinstance(expr, ast.FuncRef):
+            if expr.name not in self.program.functions:
+                raise SimulationError(
+                    f"{expr.location}: &{expr.name} references undefined function"
+                )
+            return FuncRefValue(expr.name)
+        if isinstance(expr, ast.VarRef):
+            return self._lookup(expr, frame)
+        if isinstance(expr, ast.UnaryExpr):
+            value = self._eval(expr.operand, frame)
+            if expr.op == "-":
+                if not isinstance(value, (int, float)) or isinstance(value, bool):
+                    raise SimulationError(f"{expr.location}: cannot negate {value!r}")
+                return -value
+            if expr.op == "!":
+                return not self._truthy(value)
+            raise SimulationError(f"unknown unary op {expr.op!r}")
+        if isinstance(expr, ast.BinaryExpr):
+            return self._eval_binary(expr, frame)
+        if isinstance(expr, ast.CallExpr):
+            if expr.func == "hashrand":
+                args = tuple(self._eval(a, frame) for a in expr.args)
+                return _hashrand(args)
+            impl = _BUILTIN_IMPL[expr.func]
+            args = [self._eval(a, frame) for a in expr.args]
+            try:
+                return impl(*args)
+            except (TypeError, ValueError) as exc:
+                raise SimulationError(f"{expr.location}: {expr.func}(): {exc}") from exc
+        raise SimulationError(f"cannot evaluate {type(expr).__name__}")
+
+    def _eval_binary(self, expr: ast.BinaryExpr, frame: dict) -> object:
+        op = expr.op
+        if op == "&&":
+            return self._truthy(self._eval(expr.left, frame)) and self._truthy(
+                self._eval(expr.right, frame)
+            )
+        if op == "||":
+            return self._truthy(self._eval(expr.left, frame)) or self._truthy(
+                self._eval(expr.right, frame)
+            )
+        left = self._eval(expr.left, frame)
+        right = self._eval(expr.right, frame)
+        if op in ("==", "!="):
+            result = left == right
+            return result if op == "==" else not result
+        if not isinstance(left, (int, float)) or not isinstance(right, (int, float)):
+            raise SimulationError(
+                f"{expr.location}: operator {op!r} needs numbers, "
+                f"got {left!r} and {right!r}"
+            )
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                raise SimulationError(f"{expr.location}: division by zero")
+            if isinstance(left, int) and isinstance(right, int):
+                return int(left / right)  # C-style truncation
+            return left / right
+        if op == "%":
+            if right == 0:
+                raise SimulationError(f"{expr.location}: modulo by zero")
+            return left % right
+        if op == "<":
+            return left < right
+        if op == ">":
+            return left > right
+        if op == "<=":
+            return left <= right
+        if op == ">=":
+            return left >= right
+        raise SimulationError(f"unknown binary op {op!r}")
+
+    def _lookup(self, ref: ast.VarRef, frame: dict) -> object:
+        name = ref.name
+        if name in frame:
+            return frame[name]
+        if name in self.params:
+            return self.params[name]
+        if name == "rank":
+            return self.rank
+        if name == "nprocs":
+            return self.nprocs
+        raise SimulationError(f"{ref.location}: undefined variable {name!r}")
+
+    # -- typed argument evaluation -----------------------------------------
+
+    def _eval_number(self, expr: ast.Expr, frame: dict, loc, what: str) -> float:
+        value = self._eval(expr, frame)
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise MpiUsageError(f"{loc}: {what} must be a number, got {value!r}")
+        return float(value)
+
+    def _eval_rank(self, expr: ast.Expr, frame: dict, loc, what: str) -> int:
+        value = self._eval(expr, frame)
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise MpiUsageError(f"{loc}: {what} must be an integer rank, got {value!r}")
+        if not (0 <= value < self.nprocs):
+            raise MpiUsageError(
+                f"{loc}: {what}={value} out of range for {self.nprocs} processes"
+            )
+        return value
+
+    def _eval_rank_or_any(self, expr: ast.Expr, frame: dict, loc, what: str) -> object:
+        value = self._eval(expr, frame)
+        if value is ops.ANY:
+            return ops.ANY
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise MpiUsageError(f"{loc}: {what} must be a rank or ANY, got {value!r}")
+        if not (0 <= value < self.nprocs):
+            raise MpiUsageError(
+                f"{loc}: {what}={value} out of range for {self.nprocs} processes"
+            )
+        return value
+
+    def _eval_tag(self, expr: ast.Expr, frame: dict, loc, *, allow_any: bool) -> object:
+        value = self._eval(expr, frame)
+        if value is ops.ANY:
+            if allow_any:
+                return ops.ANY
+            raise MpiUsageError(f"{loc}: ANY is not a valid send tag")
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise MpiUsageError(f"{loc}: tag must be an integer, got {value!r}")
+        if value < 0:
+            raise MpiUsageError(f"{loc}: tag must be non-negative, got {value}")
+        return value
+
+    def _eval_bytes(self, expr: Optional[ast.Expr], frame: dict, loc) -> int:
+        if expr is None:
+            return 0
+        value = self._eval(expr, frame)
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise MpiUsageError(f"{loc}: bytes must be a number, got {value!r}")
+        nbytes = int(value)
+        if nbytes < 0:
+            raise MpiUsageError(f"{loc}: bytes must be non-negative, got {nbytes}")
+        return nbytes

@@ -1,0 +1,116 @@
+"""MPI point-to-point message matching.
+
+Implements the matching semantics the analyses depend on:
+
+* messages from the same sender to the same receiver are matched in posting
+  order (MPI's non-overtaking rule),
+* receives match in their own posting order against the earliest eligible
+  pending message,
+* ``ANY`` wildcards on source and/or tag match anything (and the actual
+  source/tag are observable afterwards, mirroring ``status.MPI_SOURCE`` /
+  ``status.MPI_TAG`` in Fig. 5 of the paper).
+
+The engine owns the clock; this module is pure bookkeeping, which makes it
+easy to property-test (FIFO per channel, no lost or duplicated messages).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.simulator.ops import ANY
+
+__all__ = ["Message", "PostedRecv", "Mailbox", "Match"]
+
+_msg_counter = itertools.count()
+_recv_counter = itertools.count()
+
+
+@dataclass(slots=True)
+class Message:
+    """An in-flight (posted but unmatched) message."""
+
+    src: int
+    dest: int
+    tag: int
+    nbytes: int
+    send_time: float
+    arrival: float
+    send_vid: int
+    seq: int = field(default_factory=lambda: next(_msg_counter))
+
+
+@dataclass(slots=True)
+class PostedRecv:
+    """A posted (blocking or non-blocking) receive awaiting a message."""
+
+    rank: int
+    src: object  # int or ANY
+    tag: object  # int or ANY
+    post_time: float
+    recv_vid: int
+    #: None for a blocking recv; request name for irecv.
+    request: Optional[str] = None
+    seq: int = field(default_factory=lambda: next(_recv_counter))
+
+    def accepts(self, msg: Message) -> bool:
+        if self.src is not ANY and self.src != msg.src:
+            return False
+        if self.tag is not ANY and self.tag != msg.tag:
+            return False
+        return True
+
+
+@dataclass(slots=True)
+class Match:
+    message: Message
+    recv: PostedRecv
+
+    @property
+    def ready_time(self) -> float:
+        """Earliest time the receive could complete."""
+        return max(self.message.arrival, self.recv.post_time)
+
+
+class Mailbox:
+    """Pending messages and posted receives of one destination rank."""
+
+    def __init__(self, rank: int) -> None:
+        self.rank = rank
+        self.pending: list[Message] = []  # in posting order
+        self.posted: list[PostedRecv] = []  # in posting order
+
+    # -- the two entry points -------------------------------------------
+
+    def deliver(self, msg: Message) -> Optional[Match]:
+        """A send was posted toward this rank.  Returns a match if some
+        already-posted receive accepts it (earliest-posted wins)."""
+        if msg.dest != self.rank:
+            raise ValueError(f"message for rank {msg.dest} delivered to {self.rank}")
+        for i, recv in enumerate(self.posted):
+            if recv.accepts(msg):
+                self.posted.pop(i)
+                return Match(message=msg, recv=recv)
+        self.pending.append(msg)
+        return None
+
+    def post_recv(self, recv: PostedRecv) -> Optional[Match]:
+        """A receive was posted.  Returns a match against the earliest
+        eligible pending message, if any."""
+        if recv.rank != self.rank:
+            raise ValueError(f"recv of rank {recv.rank} posted to mailbox {self.rank}")
+        for i, msg in enumerate(self.pending):
+            if recv.accepts(msg):
+                self.pending.pop(i)
+                return Match(message=msg, recv=recv)
+        self.posted.append(recv)
+        return None
+
+    # -- introspection ----------------------------------------------------
+
+    def outstanding(self) -> tuple[int, int]:
+        """(pending messages, posted receives) — both non-zero only
+        transiently inside an engine step."""
+        return len(self.pending), len(self.posted)

@@ -1,0 +1,93 @@
+"""Operations yielded by the per-process interpreter to the engine.
+
+The interpreter (one Python generator per simulated MPI rank) never touches
+the clock or other ranks directly: it *yields* one of these op records and
+the engine decides when the op completes.  Every op carries the PSG vertex
+id it executes under (``vid``) and the source location, which is how runtime
+behaviour is attributed back to static structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.minilang.ast_nodes import MpiOp
+from repro.minilang.errors import SourceLocation
+from repro.simulator.costmodel import PerfCounters, Workload
+
+__all__ = [
+    "Op",
+    "ComputeOp",
+    "SendOp",
+    "RecvOp",
+    "WaitOp",
+    "WaitAllOp",
+    "CollectiveOp",
+    "IndirectCallNote",
+    "ANY",
+]
+
+#: Wildcard marker for source/tag (MPI_ANY_SOURCE / MPI_ANY_TAG).
+ANY = object()
+
+
+@dataclass
+class Op:
+    vid: int
+    location: SourceLocation
+
+
+@dataclass
+class ComputeOp(Op):
+    workload: Workload
+    #: Filled by the cost model before the engine advances the clock.
+    duration: float = 0.0
+    counters: Optional[PerfCounters] = None
+
+
+@dataclass
+class SendOp(Op):
+    dest: int
+    tag: int
+    nbytes: int
+    mpi_op: MpiOp = MpiOp.SEND
+    blocking: bool = True
+    request: Optional[str] = None  # isend
+
+
+@dataclass
+class RecvOp(Op):
+    src: object  # int rank or ANY
+    tag: object  # int or ANY
+    mpi_op: MpiOp = MpiOp.RECV
+    blocking: bool = True
+    request: Optional[str] = None  # irecv
+
+
+@dataclass
+class WaitOp(Op):
+    request: str
+
+
+@dataclass
+class WaitAllOp(Op):
+    pass
+
+
+@dataclass
+class CollectiveOp(Op):
+    mpi_op: MpiOp = MpiOp.BARRIER
+    root: int = 0
+    nbytes: int = 0
+
+
+@dataclass
+class IndirectCallNote(Op):
+    """Not a blocking op: tells the runtime layer that an indirect call site
+    resolved to ``target`` (paper §III-B3).  The engine forwards it to hooks
+    and resumes the process immediately at zero cost."""
+
+    stmt_id: int = -1
+    inline_path: tuple[int, ...] = ()
+    target: str = ""

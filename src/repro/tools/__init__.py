@@ -1,0 +1,21 @@
+"""End-user tools: CLI, profile storage, and the text viewer (§V)."""
+
+from repro.tools.cli import build_parser, main
+from repro.tools.storage import (
+    LoadedProfile,
+    load_profile,
+    profile_file_bytes,
+    save_profile,
+)
+from repro.tools.viewer import render_report_with_source, source_snippet
+
+__all__ = [
+    "main",
+    "build_parser",
+    "save_profile",
+    "load_profile",
+    "profile_file_bytes",
+    "LoadedProfile",
+    "render_report_with_source",
+    "source_snippet",
+]

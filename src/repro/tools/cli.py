@@ -1,0 +1,258 @@
+"""The ``scalana`` command line: static / prof / detect / view / run.
+
+Mirrors the paper's four end-user steps (§V)::
+
+    scalana static --app cg
+    scalana prof   --app cg --scales 4,8,16 --out profdir/
+    scalana detect --profiles profdir/
+    scalana run    --app zeusmp --scales 8,16,32     # all steps in one go
+
+``run`` with a path instead of ``--app`` analyzes a MiniMPI source file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro import ScalAna
+from repro.apps import app_names, get_app
+from repro.detection import detect_scaling_loss
+from repro.tools.storage import load_profile, save_profile
+from repro.tools.viewer import render_report_with_source
+from repro.util.tables import Table, format_bytes
+
+__all__ = ["main", "build_parser"]
+
+
+def _tool_from_args(args) -> ScalAna:
+    if args.app:
+        return ScalAna.for_app(get_app(args.app), seed=args.seed)
+    if args.source:
+        source = Path(args.source).read_text()
+        return ScalAna(source=source, filename=args.source, seed=args.seed)
+    raise SystemExit("need --app NAME or --source FILE")
+
+
+def _parse_scales(text: str) -> list[int]:
+    try:
+        scales = [int(x) for x in text.split(",") if x]
+    except ValueError:
+        raise SystemExit(f"bad --scales value {text!r}; expected e.g. 4,8,16")
+    if len(scales) < 1:
+        raise SystemExit("need at least one scale")
+    return scales
+
+
+def cmd_apps(_args) -> int:
+    print("\n".join(app_names()))
+    return 0
+
+
+def cmd_static(args) -> int:
+    tool = _tool_from_args(args)
+    static = tool.static_analysis()
+    stats_before = static.complete_psg.stats()
+    stats_after = static.psg.stats()
+    table = Table(
+        f"Static analysis of {tool.filename}",
+        ["", "total", "Loop", "Branch", "Comp", "MPI", "Call"],
+    )
+    table.add_row(
+        "before contraction", stats_before["total"], stats_before["loop"],
+        stats_before["branch"], stats_before["comp"], stats_before["mpi"],
+        stats_before["call"],
+    )
+    table.add_row(
+        "after contraction", stats_after["total"], stats_after["loop"],
+        stats_after["branch"], stats_after["comp"], stats_after["mpi"],
+        stats_after["call"],
+    )
+    print(table.render())
+    print(f"reduction: {static.contracted.reduction * 100:.1f}%")
+    return 0
+
+
+def cmd_prof(args) -> int:
+    tool = _tool_from_args(args)
+    outdir = Path(args.out)
+    outdir.mkdir(parents=True, exist_ok=True)
+    total_bytes = 0
+    for nprocs in _parse_scales(args.scales):
+        run = tool.profile(nprocs)
+        path = outdir / f"profile_p{nprocs}.json"
+        nbytes = save_profile(run, path)
+        total_bytes += nbytes
+        print(
+            f"p={nprocs:5d}  app {run.app_time:.4f}s  "
+            f"overhead {run.overhead.overhead_percent:.2f}%  "
+            f"stored {format_bytes(nbytes)} -> {path}"
+        )
+    print(f"total profile storage: {format_bytes(total_bytes)}")
+    return 0
+
+
+def cmd_detect(args) -> int:
+    tool = _tool_from_args(args)
+    profdir = Path(args.profiles)
+    files = sorted(profdir.glob("profile_p*.json"))
+    if len(files) < 2:
+        raise SystemExit(f"{profdir}: need profiles at >= 2 scales (found {len(files)})")
+    runs = [load_profile(f) for f in files]
+    report = detect_scaling_loss(runs, psg=tool.psg)
+    if args.show_source:
+        print(render_report_with_source(report, tool.source))
+    else:
+        print(report.render())
+    return 0
+
+
+def cmd_compare(args) -> int:
+    """Table-I-style comparison of the three measurement tools."""
+    from repro.baselines import ProfilerTool, TracerTool, classify_wait_states
+
+    tool = _tool_from_args(args)
+    static = tool.static_analysis()
+    nprocs = int(args.nprocs)
+    config = tool.simulation_config(nprocs)
+    tracer = TracerTool()
+    trace_run = tracer.run(static.program, static.psg, config)
+    prof_run = ProfilerTool().run(static.program, static.psg, config)
+    scal_run = tool.profile(nprocs)
+    table = Table(
+        f"Measurement cost at {nprocs} ranks (app {scal_run.app_time:.2f}s)",
+        ["tool", "time overhead", "storage"],
+    )
+    for rep in (trace_run.overhead, prof_run.overhead, scal_run.overhead):
+        table.add_row(
+            rep.tool, f"{rep.overhead_percent:.2f}%", format_bytes(rep.storage_bytes)
+        )
+    print(table.render())
+    print()
+    print(classify_wait_states(trace_run.result).render())
+    return 0
+
+
+def cmd_export(args) -> int:
+    """Export the PSG (and optionally a PPG) as DOT/GraphML."""
+    from repro.ppg import build_ppg
+    from repro.tools.export import ppg_to_dot, psg_to_dot, psg_to_graphml, write_text
+
+    tool = _tool_from_args(args)
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    n = write_text(psg_to_dot(tool.psg), out / "psg.dot")
+    print(f"wrote {out / 'psg.dot'} ({n} bytes)")
+    psg_to_graphml(tool.psg, out / "psg.graphml")
+    print(f"wrote {out / 'psg.graphml'}")
+    if args.nprocs:
+        run = tool.profile(int(args.nprocs))
+        ppg = build_ppg(tool.psg, run.nprocs, run.profile, run.comm)
+        n = write_text(ppg_to_dot(ppg), out / f"ppg_p{run.nprocs}.dot")
+        print(f"wrote {out / f'ppg_p{run.nprocs}.dot'} ({n} bytes)")
+    return 0
+
+
+def cmd_timeline(args) -> int:
+    """Render an ASCII execution timeline (Vampir-lite)."""
+    from repro.tools.timeline import render_timeline
+
+    tool = _tool_from_args(args)
+    result = tool.run_uninstrumented(int(args.nprocs))
+    print(render_timeline(result, width=int(args.width)))
+    return 0
+
+
+def cmd_run(args) -> int:
+    tool = _tool_from_args(args)
+    scales = _parse_scales(args.scales)
+    if len(scales) < 2:
+        raise SystemExit("run needs >= 2 scales to fit scaling trends")
+    runs = tool.profile_scales(scales)
+    for run in runs:
+        print(
+            f"p={run.nprocs:5d}  app {run.app_time:.4f}s  "
+            f"overhead {run.overhead.overhead_percent:.2f}%  "
+            f"storage {format_bytes(run.overhead.storage_bytes)}"
+        )
+    report = tool.detect(runs)
+    print()
+    print(tool.view(report) if args.show_source else report.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="scalana",
+        description="ScalAna reproduction: scaling-loss root-cause detection",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--app", help="registry application name (see 'apps')")
+        p.add_argument("--source", help="path to a MiniMPI source file")
+        p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("apps", help="list registry applications")
+    p.set_defaults(func=cmd_apps)
+
+    p = sub.add_parser("static", help="run static analysis, print PSG stats")
+    common(p)
+    p.set_defaults(func=cmd_static)
+
+    p = sub.add_parser("prof", help="profile at several scales, save to disk")
+    common(p)
+    p.add_argument("--scales", required=True, help="comma list, e.g. 4,8,16")
+    p.add_argument("--out", default="scalana_profiles")
+    p.set_defaults(func=cmd_prof)
+
+    p = sub.add_parser("detect", help="detect root causes from saved profiles")
+    common(p)
+    p.add_argument("--profiles", default="scalana_profiles")
+    p.add_argument("--show-source", action="store_true")
+    p.set_defaults(func=cmd_detect)
+
+    p = sub.add_parser("run", help="profile + detect in one go")
+    common(p)
+    p.add_argument("--scales", required=True, help="comma list, e.g. 4,8,16")
+    p.add_argument("--show-source", action="store_true")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("compare", help="compare tracer/profiler/ScalAna costs")
+    common(p)
+    p.add_argument("--nprocs", default="32")
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("export", help="export PSG/PPG as DOT + GraphML")
+    common(p)
+    p.add_argument("--out", default="scalana_graphs")
+    p.add_argument("--nprocs", help="also export the PPG at this scale")
+    p.set_defaults(func=cmd_export)
+
+    p = sub.add_parser("timeline", help="ASCII execution timeline")
+    common(p)
+    p.add_argument("--nprocs", default="16")
+    p.add_argument("--width", default="100")
+    p.set_defaults(func=cmd_timeline)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # output piped into e.g. `head`; exit quietly like other CLIs
+        import os
+
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        os._exit(0)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,168 @@
+"""On-disk profile storage: what ``ScalAna-prof`` writes, ``-detect`` reads.
+
+ScalAna is a post-mortem tool: the profiling phase persists its (tiny) data
+and the detection phase loads it back.  Serializing for real keeps the
+storage-cost numbers honest — the bytes reported by the storage benches are
+actual file sizes, and a round-trip test asserts detection produces the
+same report from loaded data.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+
+from repro.minilang.ast_nodes import MpiOp
+from repro.runtime import ProfiledRun
+from repro.runtime.accounting import OverheadReport
+from repro.runtime.interposition import CollectiveGroup, CommDependence, CommEdge
+from repro.runtime.perfdata import PerformanceVector
+from repro.runtime.sampling import SamplingProfile
+from repro.simulator.costmodel import PerfCounters
+from repro.util.serialization import dump_json, load_json
+
+__all__ = ["save_profile", "load_profile", "profile_file_bytes", "LoadedProfile"]
+
+
+class LoadedProfile:
+    """A ProfiledRun reconstructed from disk (no SimulationResult inside —
+    detection never needs the ground truth, only the collected data)."""
+
+    def __init__(
+        self,
+        nprocs: int,
+        profile: SamplingProfile,
+        comm: CommDependence,
+        overhead: OverheadReport,
+        app_time: float,
+    ) -> None:
+        self.nprocs = nprocs
+        self.profile = profile
+        self.comm = comm
+        self.overhead = overhead
+        self._app_time = app_time
+
+    @property
+    def app_time(self) -> float:
+        return self._app_time
+
+
+def save_profile(run: ProfiledRun, path: str | Path) -> int:
+    """Serialize one profiled run; returns bytes written (the storage cost)."""
+    perf = {
+        f"{rank},{vid}": [
+            vec.time,
+            vec.wait,
+            vec.visits,
+            vec.counters.tot_ins,
+            vec.counters.tot_cyc,
+            vec.counters.tot_lst_ins,
+            vec.counters.l2_dcm,
+        ]
+        for (rank, vid), vec in run.profile.perf.items()
+    }
+    edges = [
+        [*e.key(), *run.comm.edge_stats[e.key()]]
+        for e in run.comm.edges.values()
+    ]
+    groups = [
+        {
+            "op": g.mpi_op.value,
+            "root": g.root,
+            "nbytes": g.nbytes,
+            "vids": [list(pair) for pair in g.vids],
+            "stats": list(run.comm.group_stats[g.key()]),
+        }
+        for g in run.comm.groups.values()
+    ]
+    doc = {
+        "format": "scalana-profile-v1",
+        "nprocs": run.nprocs,
+        "app_time": run.app_time,
+        "freq_hz": run.profile.freq_hz if math.isfinite(run.profile.freq_hz) else -1,
+        "total_samples": run.profile.total_samples,
+        "perf": perf,
+        "edges": edges,
+        "groups": groups,
+        "indirect": {
+            f"{','.join(map(str, path_key))}|{sid}": sorted(targets)
+            for (path_key, sid), targets in run.comm.indirect_targets.items()
+        },
+        "overhead_seconds": run.overhead.overhead_seconds,
+        "storage_bytes_model": run.overhead.storage_bytes,
+    }
+    return dump_json(doc, path)
+
+
+def load_profile(path: str | Path) -> LoadedProfile:
+    doc = load_json(path)
+    if doc.get("format") != "scalana-profile-v1":
+        raise ValueError(f"{path}: not a ScalAna profile file")
+    perf: dict[tuple[int, int], PerformanceVector] = {}
+    for key, row in doc["perf"].items():
+        rank_s, vid_s = key.split(",")
+        t, w, visits, ins, cyc, lst, dcm = row
+        perf[(int(rank_s), int(vid_s))] = PerformanceVector(
+            time=t,
+            wait=w,
+            visits=int(visits),
+            counters=PerfCounters(
+                tot_ins=ins, tot_cyc=cyc, tot_lst_ins=lst, l2_dcm=dcm
+            ),
+        )
+    freq = doc["freq_hz"]
+    profile = SamplingProfile(
+        freq_hz=float("inf") if freq == -1 else freq,
+        nprocs=doc["nprocs"],
+        total_samples=doc["total_samples"],
+        perf=perf,
+    )
+    comm = CommDependence()
+    for row in doc["edges"]:
+        (
+            send_rank, send_vid, recv_rank, recv_vid, wait_vid, tag, nbytes,
+            count, max_wait,
+        ) = row
+        edge = CommEdge(
+            send_rank=send_rank,
+            send_vid=send_vid,
+            recv_rank=recv_rank,
+            recv_vid=recv_vid,
+            wait_vid=wait_vid,
+            tag=tag,
+            nbytes=nbytes,
+        )
+        comm.edges[edge.key()] = edge
+        comm.edge_stats[edge.key()] = (count, max_wait)
+        comm.observed_events += count
+        comm.recorded_events += count
+    for g in doc["groups"]:
+        group = CollectiveGroup(
+            mpi_op=MpiOp(g["op"]),
+            root=g["root"],
+            nbytes=g["nbytes"],
+            vids=tuple(tuple(pair) for pair in g["vids"]),
+        )
+        comm.groups[group.key()] = group
+        comm.group_stats[group.key()] = tuple(g["stats"])
+    for key, targets in doc.get("indirect", {}).items():
+        path_part, sid = key.rsplit("|", 1)
+        path_key = tuple(int(x) for x in path_part.split(",") if x != "")
+        comm.indirect_targets[(path_key, int(sid))] = set(targets)
+    overhead = OverheadReport(
+        tool="ScalAna",
+        app_time=doc["app_time"],
+        overhead_seconds=doc["overhead_seconds"],
+        storage_bytes=doc["storage_bytes_model"],
+    )
+    return LoadedProfile(
+        nprocs=doc["nprocs"],
+        profile=profile,
+        comm=comm,
+        overhead=overhead,
+        app_time=doc["app_time"],
+    )
+
+
+def profile_file_bytes(path: str | Path) -> int:
+    return Path(path).stat().st_size

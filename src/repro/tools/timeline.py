@@ -1,0 +1,65 @@
+"""ASCII timeline rendering (Vampir-lite).
+
+Renders a simulated execution as one row per rank over a character grid:
+compute spans as ``#``, MPI time as ``.``, waiting as ``w`` — enough to
+*see* delay propagation (the diagonal wait fronts of a pipeline, the
+vertical bar of a collective) in a terminal, the way the paper's Fig. 2
+timelines do on paper.
+"""
+
+from __future__ import annotations
+
+from repro.simulator.engine import SimulationResult
+from repro.simulator.events import SegmentKind
+
+__all__ = ["render_timeline"]
+
+
+def render_timeline(
+    result: SimulationResult,
+    *,
+    width: int = 100,
+    t0: float = 0.0,
+    t1: float | None = None,
+    max_ranks: int = 32,
+) -> str:
+    """Render ``result`` as an ASCII timeline.
+
+    Characters: ``#`` computing, ``.`` in MPI (not waiting), ``w`` waiting
+    inside MPI, space idle/finished.  When a cell mixes kinds, waiting wins
+    (it is what you are looking for), then compute.
+    """
+    if not result.segments:
+        raise ValueError("run was executed without segment recording")
+    end = t1 if t1 is not None else result.total_time
+    if end <= t0:
+        raise ValueError("empty time window")
+    nrows = min(result.nprocs, max_ranks)
+    scale = width / (end - t0)
+
+    # cell priority: 0 empty < 1 mpi < 2 compute < 3 wait
+    grid = [[0] * width for _ in range(nrows)]
+    for seg in result.segments:
+        if seg.rank >= nrows or seg.end <= t0 or seg.start >= end:
+            continue
+        c0 = max(0, int((seg.start - t0) * scale))
+        c1 = min(width - 1, int((seg.end - t0) * scale))
+        if seg.kind is SegmentKind.COMPUTE:
+            prio = 2
+        elif seg.wait > 0.5 * seg.duration:
+            prio = 3
+        else:
+            prio = 1
+        row = grid[seg.rank]
+        for c in range(c0, c1 + 1):
+            if prio > row[c]:
+                row[c] = prio
+    chars = {0: " ", 1: ".", 2: "#", 3: "w"}
+    lines = [
+        f"timeline {t0:.3f}s .. {end:.3f}s  "
+        f"(# compute, . mpi, w waiting; {nrows}/{result.nprocs} ranks)"
+    ]
+    for rank in range(nrows):
+        body = "".join(chars[c] for c in grid[rank])
+        lines.append(f"rank {rank:3d} |{body}|")
+    return "\n".join(lines)

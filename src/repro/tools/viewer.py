@@ -1,0 +1,71 @@
+"""ScalAna-viewer: text rendering of root causes with source snippets.
+
+The paper's GUI has two windows: the upper lists root-cause vertices and
+their calling paths, the lower shows the code snippets for the selected
+vertex (§V, Fig. 9).  This renders the same content as plain text.
+"""
+
+from __future__ import annotations
+
+from repro.detection.report import DetectionReport
+from repro.ppg.build import PPG
+
+__all__ = ["render_report_with_source", "source_snippet", "render_rank_bars"]
+
+
+def render_rank_bars(ppg: PPG, vid: int, *, width: int = 40, max_ranks: int = 32) -> str:
+    """Per-rank time of one vertex as a bar chart — the GUI's imbalance view.
+
+    Ranks beyond ``max_ranks`` are folded into a summary line.
+    """
+    times = ppg.vertex_times(vid)
+    label = ppg.psg.vertices[vid].label
+    peak = max(times) if times else 0.0
+    lines = [f"per-rank time of {label}:"]
+    if peak <= 0:
+        lines.append("  (never sampled)")
+        return "\n".join(lines)
+    mean = sum(times) / len(times)
+    shown = min(len(times), max_ranks)
+    for r in range(shown):
+        bar = "#" * int(width * times[r] / peak)
+        mark = " <-- " if mean > 0 and times[r] > 1.3 * mean else ""
+        lines.append(f"  rank {r:4d} | {bar:<{width}s} {times[r]:9.4f}s{mark}")
+    if shown < len(times):
+        lines.append(f"  ... {len(times) - shown} more ranks "
+                     f"(mean {mean:.4f}s, max {peak:.4f}s)")
+    return "\n".join(lines)
+
+
+def source_snippet(source: str, line: int, context: int = 2, marker: str = ">>") -> str:
+    """Render ``context`` lines around ``line`` (1-based) with a marker."""
+    lines = source.splitlines()
+    if not (1 <= line <= len(lines)):
+        return f"  (line {line} out of range)"
+    lo = max(1, line - context)
+    hi = min(len(lines), line + context)
+    out = []
+    for i in range(lo, hi + 1):
+        prefix = marker if i == line else "  "
+        out.append(f"  {prefix} {i:4d} | {lines[i - 1]}")
+    return "\n".join(out)
+
+
+def render_report_with_source(
+    report: DetectionReport, source: str, context: int = 2, max_causes: int = 5
+) -> str:
+    """The two GUI windows, stacked: cause list + per-cause code snippets."""
+    parts = [report.render(max_causes=max_causes), "", "Source snippets:"]
+    shown: set[str] = set()
+    for rc in report.root_causes[:max_causes]:
+        if rc.location in shown:
+            continue
+        shown.add(rc.location)
+        try:
+            line = int(rc.location.rsplit(":", 1)[1])
+        except (IndexError, ValueError):
+            continue
+        parts.append("")
+        parts.append(f"-- {rc.label} at {rc.location} (in {rc.function}) --")
+        parts.append(source_snippet(source, line, context))
+    return "\n".join(parts)

@@ -1,0 +1,54 @@
+"""JSON serialization helpers.
+
+ScalAna is a post-mortem tool: the profiling phase writes per-rank data to
+disk (this is exactly the "storage cost" the paper measures) and the
+detection phase reads it back.  We serialize to JSON because the volumes are
+tiny by construction — that is the point of graph-guided compression.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from enum import Enum
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = ["to_jsonable", "dump_json", "load_json"]
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert dataclasses / numpy scalars / sets to JSON types."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, Enum):
+        return obj.value
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return [to_jsonable(x) for x in obj.tolist()]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: to_jsonable(getattr(obj, f.name)) for f in dataclasses.fields(obj)}
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(x) for x in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted(to_jsonable(x) for x in obj)
+    raise TypeError(f"cannot serialize {type(obj).__name__} to JSON")
+
+
+def dump_json(obj: Any, path: str | Path) -> int:
+    """Write ``obj`` as JSON; returns the number of bytes written."""
+    text = json.dumps(to_jsonable(obj), indent=None, separators=(",", ":"))
+    data = text.encode()
+    Path(path).write_bytes(data)
+    return len(data)
+
+
+def load_json(path: str | Path) -> Any:
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,127 @@
+"""Statistical helpers used by the detectors and the benchmark harness.
+
+The centerpiece is :func:`loglog_fit`, the log-log regression model the paper
+cites ([30], Barnes et al.) for non-scalable vertex detection: a vertex whose
+time t(P) follows ``t = c * P**alpha`` appears as a straight line with slope
+``alpha`` in log-log space.  Perfectly scaling work has ``alpha ~ -1``
+(strong scaling), constant/serial work has ``alpha ~ 0``, and contended work
+has ``alpha > 0``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "LogLogFit",
+    "loglog_fit",
+    "geometric_mean",
+    "trimmed_mean",
+    "median_absolute_deviation",
+    "relative_imbalance",
+]
+
+
+@dataclass(frozen=True)
+class LogLogFit:
+    """Result of fitting ``t = c * P**alpha`` to (P, t) points.
+
+    Attributes
+    ----------
+    alpha:
+        The scaling exponent (slope in log-log space).
+    log_c:
+        Intercept in log-log space; ``c = exp(log_c)``.
+    r2:
+        Coefficient of determination of the fit in log-log space.
+    n:
+        Number of points used.
+    """
+
+    alpha: float
+    log_c: float
+    r2: float
+    n: int
+
+    @property
+    def c(self) -> float:
+        return math.exp(self.log_c)
+
+    def predict(self, p: float) -> float:
+        """Predicted time at scale ``p``."""
+        return self.c * p**self.alpha
+
+
+def loglog_fit(scales: Sequence[float], values: Sequence[float]) -> LogLogFit:
+    """Least-squares fit of ``values = c * scales**alpha`` in log-log space.
+
+    Non-positive values are clamped to a tiny epsilon so that vertices that
+    take (near) zero time at some scale do not crash the detector; they fit
+    as strongly-scaling and are filtered out by the time-proportion check.
+    """
+    xs = np.asarray(scales, dtype=float)
+    ys = np.asarray(values, dtype=float)
+    if xs.shape != ys.shape or xs.ndim != 1:
+        raise ValueError("scales and values must be 1-D sequences of equal length")
+    if xs.size < 2:
+        raise ValueError("need at least two scales for a log-log fit")
+    if np.any(xs <= 0):
+        raise ValueError("scales must be positive")
+    eps = 1e-30
+    lx = np.log(xs)
+    ly = np.log(np.maximum(ys, eps))
+    slope, intercept = np.polyfit(lx, ly, 1)
+    pred = slope * lx + intercept
+    ss_res = float(np.sum((ly - pred) ** 2))
+    ss_tot = float(np.sum((ly - ly.mean()) ** 2))
+    r2 = 1.0 if ss_tot == 0.0 else 1.0 - ss_res / ss_tot
+    return LogLogFit(alpha=float(slope), log_c=float(intercept), r2=r2, n=int(xs.size))
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean; requires strictly positive values."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("geometric_mean of empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError("geometric_mean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def trimmed_mean(values: Sequence[float], trim: float = 0.1) -> float:
+    """Mean after trimming ``trim`` fraction from each tail."""
+    arr = np.sort(np.asarray(list(values), dtype=float))
+    if arr.size == 0:
+        raise ValueError("trimmed_mean of empty sequence")
+    k = int(arr.size * trim)
+    if 2 * k >= arr.size:
+        k = 0
+    return float(arr[k : arr.size - k].mean())
+
+
+def median_absolute_deviation(values: Sequence[float]) -> float:
+    """Robust spread estimate: median(|x - median(x)|)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("median_absolute_deviation of empty sequence")
+    med = np.median(arr)
+    return float(np.median(np.abs(arr - med)))
+
+
+def relative_imbalance(values: Sequence[float]) -> float:
+    """Load-imbalance metric: max / mean (1.0 means perfectly balanced).
+
+    This is the quantity the abnormal-vertex detector thresholds with
+    ``AbnormThd`` (paper default 1.3).
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("relative_imbalance of empty sequence")
+    mean = float(arr.mean())
+    if mean == 0.0:
+        return 1.0
+    return float(arr.max() / mean)

@@ -1,0 +1,76 @@
+"""ASCII table rendering for the benchmark harness.
+
+Every bench target prints the same rows/series the paper reports; the
+:class:`Table` here renders them in a stable, diff-friendly format so
+EXPERIMENTS.md can embed harness output verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["Table", "format_bytes", "format_seconds"]
+
+
+def format_bytes(n: float) -> str:
+    """Human-readable byte count (KB/MB/GB, base 1024) like the paper's tables."""
+    n = float(n)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(n) < 1024.0 or unit == "TB":
+            if unit == "B":
+                return f"{n:.0f} {unit}"
+            return f"{n:.2f} {unit}"
+        n /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_seconds(s: float) -> str:
+    """Human-readable duration."""
+    s = float(s)
+    if s < 1e-3:
+        return f"{s * 1e6:.1f} us"
+    if s < 1.0:
+        return f"{s * 1e3:.2f} ms"
+    if s < 120.0:
+        return f"{s:.2f} s"
+    return f"{s / 60.0:.2f} min"
+
+
+class Table:
+    """A simple left-aligned ASCII table with a title and column headers."""
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append([str(c) for c in cells])
+
+    def extend(self, rows: Iterable[Sequence[object]]) -> None:
+        for row in rows:
+            self.add_row(*row)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt(cells: Sequence[str]) -> str:
+            return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [self.title, "=" * max(len(self.title), len(sep))]
+        lines.append(fmt(self.columns))
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(fmt(row))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

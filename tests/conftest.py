@@ -1,0 +1,87 @@
+"""Shared fixtures: small programs and pipeline helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.minilang import parse_program
+from repro.psg import build_psg
+from repro.runtime import profile_run
+from repro.simulator import SimulationConfig, simulate
+
+#: The paper's Fig. 3 example program (two functions, nested loops, branch).
+FIG3_SOURCE = """\
+def main() {
+    for (var i = 0; i < 10; i = i + 1) {
+        compute(flops = 1000, name = "rand_fill");
+        for (var j = 0; j < 8; j = j + 1) {
+            compute(flops = 100, name = "sum");
+        }
+        for (var k = 0; k < 8; k = k + 1) {
+            compute(flops = 100, name = "product");
+        }
+        foo();
+        bcast(root = 0, bytes = 8);
+    }
+}
+
+def foo() {
+    if (rank % 2 == 0) {
+        send(dest = rank + 1, tag = 5, bytes = 64);
+    } else {
+        recv(src = rank - 1, tag = 5);
+    }
+}
+"""
+
+#: A ring pipeline with an imbalanced rank: used for detection tests.
+IMBALANCED_SOURCE = """\
+def main() {
+    for (var it = 0; it < 20; it = it + 1) {
+        compute(flops = 10000000 / nprocs, bytes = 100000 / nprocs, name = "work");
+        if (rank == 0) {
+            compute(flops = 4000000, name = "extra");
+        }
+        isend(dest = (rank + 1) % nprocs, tag = 1, bytes = 2048, req = s);
+        irecv(src = (rank - 1 + nprocs) % nprocs, tag = 1, req = r);
+        waitall();
+        allreduce(bytes = 8);
+    }
+}
+"""
+
+
+@pytest.fixture(scope="session")
+def fig3_program():
+    return parse_program(FIG3_SOURCE, "fig3.mm")
+
+
+@pytest.fixture(scope="session")
+def fig3_static(fig3_program):
+    return build_psg(fig3_program)
+
+
+@pytest.fixture(scope="session")
+def imbalanced_program():
+    return parse_program(IMBALANCED_SOURCE, "imb.mm")
+
+
+@pytest.fixture(scope="session")
+def imbalanced_static(imbalanced_program):
+    return build_psg(imbalanced_program)
+
+
+def run_source(source, nprocs, params=None, filename="test.mm", seed=0, **cfg):
+    """Parse + analyze + simulate in one call (ground truth only)."""
+    program = parse_program(source, filename)
+    psg = build_psg(program).psg
+    config = SimulationConfig(nprocs=nprocs, params=params or {}, seed=seed, **cfg)
+    return simulate(program, psg, config), psg, program
+
+
+def profile_source(source, nprocs, params=None, filename="test.mm", seed=0, **kw):
+    """Parse + analyze + profile (ScalAna runtime view)."""
+    program = parse_program(source, filename)
+    psg = build_psg(program).psg
+    config = SimulationConfig(nprocs=nprocs, params=params or {}, seed=seed)
+    return profile_run(program, psg, config, **kw), psg, program

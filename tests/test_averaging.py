@@ -1,0 +1,88 @@
+"""Tests for multi-run averaging (the paper's three-run methodology)."""
+
+import numpy as np
+import pytest
+
+from repro.minilang.parser import parse_program
+from repro.psg import build_psg
+from repro.runtime import profile_run
+from repro.runtime.averaging import profile_run_averaged
+from repro.simulator import MachineModel, SimulationConfig
+
+NOISY = """def main() {
+    for (var it = 0; it < 10; it = it + 1) {
+        compute(flops = 100000000, name = "work");
+        allreduce(bytes = 8);
+    }
+}"""
+
+
+@pytest.fixture(scope="module")
+def noisy_setup():
+    prog = parse_program(NOISY, "noisy.mm")
+    psg = build_psg(prog).psg
+    machine = MachineModel(noise_sigma=0.15)
+    return prog, psg, machine
+
+
+class TestAveraging:
+    def test_repetitions_validated(self, noisy_setup):
+        prog, psg, machine = noisy_setup
+        cfg = SimulationConfig(nprocs=2, machine=machine)
+        with pytest.raises(ValueError):
+            profile_run_averaged(prog, psg, cfg, repetitions=0)
+
+    def test_single_repetition_is_plain_run(self, noisy_setup):
+        prog, psg, machine = noisy_setup
+        cfg = SimulationConfig(nprocs=2, machine=machine, seed=5)
+        one = profile_run_averaged(prog, psg, cfg, repetitions=1)
+        assert one.nprocs == 2
+
+    def test_averaging_reduces_variance(self, noisy_setup):
+        """The whole point: averaged estimates jitter less across seeds."""
+        prog, psg, machine = noisy_setup
+        work_vid = next(
+            v.vid for v in psg.vertices.values() if v.name == "work"
+        )
+
+        def estimate(seed, reps):
+            cfg = SimulationConfig(nprocs=2, machine=machine, seed=seed)
+            run = profile_run_averaged(prog, psg, cfg, repetitions=reps)
+            return run.profile.vector(0, work_vid).time
+
+        singles = [estimate(s, 1) for s in range(12)]
+        averaged = [estimate(s, 4) for s in range(12)]
+        assert np.std(averaged) < np.std(singles)
+
+    def test_derived_seeds_differ_across_repetitions(self, noisy_setup):
+        prog, psg, machine = noisy_setup
+        cfg = SimulationConfig(nprocs=2, machine=machine, seed=7)
+        avg = profile_run_averaged(prog, psg, cfg, repetitions=3)
+        single = profile_run(prog, psg, cfg)
+        # averaged time differs from any single run's (noise differs per rep)
+        work_vid = next(v.vid for v in psg.vertices.values() if v.name == "work")
+        assert avg.profile.vector(0, work_vid).time != pytest.approx(
+            single.profile.vector(0, work_vid).time, rel=1e-12
+        )
+
+    def test_comm_structure_preserved(self, noisy_setup):
+        prog, psg, machine = noisy_setup
+        cfg = SimulationConfig(nprocs=4, machine=machine, seed=7)
+        avg = profile_run_averaged(prog, psg, cfg, repetitions=3)
+        single = profile_run(prog, psg, cfg)
+        assert set(avg.comm.groups) == set(single.comm.groups)
+
+    def test_detection_works_on_averaged_runs(self, noisy_setup):
+        from repro.detection import detect_scaling_loss
+
+        prog, psg, machine = noisy_setup
+        runs = [
+            profile_run_averaged(
+                prog, psg,
+                SimulationConfig(nprocs=p, machine=machine, seed=7),
+                repetitions=3,
+            )
+            for p in (2, 4, 8)
+        ]
+        report = detect_scaling_loss(runs, psg=psg)
+        assert report.scales == (2, 4, 8)

@@ -1,0 +1,147 @@
+"""Backtracking root-cause algorithm tests (Algorithm 1)."""
+
+import pytest
+
+from repro.detection import (
+    backtrack_from,
+    backtrack_root_causes,
+    build_report,
+    detect_abnormal,
+    detect_non_scalable,
+    detect_scaling_loss,
+)
+from repro.detection.backtracking import BacktrackConfig
+from repro.ppg import build_ppg
+from repro.psg.graph import VertexType
+from tests.conftest import profile_source
+
+# Zeus-MP-shaped program: busy ranks run an extra loop; idle ranks wait in
+# waitall; allreduce synchronizes.  The loop is the ground-truth root cause.
+ZEUS_SHAPE = """def main() {
+    for (var it = 0; it < 20; it = it + 1) {
+        compute(flops = 40000000 / nprocs, name = "stencil");
+        bval();
+        isend(dest = (rank + 1) % nprocs, tag = 7, bytes = 4096, req = s);
+        irecv(src = (rank - 1 + nprocs) % nprocs, tag = 7, req = r);
+        waitall();
+        allreduce(bytes = 8);
+    }
+}
+def bval() {
+    if (rank % 4 == 0) {
+        for (var j = 0; j < 4; j = j + 1) {
+            compute(flops = 2000000, name = "boundary");
+        }
+    }
+}"""
+
+
+@pytest.fixture(scope="module")
+def zeus_setup():
+    runs = []
+    psg = None
+    for p in (4, 8, 16):
+        run, psg, _ = profile_source(ZEUS_SHAPE, p, filename="zeus_shape.mm")
+        runs.append(run)
+    ppgs = [build_ppg(psg, r.nprocs, r.profile, r.comm) for r in runs]
+    return runs, ppgs, psg
+
+
+class TestBacktrackWalk:
+    def test_walk_from_waitall_reaches_boundary_loop(self, zeus_setup):
+        _runs, ppgs, psg = zeus_setup
+        ppg = ppgs[-1]
+        waitall = [v for v in psg.mpi_vertices() if v.name == "MPI_Waitall"][0]
+        # rank 1 waits for busy rank 0
+        path = backtrack_from(ppg, (1, waitall.vid))
+        labels = [psg.vertices[vid].label for _r, vid in path.nodes]
+        assert any("boundary" in l or "Loop" in l for l in labels)
+        # the walk crossed to the sender's rank
+        assert len(set(path.ranks())) > 1
+
+    def test_walk_from_allreduce_jumps_to_laggard(self, zeus_setup):
+        _runs, ppgs, psg = zeus_setup
+        ppg = ppgs[-1]
+        allr = [v for v in psg.mpi_vertices() if v.name == "MPI_Allreduce"][0]
+        times = ppg.vertex_times(allr.vid)
+        start_rank = max(range(ppg.nprocs), key=lambda r: times[r])
+        path = backtrack_from(ppg, (start_rank, allr.vid))
+        assert len(path.nodes) > 2
+        cause = path.cause_node(ppg)
+        assert psg.vertices[cause[1]].vtype in (VertexType.COMP, VertexType.LOOP)
+
+    def test_walk_terminates(self, zeus_setup):
+        _runs, ppgs, psg = zeus_setup
+        ppg = ppgs[-1]
+        for v in psg.vertices.values():
+            path = backtrack_from(ppg, (0, v.vid))
+            assert path.terminated in ("root", "collective", "cycle", "exhausted")
+            assert len(path.nodes) < 1000
+
+    def test_max_steps_respected(self, zeus_setup):
+        _runs, ppgs, psg = zeus_setup
+        ppg = ppgs[-1]
+        waitall = [v for v in psg.mpi_vertices() if v.name == "MPI_Waitall"][0]
+        path = backtrack_from(
+            ppg, (1, waitall.vid), BacktrackConfig(max_steps=2)
+        )
+        assert len(path.nodes) <= 3
+
+    def test_loop_descend_only_once(self, zeus_setup):
+        """A Loop vertex is entered via control dep only when unscanned."""
+        _runs, ppgs, psg = zeus_setup
+        ppg = ppgs[-1]
+        loop = [v for v in psg.vertices.values() if v.vtype is VertexType.LOOP][0]
+        path = backtrack_from(ppg, (0, loop.vid))
+        # no node appears twice
+        assert len(path.nodes) == len(set(path.nodes))
+
+
+class TestMainAlgorithm:
+    def test_paths_from_nonscalable_then_abnormal(self, zeus_setup):
+        _runs, ppgs, psg = zeus_setup
+        ppg = ppgs[-1]
+        ns = detect_non_scalable(ppgs)
+        ab = detect_abnormal(ppg)
+        paths = backtrack_root_causes(ppg, ns, ab)
+        assert len(paths) >= len(ns)
+        # covered abnormal vertices don't get duplicate walks
+        starts = [p.start for p in paths]
+        assert len(starts) == len(set(starts))
+
+    def test_report_names_boundary_as_top_cause(self, zeus_setup):
+        runs, _ppgs, psg = zeus_setup
+        report = detect_scaling_loss(runs, psg=psg)
+        assert report.root_causes
+        top = report.root_causes[0]
+        assert "boundary" in top.label or "Loop" in top.label
+        # located in the bval() function body (lines 11-15 of the source)
+        line = int(top.location.rsplit(":", 1)[1])
+        assert 11 <= line <= 15
+
+    def test_report_paths_cross_processes(self, zeus_setup):
+        runs, _ppgs, psg = zeus_setup
+        report = detect_scaling_loss(runs, psg=psg)
+        assert any(len(rc.path_ranks) > 1 for rc in report.root_causes)
+
+    def test_report_render_readable(self, zeus_setup):
+        runs, _ppgs, psg = zeus_setup
+        report = detect_scaling_loss(runs, psg=psg)
+        text = report.render()
+        assert "Root causes" in text
+        assert "zeus_shape.mm" in text
+        assert "ranks" in text
+
+    def test_detection_time_recorded(self, zeus_setup):
+        runs, _ppgs, psg = zeus_setup
+        report = detect_scaling_loss(runs, psg=psg)
+        assert report.detection_seconds > 0
+
+    def test_empty_runs_rejected(self):
+        with pytest.raises(ValueError):
+            detect_scaling_loss([], psg=None)
+
+    def test_psg_required(self, zeus_setup):
+        runs, _ppgs, _psg = zeus_setup
+        with pytest.raises(ValueError, match="PSG"):
+            detect_scaling_loss(runs)

@@ -1,0 +1,135 @@
+"""Baseline tool tests: the tracer and the call-path profiler."""
+
+import pytest
+
+from repro.baselines import ProfilerTool, TracerTool
+from repro.minilang.parser import parse_program
+from repro.psg import build_psg
+from repro.runtime import profile_run
+from repro.simulator import SimulationConfig
+
+APP = """def main() {
+    for (var it = 0; it < 200; it = it + 1) {
+        compute(flops = 30000000 / nprocs + 20000000 * (1 - min(rank, 1)),
+                name = "hot_loop");
+        isend(dest = (rank + 1) % nprocs, tag = 1, bytes = 1024, req = s);
+        irecv(src = (rank - 1 + nprocs) % nprocs, tag = 1, req = r);
+        waitall();
+        allreduce(bytes = 8);
+    }
+}"""
+
+
+@pytest.fixture(scope="module")
+def setup():
+    prog = parse_program(APP, "app.mm")
+    psg = build_psg(prog).psg
+    config = SimulationConfig(nprocs=8, seed=11)
+    return prog, psg, config
+
+
+class TestTracer:
+    def test_trace_has_events_for_everything(self, setup):
+        prog, psg, config = setup
+        run = TracerTool().run(prog, psg, config)
+        assert run.event_count > 0
+        kinds = {e.kind for e in run.events}
+        assert {"enter", "exit", "mpi_send", "mpi_recv"} <= kinds
+
+    def test_events_time_ordered(self, setup):
+        prog, psg, config = setup
+        run = TracerTool().run(prog, psg, config)
+        times = [e.time for e in run.events]
+        assert times == sorted(times)
+
+    def test_storage_scales_with_events(self, setup):
+        prog, psg, config = setup
+        run = TracerTool().run(prog, psg, config)
+        assert run.overhead.storage_bytes > run.event_count * 40
+
+    def test_wait_state_analysis_finds_cause(self, setup):
+        """Bohme-style backward replay blames the hot loop on rank 0."""
+        prog, psg, config = setup
+        tool = TracerTool()
+        run = tool.run(prog, psg, config)
+        analysis = tool.analyze(run)
+        top_wait = analysis.top_wait_vertices(3)
+        assert top_wait
+        hot = [v for v in psg.vertices.values() if v.name == "hot_loop"][0]
+        causes = {analysis.main_cause_of(vid) for vid, _w in top_wait}
+        assert hot.vid in causes
+
+    def test_more_ranks_more_storage(self, setup):
+        # fixed total work -> fine-grained events stay ~constant, but the
+        # per-rank event records still grow with the process count
+        prog, psg, _ = setup
+        small = TracerTool().run(prog, psg, SimulationConfig(nprocs=4))
+        big = TracerTool().run(prog, psg, SimulationConfig(nprocs=16))
+        assert big.overhead.storage_bytes > small.overhead.storage_bytes
+        assert big.event_count > 2 * small.event_count
+
+
+class TestProfilerTool:
+    def test_hotspots_include_the_hot_loop(self, setup):
+        prog, psg, config = setup
+        run = ProfilerTool().run(prog, psg, config)
+        hotspots = run.profile.hotspots(psg, k=5)
+        assert hotspots
+        names = {h.label for h in hotspots}
+        assert any("hot_loop" in n for n in names)
+
+    def test_hotspots_sorted_by_total_time(self, setup):
+        prog, psg, config = setup
+        run = ProfilerTool().run(prog, psg, config)
+        hotspots = run.profile.hotspots(psg, k=10)
+        totals = [h.total_time for h in hotspots]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_hotspot_has_callpath_but_no_causal_links(self, setup):
+        """The profiler's core limitation: call paths, no inter-vertex
+        dependence — exactly what the paper contrasts ScalAna against."""
+        prog, psg, config = setup
+        run = ProfilerTool().run(prog, psg, config)
+        h = run.profile.hotspots(psg, k=1)[0]
+        assert h.callpath[0].startswith("Root")
+        assert not hasattr(h, "cause")
+
+    def test_imbalance_visible_in_hotspot(self, setup):
+        prog, psg, config = setup
+        run = ProfilerTool().run(prog, psg, config)
+        hot = [
+            h for h in run.profile.hotspots(psg, k=10) if "hot_loop" in h.label
+        ][0]
+        assert hot.imbalance > 1.3
+
+    def test_unwind_cost_exceeds_scalana_sampling(self, setup):
+        prog, psg, config = setup
+        prof = ProfilerTool().run(prog, psg, config)
+        scal = profile_run(prog, psg, config)
+        assert prof.overhead.overhead_seconds > scal.overhead.overhead_seconds
+
+
+class TestThreeToolComparison:
+    def test_table1_ordering(self, setup):
+        """Table I shape: tracer >> profiler > ScalAna in both time and
+        storage."""
+        prog, psg, config = setup
+        tr = TracerTool().run(prog, psg, config)
+        pf = ProfilerTool().run(prog, psg, config)
+        sc = profile_run(prog, psg, config)
+        # time overhead ordering: both baselines cost more than ScalAna.
+        # (This mostly-idle toy app makes tracer-vs-profiler ambiguous; the
+        # strict Table I ordering is asserted by the compute-dense bench.)
+        assert tr.overhead.overhead_seconds > sc.overhead.overhead_seconds
+        assert pf.overhead.overhead_seconds > sc.overhead.overhead_seconds
+        # storage ordering (tracer GBs-shape >> profiler MBs >> scalana KBs);
+        # the gap grows with run length — the benches at realistic scales
+        # show the paper's 3-orders-of-magnitude spread.
+        assert tr.overhead.storage_bytes > 3 * pf.overhead.storage_bytes
+        assert pf.overhead.storage_bytes > 3 * sc.overhead.storage_bytes
+
+    def test_all_tools_same_ground_truth(self, setup):
+        prog, psg, config = setup
+        tr = TracerTool().run(prog, psg, config)
+        sc = profile_run(prog, psg, config)
+        assert tr.result.total_time == sc.result.total_time

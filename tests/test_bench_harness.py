@@ -1,0 +1,75 @@
+"""Tests for the shared benchmark harness (repro.bench)."""
+
+import pytest
+
+from repro.apps import get_app
+from repro.bench import (
+    app_scales,
+    measure_three_tools,
+    profile_app,
+    run_app,
+    speedup_curve,
+)
+from repro.bench.harness import results_dir
+
+
+class TestAppScales:
+    def test_passthrough_for_unconstrained(self):
+        ep = get_app("ep")
+        assert app_scales(ep, [4, 8, 128]) == [4, 8, 128]
+
+    def test_square_mapping_for_bt(self):
+        bt = get_app("bt")
+        # 128 -> 121, 8 -> 4, like the paper's "121 for BT and SP"
+        assert app_scales(bt, [8, 128]) == [4, 121]
+
+    def test_pow2_mapping_for_cg(self):
+        cg = get_app("cg")
+        assert app_scales(cg, [6, 12]) == [4, 8]
+
+    def test_dedup_and_sort(self):
+        bt = get_app("bt")
+        assert app_scales(bt, [5, 6, 7]) == [4]
+
+
+class TestMemoization:
+    def test_run_app_cached(self):
+        ep = get_app("ep")
+        a = run_app(ep, 4)
+        b = run_app(ep, 4)
+        assert a is b  # lru-cached on (name, nprocs)
+
+    def test_different_scales_not_shared(self):
+        ep = get_app("ep")
+        assert run_app(ep, 4) is not run_app(ep, 8)
+
+
+class TestThreeTools:
+    def test_reports_share_app_time(self):
+        rep = measure_three_tools(get_app("ep"), 8)
+        assert rep.tracer.app_time == rep.profiler.app_time == rep.scalana.app_time
+
+    def test_profile_app_consistent_with_run(self):
+        spec = get_app("ep")
+        profile, comm, result = profile_app(spec, 8)
+        assert result is run_app(spec, 8)
+        assert profile.nprocs == 8
+
+
+class TestSpeedupCurve:
+    def test_baseline_is_one(self):
+        curve = speedup_curve(get_app("ep"), [4, 8, 16])
+        assert curve[4] == pytest.approx(1.0)
+        assert curve[16] > curve[8] > 1.0
+
+    def test_respects_constraints(self):
+        curve = speedup_curve(get_app("bt"), [8, 16])
+        assert set(curve) == {4, 16}
+
+
+class TestResultsDir:
+    def test_results_dir_exists_and_is_in_repo(self):
+        d = results_dir()
+        assert d.is_dir()
+        assert d.name == "results"
+        assert d.parent.name == "benchmarks"

@@ -1,0 +1,104 @@
+"""CFG construction tests."""
+
+import pytest
+
+from repro.ir.cfg import build_cfg
+from repro.minilang import ast_nodes as ast
+from repro.minilang.parser import parse_program
+
+
+def cfg_of(body: str, name: str = "main"):
+    prog = parse_program(f"def {name}() {{ {body} }}")
+    return build_cfg(prog.function(name))
+
+
+class TestStraightLine:
+    def test_empty_function(self):
+        cfg = cfg_of("")
+        assert cfg.entry.successors == [cfg.exit.block_id]
+        assert cfg.exit.block_id in cfg.reachable_blocks()
+
+    def test_simple_statements_accumulate(self):
+        cfg = cfg_of("var x = 1; x = 2; compute(flops = 1);")
+        assert len(cfg.entry.statements) == 3
+
+    def test_return_edges_to_exit(self):
+        cfg = cfg_of("return;")
+        assert cfg.exit.block_id in cfg.entry.successors
+
+    def test_code_after_return_is_unreachable(self):
+        cfg = cfg_of("return; compute(flops = 1);")
+        reach = cfg.reachable_blocks()
+        unreachable = [b for b in cfg.blocks.values() if b.block_id not in reach]
+        assert any(b.statements for b in unreachable)
+
+
+class TestIf:
+    def test_if_has_two_successors(self):
+        cfg = cfg_of("if (rank == 0) { compute(flops = 1); }")
+        assert len(cfg.entry.successors) == 2
+        assert isinstance(cfg.entry.terminator, ast.IfStmt)
+
+    def test_if_else_joins(self):
+        cfg = cfg_of(
+            "if (rank == 0) { compute(flops = 1); } else { compute(flops = 2); }"
+            " compute(flops = 3);"
+        )
+        # both arms must reach the join block holding the trailing compute
+        join_blocks = [b for b in cfg.blocks.values() if b.role == "join"]
+        assert len(join_blocks) == 1
+        assert len(join_blocks[0].predecessors) == 2
+
+    def test_return_in_then_arm(self):
+        cfg = cfg_of("if (rank == 0) { return; } compute(flops = 1);")
+        # then-arm flows to exit, not to join
+        join = [b for b in cfg.blocks.values() if b.role == "join"][0]
+        then = [b for b in cfg.blocks.values() if b.role == "then"][0]
+        assert join.block_id not in then.successors
+
+
+class TestLoops:
+    def test_for_creates_header_with_backedge(self):
+        cfg = cfg_of("for (var i = 0; i < 3; i = i + 1) { compute(flops = 1); }")
+        headers = cfg.loop_headers()
+        assert len(headers) == 1
+        header = headers[0]
+        assert len(header.successors) == 2  # body + exit
+        # some block loops back to the header
+        assert any(
+            header.block_id in b.successors
+            for b in cfg.blocks.values()
+            if b.block_id != cfg.entry.block_id
+        )
+
+    def test_for_init_in_preheader(self):
+        cfg = cfg_of("for (var i = 0; i < 3; i = i + 1) { }")
+        assert any(isinstance(s, ast.VarDecl) for s in cfg.entry.statements)
+
+    def test_while_header(self):
+        cfg = cfg_of("while (rank < 2) { compute(flops = 1); }")
+        assert len(cfg.loop_headers()) == 1
+
+    def test_nested_loops_two_headers(self):
+        cfg = cfg_of(
+            "for (var i = 0; i < 2; i = i + 1) {"
+            "  for (var j = 0; j < 2; j = j + 1) { compute(flops = 1); }"
+            "}"
+        )
+        assert len(cfg.loop_headers()) == 2
+
+    def test_statement_count(self):
+        cfg = cfg_of("var x = 1; if (x == 1) { x = 2; }")
+        # var decl + assign + the if terminator
+        assert cfg.statement_count() == 3
+
+
+class TestGraphQueries:
+    def test_edge_list_consistent_with_preds(self):
+        cfg = cfg_of("if (rank == 0) { compute(flops = 1); } barrier();")
+        for src, dst in cfg.edge_list():
+            assert src in cfg.blocks[dst].predecessors
+
+    def test_all_blocks_reachable_in_simple_program(self):
+        cfg = cfg_of("compute(flops = 1); barrier();")
+        assert cfg.reachable_blocks() == set(cfg.blocks)

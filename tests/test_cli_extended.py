@@ -1,0 +1,53 @@
+"""Tests for the extended CLI commands (compare / export / timeline)."""
+
+import pytest
+
+from repro.tools.cli import main
+
+
+class TestCompare:
+    def test_compare_prints_three_tools(self, capsys):
+        assert main(["compare", "--app", "ep", "--nprocs", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Scalasca-like tracer" in out
+        assert "HPCToolkit-like profiler" in out
+        assert "ScalAna" in out
+        assert "wait-state classification" in out
+
+
+class TestExport:
+    def test_export_psg_only(self, tmp_path, capsys):
+        out_dir = tmp_path / "graphs"
+        assert main(["export", "--app", "cg", "--out", str(out_dir)]) == 0
+        assert (out_dir / "psg.dot").exists()
+        assert (out_dir / "psg.graphml").exists()
+        dot = (out_dir / "psg.dot").read_text()
+        assert dot.startswith("digraph PSG")
+
+    def test_export_with_ppg(self, tmp_path):
+        out_dir = tmp_path / "graphs"
+        assert main([
+            "export", "--app", "ep", "--out", str(out_dir), "--nprocs", "4",
+        ]) == 0
+        assert (out_dir / "ppg_p4.dot").exists()
+
+
+class TestTimeline:
+    def test_timeline_renders(self, capsys):
+        assert main([
+            "timeline", "--app", "ep", "--nprocs", "4", "--width", "50",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "rank   0 |" in out
+        assert "rank   3 |" in out
+
+    def test_timeline_with_source_file(self, tmp_path, capsys):
+        src = tmp_path / "t.mm"
+        src.write_text(
+            "def main() { compute(flops = 1000000 * (rank + 1)); barrier(); }"
+        )
+        assert main([
+            "timeline", "--source", str(src), "--nprocs", "3", "--width", "40",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "w" in out  # early ranks wait at the barrier

@@ -1,0 +1,192 @@
+"""Collective tracker and cost-model tests."""
+
+import math
+
+import pytest
+
+from repro.minilang.ast_nodes import MpiOp
+from repro.minilang.errors import SourceLocation
+from repro.simulator.collectives import CollectiveMismatchError, CollectiveTracker
+from repro.simulator.costmodel import (
+    CostModel,
+    MachineModel,
+    NetworkModel,
+    PerfCounters,
+    Workload,
+)
+
+LOC = SourceLocation("t.mm", 1)
+
+
+class TestCollectiveTracker:
+    def test_instance_completes_when_all_arrive(self):
+        tr = CollectiveTracker(3)
+        for rank in range(2):
+            inst, done = tr.arrive(rank, 1.0, 5, MpiOp.BARRIER, 0, 0, LOC)
+            assert not done
+        inst, done = tr.arrive(2, 2.0, 5, MpiOp.BARRIER, 0, 0, LOC)
+        assert done
+        assert inst.max_arrival == 2.0
+        assert tr.completed == 1
+
+    def test_instances_match_by_call_order(self):
+        tr = CollectiveTracker(2)
+        # rank 0 does two collectives before rank 1 does its first
+        tr.arrive(0, 1.0, 5, MpiOp.BARRIER, 0, 0, LOC)
+        tr.arrive(0, 2.0, 6, MpiOp.ALLREDUCE, 0, 8, LOC)
+        inst, done = tr.arrive(1, 3.0, 5, MpiOp.BARRIER, 0, 0, LOC)
+        assert done and inst.mpi_op is MpiOp.BARRIER
+        inst, done = tr.arrive(1, 4.0, 6, MpiOp.ALLREDUCE, 0, 8, LOC)
+        assert done and inst.mpi_op is MpiOp.ALLREDUCE
+
+    def test_op_mismatch_raises(self):
+        tr = CollectiveTracker(2)
+        tr.arrive(0, 1.0, 5, MpiOp.BARRIER, 0, 0, LOC)
+        with pytest.raises(CollectiveMismatchError):
+            tr.arrive(1, 1.0, 5, MpiOp.ALLREDUCE, 0, 8, LOC)
+
+    def test_root_mismatch_raises(self):
+        tr = CollectiveTracker(2)
+        tr.arrive(0, 1.0, 5, MpiOp.BCAST, 0, 8, LOC)
+        with pytest.raises(CollectiveMismatchError):
+            tr.arrive(1, 1.0, 5, MpiOp.BCAST, 1, 8, LOC)
+
+    def test_double_arrival_raises(self):
+        tr = CollectiveTracker(3)
+        tr.arrive(0, 1.0, 5, MpiOp.BARRIER, 0, 0, LOC)
+        with pytest.raises(CollectiveMismatchError):
+            # rank 0 calling again creates instance #1 with 0's arrival; then
+            # rank 0 again -> double arrival on instance #2? No: each call
+            # advances the counter, so simulate by direct instance misuse.
+            inst, _ = tr.arrive(1, 1.0, 5, MpiOp.BARRIER, 0, 0, LOC)
+            inst.arrive(1, 2.0, 5, MpiOp.BARRIER, 0, 0, LOC)
+
+    def test_open_instances_for_diagnostics(self):
+        tr = CollectiveTracker(2)
+        tr.arrive(0, 1.0, 5, MpiOp.BARRIER, 0, 0, LOC)
+        assert len(tr.open_instances()) == 1
+
+
+class TestWorkload:
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Workload(flops=-1)
+
+    def test_locality_clamped(self):
+        assert Workload(flops=1, locality=2.0).locality == 1.0
+        assert Workload(flops=1, locality=-0.5).locality == 0.0
+
+
+class TestComputeCost:
+    def test_time_scales_with_flops(self):
+        cm = CostModel()
+        t1, _ = cm.compute_cost(0, Workload(flops=1e6))
+        t2, _ = cm.compute_cost(0, Workload(flops=2e6))
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_memory_term_adds_time(self):
+        cm = CostModel()
+        t1, _ = cm.compute_cost(0, Workload(flops=1e6))
+        t2, _ = cm.compute_cost(0, Workload(flops=1e6, mem_bytes=1e7))
+        assert t2 > t1
+
+    def test_poor_locality_slower_and_more_misses(self):
+        cm = CostModel()
+        t_good, c_good = cm.compute_cost(0, Workload(flops=1, mem_bytes=1e7, locality=1.0))
+        t_bad, c_bad = cm.compute_cost(0, Workload(flops=1, mem_bytes=1e7, locality=0.0))
+        assert t_bad > 4 * t_good
+        assert c_bad.l2_dcm > 10 * c_good.l2_dcm
+
+    def test_counters_shape(self):
+        cm = CostModel()
+        _, c = cm.compute_cost(0, Workload(flops=1000, mem_bytes=800))
+        assert c.tot_ins > 1000  # flops * ins_per_flop + ld/st
+        assert c.tot_lst_ins == pytest.approx(100)  # bytes/8
+        assert c.tot_cyc > 0
+
+    def test_homogeneous_ranks_identical(self):
+        cm = CostModel()
+        t0, _ = cm.compute_cost(0, Workload(flops=1e6))
+        t5, _ = cm.compute_cost(5, Workload(flops=1e6))
+        assert t0 == t5
+
+    def test_mem_speed_sigma_creates_rank_variance(self):
+        cm = CostModel(MachineModel(mem_speed_sigma=0.3), seed=1)
+        times = [
+            cm.compute_cost(r, Workload(flops=1, mem_bytes=1e8))[0]
+            for r in range(16)
+        ]
+        assert max(times) / min(times) > 1.1
+
+    def test_mem_speed_deterministic_per_seed(self):
+        a = CostModel(MachineModel(mem_speed_sigma=0.3), seed=1)
+        b = CostModel(MachineModel(mem_speed_sigma=0.3), seed=1)
+        assert a.mem_speed(3) == b.mem_speed(3)
+        c = CostModel(MachineModel(mem_speed_sigma=0.3), seed=2)
+        assert a.mem_speed(3) != c.mem_speed(3)
+
+    def test_noise_sigma_zero_is_deterministic(self):
+        cm = CostModel()
+        t1, _ = cm.compute_cost(0, Workload(flops=1e6))
+        t2, _ = cm.compute_cost(0, Workload(flops=1e6))
+        assert t1 == t2
+
+
+class TestNetworkModel:
+    def test_p2p_transfer_latency_plus_bandwidth(self):
+        net = NetworkModel(latency=1e-6, bandwidth=1e9)
+        assert net.p2p_transfer(0) == pytest.approx(1e-6)
+        assert net.p2p_transfer(1e6) == pytest.approx(1e-6 + 1e-3)
+
+    def test_collective_single_rank_trivial(self):
+        net = NetworkModel()
+        assert net.collective_cost(MpiOp.ALLREDUCE, 1, 8) == net.call_overhead
+
+    def test_collective_log_scaling(self):
+        net = NetworkModel()
+        c8 = net.collective_cost(MpiOp.BCAST, 8, 1024)
+        c64 = net.collective_cost(MpiOp.BCAST, 64, 1024)
+        assert c64 == pytest.approx(2 * c8)  # log2: 3 rounds vs 6 rounds
+
+    def test_allreduce_twice_bcast(self):
+        net = NetworkModel()
+        assert net.collective_cost(MpiOp.ALLREDUCE, 16, 64) == pytest.approx(
+            2 * net.collective_cost(MpiOp.BCAST, 16, 64)
+        )
+
+    def test_alltoall_linear_in_p(self):
+        net = NetworkModel()
+        c4 = net.collective_cost(MpiOp.ALLTOALL, 4, 1024)
+        c8 = net.collective_cost(MpiOp.ALLTOALL, 8, 1024)
+        assert c8 / c4 == pytest.approx(7 / 3)
+
+    def test_barrier_latency_only(self):
+        net = NetworkModel(latency=2e-6)
+        assert net.collective_cost(MpiOp.BARRIER, 16, 0) == pytest.approx(8e-6)
+
+    def test_non_collective_rejected(self):
+        net = NetworkModel()
+        with pytest.raises(ValueError):
+            net.collective_cost(MpiOp.SEND, 4, 8)
+
+
+class TestPerfCounters:
+    def test_add(self):
+        a = PerfCounters(tot_ins=1, tot_cyc=2, tot_lst_ins=3, l2_dcm=4)
+        b = PerfCounters(tot_ins=10, tot_cyc=20, tot_lst_ins=30, l2_dcm=40)
+        c = a + b
+        assert c.tot_ins == 11 and c.l2_dcm == 44
+        assert a.tot_ins == 1  # original untouched
+
+    def test_iadd(self):
+        a = PerfCounters(tot_ins=1)
+        a += PerfCounters(tot_ins=2)
+        assert a.tot_ins == 3
+
+    def test_scaled(self):
+        a = PerfCounters(tot_ins=10, tot_cyc=10)
+        assert a.scaled(0.5).tot_ins == 5
+
+    def test_as_dict(self):
+        d = PerfCounters(tot_ins=1).as_dict()
+        assert set(d) == {"TOT_INS", "TOT_CYC", "TOT_LST_INS", "L2_DCM"}

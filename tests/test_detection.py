@@ -1,0 +1,191 @@
+"""Detection tests: aggregation strategies, non-scalable and abnormal
+vertex detectors."""
+
+import pytest
+
+from repro.detection import (
+    AbnormalConfig,
+    NonScalableConfig,
+    detect_abnormal,
+    detect_non_scalable,
+)
+from repro.detection.aggregation import (
+    AggregationStrategy,
+    aggregate,
+    cluster_processes,
+)
+from repro.ppg import build_ppg
+from tests.conftest import profile_source
+
+# serial_part stays constant with P (Amdahl): non-scalable.  The barrier
+# between the computes keeps them distinct vertices under contraction.
+AMDAHL = """def main() {
+    for (var it = 0; it < 10; it = it + 1) {
+        compute(flops = 3200000000 / nprocs, name = "parallel_part");
+        barrier();
+        compute(flops = 100000000, name = "serial_part");
+        allreduce(bytes = 8);
+    }
+}"""
+
+IMBALANCED = """def main() {
+    for (var it = 0; it < 10; it = it + 1) {
+        compute(flops = 800000000 / nprocs + 600000000 * (1 - min(rank, 1)),
+                name = "skewed");
+        allreduce(bytes = 8);
+    }
+}"""
+
+
+def ppgs_for(source, scales, params=None):
+    out = []
+    psg = None
+    for p in scales:
+        run, psg, _ = profile_source(source, p, params=params)
+        out.append(build_ppg(psg, p, run.profile, run.comm))
+    return out, psg
+
+
+class TestAggregation:
+    VALUES = [1.0, 1.0, 2.0, 10.0]
+
+    def test_single_process(self):
+        assert aggregate(self.VALUES, AggregationStrategy.SINGLE_PROCESS) == 1.0
+
+    def test_mean(self):
+        assert aggregate(self.VALUES, AggregationStrategy.MEAN) == pytest.approx(3.5)
+
+    def test_median(self):
+        assert aggregate(self.VALUES, AggregationStrategy.MEDIAN) == pytest.approx(1.5)
+
+    def test_max(self):
+        assert aggregate(self.VALUES, AggregationStrategy.MAX) == 10.0
+
+    def test_variance_aware_above_mean(self):
+        v = aggregate(self.VALUES, AggregationStrategy.VARIANCE_AWARE)
+        assert v > 3.5
+
+    def test_clustered_picks_slow_group(self):
+        v = aggregate(self.VALUES, AggregationStrategy.CLUSTERED)
+        assert v == pytest.approx(10.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate([], AggregationStrategy.MEAN)
+
+    def test_cluster_labels_ordered_by_centroid(self):
+        labels = cluster_processes([1, 1, 1, 9, 9], k=2)
+        assert labels == [0, 0, 0, 1, 1]
+
+    def test_cluster_single_value(self):
+        assert cluster_processes([5.0], k=2) == [0]
+
+    def test_cluster_identical_values(self):
+        labels = cluster_processes([2.0] * 6, k=2)
+        assert len(set(labels)) == 1
+
+
+class TestNonScalable:
+    def test_amdahl_serial_part_flagged(self):
+        ppgs, psg = ppgs_for(AMDAHL, [2, 4, 8, 16])
+        found = detect_non_scalable(ppgs)
+        names = {psg.vertices[v.vid].name for v in found}
+        assert "serial_part" in names
+        serial = [v for v in found if psg.vertices[v.vid].name == "serial_part"][0]
+        assert serial.slope == pytest.approx(0.0, abs=0.15)
+
+    def test_parallel_part_not_flagged(self):
+        ppgs, psg = ppgs_for(AMDAHL, [2, 4, 8, 16])
+        found = detect_non_scalable(ppgs)
+        names = {psg.vertices[v.vid].name for v in found}
+        assert "parallel_part" not in names
+
+    def test_scales_sorted_internally(self):
+        ppgs, psg = ppgs_for(AMDAHL, [16, 2, 8, 4])
+        found = detect_non_scalable(ppgs)
+        assert found  # works regardless of input order
+        assert found[0].scales == (2, 4, 8, 16)
+
+    def test_needs_two_scales(self):
+        ppgs, _ = ppgs_for(AMDAHL, [4])
+        with pytest.raises(ValueError):
+            detect_non_scalable(ppgs)
+
+    def test_duplicate_scales_rejected(self):
+        ppgs, _ = ppgs_for(AMDAHL, [4, 8])
+        with pytest.raises(ValueError):
+            detect_non_scalable(ppgs + [ppgs[0]])
+
+    def test_min_time_fraction_filters(self):
+        ppgs, _ = ppgs_for(AMDAHL, [2, 4, 8])
+        none = detect_non_scalable(
+            ppgs, NonScalableConfig(min_time_fraction=0.99)
+        )
+        assert none == []
+
+    def test_top_k_limits(self):
+        ppgs, _ = ppgs_for(AMDAHL, [2, 4, 8, 16])
+        found = detect_non_scalable(ppgs, NonScalableConfig(top_k=1))
+        assert len(found) <= 1
+
+    def test_all_strategies_run(self):
+        ppgs, _ = ppgs_for(AMDAHL, [2, 4, 8])
+        for strategy in AggregationStrategy:
+            detect_non_scalable(ppgs, NonScalableConfig(strategy=strategy))
+
+    def test_fit_exposes_series(self):
+        ppgs, _ = ppgs_for(AMDAHL, [2, 4, 8])
+        found = detect_non_scalable(ppgs)
+        for v in found:
+            assert len(v.times) == 3
+            assert 0 <= v.time_fraction <= 1
+
+
+class TestAbnormal:
+    def test_skewed_vertex_flagged_with_rank(self):
+        ppgs, psg = ppgs_for(IMBALANCED, [8])
+        found = detect_abnormal(ppgs[0])
+        names = {psg.vertices[v.vid].name for v in found}
+        assert "skewed" in names
+        skewed = [v for v in found if psg.vertices[v.vid].name == "skewed"][0]
+        assert skewed.abnormal_ranks[0] == 0  # rank 0 does the extra work
+        assert skewed.imbalance > 1.3
+
+    def test_balanced_program_nothing_flagged(self):
+        src = """def main() {
+            compute(flops = 500000000);
+            allreduce(bytes = 8);
+        }"""
+        run, psg, _ = profile_source(src, 8)
+        ppg = build_ppg(psg, 8, run.profile, run.comm)
+        found = detect_abnormal(ppg)
+        comp_names = {psg.vertices[v.vid].name for v in found}
+        assert "test.mm:2" not in comp_names or not found
+
+    def test_threshold_validation(self):
+        ppgs, _ = ppgs_for(IMBALANCED, [4])
+        with pytest.raises(ValueError):
+            detect_abnormal(ppgs[0], AbnormalConfig(abnorm_thd=1.0))
+
+    def test_higher_threshold_fewer_findings(self):
+        ppgs, _ = ppgs_for(IMBALANCED, [8])
+        low = detect_abnormal(ppgs[0], AbnormalConfig(abnorm_thd=1.1))
+        high = detect_abnormal(ppgs[0], AbnormalConfig(abnorm_thd=5.0))
+        assert len(high) <= len(low)
+
+    def test_waiting_mpi_vertices_flagged_at_lower_threshold(self):
+        # 7 of 8 ranks wait inside allreduce: the imbalance max/mean is only
+        # ~8/7, below the 1.3 default — a lower AbnormThd catches it.
+        ppgs, psg = ppgs_for(IMBALANCED, [8])
+        default = detect_abnormal(ppgs[0])
+        labels = {psg.vertices[v.vid].label for v in default}
+        assert "MPI_Allreduce" not in labels
+        low = detect_abnormal(ppgs[0], AbnormalConfig(abnorm_thd=1.05))
+        labels_low = {psg.vertices[v.vid].label for v in low}
+        assert "MPI_Allreduce" in labels_low
+
+    def test_sorted_by_severity(self):
+        ppgs, _ = ppgs_for(IMBALANCED, [8])
+        found = detect_abnormal(ppgs[0])
+        scores = [v.imbalance * v.mean_time for v in found]
+        assert scores == sorted(scores, reverse=True)

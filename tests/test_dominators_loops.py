@@ -1,0 +1,134 @@
+"""Dominator analysis and natural-loop detection tests."""
+
+import pytest
+
+from repro.ir.cfg import build_cfg
+from repro.ir.dominators import (
+    compute_dominators,
+    dominates,
+    dominator_tree,
+    reverse_postorder,
+)
+from repro.ir.loops import find_natural_loops, loop_nesting_depths
+from repro.minilang.parser import parse_program
+
+
+def cfg_of(body: str):
+    prog = parse_program(f"def main() {{ {body} }}")
+    return build_cfg(prog.entry)
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        cfg = cfg_of("if (rank == 0) { compute(flops = 1); } barrier();")
+        idom = compute_dominators(cfg)
+        entry = cfg.entry.block_id
+        for bid in idom:
+            assert dominates(idom, entry, bid)
+
+    def test_entry_idom_is_itself(self):
+        cfg = cfg_of("")
+        idom = compute_dominators(cfg)
+        assert idom[cfg.entry.block_id] == cfg.entry.block_id
+
+    def test_if_join_dominated_by_condition_block(self):
+        cfg = cfg_of(
+            "if (rank == 0) { compute(flops = 1); } else { compute(flops = 2); }"
+        )
+        idom = compute_dominators(cfg)
+        join = [b for b in cfg.blocks.values() if b.role == "join"][0]
+        assert idom[join.block_id] == cfg.entry.block_id
+
+    def test_branch_arms_do_not_dominate_each_other(self):
+        cfg = cfg_of(
+            "if (rank == 0) { compute(flops = 1); } else { compute(flops = 2); }"
+        )
+        idom = compute_dominators(cfg)
+        then = [b for b in cfg.blocks.values() if b.role == "then"][0]
+        els = [b for b in cfg.blocks.values() if b.role == "else"][0]
+        assert not dominates(idom, then.block_id, els.block_id)
+        assert not dominates(idom, els.block_id, then.block_id)
+
+    def test_rpo_starts_at_entry(self):
+        cfg = cfg_of("compute(flops = 1);")
+        order = reverse_postorder(cfg)
+        assert order[0] == cfg.entry.block_id
+
+    def test_rpo_covers_only_reachable(self):
+        cfg = cfg_of("return; compute(flops = 1);")
+        order = reverse_postorder(cfg)
+        assert set(order) == cfg.reachable_blocks()
+
+    def test_dominator_tree_children(self):
+        cfg = cfg_of("if (rank == 0) { compute(flops = 1); }")
+        tree = dominator_tree(cfg)
+        entry = cfg.entry.block_id
+        assert len(tree[entry]) >= 1
+
+    def test_dominates_is_reflexive(self):
+        cfg = cfg_of("barrier();")
+        idom = compute_dominators(cfg)
+        for bid in idom:
+            assert dominates(idom, bid, bid)
+
+
+class TestNaturalLoops:
+    def test_single_loop_detected(self):
+        cfg = cfg_of("for (var i = 0; i < 3; i = i + 1) { compute(flops = 1); }")
+        loops = find_natural_loops(cfg)
+        assert len(loops) == 1
+        assert loops[0].depth == 1
+        assert loops[0].statement is not None
+
+    def test_loop_body_blocks_in_loop(self):
+        cfg = cfg_of("while (rank < 1) { compute(flops = 1); }")
+        (loop,) = find_natural_loops(cfg)
+        body = [b for b in cfg.blocks.values() if b.role == "loop_body"][0]
+        assert body.block_id in loop
+        assert loop.header in loop.blocks
+
+    def test_loop_exit_not_in_loop(self):
+        cfg = cfg_of("while (rank < 1) { } barrier();")
+        (loop,) = find_natural_loops(cfg)
+        exits = [b for b in cfg.blocks.values() if b.role == "loop_exit"]
+        assert all(e.block_id not in loop for e in exits)
+
+    def test_nested_depths(self):
+        cfg = cfg_of(
+            "for (var i = 0; i < 2; i = i + 1) {"
+            "  for (var j = 0; j < 2; j = j + 1) {"
+            "    for (var k = 0; k < 2; k = k + 1) { compute(flops = 1); }"
+            "  }"
+            "}"
+        )
+        depths = sorted(loop_nesting_depths(cfg).values())
+        assert depths == [1, 2, 3]
+
+    def test_sequential_loops_same_depth(self):
+        cfg = cfg_of(
+            "for (var i = 0; i < 2; i = i + 1) { }"
+            "for (var j = 0; j < 2; j = j + 1) { }"
+        )
+        # empty bodies still form back edges via the header
+        loops = find_natural_loops(cfg)
+        assert len(loops) == 2
+        assert all(lp.depth == 1 for lp in loops)
+        assert all(lp.parent_header is None for lp in loops)
+
+    def test_no_loops_in_branchy_code(self):
+        cfg = cfg_of(
+            "if (rank == 0) { compute(flops = 1); } else { barrier(); }"
+        )
+        assert find_natural_loops(cfg) == []
+
+    def test_inner_loop_parent(self):
+        cfg = cfg_of(
+            "for (var i = 0; i < 2; i = i + 1) {"
+            "  for (var j = 0; j < 2; j = j + 1) { compute(flops = 1); }"
+            "}"
+        )
+        loops = find_natural_loops(cfg)
+        inner = [lp for lp in loops if lp.depth == 2][0]
+        outer = [lp for lp in loops if lp.depth == 1][0]
+        assert inner.parent_header == outer.header
+        assert inner.blocks < outer.blocks

@@ -1,0 +1,130 @@
+"""End-to-end scenarios, including the paper's Fig. 2 motivating example:
+an injected delay on one rank of CG found by backtracking."""
+
+import pytest
+
+from repro import DelayInjection, ScalAna, analyze_program
+from repro.apps import get_app
+from repro.detection import detect_scaling_loss
+
+
+class TestFig2Motivating:
+    """Inject a delay into process 4 of NPB-CG (paper Fig. 2) and check
+    ScalAna localizes it."""
+
+    @pytest.fixture(scope="class")
+    def delayed_cg(self):
+        spec = get_app("cg")
+        # the matvec compute statement is the delay site (cg.mm line 12)
+        line = next(
+            v.location.line
+            for v in spec.psg.vertices.values()
+            if v.name == "matvec"
+        )
+        # the matvec takes ~49s/exec at 32 ranks; a 40s injected delay makes
+        # rank 4 ~1.8x slower in that vertex, like the paper's experiment
+        tool = ScalAna.for_app(
+            spec,
+            seed=1,
+            injected_delays=[DelayInjection(4, "cg.mm", line, 40.0)],
+        )
+        runs = tool.profile_scales([8, 16, 32])
+        return tool, runs, line
+
+    def test_delay_slows_everyone(self, delayed_cg):
+        tool, runs, _line = delayed_cg
+        clean = ScalAna.for_app(get_app("cg"), seed=1)
+        t_clean = clean.run_uninstrumented(32).total_time
+        t_delayed = runs[-1].app_time
+        assert t_delayed > t_clean * 1.2
+
+    def test_rank4_abnormal(self, delayed_cg):
+        tool, runs, line = delayed_cg
+        report = tool.detect(runs)
+        assert report.abnormal
+        # rank 4 appears among the abnormal ranks of some vertex
+        flagged_ranks = {
+            r for ab in report.abnormal for r in ab.abnormal_ranks
+        }
+        assert 4 in flagged_ranks
+
+    def test_backtracking_reaches_delay_site(self, delayed_cg):
+        tool, runs, line = delayed_cg
+        report = tool.detect(runs)
+        assert report.root_causes
+        locations = {rc.location for rc in report.root_causes}
+        path_locations = {
+            loc for rc in report.root_causes for loc in rc.path_locations
+        }
+        assert f"cg.mm:{line}" in locations | path_locations
+
+    def test_paths_cross_processes(self, delayed_cg):
+        tool, runs, _line = delayed_cg
+        report = tool.detect(runs)
+        assert any(len(rc.path_ranks) >= 2 for rc in report.root_causes)
+
+
+class TestOneShotApi:
+    def test_analyze_program_with_source(self):
+        src = """def main() {
+            for (var it = 0; it < 15; it = it + 1) {
+                compute(flops = 100000000 / nprocs, name = "good");
+                compute(flops = 10000000, name = "amdahl");
+                barrier();
+            }
+        }"""
+        report = analyze_program(src, [2, 4, 8], filename="oneshot.mm")
+        assert report.scales == (2, 4, 8)
+        assert report.nprocs == 8
+
+    def test_analyze_program_with_app(self):
+        report = analyze_program(get_app("sst"), [4, 8])
+        assert report.root_causes
+
+    def test_params_override(self):
+        report = analyze_program(
+            get_app("cg"), [4, 8], params={"niter": 3}
+        )
+        assert report.nprocs == 8
+
+
+class TestScalAnaFacade:
+    def test_static_analysis_cached(self):
+        tool = ScalAna.for_app(get_app("ep"))
+        a = tool.static_analysis()
+        b = tool.static_analysis()
+        assert a is b
+
+    def test_profile_uses_app_machine(self):
+        spec = get_app("nekbone")
+        tool = ScalAna.for_app(spec)
+        assert tool.machine.mem_speed_sigma > 0
+
+    def test_abnorm_thd_knob(self):
+        tool = ScalAna.for_app(get_app("sst"), abnorm_thd=3.0, seed=1)
+        runs = tool.profile_scales([4, 8])
+        strict = tool.detect(runs)
+        tool.abnorm_thd = 1.1
+        loose = tool.detect(runs)
+        assert len(loose.abnormal) >= len(strict.abnormal)
+
+    def test_max_loop_depth_knob(self):
+        src = """def main() {
+            for (var i = 0; i < 2; i = i + 1) {
+                for (var j = 0; j < 2; j = j + 1) {
+                    compute(flops = 1000);
+                }
+            }
+            barrier();
+        }"""
+        deep = ScalAna(source=src, max_loop_depth=10)
+        shallow = ScalAna(source=src, max_loop_depth=0)
+        assert len(deep.psg) > len(shallow.psg)
+
+    def test_single_scale_gives_abnormal_only(self):
+        """With one scale there is no trend to fit: non-scalable detection
+        is skipped, abnormal detection still runs."""
+        tool = ScalAna.for_app(get_app("ep"), seed=1)
+        runs = tool.profile_scales([4])
+        report = detect_scaling_loss(runs, psg=tool.psg)
+        assert report.non_scalable == []

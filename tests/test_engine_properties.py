@@ -1,0 +1,152 @@
+"""Property-based tests of the simulation engine.
+
+Hypothesis generates random SPMD programs from deadlock-free templates and
+checks global invariants: termination, determinism, message conservation,
+clock monotonicity, and agreement with analytic models on reducible cases.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.minilang.ast_nodes import MpiOp
+from repro.simulator import NetworkModel, SimulationConfig, simulate
+from repro.minilang.parser import parse_program
+from repro.psg import build_psg
+from tests.conftest import run_source
+
+
+@st.composite
+def spmd_programs(draw):
+    """Random but deadlock-free SPMD programs.
+
+    Building blocks are symmetric: ring sendrecvs, matched isend/irecv +
+    waitall, collectives, and computes — every rank executes the same
+    sequence, so the program always terminates.
+    """
+    n_stmts = draw(st.integers(min_value=1, max_value=6))
+    blocks = []
+    for i in range(n_stmts):
+        kind = draw(st.sampled_from(["compute", "ring", "pair", "coll"]))
+        if kind == "compute":
+            flops = draw(st.integers(min_value=1000, max_value=10_000_000))
+            blocks.append(f"compute(flops = {flops} + 100 * rank % 7);")
+        elif kind == "ring":
+            nbytes = draw(st.integers(min_value=1, max_value=100_000))
+            tag = draw(st.integers(min_value=0, max_value=5))
+            blocks.append(
+                f"sendrecv(dest = (rank + 1) % nprocs, tag = {tag}, "
+                f"bytes = {nbytes}, src = (rank - 1 + nprocs) % nprocs);"
+            )
+        elif kind == "pair":
+            tag = 10 + i
+            blocks.append(
+                f"isend(dest = (rank + 1) % nprocs, tag = {tag}, "
+                f"bytes = 256, req = s{i});"
+                f"irecv(src = (rank - 1 + nprocs) % nprocs, tag = {tag}, "
+                f"req = r{i}); waitall();"
+            )
+        else:
+            blocks.append(
+                draw(
+                    st.sampled_from(
+                        [
+                            "barrier();",
+                            "allreduce(bytes = 8);",
+                            "bcast(root = 0, bytes = 64);",
+                            "alltoall(bytes = 32);",
+                            "reduce(root = 0, bytes = 16);",
+                        ]
+                    )
+                )
+            )
+    loop = draw(st.booleans())
+    body = " ".join(blocks)
+    if loop:
+        body = f"for (var it = 0; it < 3; it = it + 1) {{ {body} }}"
+    return f"def main() {{ {body} }}"
+
+
+class TestEngineProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(spmd_programs(), st.integers(min_value=1, max_value=9))
+    def test_terminates_and_conserves_messages(self, source, nprocs):
+        res, _, _ = run_source(source, nprocs=nprocs)
+        # every posted send was matched exactly once
+        for rec in res.p2p_records:
+            assert not math.isnan(rec.completion)
+            assert 0 <= rec.send_rank < nprocs
+            assert 0 <= rec.recv_rank < nprocs
+            assert rec.arrival >= rec.send_time
+            assert rec.completion >= rec.recv_post
+        # collectives complete for every rank
+        for crec in res.collective_records:
+            assert set(crec.arrivals) == set(range(nprocs))
+            for r in range(nprocs):
+                assert crec.completions[r] >= crec.arrivals[r]
+
+    @settings(max_examples=30, deadline=None)
+    @given(spmd_programs(), st.integers(min_value=2, max_value=8))
+    def test_deterministic(self, source, nprocs):
+        r1, _, _ = run_source(source, nprocs=nprocs, seed=3)
+        r2, _, _ = run_source(source, nprocs=nprocs, seed=3)
+        assert r1.finish_times == r2.finish_times
+        assert len(r1.segments) == len(r2.segments)
+
+    @settings(max_examples=30, deadline=None)
+    @given(spmd_programs(), st.integers(min_value=1, max_value=6))
+    def test_per_rank_segments_monotone(self, source, nprocs):
+        res, _, _ = run_source(source, nprocs=nprocs)
+        last_end = [0.0] * nprocs
+        by_rank = {}
+        for seg in res.segments:
+            by_rank.setdefault(seg.rank, []).append(seg)
+        for rank, segs in by_rank.items():
+            segs.sort(key=lambda s: (s.start, s.end))
+            t = 0.0
+            for seg in segs:
+                assert seg.start >= t - 1e-12
+                assert seg.end >= seg.start
+                t = seg.end
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=12))
+    def test_compute_only_matches_analytic_model(self, nprocs):
+        """With no communication, every rank's finish time is exactly the
+        analytic flops/rate sum."""
+        src = """def main() {
+            for (var i = 0; i < 4; i = i + 1) {
+                compute(flops = 1000000 * (rank + 1));
+            }
+        }"""
+        res, _, _ = run_source(src, nprocs=nprocs)
+        for r in range(nprocs):
+            expected = 4 * 1_000_000 * (r + 1) / 2.0e9
+            assert res.finish_times[r] == pytest.approx(expected, rel=1e-12)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=32),
+        st.integers(min_value=0, max_value=1_000_000),
+    )
+    def test_collective_cost_matches_model(self, nprocs, nbytes):
+        """A single allreduce on idle ranks costs exactly the network
+        model's collective term."""
+        src = "def main() { allreduce(bytes = %d); }" % nbytes
+        res, _, _ = run_source(src, nprocs=nprocs)
+        expected = NetworkModel().collective_cost(MpiOp.ALLREDUCE, nprocs, nbytes)
+        assert res.total_time == pytest.approx(expected, rel=1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(spmd_programs())
+    def test_vertex_time_equals_segment_sums(self, source):
+        res, psg, _ = run_source(source, nprocs=4)
+        sums: dict[tuple[int, int], float] = {}
+        for seg in res.segments:
+            key = (seg.rank, seg.vid)
+            sums[key] = sums.get(key, 0.0) + seg.duration
+        assert set(sums) == set(res.vertex_time)
+        for key, t in sums.items():
+            assert res.vertex_time[key] == pytest.approx(t, rel=1e-9, abs=1e-15)

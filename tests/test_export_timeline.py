@@ -1,0 +1,121 @@
+"""Tests for the DOT/GraphML exporters and the ASCII timeline."""
+
+import pytest
+
+from repro.ppg import build_ppg
+from repro.tools.export import ppg_to_dot, psg_to_dot, psg_to_graphml, write_text
+from repro.tools.timeline import render_timeline
+from tests.conftest import profile_source, run_source
+
+PIPELINE = """def main() {
+    for (var it = 0; it < 4; it = it + 1) {
+        if (rank > 0) { recv(src = rank - 1, tag = 1); }
+        compute(flops = 100000000, name = "stage");
+        if (rank < nprocs - 1) { send(dest = rank + 1, tag = 1, bytes = 64); }
+        barrier();
+    }
+}"""
+
+
+class TestPsgDot:
+    def test_dot_syntax_and_content(self, fig3_static):
+        dot = psg_to_dot(fig3_static.psg)
+        assert dot.startswith("digraph PSG {")
+        assert dot.rstrip().endswith("}")
+        assert "MPI_Bcast" in dot
+        assert "shape=house" in dot  # MPI vertices
+        assert "shape=diamond" in dot  # branch
+
+    def test_every_vertex_present(self, fig3_static):
+        dot = psg_to_dot(fig3_static.psg)
+        for vid in fig3_static.psg.vertices:
+            assert f"n{vid} [" in dot
+
+    def test_recursion_edge_rendered(self):
+        from repro.minilang.parser import parse_program
+        from repro.psg import build_complete_psg
+
+        prog = parse_program(
+            "def main() { r(); } def r() { compute(flops = 1); r(); }"
+        )
+        dot = psg_to_dot(build_complete_psg(prog))
+        assert "label=recursion" in dot
+
+    def test_quoting_safe(self):
+        from repro.minilang.parser import parse_program
+        from repro.psg import build_psg
+
+        prog = parse_program(
+            'def main() { compute(flops = 1, name = "a\\"b"); barrier(); }'
+        )
+        dot = psg_to_dot(build_psg(prog).psg)
+        assert '\\"' in dot
+
+    def test_graphml_export(self, fig3_static, tmp_path):
+        path = tmp_path / "psg.graphml"
+        psg_to_graphml(fig3_static.psg, path)
+        assert path.stat().st_size > 0
+        import networkx as nx
+
+        g = nx.read_graphml(path)
+        assert g.number_of_nodes() == len(fig3_static.psg)
+
+
+class TestPpgDot:
+    def test_clusters_and_comm_edges(self):
+        run, psg, _ = profile_source(PIPELINE, 4)
+        ppg = build_ppg(psg, 4, run.profile, run.comm)
+        dot = ppg_to_dot(ppg)
+        assert "cluster_rank0" in dot and "cluster_rank3" in dot
+        assert "color=red" in dot  # at least one waiting comm edge
+
+    def test_max_ranks_truncation(self):
+        run, psg, _ = profile_source(PIPELINE, 8)
+        ppg = build_ppg(psg, 8, run.profile, run.comm)
+        dot = ppg_to_dot(ppg, max_ranks=2)
+        assert "cluster_rank1" in dot
+        assert "cluster_rank2" not in dot
+
+    def test_write_text(self, tmp_path):
+        n = write_text("hello", tmp_path / "x.dot")
+        assert n == 5
+
+
+class TestTimeline:
+    def test_render_shape(self):
+        res, _, _ = run_source(PIPELINE, 4)
+        text = render_timeline(res, width=60)
+        lines = text.splitlines()
+        assert len(lines) == 5  # header + 4 ranks
+        for line in lines[1:]:
+            assert line.startswith("rank")
+            assert len(line.split("|")[1]) == 60
+
+    def test_pipeline_shows_waiting(self):
+        res, _, _ = run_source(PIPELINE, 4)
+        text = render_timeline(res, width=80)
+        # downstream ranks wait for the pipeline fill
+        rank3 = [l for l in text.splitlines() if l.startswith("rank   3")][0]
+        assert "w" in rank3
+        assert "#" in rank3
+
+    def test_window_selection(self):
+        res, _, _ = run_source(PIPELINE, 2)
+        full = render_timeline(res, width=40)
+        head = render_timeline(res, width=40, t1=res.total_time / 4)
+        assert full != head
+
+    def test_max_ranks_cap(self):
+        res, _, _ = run_source(PIPELINE, 8)
+        text = render_timeline(res, width=40, max_ranks=3)
+        assert len(text.splitlines()) == 4
+
+    def test_empty_window_rejected(self):
+        res, _, _ = run_source(PIPELINE, 2)
+        with pytest.raises(ValueError):
+            render_timeline(res, t0=5.0, t1=5.0)
+
+    def test_needs_segments(self):
+        res, _, _ = run_source(PIPELINE, 2, record_segments=False)
+        with pytest.raises(ValueError):
+            render_timeline(res)

@@ -1,0 +1,101 @@
+"""Integration matrix: the full pipeline on every evaluated app.
+
+A coarse safety net over the whole system: for each of the 11 apps, run
+profile -> detect at two scales, assert the report is structurally sound,
+and check the Scalasca-comparison claim (the tracer's wait-state analysis,
+given complete information, agrees with ScalAna about the case studies).
+"""
+
+import math
+
+import pytest
+
+from repro import ScalAna
+from repro.apps import EVALUATED_APPS, get_app
+from repro.baselines import TracerTool, classify_wait_states
+from repro.simulator import MachineModel, SimulationConfig
+
+
+def small_scales(spec):
+    out = []
+    for p in (4, 8, 9, 16):
+        if spec.nprocs_valid(p):
+            out.append(p)
+        if len(out) == 2:
+            break
+    return out
+
+
+@pytest.mark.parametrize("name", EVALUATED_APPS)
+class TestFullPipelinePerApp:
+    def test_profile_and_detect(self, name):
+        spec = get_app(name)
+        tool = ScalAna.for_app(spec, seed=9)
+        scales = small_scales(spec)
+        runs = tool.profile_scales(scales)
+        report = tool.detect(runs)
+        # structural soundness
+        assert report.nprocs == scales[-1]
+        assert report.scales == tuple(scales)
+        for rc in report.root_causes:
+            assert rc.location
+            assert rc.path_locations
+            assert rc.imbalance >= 1.0 - 1e9
+        for run in runs:
+            assert run.overhead.overhead_percent < 50
+            assert run.overhead.storage_bytes < 10 * 1024 * 1024
+        text = report.render()
+        assert "Root causes" in text
+
+    def test_sampled_total_close_to_exact(self, name):
+        """Sampled per-rank totals must track the true rank times."""
+        spec = get_app(name)
+        tool = ScalAna.for_app(spec, seed=9)
+        p = small_scales(spec)[-1]
+        run = tool.profile(p)
+        for rank in range(p):
+            sampled = sum(
+                vec.time for (r, _vid), vec in run.profile.perf.items() if r == rank
+            )
+            exact = run.result.finish_times[rank]
+            if exact > 0.5:  # enough samples to be meaningful
+                assert sampled == pytest.approx(exact, rel=0.1)
+
+
+class TestScalascaAgreement:
+    """§VI-D comparison: with complete traces, the wait-state analysis
+    (Scalasca's capability) blames the same code ScalAna's backtracking
+    does — at orders of magnitude higher measurement cost."""
+
+    @pytest.mark.parametrize("app_name,cause_function", [
+        ("zeusmp", "bval3d"),
+        ("sst", "handle_event"),
+        ("nekbone", "ax"),
+    ])
+    def test_trace_analysis_agrees_with_scalana(self, app_name, cause_function):
+        spec = get_app(app_name)
+        config = SimulationConfig(
+            nprocs=16, params=spec.merged_params(), seed=9,
+            machine=spec.machine or MachineModel(),
+        )
+        tool = TracerTool()
+        run = tool.run(spec.program, spec.psg, config)
+        analysis = tool.analyze(run)
+        causes = set()
+        for vid, _wait in analysis.top_wait_vertices(4):
+            main_cause = analysis.main_cause_of(vid)
+            if main_cause is not None:
+                causes.add(spec.psg.vertices[main_cause].function)
+        assert cause_function in causes
+
+    def test_wait_states_classified_for_case_studies(self):
+        for app_name in ("zeusmp", "sst", "nekbone"):
+            spec = get_app(app_name)
+            config = SimulationConfig(
+                nprocs=8, params=spec.merged_params(), seed=9,
+                machine=spec.machine or MachineModel(),
+            )
+            run = TracerTool().run(spec.program, spec.psg, config)
+            profile = classify_wait_states(run.result)
+            assert profile.total_waiting() > 0
+            assert profile.worst_culprits()

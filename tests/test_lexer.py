@@ -1,0 +1,131 @@
+"""Lexer tests."""
+
+import pytest
+
+from repro.minilang.errors import LexError
+from repro.minilang.lexer import TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)][:-1]  # drop EOF
+
+
+class TestBasics:
+    def test_empty_source_gives_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].kind is TokenKind.EOF
+
+    def test_integers(self):
+        toks = tokenize("42 0 1_000")
+        assert [t.int_value for t in toks[:-1]] == [42, 0, 1000]
+
+    def test_floats(self):
+        toks = tokenize("3.5 1e6 2.5e-3 1E+2")
+        assert all(t.kind is TokenKind.FLOAT for t in toks[:-1])
+        assert toks[0].float_value == 3.5
+        assert toks[1].float_value == 1e6
+        assert toks[2].float_value == 2.5e-3
+
+    def test_int_dot_not_float_without_digit(self):
+        # "1." followed by identifier must not absorb the dot
+        with pytest.raises(LexError):
+            tokenize("1.x")
+
+    def test_identifiers_and_keywords(self):
+        toks = tokenize("def main var x for ANY true false")
+        assert toks[0].kind is TokenKind.KEYWORD
+        assert toks[1].kind is TokenKind.IDENT
+        assert toks[2].kind is TokenKind.KEYWORD
+        assert toks[7].text == "false"
+
+    def test_strings(self):
+        toks = tokenize('"hello" \'world\'')
+        assert toks[0].kind is TokenKind.STRING
+        assert toks[0].text == "hello"
+        assert toks[1].text == "world"
+
+    def test_string_escapes(self):
+        toks = tokenize(r'"a\nb\t\"q\""')
+        assert toks[0].text == 'a\nb\t"q"'
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"abc')
+
+
+class TestOperators:
+    def test_two_char_operators(self):
+        assert kinds("== != <= >= && ||")[:-1] == [
+            TokenKind.EQ,
+            TokenKind.NE,
+            TokenKind.LE,
+            TokenKind.GE,
+            TokenKind.AND,
+            TokenKind.OR,
+        ]
+
+    def test_single_char_operators(self):
+        assert kinds("+ - * / % < > = ! &")[:-1] == [
+            TokenKind.PLUS,
+            TokenKind.MINUS,
+            TokenKind.STAR,
+            TokenKind.SLASH,
+            TokenKind.PERCENT,
+            TokenKind.LT,
+            TokenKind.GT,
+            TokenKind.ASSIGN,
+            TokenKind.NOT,
+            TokenKind.AMP,
+        ]
+
+    def test_punctuation(self):
+        assert kinds("(){},;")[:-1] == [
+            TokenKind.LPAREN,
+            TokenKind.RPAREN,
+            TokenKind.LBRACE,
+            TokenKind.RBRACE,
+            TokenKind.COMMA,
+            TokenKind.SEMI,
+        ]
+
+    def test_single_pipe_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("a | b")
+
+    def test_unknown_character(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+
+class TestComments:
+    def test_line_comment_slashes(self):
+        assert texts("a // comment\n b") == ["a", "b"]
+
+    def test_line_comment_hash(self):
+        assert texts("a # comment\n b") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert texts("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never ends")
+
+
+class TestLocations:
+    def test_line_numbers(self):
+        toks = tokenize("a\nb\n  c")
+        assert toks[0].location.line == 1
+        assert toks[1].location.line == 2
+        assert toks[2].location.line == 3
+        assert toks[2].location.column == 3
+
+    def test_filename_recorded(self):
+        toks = tokenize("x", filename="foo.mm")
+        assert toks[0].location.filename == "foo.mm"
+        assert str(toks[0].location) == "foo.mm:1"

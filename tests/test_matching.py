@@ -1,0 +1,168 @@
+"""Message-matching tests, including MPI ordering properties (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulator.matching import Mailbox, Message, PostedRecv
+from repro.simulator.ops import ANY
+
+
+def msg(src=0, dest=0, tag=1, seq_time=0.0, nbytes=8):
+    return Message(
+        src=src, dest=dest, tag=tag, nbytes=nbytes,
+        send_time=seq_time, arrival=seq_time + 1e-6, send_vid=0,
+    )
+
+
+def recv(rank=0, src=0, tag=1, t=0.0, request=None):
+    return PostedRecv(
+        rank=rank, src=src, tag=tag, post_time=t, recv_vid=1, request=request
+    )
+
+
+class TestBasicMatching:
+    def test_recv_matches_pending_message(self):
+        box = Mailbox(0)
+        assert box.deliver(msg()) is None
+        match = box.post_recv(recv())
+        assert match is not None
+        assert match.message.tag == 1
+
+    def test_message_matches_posted_recv(self):
+        box = Mailbox(0)
+        assert box.post_recv(recv()) is None
+        match = box.deliver(msg())
+        assert match is not None
+
+    def test_tag_mismatch_no_match(self):
+        box = Mailbox(0)
+        box.deliver(msg(tag=5))
+        assert box.post_recv(recv(tag=6)) is None
+        assert box.outstanding() == (1, 1)
+
+    def test_src_mismatch_no_match(self):
+        box = Mailbox(0)
+        box.deliver(msg(src=2))
+        assert box.post_recv(recv(src=3)) is None
+
+    def test_any_source_matches(self):
+        box = Mailbox(0)
+        box.deliver(msg(src=7))
+        match = box.post_recv(recv(src=ANY))
+        assert match is not None
+        assert match.message.src == 7
+
+    def test_any_tag_matches(self):
+        box = Mailbox(0)
+        box.deliver(msg(tag=42))
+        assert box.post_recv(recv(src=0, tag=ANY)) is not None
+
+    def test_wrong_mailbox_rejected(self):
+        box = Mailbox(0)
+        with pytest.raises(ValueError):
+            box.deliver(msg(dest=3))
+        with pytest.raises(ValueError):
+            box.post_recv(recv(rank=3))
+
+    def test_ready_time_is_max_of_post_and_arrival(self):
+        box = Mailbox(0)
+        box.deliver(msg(seq_time=5.0))
+        match = box.post_recv(recv(t=1.0))
+        assert match.ready_time == pytest.approx(5.0 + 1e-6)
+        box2 = Mailbox(0)
+        box2.deliver(msg(seq_time=0.0))
+        match2 = box2.post_recv(recv(t=9.0))
+        assert match2.ready_time == 9.0
+
+
+class TestOrdering:
+    def test_fifo_same_channel(self):
+        """Non-overtaking: messages from the same (src, tag) match in order."""
+        box = Mailbox(0)
+        m1 = msg(seq_time=1.0)
+        m2 = msg(seq_time=2.0)
+        box.deliver(m1)
+        box.deliver(m2)
+        first = box.post_recv(recv())
+        second = box.post_recv(recv())
+        assert first.message is m1
+        assert second.message is m2
+
+    def test_earliest_posted_recv_wins(self):
+        box = Mailbox(0)
+        r1 = recv(t=1.0)
+        r2 = recv(t=2.0)
+        box.post_recv(r1)
+        box.post_recv(r2)
+        match = box.deliver(msg())
+        assert match.recv is r1
+
+    def test_any_recv_takes_earliest_pending(self):
+        box = Mailbox(0)
+        m_late = msg(src=1, tag=9, seq_time=3.0)
+        m_early = msg(src=2, tag=9, seq_time=1.0)
+        box.deliver(m_early)
+        box.deliver(m_late)
+        match = box.post_recv(recv(src=ANY, tag=9))
+        assert match.message is m_early
+
+    def test_specific_recv_skips_ineligible(self):
+        box = Mailbox(0)
+        box.deliver(msg(src=1, tag=1))
+        box.deliver(msg(src=2, tag=2))
+        match = box.post_recv(recv(src=2, tag=2))
+        assert match.message.src == 2
+        assert box.outstanding() == (1, 0)
+
+
+@st.composite
+def channel_traffic(draw):
+    """A random interleaving of sends and eligible receives on one channel."""
+    n = draw(st.integers(min_value=1, max_value=20))
+    ops = ["send"] * n + ["recv"] * n
+    return draw(st.permutations(ops))
+
+
+class TestMatchingProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(channel_traffic())
+    def test_no_loss_no_duplication(self, ops):
+        """Every send matches exactly one recv, in FIFO order per channel."""
+        box = Mailbox(0)
+        sent, matched = [], []
+        t = 0.0
+        for op in ops:
+            t += 1.0
+            if op == "send":
+                m = msg(seq_time=t)
+                sent.append(m.seq)
+                result = box.deliver(m)
+            else:
+                result = box.post_recv(recv(t=t))
+            if result is not None:
+                matched.append(result.message.seq)
+        assert len(matched) == len(sent)
+        assert matched == sorted(matched)  # FIFO
+        assert box.outstanding() == (0, 0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 3)),  # (src, tag)
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_wildcard_drains_everything(self, sends):
+        """ANY/ANY receives eventually drain every pending message."""
+        box = Mailbox(0)
+        for i, (src, tag) in enumerate(sends):
+            box.deliver(msg(src=src, tag=tag, seq_time=float(i)))
+        seqs = []
+        for i in range(len(sends)):
+            match = box.post_recv(recv(src=ANY, tag=ANY, t=100.0 + i))
+            assert match is not None
+            seqs.append(match.message.seq)
+        assert box.outstanding() == (0, 0)
+        assert seqs == sorted(seqs)  # arrival order

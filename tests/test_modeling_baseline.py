@@ -1,0 +1,95 @@
+"""Tests for the modeling-based baseline (regression scaling prediction)."""
+
+import pytest
+
+from repro.baselines import fit_scaling_model
+from repro.ppg import build_ppg
+from tests.conftest import profile_source
+
+AMDAHL = """def main() {
+    for (var it = 0; it < 10; it = it + 1) {
+        compute(flops = 6400000000 / nprocs, name = "parallel_part");
+        barrier();
+        compute(flops = 200000000, name = "serial_part");
+        allreduce(bytes = 8);
+    }
+}"""
+
+
+@pytest.fixture(scope="module")
+def model_setup():
+    ppgs = []
+    psg = None
+    for p in (2, 4, 8, 16):
+        run, psg, _ = profile_source(AMDAHL, p)
+        ppgs.append(build_ppg(psg, p, run.profile, run.comm))
+    # hold out the largest scale for prediction checks
+    model = fit_scaling_model(ppgs[:-1])
+    return model, ppgs, psg
+
+
+class TestFitting:
+    def test_needs_two_scales(self, model_setup):
+        _model, ppgs, _ = model_setup
+        with pytest.raises(ValueError):
+            fit_scaling_model(ppgs[:1])
+
+    def test_duplicate_scales_rejected(self, model_setup):
+        _model, ppgs, _ = model_setup
+        with pytest.raises(ValueError):
+            fit_scaling_model([ppgs[0], ppgs[0]])
+
+    def test_vertex_models_have_sane_slopes(self, model_setup):
+        model, _ppgs, psg = model_setup
+        by_name = {
+            psg.vertices[vid].name: m for vid, m in model.vertices.items()
+        }
+        assert by_name["parallel_part"].fit.alpha == pytest.approx(-1.0, abs=0.1)
+        assert by_name["serial_part"].fit.alpha == pytest.approx(0.0, abs=0.1)
+
+    def test_extrapolation_close_to_held_out_scale(self, model_setup):
+        model, ppgs, _ = model_setup
+        held_out = ppgs[-1]  # P=16, not used in training
+        predicted = model.predict_total(16)
+        actual = max(
+            sum(held_out.vertex_times(vid)[r] for vid in held_out.psg.vertices)
+            for r in range(held_out.nprocs)
+        )
+        assert predicted == pytest.approx(actual, rel=0.15)
+
+    def test_predicted_shares_sum_to_one(self, model_setup):
+        model, _ppgs, _ = model_setup
+        shares = model.predicted_shares(64)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_serial_share_grows_with_scale(self, model_setup):
+        model, _ppgs, psg = model_setup
+        serial_vid = next(
+            vid for vid, m in model.vertices.items()
+            if psg.vertices[vid].name == "serial_part"
+        )
+        s8 = model.predicted_shares(8)[serial_vid]
+        s256 = model.predicted_shares(256)[serial_vid]
+        assert s256 > s8
+
+    def test_scalability_bug_flagged_at_scale(self, model_setup):
+        model, _ppgs, psg = model_setup
+        bugs = model.scalability_bugs(1024, share_threshold=0.2)
+        names = {psg.vertices[m.vid].name for m in bugs}
+        assert "serial_part" in names
+        assert "parallel_part" not in names
+
+    def test_speedup_curve_monotone_then_flattening(self, model_setup):
+        model, _ppgs, _ = model_setup
+        curve = model.speedup_curve([2, 8, 32, 128, 512])
+        values = [curve[p] for p in (2, 8, 32, 128, 512)]
+        assert values == sorted(values)
+        # Amdahl: speedup gain per doubling shrinks
+        assert values[-1] / values[-2] < values[1] / values[0]
+
+    def test_no_root_cause_capability(self, model_setup):
+        """The documented limitation: no inter-process dependence, hence no
+        backtracking equivalent exists on the model object."""
+        model, _ppgs, _ = model_setup
+        assert not hasattr(model, "backtrack")
+        assert not hasattr(model, "comm_pred")

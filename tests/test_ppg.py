@@ -1,0 +1,134 @@
+"""PPG assembly tests: replication, comm edges, pruning, traversal steps."""
+
+import pytest
+
+from repro.ppg import build_ppg
+from repro.psg.graph import VertexType
+from tests.conftest import profile_source
+
+CHAIN = """def main() {
+    for (var i = 0; i < 10; i = i + 1) {
+        // extra work on rank 0 only (multiplier avoids an MPI-free branch,
+        // which contraction would dissolve)
+        compute(flops = 500000000 * (1 - min(rank, 1)) + 1000, name = "slow");
+        if (rank > 0) { recv(src = rank - 1, tag = 1); }
+        compute(flops = 1000000, name = "step");
+        if (rank < nprocs - 1) { send(dest = rank + 1, tag = 1, bytes = 256); }
+        allreduce(bytes = 8);
+    }
+}"""
+
+
+@pytest.fixture(scope="module")
+def chain_ppg():
+    run, psg, _ = profile_source(CHAIN, nprocs=4)
+    return build_ppg(psg, 4, run.profile, run.comm), psg, run
+
+
+class TestStructure:
+    def test_node_count(self, chain_ppg):
+        ppg, psg, _ = chain_ppg
+        assert ppg.total_node_count() == 4 * len(psg)
+
+    def test_perf_attached(self, chain_ppg):
+        ppg, psg, _ = chain_ppg
+        slow = [v for v in psg.vertices.values() if v.name == "slow"][0]
+        assert ppg.time((0, slow.vid)) > 0.1
+        # other ranks execute it with ~zero work: sampled time ~ 0
+        assert ppg.time((1, slow.vid)) < 0.01
+
+    def test_vertex_times_across_ranks(self, chain_ppg):
+        ppg, psg, _ = chain_ppg
+        step = [v for v in psg.vertices.values() if v.name == "step"][0]
+        times = ppg.vertex_times(step.vid)
+        assert len(times) == 4
+        assert all(t >= 0 for t in times)
+
+    def test_comm_edges_present_with_wait(self, chain_ppg):
+        ppg, psg, _ = chain_ppg
+        # rank 1..3 recv from the left: waiting chain -> edges kept
+        assert ppg.comm_edge_count() >= 3
+
+    def test_is_queries(self, chain_ppg):
+        ppg, psg, _ = chain_ppg
+        allr = [v for v in psg.mpi_vertices() if v.name == "MPI_Allreduce"][0]
+        recv = [v for v in psg.mpi_vertices() if v.name == "MPI_Recv"][0]
+        assert ppg.is_collective((0, allr.vid))
+        assert not ppg.is_collective((0, recv.vid))
+        assert ppg.is_mpi((2, recv.vid))
+        assert ppg.is_root((1, psg.root_id))
+
+
+class TestTraversalSteps:
+    def test_data_dep_pred_is_prev_sibling(self, chain_ppg):
+        ppg, psg, _ = chain_ppg
+        root_children = psg.root.children
+        loop = psg.vertices[root_children[0]]
+        kids = loop.children
+        for a, b in zip(kids, kids[1:]):
+            assert ppg.data_dep_pred((2, b)) == (2, a)
+
+    def test_data_dep_pred_first_child_is_parent(self, chain_ppg):
+        ppg, psg, _ = chain_ppg
+        loop = psg.vertices[psg.root.children[0]]
+        first = loop.children[0]
+        assert ppg.data_dep_pred((1, first)) == (1, loop.vid)
+
+    def test_root_has_no_pred(self, chain_ppg):
+        ppg, psg, _ = chain_ppg
+        assert ppg.data_dep_pred((0, psg.root_id)) is None
+
+    def test_control_dep_pred_descends_to_body_end(self, chain_ppg):
+        ppg, psg, _ = chain_ppg
+        loop = psg.vertices[psg.root.children[0]]
+        assert ppg.control_dep_pred((3, loop.vid)) == (3, loop.children[-1])
+
+    def test_comm_pred_points_to_sender(self, chain_ppg):
+        ppg, psg, _ = chain_ppg
+        recv = [v for v in psg.mpi_vertices() if v.name == "MPI_Recv"][0]
+        send = [v for v in psg.mpi_vertices() if v.name == "MPI_Send"][0]
+        pred = ppg.comm_pred((1, recv.vid))
+        assert pred == (0, send.vid)
+
+    def test_collective_laggard_is_slow_rank(self, chain_ppg):
+        ppg, psg, _ = chain_ppg
+        allr = [v for v in psg.mpi_vertices() if v.name == "MPI_Allreduce"][0]
+        lag = ppg.collective_laggard(allr.vid)
+        # the pipeline makes the last rank arrive last
+        assert lag == 3
+
+
+class TestPruning:
+    def test_prune_removes_waitless_edges(self):
+        # balanced ring: sendrecv partners arrive together; waits ~ 0
+        src = """def main() {
+            for (var i = 0; i < 5; i = i + 1) {
+                compute(flops = 1000000);
+                sendrecv(dest = (rank + 1) % nprocs, tag = 1, bytes = 64,
+                         src = (rank - 1 + nprocs) % nprocs);
+            }
+        }"""
+        run, psg, _ = profile_source(src, nprocs=4)
+        # wire latency (~2us) counts as waiting; threshold above it prunes
+        pruned = build_ppg(psg, 4, run.profile, run.comm, prune_no_wait=True,
+                           wait_threshold=1e-4)
+        full = build_ppg(psg, 4, run.profile, run.comm, prune_no_wait=False)
+        assert pruned.comm_edge_count() < full.comm_edge_count()
+
+    def test_full_graph_keeps_all_edges(self, chain_ppg):
+        _, psg, run = chain_ppg
+        full = build_ppg(psg, 4, run.profile, run.comm, prune_no_wait=False)
+        assert full.comm_edge_count() == len(run.comm.edges)
+
+
+class TestExport:
+    def test_networkx_export(self, chain_ppg):
+        ppg, psg, _ = chain_ppg
+        g = ppg.to_networkx()
+        assert g.number_of_nodes() == ppg.total_node_count()
+        kinds = {d["kind"] for _u, _v, d in g.edges(data=True)}
+        assert "control" in kinds and "comm" in kinds
+        # comm edges cross ranks
+        for u, v, d in g.edges(data=True):
+            if d["kind"] == "comm":
+                assert u[0] != v[0]

@@ -1,0 +1,156 @@
+"""Pretty-printer round-trip: print(parse(src)) re-parses to the same tree.
+
+Includes a hypothesis property test over randomly generated programs, which
+exercises the lexer, parser and printer together.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.minilang import ast_nodes as ast
+from repro.minilang.parser import parse_program
+from repro.minilang.pretty import expr_to_str, pretty_print
+from tests.conftest import FIG3_SOURCE, IMBALANCED_SOURCE
+
+
+def normalize(program: ast.Program) -> str:
+    return pretty_print(program)
+
+
+def assert_roundtrip(source: str) -> None:
+    p1 = parse_program(source)
+    text1 = normalize(p1)
+    p2 = parse_program(text1)
+    text2 = normalize(p2)
+    assert text1 == text2
+
+
+class TestFixedPrograms:
+    def test_fig3(self):
+        assert_roundtrip(FIG3_SOURCE)
+
+    def test_imbalanced(self):
+        assert_roundtrip(IMBALANCED_SOURCE)
+
+    def test_all_registry_apps(self):
+        from repro.apps import APPS
+
+        for spec in APPS.values():
+            assert_roundtrip(spec.source)
+
+    def test_sendrecv_with_recv_tag(self):
+        assert_roundtrip(
+            "def main() { sendrecv(dest = 1, tag = 2, bytes = 8,"
+            " src = 0, recv_tag = 4); }"
+        )
+
+    def test_any_wildcards(self):
+        assert_roundtrip("def main() { recv(src = ANY, tag = ANY); }")
+
+    def test_funcref_and_indirect_call(self):
+        assert_roundtrip(
+            "def main() { var f = &foo; f(); } def foo() { barrier(); }"
+        )
+
+    def test_string_escaping(self):
+        assert_roundtrip(
+            'def main() { compute(flops = 1, name = "a\\"b\\\\c"); }'
+        )
+
+    def test_empty_for_clauses(self):
+        assert_roundtrip("def main() { for (;;) { return; } }")
+
+
+# ---------------------------------------------------------------------------
+# Random program generation for the property test
+# ---------------------------------------------------------------------------
+
+_names = st.sampled_from(["a", "b", "c", "x", "y"])
+
+
+@st.composite
+def exprs(draw, depth=0):
+    if depth >= 3:
+        leaf = draw(st.sampled_from(["int", "var"]))
+    else:
+        leaf = draw(
+            st.sampled_from(["int", "float", "var", "bin", "un", "call"])
+        )
+    if leaf == "int":
+        return str(draw(st.integers(min_value=0, max_value=9999)))
+    if leaf == "float":
+        return repr(
+            draw(
+                st.floats(
+                    min_value=0.01, max_value=1000, allow_nan=False
+                )
+            )
+        )
+    if leaf == "var":
+        return draw(st.sampled_from(["rank", "nprocs", "a", "b"]))
+    if leaf == "un":
+        return f"(-{draw(exprs(depth + 1))})"
+    if leaf == "call":
+        return f"min({draw(exprs(depth + 1))}, {draw(exprs(depth + 1))})"
+    op = draw(st.sampled_from(["+", "-", "*", "/", "%", "<", ">", "=="]))
+    return f"({draw(exprs(depth + 1))} {op} {draw(exprs(depth + 1))})"
+
+
+@st.composite
+def stmts(draw, depth=0):
+    kind = draw(
+        st.sampled_from(
+            ["var", "assign", "compute", "send", "recv", "coll", "if", "for"]
+            if depth < 2
+            else ["var", "assign", "compute", "coll"]
+        )
+    )
+    if kind == "var":
+        return f"var {draw(_names)} = {draw(exprs())};"
+    if kind == "assign":
+        return f"a = {draw(exprs())};"
+    if kind == "compute":
+        return f"compute(flops = {draw(exprs())});"
+    if kind == "send":
+        return f"send(dest = {draw(exprs())}, tag = 1, bytes = 64);"
+    if kind == "recv":
+        return "recv(src = ANY, tag = ANY);"
+    if kind == "coll":
+        return draw(
+            st.sampled_from(
+                ["barrier();", "allreduce(bytes = 8);", "bcast(root = 0, bytes = 4);"]
+            )
+        )
+    inner = " ".join(draw(st.lists(stmts(depth + 1), min_size=0, max_size=3)))
+    if kind == "if":
+        return f"if ({draw(exprs())}) {{ {inner} }}"
+    return f"for (var i = 0; i < 3; i = i + 1) {{ {inner} }}"
+
+
+@st.composite
+def programs(draw):
+    body = " ".join(draw(st.lists(stmts(), min_size=0, max_size=6)))
+    return f"def main() {{ var a = 0; var b = 1; {body} }}"
+
+
+class TestPropertyRoundtrip:
+    @settings(max_examples=150, deadline=None)
+    @given(programs())
+    def test_random_program_roundtrip(self, source):
+        assert_roundtrip(source)
+
+    @settings(max_examples=100, deadline=None)
+    @given(exprs())
+    def test_expression_roundtrip(self, expr_text):
+        src = f"def main() {{ var a = 0; var b = 0; a = {expr_text}; }}"
+        p = parse_program(src)
+        stmt = p.entry.body.statements[-1]
+        printed = expr_to_str(stmt.value)
+        p2 = parse_program(
+            f"def main() {{ var a = 0; var b = 0; a = {printed}; }}"
+        )
+        stmt2 = p2.entry.body.statements[-1]
+        assert expr_to_str(stmt2.value) == printed

@@ -1,0 +1,222 @@
+"""PSG construction tests: intra-procedural, inter-procedural, call graph."""
+
+import pytest
+
+from repro.minilang.parser import parse_program
+from repro.psg import (
+    build_call_graph,
+    build_complete_psg,
+    build_local_psg,
+    build_psg,
+    refine_indirect_calls,
+)
+from repro.psg.graph import VertexType
+from repro.psg.intraproc import StructureMismatchError
+
+
+def local_psg(body: str, name: str = "f"):
+    prog = parse_program(f"def {name}() {{ {body} }}")
+    return build_local_psg(prog.function(name))
+
+
+class TestIntraproc:
+    def test_root_vertex(self):
+        psg = local_psg("compute(flops = 1);")
+        assert psg.root.vtype is VertexType.ROOT
+        assert psg.root.name == "f"
+
+    def test_compute_vertex(self):
+        psg = local_psg('compute(flops = 1, name = "work");')
+        comps = [v for v in psg.vertices.values() if v.vtype is VertexType.COMP]
+        assert len(comps) == 1
+        assert comps[0].name == "work"
+
+    def test_mpi_vertex_labeled(self):
+        psg = local_psg("allreduce(bytes = 8);")
+        mpis = psg.mpi_vertices()
+        assert len(mpis) == 1
+        assert mpis[0].label == "MPI_Allreduce"
+
+    def test_scalar_statements_no_vertices(self):
+        psg = local_psg("var x = 1; x = 2; return;")
+        assert len(psg) == 1  # just the root
+
+    def test_loop_nesting_depth_recorded(self):
+        psg = local_psg(
+            "for (var i = 0; i < 2; i = i + 1) {"
+            "  for (var j = 0; j < 2; j = j + 1) { compute(flops = 1); }"
+            "}"
+        )
+        loops = sorted(
+            (v for v in psg.vertices.values() if v.vtype is VertexType.LOOP),
+            key=lambda v: v.loop_depth,
+        )
+        assert [l.loop_depth for l in loops] == [1, 2]
+
+    def test_branch_arms_tagged(self):
+        psg = local_psg(
+            "if (rank == 0) { compute(flops = 1); } else { barrier(); }"
+        )
+        branch = [v for v in psg.vertices.values() if v.vtype is VertexType.BRANCH][0]
+        arms = {psg.vertices[c].arm for c in branch.children}
+        assert arms == {"then", "else"}
+
+    def test_empty_branch_pruned(self):
+        psg = local_psg("if (rank == 0) { var x = 1; }")
+        assert all(v.vtype is not VertexType.BRANCH for v in psg.vertices.values())
+
+    def test_empty_loop_pruned(self):
+        psg = local_psg("for (var i = 0; i < 9; i = i + 1) { i = i + 0; }")
+        assert all(v.vtype is not VertexType.LOOP for v in psg.vertices.values())
+
+    def test_execution_order_of_children(self):
+        psg = local_psg(
+            'compute(flops = 1, name = "a"); barrier(); compute(flops = 1, name = "b");'
+        )
+        labels = [psg.vertices[c].name for c in psg.root.children]
+        assert labels[0] == "a" and labels[2] == "b"
+
+    def test_prev_in_order(self):
+        psg = local_psg('compute(flops = 1, name = "a"); barrier();')
+        a, b = psg.root.children
+        assert psg.prev_in_order(b) == a
+        assert psg.prev_in_order(a) == psg.root.vid
+        assert psg.prev_in_order(psg.root.vid) is None
+
+
+class TestCallGraph:
+    def test_direct_edges(self):
+        prog = parse_program(
+            "def main() { a(); b(); } def a() { b(); } def b() { barrier(); }"
+        )
+        cg = build_call_graph(prog)
+        assert cg.callees("main") == {"a", "b"}
+        assert cg.callees("a") == {"b"}
+
+    def test_recursion_detected(self):
+        prog = parse_program(
+            "def main() { r(3); } def r(n) { if (n > 0) { r(n - 1); } }"
+        )
+        cg = build_call_graph(prog)
+        assert cg.recursive_functions() == {"r"}
+
+    def test_mutual_recursion_detected(self):
+        prog = parse_program(
+            "def main() { a(); } def a() { b(); } def b() { a(); }"
+        )
+        cg = build_call_graph(prog)
+        assert cg.recursive_functions() == {"a", "b"}
+
+    def test_address_taken(self):
+        prog = parse_program(
+            "def main() { var f = &h; f(); } def h() { barrier(); }"
+        )
+        cg = build_call_graph(prog)
+        assert cg.address_taken == {"h"}
+        indirect = [cs for cs in cg.call_sites if cs.indirect]
+        assert len(indirect) == 1
+
+    def test_unreachable_functions(self):
+        prog = parse_program(
+            "def main() { } def dead() { barrier(); }"
+        )
+        cg = build_call_graph(prog)
+        assert cg.unreachable_functions() == {"dead"}
+
+
+class TestInterproc:
+    def test_call_spliced_in_place(self, fig3_program):
+        psg = build_complete_psg(fig3_program)
+        # foo's branch appears under main's loop, in place of the call
+        branches = [
+            v for v in psg.vertices.values() if v.vtype is VertexType.BRANCH
+        ]
+        assert len(branches) == 1
+        assert branches[0].function == "foo"
+        # and no Call vertices remain
+        assert all(v.vtype is not VertexType.CALL for v in psg.vertices.values())
+
+    def test_inline_path_distinguishes_call_sites(self):
+        prog = parse_program(
+            "def main() { h(); h(); } def h() { compute(flops = 1); }"
+        )
+        psg = build_complete_psg(prog)
+        comps = [v for v in psg.vertices.values() if v.vtype is VertexType.COMP]
+        assert len(comps) == 2
+        assert comps[0].inline_path != comps[1].inline_path
+
+    def test_recursion_keeps_call_vertex_with_cycle(self):
+        prog = parse_program(
+            "def main() { r(); } def r() { compute(flops = 1); r(); }"
+        )
+        psg = build_complete_psg(prog)
+        calls = [v for v in psg.vertices.values() if v.vtype is VertexType.CALL]
+        assert len(calls) == 1
+        assert calls[0].recursion_target is not None
+        assert calls[0].recursion_target in psg.vertices
+
+    def test_indirect_call_kept_marked(self):
+        prog = parse_program(
+            "def main() { var f = &h; f(); } def h() { barrier(); }"
+        )
+        psg = build_complete_psg(prog)
+        calls = [v for v in psg.vertices.values() if v.vtype is VertexType.CALL]
+        assert len(calls) == 1
+        assert calls[0].indirect
+
+    def test_refine_indirect_calls(self):
+        prog = parse_program(
+            "def main() { var f = &h; f(); } def h() { barrier(); }"
+        )
+        psg = build_complete_psg(prog)
+        call = [v for v in psg.vertices.values() if v.vtype is VertexType.CALL][0]
+        refined = refine_indirect_calls(
+            psg, prog, {(call.inline_path, call.stmt_ids[0]): {"h"}}
+        )
+        assert refined == 1
+        assert not psg.vertices[call.vid].indirect
+        # h's barrier is now under the call vertex
+        sub = psg.subtree_ids(call.vid)
+        assert any(
+            psg.vertices[vid].vtype is VertexType.MPI for vid in sub if vid != call.vid
+        )
+
+    def test_stmt_index_lookup_with_fallback(self):
+        prog = parse_program(
+            "def main() { r(); } def r() { compute(flops = 1); r(); }"
+        )
+        psg = build_complete_psg(prog)
+        comp = [v for v in psg.vertices.values() if v.vtype is VertexType.COMP][0]
+        sid = comp.stmt_ids[0]
+        # deeper recursive paths fall back to the first instance
+        deep_path = comp.inline_path + comp.inline_path[-1:] * 3 if comp.inline_path else ()
+        found = psg.lookup_stmt(comp.inline_path, sid)
+        assert found == comp.vid
+        assert psg.lookup_stmt(deep_path, sid) == comp.vid
+
+    def test_missing_entry_raises(self):
+        prog = parse_program("def helper() { }")
+        with pytest.raises(KeyError):
+            build_complete_psg(prog)
+
+    def test_calling_path(self, fig3_static):
+        psg = fig3_static.psg
+        send = [v for v in psg.mpi_vertices() if v.name == "MPI_Send"][0]
+        path = psg.calling_path(send.vid)
+        assert path[0].vtype is VertexType.ROOT
+        assert path[-1].vid == send.vid
+        assert len(path) >= 3  # root -> loop -> branch -> send
+
+
+class TestCfgVerification:
+    def test_verification_runs_on_all_apps(self):
+        from repro.apps import APPS
+
+        for spec in APPS.values():
+            # build_psg(verify_cfg=True) is the default; would raise on drift
+            assert len(spec.psg) > 0
+
+    def test_find_by_location(self, fig3_static):
+        psg = fig3_static.psg
+        hits = psg.find_by_location("fig3.mm", 1)
+        assert all(v.location.line == 1 for v in hits)

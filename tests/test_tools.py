@@ -1,0 +1,144 @@
+"""Tools tests: CLI, profile storage round-trip, text viewer."""
+
+import pytest
+
+from repro import ScalAna
+from repro.apps import get_app
+from repro.detection import detect_scaling_loss
+from repro.tools.cli import build_parser, main
+from repro.tools.storage import load_profile, profile_file_bytes, save_profile
+from repro.tools.viewer import render_report_with_source, source_snippet
+
+
+@pytest.fixture(scope="module")
+def cg_runs():
+    tool = ScalAna.for_app(get_app("cg"), seed=1)
+    return tool, tool.profile_scales([4, 8])
+
+
+class TestStorage:
+    def test_roundtrip_preserves_report(self, tmp_path, cg_runs):
+        tool, runs = cg_runs
+        paths = []
+        for run in runs:
+            p = tmp_path / f"profile_p{run.nprocs}.json"
+            save_profile(run, p)
+            paths.append(p)
+        loaded = [load_profile(p) for p in paths]
+        direct = detect_scaling_loss(runs, psg=tool.psg)
+        from_disk = detect_scaling_loss(loaded, psg=tool.psg)
+        assert [rc.location for rc in direct.root_causes] == [
+            rc.location for rc in from_disk.root_causes
+        ]
+        assert len(direct.abnormal) == len(from_disk.abnormal)
+
+    def test_file_size_small(self, tmp_path, cg_runs):
+        """The whole point: profiles are KBs, not GBs."""
+        _tool, runs = cg_runs
+        p = tmp_path / "prof.json"
+        nbytes = save_profile(runs[0], p)
+        assert nbytes == profile_file_bytes(p)
+        assert nbytes < 200 * 1024
+
+    def test_perf_vectors_roundtrip_exactly(self, tmp_path, cg_runs):
+        _tool, runs = cg_runs
+        run = runs[0]
+        p = tmp_path / "prof.json"
+        save_profile(run, p)
+        loaded = load_profile(p)
+        for key, vec in run.profile.perf.items():
+            lv = loaded.profile.perf[key]
+            assert lv.time == pytest.approx(vec.time)
+            assert lv.counters.tot_ins == pytest.approx(vec.counters.tot_ins)
+
+    def test_comm_edges_roundtrip(self, tmp_path, cg_runs):
+        _tool, runs = cg_runs
+        run = runs[0]
+        p = tmp_path / "prof.json"
+        save_profile(run, p)
+        loaded = load_profile(p)
+        assert set(loaded.comm.edges) == set(run.comm.edges)
+        assert loaded.comm.group_stats.keys() == run.comm.group_stats.keys()
+
+    def test_bad_format_rejected(self, tmp_path):
+        p = tmp_path / "junk.json"
+        p.write_text('{"format": "something-else"}')
+        with pytest.raises(ValueError, match="not a ScalAna profile"):
+            load_profile(p)
+
+
+class TestViewer:
+    SOURCE = "line one\nline two\nline three\nline four\n"
+
+    def test_snippet_marks_line(self):
+        text = source_snippet(self.SOURCE, 2, context=1)
+        assert ">>" in text
+        assert "line two" in text
+        assert "line one" in text and "line three" in text
+        assert "line four" not in text
+
+    def test_snippet_out_of_range(self):
+        assert "out of range" in source_snippet(self.SOURCE, 99)
+
+    def test_render_report_with_source(self):
+        # SST has a genuine scaling issue, so the report carries causes
+        tool = ScalAna.for_app(get_app("sst"), seed=1)
+        runs = tool.profile_scales([4, 8])
+        report = tool.detect(runs)
+        assert report.root_causes
+        text = render_report_with_source(report, tool.source)
+        assert "Source snippets" in text
+        assert "sst.mm" in text
+
+    def test_scalana_view_method(self, cg_runs):
+        tool, runs = cg_runs
+        report = tool.detect(runs)
+        assert "Root causes" in tool.view(report)
+
+
+class TestCli:
+    def test_apps_command(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        assert "cg" in out and "zeusmp" in out
+
+    def test_static_command(self, capsys):
+        assert main(["static", "--app", "cg"]) == 0
+        out = capsys.readouterr().out
+        assert "before contraction" in out
+
+    def test_prof_then_detect(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "profs")
+        assert main(["prof", "--app", "cg", "--scales", "4,8", "--out", out_dir]) == 0
+        assert main(["detect", "--app", "cg", "--profiles", out_dir]) == 0
+        out = capsys.readouterr().out
+        assert "Root causes" in out
+
+    def test_run_command_with_source(self, tmp_path, capsys):
+        src = tmp_path / "mini.mm"
+        src.write_text(
+            "def main() { for (var i = 0; i < 5; i = i + 1) {"
+            " compute(flops = 1000000 + 9000000 * (1 - min(rank, 1)));"
+            " allreduce(bytes = 8); } }"
+        )
+        assert main(["run", "--source", str(src), "--scales", "2,4"]) == 0
+        out = capsys.readouterr().out
+        assert "overhead" in out
+
+    def test_detect_needs_two_profiles(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["detect", "--app", "cg", "--profiles", str(tmp_path)])
+
+    def test_missing_app_and_source(self):
+        with pytest.raises(SystemExit):
+            main(["static"])
+
+    def test_bad_scales(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--app", "cg", "--scales", "abc"])
+
+    def test_parser_has_all_subcommands(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for cmd in ("apps", "static", "prof", "detect", "run"):
+            assert cmd in text

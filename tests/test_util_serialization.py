@@ -1,0 +1,64 @@
+"""Tests for JSON serialization helpers."""
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+import pytest
+
+from repro.util.serialization import dump_json, load_json, to_jsonable
+
+
+class Color(Enum):
+    RED = "red"
+
+
+@dataclass
+class Point:
+    x: int
+    y: float
+
+
+class TestToJsonable:
+    def test_scalars_pass_through(self):
+        for v in (None, True, 3, 2.5, "s"):
+            assert to_jsonable(v) == v
+
+    def test_numpy_scalars(self):
+        assert to_jsonable(np.int64(5)) == 5
+        assert isinstance(to_jsonable(np.int64(5)), int)
+        assert to_jsonable(np.float64(2.5)) == 2.5
+
+    def test_numpy_array(self):
+        assert to_jsonable(np.array([1, 2])) == [1, 2]
+
+    def test_enum(self):
+        assert to_jsonable(Color.RED) == "red"
+
+    def test_dataclass(self):
+        assert to_jsonable(Point(1, 2.0)) == {"x": 1, "y": 2.0}
+
+    def test_nested(self):
+        obj = {"pts": [Point(1, 2.0)], "tag": Color.RED}
+        assert to_jsonable(obj) == {"pts": [{"x": 1, "y": 2.0}], "tag": "red"}
+
+    def test_set_sorted(self):
+        assert to_jsonable({3, 1, 2}) == [1, 2, 3]
+
+    def test_dict_keys_stringified(self):
+        assert to_jsonable({1: "a"}) == {"1": "a"}
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeError):
+            to_jsonable(object())
+
+
+class TestDumpLoad:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "x.json"
+        n = dump_json({"a": [1, 2], "b": "s"}, path)
+        assert n == path.stat().st_size
+        assert load_json(path) == {"a": [1, 2], "b": "s"}
+
+    def test_bytes_returned_positive(self, tmp_path):
+        assert dump_json([], tmp_path / "e.json") > 0

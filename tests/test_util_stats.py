@@ -1,0 +1,128 @@
+"""Tests for the statistics helpers, especially the log-log scaling fit."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import (
+    geometric_mean,
+    loglog_fit,
+    median_absolute_deviation,
+    relative_imbalance,
+    trimmed_mean,
+)
+
+
+class TestLogLogFit:
+    def test_perfect_strong_scaling(self):
+        scales = [2, 4, 8, 16]
+        times = [1.0 / p for p in scales]
+        fit = loglog_fit(scales, times)
+        assert fit.alpha == pytest.approx(-1.0, abs=1e-9)
+        assert fit.c == pytest.approx(1.0, rel=1e-9)
+        assert fit.r2 == pytest.approx(1.0)
+
+    def test_constant_serial_work(self):
+        fit = loglog_fit([2, 4, 8], [3.0, 3.0, 3.0])
+        assert fit.alpha == pytest.approx(0.0, abs=1e-12)
+        assert fit.c == pytest.approx(3.0)
+
+    def test_contention_growth(self):
+        scales = [2, 4, 8, 16]
+        fit = loglog_fit(scales, [0.1 * p**0.5 for p in scales])
+        assert fit.alpha == pytest.approx(0.5, abs=1e-9)
+
+    def test_predict(self):
+        fit = loglog_fit([2, 4, 8], [4.0, 2.0, 1.0])
+        assert fit.predict(16) == pytest.approx(0.5, rel=1e-6)
+
+    def test_zero_values_clamped_not_crash(self):
+        fit = loglog_fit([2, 4], [1.0, 0.0])
+        assert fit.alpha < 0  # treated as strongly decaying
+
+    def test_noisy_fit_r2_below_one(self):
+        rng = np.random.default_rng(0)
+        scales = [2, 4, 8, 16, 32]
+        times = [1.0 / p * math.exp(rng.normal(0, 0.2)) for p in scales]
+        fit = loglog_fit(scales, times)
+        assert fit.r2 < 1.0
+        assert -1.5 < fit.alpha < -0.5
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            loglog_fit([4], [1.0])
+
+    def test_rejects_nonpositive_scales(self):
+        with pytest.raises(ValueError):
+            loglog_fit([0, 2], [1.0, 1.0])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            loglog_fit([1, 2], [1.0])
+
+    @given(
+        alpha=st.floats(min_value=-2.0, max_value=2.0),
+        c=st.floats(min_value=1e-6, max_value=1e3),
+    )
+    def test_recovers_exact_power_law(self, alpha, c):
+        scales = [2, 4, 8, 16]
+        times = [c * p**alpha for p in scales]
+        fit = loglog_fit(scales, times)
+        assert fit.alpha == pytest.approx(alpha, abs=1e-6)
+        assert fit.c == pytest.approx(c, rel=1e-6)
+
+
+class TestAggregates:
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+        assert geometric_mean([3, 3, 3]) == pytest.approx(3.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_trimmed_mean_removes_outlier(self):
+        values = [1.0] * 18 + [100.0, -100.0]
+        assert trimmed_mean(values, trim=0.1) == pytest.approx(1.0)
+
+    def test_trimmed_mean_small_input_untouched(self):
+        assert trimmed_mean([5.0], trim=0.4) == 5.0
+
+    def test_trimmed_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            trimmed_mean([])
+
+    def test_mad_constant_is_zero(self):
+        assert median_absolute_deviation([2, 2, 2]) == 0.0
+
+    def test_mad_known_value(self):
+        assert median_absolute_deviation([1, 2, 3, 4, 5]) == pytest.approx(1.0)
+
+    def test_mad_empty_raises(self):
+        with pytest.raises(ValueError):
+            median_absolute_deviation([])
+
+
+class TestRelativeImbalance:
+    def test_balanced(self):
+        assert relative_imbalance([1.0, 1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_one_slow_rank(self):
+        # 3 ranks at 1.0, one at 2.0: max/mean = 2.0/1.25
+        assert relative_imbalance([1, 1, 1, 2]) == pytest.approx(1.6)
+
+    def test_zero_mean_defined(self):
+        assert relative_imbalance([0.0, 0.0]) == 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            relative_imbalance([])
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=1e6), min_size=1, max_size=50))
+    def test_always_at_least_one(self, values):
+        assert relative_imbalance(values) >= 1.0 - 1e-9

@@ -1,0 +1,71 @@
+"""Tests for table rendering and human-readable formatting."""
+
+import pytest
+
+from repro.util.tables import Table, format_bytes, format_seconds
+
+
+class TestFormatBytes:
+    def test_bytes(self):
+        assert format_bytes(314) == "314 B"
+
+    def test_kilobytes(self):
+        assert format_bytes(314 * 1024) == "314.00 KB"
+
+    def test_megabytes(self):
+        assert format_bytes(11.45 * 1024 * 1024) == "11.45 MB"
+
+    def test_gigabytes(self):
+        assert format_bytes(6.77 * 1024**3) == "6.77 GB"
+
+    def test_terabytes_cap(self):
+        assert format_bytes(5 * 1024**4) == "5.00 TB"
+
+    def test_zero(self):
+        assert format_bytes(0) == "0 B"
+
+
+class TestFormatSeconds:
+    def test_microseconds(self):
+        assert format_seconds(2.5e-6) == "2.5 us"
+
+    def test_milliseconds(self):
+        assert format_seconds(0.0035) == "3.50 ms"
+
+    def test_seconds(self):
+        assert format_seconds(49.4) == "49.40 s"
+
+    def test_minutes(self):
+        assert format_seconds(300) == "5.00 min"
+
+
+class TestTable:
+    def test_render_contains_title_and_cells(self):
+        t = Table("My Table", ["a", "bb"])
+        t.add_row(1, "x")
+        text = t.render()
+        assert "My Table" in text
+        assert "bb" in text
+        assert "x" in text
+
+    def test_alignment_width(self):
+        t = Table("T", ["col"])
+        t.add_row("longer-cell")
+        lines = t.render().splitlines()
+        header = [l for l in lines if l.startswith("col")][0]
+        assert len(header) == len("longer-cell")
+
+    def test_wrong_cell_count_raises(self):
+        t = Table("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_extend(self):
+        t = Table("T", ["a"])
+        t.extend([[1], [2], [3]])
+        assert len(t.rows) == 3
+
+    def test_str_same_as_render(self):
+        t = Table("T", ["a"])
+        t.add_row(1)
+        assert str(t) == t.render()

@@ -1,0 +1,52 @@
+"""Tests for the viewer's per-rank imbalance bars."""
+
+import pytest
+
+from repro.ppg import build_ppg
+from repro.tools.viewer import render_rank_bars
+from tests.conftest import profile_source
+
+SKEWED = """def main() {
+    compute(flops = 100000000 + 900000000 * (1 - min(rank, 1)), name = "hot");
+    allreduce(bytes = 8);
+}"""
+
+
+@pytest.fixture(scope="module")
+def skewed_ppg():
+    run, psg, _ = profile_source(SKEWED, 8)
+    hot = [v for v in psg.vertices.values() if v.name == "hot"][0]
+    return build_ppg(psg, 8, run.profile, run.comm), hot.vid
+
+
+class TestRankBars:
+    def test_all_ranks_rendered(self, skewed_ppg):
+        ppg, vid = skewed_ppg
+        text = render_rank_bars(ppg, vid)
+        for r in range(8):
+            assert f"rank    {r}" in text
+
+    def test_abnormal_rank_marked(self, skewed_ppg):
+        ppg, vid = skewed_ppg
+        text = render_rank_bars(ppg, vid)
+        rank0 = [l for l in text.splitlines() if "rank    0" in l][0]
+        rank3 = [l for l in text.splitlines() if "rank    3" in l][0]
+        assert "<--" in rank0
+        assert "<--" not in rank3
+
+    def test_bars_proportional(self, skewed_ppg):
+        ppg, vid = skewed_ppg
+        text = render_rank_bars(ppg, vid, width=20)
+        rank0 = [l for l in text.splitlines() if "rank    0" in l][0]
+        rank1 = [l for l in text.splitlines() if "rank    1" in l][0]
+        assert rank0.count("#") > 3 * rank1.count("#")
+
+    def test_max_ranks_folding(self, skewed_ppg):
+        ppg, vid = skewed_ppg
+        text = render_rank_bars(ppg, vid, max_ranks=3)
+        assert "5 more ranks" in text
+
+    def test_never_sampled_vertex(self, skewed_ppg):
+        ppg, _vid = skewed_ppg
+        root = ppg.psg.root_id
+        assert "never sampled" in render_rank_bars(ppg, root)

@@ -1,0 +1,107 @@
+"""Tests for Scalasca-style wait-state classification."""
+
+import pytest
+
+from repro.baselines import WaitStateKind, classify_wait_states
+from tests.conftest import run_source
+
+
+class TestLateSender:
+    def test_late_sender_detected_and_blamed(self):
+        src = """def main() {
+            if (rank == 0) {
+                compute(flops = 2000000000);
+                send(dest = 1, tag = 1, bytes = 8);
+            } else {
+                recv(src = 0, tag = 1);
+            }
+        }"""
+        res, _, _ = run_source(src, nprocs=2)
+        profile = classify_wait_states(res)
+        totals = profile.total_by_kind()
+        assert totals[WaitStateKind.LATE_SENDER] == pytest.approx(1.0, rel=0.01)
+        assert profile.worst_culprits()[0][0] == 0
+
+    def test_transfer_when_send_early_but_wire_slow(self):
+        src = """def main() {
+            if (rank == 0) {
+                send(dest = 1, tag = 1, bytes = 600000000);
+            } else {
+                compute(flops = 10000000);
+                recv(src = 0, tag = 1);
+            }
+        }"""
+        res, _, _ = run_source(src, nprocs=2)
+        profile = classify_wait_states(res)
+        totals = profile.total_by_kind()
+        # 0.1s wire time minus the 5ms the receiver computed first
+        assert totals.get(WaitStateKind.TRANSFER, 0) > 0.05
+        assert WaitStateKind.LATE_SENDER not in totals
+
+    def test_mixed_late_sender_and_transfer_split(self):
+        src = """def main() {
+            if (rank == 0) {
+                compute(flops = 1000000000);
+                send(dest = 1, tag = 1, bytes = 600000000);
+            } else {
+                recv(src = 0, tag = 1);
+            }
+        }"""
+        res, _, _ = run_source(src, nprocs=2)
+        totals = classify_wait_states(res).total_by_kind()
+        assert totals[WaitStateKind.LATE_SENDER] == pytest.approx(0.5, rel=0.05)
+        assert totals[WaitStateKind.TRANSFER] == pytest.approx(0.1, rel=0.05)
+
+
+class TestCollectiveWaits:
+    def test_wait_at_nxn(self):
+        src = """def main() {
+            if (rank == 3) { compute(flops = 2000000000); }
+            allreduce(bytes = 8);
+        }"""
+        res, _, _ = run_source(src, nprocs=4)
+        profile = classify_wait_states(res)
+        totals = profile.total_by_kind()
+        # three early ranks each wait ~1s
+        assert totals[WaitStateKind.WAIT_AT_NXN] == pytest.approx(3.0, rel=0.01)
+        assert profile.worst_culprits()[0] == (3, pytest.approx(3.0, rel=0.01))
+
+    def test_wait_at_barrier(self):
+        src = """def main() {
+            if (rank == 0) { compute(flops = 1000000000); }
+            barrier();
+        }"""
+        res, _, _ = run_source(src, nprocs=3)
+        totals = classify_wait_states(res).total_by_kind()
+        assert WaitStateKind.WAIT_AT_BARRIER in totals
+
+    def test_laggard_not_charged_own_wait(self):
+        src = """def main() {
+            if (rank == 1) { compute(flops = 1000000000); }
+            allreduce(bytes = 8);
+        }"""
+        res, _, _ = run_source(src, nprocs=2)
+        profile = classify_wait_states(res)
+        assert all(s.rank != 1 for s in profile.states)
+
+    def test_balanced_program_no_collective_waits(self):
+        src = """def main() {
+            compute(flops = 1000000);
+            barrier();
+        }"""
+        res, _, _ = run_source(src, nprocs=4)
+        totals = classify_wait_states(res).total_by_kind()
+        assert totals.get(WaitStateKind.WAIT_AT_BARRIER, 0.0) < 1e-6
+
+
+class TestRendering:
+    def test_render_contains_kinds_and_culprits(self):
+        src = """def main() {
+            if (rank == 0) { compute(flops = 1000000000); }
+            allreduce(bytes = 8);
+        }"""
+        res, _, _ = run_source(src, nprocs=4)
+        text = classify_wait_states(res).render()
+        assert "Wait at NxN" in text
+        assert "most waited-for: rank 0" in text
+        assert "total" in text
