@@ -1,14 +1,24 @@
-"""Quickstart: find the root cause of a scaling loss in 30 lines.
+"""Quickstart: find the root cause of a scaling loss with the Pipeline API.
 
 The program below hides a classic bug: one rank in four does extra
 boundary work, everyone else waits for it behind non-blocking receives,
 and a final allreduce spreads the delay to the whole job.  ScalAna profiles
-it at three scales and backtracks from the symptom to the guilty loop.
+it at four scales (in parallel) and backtracks from the symptom to the
+guilty loop.
+
+This example uses the composable Pipeline/Session API (repro.api).  The
+classic ``ScalAna`` facade still works — the migration is mechanical:
+
+    ScalAna(source=SRC, seed=7)        ->  session.pipeline(SRC, seed=7)
+    tool.static_analysis()             ->  pipe.static()
+    tool.profile_scales([4, 8])        ->  pipe.profile_scales([4, 8], jobs=2)
+    tool.detect(runs)                  ->  pipe.detect(runs)
+    tool.view(report)                  ->  pipe.report(report, with_source=True).text
 
 Run:  python examples/quickstart.py
 """
 
-from repro import ScalAna
+from repro import Session
 
 SOURCE = """\
 def main() {
@@ -30,26 +40,34 @@ def main() {
 
 
 def main() -> None:
-    tool = ScalAna(source=SOURCE, filename="quickstart.mm", seed=7)
+    # A session content-addresses every profiled run by
+    # (source digest, config digest, nprocs): re-running this script with
+    # a persistent cache_dir performs zero new simulations.
+    session = Session(cache_dir=".scalana_cache")
+    pipe = session.pipeline(SOURCE, filename="quickstart.mm", seed=7)
 
     # step 1: compile-time analysis (ScalAna-static)
-    static = tool.static_analysis()
+    static = pipe.static()
     print(f"PSG: {len(static.psg)} vertices "
           f"({static.contracted.vertices_before} before contraction)\n")
 
-    # step 2: profile at several scales (ScalAna-prof)
-    runs = tool.profile_scales([4, 8, 16, 32])
-    for run in runs:
+    # step 2: profile at several scales, three at a time (ScalAna-prof)
+    artifacts = pipe.profile_scales([4, 8, 16, 32], jobs=3)
+    for artifact in artifacts:
+        run = artifact.run
+        origin = "cache" if artifact.cached else "simulated"
         print(f"  P={run.nprocs:3d}  time {run.app_time:8.2f}s  "
               f"measurement overhead {run.overhead.overhead_percent:.2f}%  "
-              f"profile size {run.overhead.storage_bytes / 1024:.1f} KB")
+              f"profile size {run.overhead.storage_bytes / 1024:.1f} KB  "
+              f"[{origin}]")
 
     # step 3: offline root-cause detection (ScalAna-detect)
-    report = tool.detect(runs)
+    report = pipe.detect(artifacts)
 
     # step 4: view with source snippets (ScalAna-viewer)
     print()
-    print(tool.view(report))
+    print(pipe.report(report, with_source=True).text)
+    print(f"\ncache: {session.stats.hits} hits, {session.stats.misses} misses")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,59 @@
+"""The composable analysis API: config -> pipeline -> session -> sweep.
+
+This package is the structured surface over the paper's four steps:
+
+* :class:`AnalysisConfig` — every knob of one analysis, frozen, validated,
+  JSON-round-trippable, content-hashable (:meth:`AnalysisConfig.digest`).
+* :class:`Pipeline` — the four stages (:class:`StaticStage`,
+  :class:`ProfileStage`, :class:`DetectStage`, :class:`ReportStage`) wired
+  for one (source, config) pair, with parallel multi-scale profiling.
+* :class:`Session` — content-addressed artifact caching keyed on
+  ``(source digest, config digest, nprocs)``: repeated analyses are cache
+  hits, not re-simulations.
+* :func:`sweep` — batch app × scales × seeds matrices in one call.
+
+The classic :class:`repro.ScalAna` facade and :func:`repro.analyze_program`
+are thin wrappers over this API.
+"""
+
+from repro.api.artifacts import (
+    AnyProfile,
+    ArtifactKey,
+    DetectArtifact,
+    ProfileArtifact,
+    ReportArtifact,
+    StaticArtifact,
+    run_fingerprint,
+)
+from repro.api.config import AnalysisConfig, source_digest
+from repro.api.pipeline import (
+    DetectStage,
+    Pipeline,
+    ProfileStage,
+    ReportStage,
+    StaticStage,
+)
+from repro.api.session import CacheStats, Session
+from repro.api.sweep import SweepResult, sweep, valid_scales
+
+__all__ = [
+    "AnalysisConfig",
+    "source_digest",
+    "ArtifactKey",
+    "StaticArtifact",
+    "ProfileArtifact",
+    "DetectArtifact",
+    "ReportArtifact",
+    "AnyProfile",
+    "run_fingerprint",
+    "StaticStage",
+    "ProfileStage",
+    "DetectStage",
+    "ReportStage",
+    "Pipeline",
+    "Session",
+    "CacheStats",
+    "SweepResult",
+    "sweep",
+    "valid_scales",
+]

@@ -1,0 +1,143 @@
+"""Typed inter-stage artifacts and their content-addressed cache keys.
+
+Each pipeline stage consumes and produces a well-defined artifact type:
+
+========  ==============================  ============================
+stage     consumes                        produces
+========  ==============================  ============================
+static    source text                     :class:`StaticArtifact`
+profile   StaticArtifact                  :class:`ProfileArtifact`
+detect    StaticArtifact + profiles       :class:`DetectArtifact`
+report    DetectArtifact                  :class:`ReportArtifact`
+========  ==============================  ============================
+
+A :class:`ArtifactKey` addresses one profile artifact on disk by
+``(source digest, config digest, nprocs)``; the key — not the artifact —
+is what :class:`repro.api.session.Session` hashes and looks up.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Union
+
+from repro.detection import DetectionReport
+from repro.psg import StaticAnalysisResult
+from repro.runtime import ProfiledRun
+from repro.tools.storage import LoadedProfile
+
+__all__ = [
+    "ArtifactKey",
+    "StaticArtifact",
+    "ProfileArtifact",
+    "DetectArtifact",
+    "ReportArtifact",
+    "AnyProfile",
+    "run_fingerprint",
+]
+
+#: Detection accepts freshly profiled runs and cache-loaded ones alike:
+#: both expose ``nprocs`` / ``profile`` / ``comm`` / ``overhead`` / ``app_time``.
+AnyProfile = Union[ProfiledRun, LoadedProfile]
+
+
+@dataclass(frozen=True)
+class ArtifactKey:
+    """Content address of one profiled run."""
+
+    source_digest: str
+    config_digest: str
+    nprocs: int
+
+    def relative_path(self) -> Path:
+        """Where this artifact lives inside a session's cache directory."""
+        return Path(f"{self.source_digest}-{self.config_digest}") / (
+            f"profile_p{self.nprocs}.json"
+        )
+
+
+@dataclass(frozen=True)
+class StaticArtifact:
+    """Output of the static stage: the compiled program + its PSG."""
+
+    source: str
+    filename: str
+    source_digest: str
+    result: StaticAnalysisResult
+
+    @property
+    def program(self):
+        return self.result.program
+
+    @property
+    def psg(self):
+        return self.result.psg
+
+    @property
+    def complete_psg(self):
+        return self.result.complete_psg
+
+    @property
+    def contracted(self):
+        return self.result.contracted
+
+
+@dataclass(frozen=True)
+class ProfileArtifact:
+    """Output of the profile stage at one scale, plus its provenance."""
+
+    key: ArtifactKey
+    run: AnyProfile
+    #: True when the run was loaded from the session cache (no simulation)
+    cached: bool = False
+
+    @property
+    def nprocs(self) -> int:
+        return self.key.nprocs
+
+
+@dataclass(frozen=True)
+class DetectArtifact:
+    """Output of the detect stage over >= 2 profile artifacts."""
+
+    report: DetectionReport
+    scales: tuple[int, ...]
+    source_digest: str
+    config_digest: str
+
+
+@dataclass(frozen=True)
+class ReportArtifact:
+    """Output of the report stage: the text shown to the programmer."""
+
+    text: str
+    with_source: bool
+
+
+def run_fingerprint(run: AnyProfile) -> str:
+    """Order-independent content hash of everything detection reads.
+
+    Two runs with equal fingerprints are bit-identical as far as the
+    offline pipeline is concerned: same sampled performance vectors, same
+    communication dependence, same measured app time.  Used to assert that
+    the parallel profiling path reproduces the serial one exactly.
+    """
+    h = hashlib.sha256()
+    h.update(f"nprocs={run.nprocs};app_time={run.app_time!r};".encode())
+    for (rank, vid), vec in sorted(run.profile.perf.items()):
+        c = vec.counters
+        h.update(
+            f"{rank},{vid}:{vec.time!r},{vec.wait!r},{vec.visits},"
+            f"{c.tot_ins!r},{c.tot_cyc!r},{c.tot_lst_ins!r},{c.l2_dcm!r};".encode()
+        )
+    for key in sorted(run.comm.edges):
+        h.update(f"E{key}:{run.comm.edge_stats[key]!r};".encode())
+    for key in sorted(run.comm.groups, key=repr):
+        h.update(f"G{key!r}:{run.comm.group_stats[key]!r};".encode())
+    for key in sorted(run.comm.indirect_targets, key=repr):
+        h.update(
+            f"I{key!r}:{sorted(run.comm.indirect_targets[key])!r};".encode()
+        )
+    return h.hexdigest()[:16]

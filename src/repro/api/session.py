@@ -1,0 +1,195 @@
+"""Sessions: content-addressed artifact caching across analyses.
+
+A :class:`Session` owns a cache directory and hands out pipelines bound to
+it.  Profiled runs are addressed by ``(source digest, config digest,
+nprocs)`` — see :class:`repro.api.artifacts.ArtifactKey` — and persisted
+with :mod:`repro.tools.storage`, the same format ``ScalAna-prof`` writes,
+so anything the CLI profiled can warm a session and vice versa.
+
+The contract: *a cache hit performs zero new simulations*.  Analyzing the
+same app at the same scale with the same config twice simulates once;
+changing any config knob changes the config digest and re-simulates.
+``Session.stats`` reports hits/misses, and
+:func:`repro.simulator.simulation_call_count` lets callers (and the test
+suite) assert the zero-simulation property directly.
+
+Sessions are thread-safe: the batch :meth:`Session.sweep` and parallel
+``profile_scales(jobs > 1)`` funnel through one lock for the in-memory
+index while the (pure, deterministic) simulations run concurrently.
+"""
+
+from __future__ import annotations
+
+import shutil
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional, Sequence, Union
+
+from repro.api.artifacts import AnyProfile, ArtifactKey, DetectArtifact
+from repro.api.config import AnalysisConfig
+from repro.api.pipeline import Pipeline
+from repro.apps.spec import AppSpec
+from repro.runtime import ProfiledRun
+from repro.tools.storage import load_profile, save_profile
+
+__all__ = ["CacheStats", "Session"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one session."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    bytes_written: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class Session:
+    """A scope for repeated analyses sharing one artifact cache.
+
+    ``cache_dir=None`` keeps artifacts in memory only (still deduplicates
+    within the process); a path makes them survive across processes.
+    """
+
+    cache_dir: Optional[Path] = None
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.cache_dir is not None:
+            self.cache_dir = Path(self.cache_dir)
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self._memory: dict[ArtifactKey, AnyProfile] = {}
+        self._lock = threading.Lock()
+
+    # -- pipeline factory ------------------------------------------------
+
+    def pipeline(
+        self,
+        source_or_app: Union[str, AppSpec],
+        config: Optional[AnalysisConfig] = None,
+        *,
+        filename: str = "<string>",
+        **config_overrides: Any,
+    ) -> Pipeline:
+        """A pipeline bound to this session (its profiles hit the cache)."""
+        if isinstance(source_or_app, AppSpec):
+            return Pipeline.for_app(
+                source_or_app, config, session=self, **config_overrides
+            )
+        if config is None:
+            config = AnalysisConfig(**config_overrides)
+        elif config_overrides:
+            config = config.with_overrides(**config_overrides)
+        return Pipeline(
+            source=source_or_app, filename=filename, config=config, session=self
+        )
+
+    # -- the artifact store ----------------------------------------------
+
+    def _disk_path(self, key: ArtifactKey) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / key.relative_path()
+
+    def fetch(self, key: ArtifactKey) -> Optional[AnyProfile]:
+        """The cached run for ``key``, or None (counts a hit or a miss).
+
+        A corrupt or unreadable artifact is a miss, not an error: the bad
+        file is dropped and the run re-simulated.
+        """
+        with self._lock:
+            run = self._memory.get(key)
+        if run is None:
+            path = self._disk_path(key)
+            if path is not None and path.exists():
+                try:
+                    run = load_profile(path)
+                except (ValueError, KeyError, OSError):
+                    path.unlink(missing_ok=True)
+                else:
+                    with self._lock:
+                        self._memory[key] = run
+        with self._lock:
+            if run is None:
+                self.stats.misses += 1
+            else:
+                self.stats.hits += 1
+        return run
+
+    def store(self, key: ArtifactKey, run: ProfiledRun) -> None:
+        """Index a freshly profiled run in memory and (if set) on disk."""
+        nbytes = 0
+        path = self._disk_path(key)
+        if path is not None:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            nbytes = save_profile(run, path)
+        with self._lock:
+            self._memory[key] = run
+            self.stats.stores += 1
+            self.stats.bytes_written += nbytes
+
+    def invalidate(
+        self,
+        *,
+        source_digest: Optional[str] = None,
+        config_digest: Optional[str] = None,
+    ) -> int:
+        """Drop cached artifacts matching the given digests (None = any).
+
+        Returns the number of in-memory entries dropped.  With no filters
+        this clears the whole cache.
+        """
+        def matches(key: ArtifactKey) -> bool:
+            return (source_digest is None or key.source_digest == source_digest) and (
+                config_digest is None or key.config_digest == config_digest
+            )
+
+        with self._lock:
+            victims = [k for k in self._memory if matches(k)]
+            for k in victims:
+                del self._memory[k]
+        if self.cache_dir is not None:
+            for bucket in self.cache_dir.iterdir():
+                if not bucket.is_dir():
+                    continue
+                src, _, cfg = bucket.name.partition("-")
+                if (source_digest is None or src == source_digest) and (
+                    config_digest is None or cfg == config_digest
+                ):
+                    shutil.rmtree(bucket)
+        return len(victims)
+
+    # -- one-call analyses -----------------------------------------------
+
+    def analyze(
+        self,
+        source_or_app: Union[str, AppSpec],
+        scales: Sequence[int],
+        config: Optional[AnalysisConfig] = None,
+        *,
+        jobs: int = 1,
+        filename: str = "<string>",
+        **config_overrides: Any,
+    ) -> DetectArtifact:
+        """Full pipeline through the cache: the cached :func:`analyze_program`."""
+        pipe = self.pipeline(
+            source_or_app, config, filename=filename, **config_overrides
+        )
+        return pipe.run(scales, jobs=jobs)
+
+    def sweep(self, *args: Any, **kwargs: Any):
+        """Batch entry point — see :func:`repro.api.sweep.sweep`."""
+        from repro.api.sweep import sweep
+
+        return sweep(*args, session=self, **kwargs)

@@ -1,0 +1,145 @@
+"""Batch analysis: app × scales × seeds matrices in one call.
+
+:func:`sweep` is the fan-out entry point for evaluation-style workloads
+("analyze these 11 apps at these 4 scales with 3 seeds each"): it builds
+one pipeline per (app, seed) cell, shares each app's static artifact
+across seeds (static analysis is seed-independent), dispatches every
+(cell, scale) profiling task onto one thread pool, and runs detection per
+cell once its profiles are in.  Bound to a :class:`~repro.api.session.Session`,
+re-sweeping only simulates the cells that changed.
+"""
+
+from __future__ import annotations
+
+import warnings
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional, Sequence, Union
+
+from repro.api.artifacts import ProfileArtifact, StaticArtifact
+from repro.api.config import AnalysisConfig
+from repro.api.pipeline import Pipeline
+from repro.api.session import Session
+from repro.apps.spec import AppSpec
+from repro.detection import DetectionReport
+
+__all__ = ["SweepResult", "sweep", "valid_scales"]
+
+
+def valid_scales(spec: AppSpec, scales: Sequence[int]) -> list[int]:
+    """Filter scales to the app's process-count constraint, mapping invalid
+    entries to the nearest smaller valid count (the bench-harness policy,
+    e.g. 128 -> 121 for BT/SP)."""
+    out: list[int] = []
+    for p in scales:
+        q = p
+        while q > 1 and not spec.nprocs_valid(q):
+            q -= 1
+        if q >= 2 and spec.nprocs_valid(q) and q not in out:
+            out.append(q)
+    return sorted(out)
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """One cell of the sweep matrix: (app, seed) analyzed over its scales."""
+
+    app: str
+    seed: int
+    scales: tuple[int, ...]
+    report: DetectionReport
+    #: how many of this cell's profiles came from the session cache
+    cache_hits: int
+
+    @property
+    def cause_locations(self) -> list[str]:
+        return self.report.cause_locations()
+
+
+def _resolve_app(app: Union[str, AppSpec]) -> AppSpec:
+    if isinstance(app, AppSpec):
+        return app
+    from repro.apps import get_app
+
+    return get_app(app)
+
+
+def sweep(
+    apps: Iterable[Union[str, AppSpec]],
+    scales: Sequence[int],
+    *,
+    seeds: Sequence[int] = (0,),
+    session: Optional[Session] = None,
+    jobs: int = 1,
+    config: Optional[AnalysisConfig] = None,
+    **config_overrides: Any,
+) -> list[SweepResult]:
+    """Analyze every (app, seed) cell at ``scales``, ``jobs`` tasks at a time.
+
+    ``apps`` mixes registry names and :class:`AppSpec` objects.  Scales are
+    per-app validity-filtered (see :func:`valid_scales`); cells left with
+    fewer than two valid scales are skipped.  Results come back in
+    (apps-order, seeds-order).
+    """
+    specs = [_resolve_app(a) for a in apps]
+    cells: list[tuple[AppSpec, int, Pipeline, list[int]]] = []
+    static_shared: dict[tuple[str, int], StaticArtifact] = {}
+    skipped: list[str] = []
+    for spec in specs:
+        cell_scales = valid_scales(spec, scales)
+        if len(cell_scales) < 2:
+            skipped.append(spec.name)
+            warnings.warn(
+                f"sweep: skipping {spec.name}: fewer than 2 valid scales "
+                f"in {list(scales)} (valid: {cell_scales})",
+                stacklevel=2,
+            )
+            continue
+        for seed in seeds:
+            if config is not None:
+                cfg = config.with_overrides(seed=seed, **config_overrides)
+            else:
+                cfg = AnalysisConfig.for_app(spec, seed=seed, **config_overrides)
+            pipe = Pipeline.for_app(spec, cfg, session=session)
+            # static analysis is seed-independent: share it across the row
+            skey = (pipe.source_digest, cfg.max_loop_depth)
+            if skey not in static_shared:
+                static_shared[skey] = pipe.static()
+            pipe.adopt_static(static_shared[skey])
+            cells.append((spec, seed, pipe, cell_scales))
+    if specs and not cells:
+        raise ValueError(
+            f"no app in {[s.name for s in specs]} has >= 2 valid scales "
+            f"in {list(scales)}"
+        )
+
+    profiles: dict[tuple[int, int], ProfileArtifact] = {}
+    tasks = [
+        (i, p) for i, (_spec, _seed, _pipe, cell_scales) in enumerate(cells)
+        for p in cell_scales
+    ]
+    if jobs > 1 and len(tasks) > 1:
+        with ThreadPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+            futures = {
+                pool.submit(cells[i][2].profile, p): (i, p) for i, p in tasks
+            }
+            for fut, (i, p) in futures.items():
+                profiles[(i, p)] = fut.result()
+    else:
+        for i, p in tasks:
+            profiles[(i, p)] = cells[i][2].profile(p)
+
+    results: list[SweepResult] = []
+    for i, (spec, seed, pipe, cell_scales) in enumerate(cells):
+        artifacts = [profiles[(i, p)] for p in cell_scales]
+        report = pipe.detect(artifacts)
+        results.append(
+            SweepResult(
+                app=spec.name,
+                seed=seed,
+                scales=tuple(cell_scales),
+                report=report,
+                cache_hits=sum(a.cached for a in artifacts),
+            )
+        )
+    return results

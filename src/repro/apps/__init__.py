@@ -14,6 +14,7 @@ from repro.apps.registry import (
     EVALUATED_APPS,
     app_names,
     get_app,
+    resolve_apps,
 )
 from repro.apps.spec import AppSpec
 from repro.apps.sst import SST, SST_FIXED
@@ -26,6 +27,7 @@ __all__ = [
     "CASE_STUDY_APPS",
     "app_names",
     "get_app",
+    "resolve_apps",
     "NPB_APPS",
     "ZEUSMP",
     "ZEUSMP_FIXED",

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Iterable, Union
+
 from repro.apps.nekbone import NEKBONE, NEKBONE_FIXED
 from repro.apps.npb import NPB_APPS
 from repro.apps.spec import AppSpec
@@ -14,6 +16,7 @@ __all__ = [
     "CASE_STUDY_APPS",
     "get_app",
     "app_names",
+    "resolve_apps",
 ]
 
 APPS: dict[str, AppSpec] = {}
@@ -45,3 +48,27 @@ def get_app(name: str) -> AppSpec:
 
 def app_names() -> list[str]:
     return sorted(APPS)
+
+
+def resolve_apps(names: Union[str, Iterable[str]]) -> list[AppSpec]:
+    """Expand an app selection into specs.
+
+    Accepts a comma-separated string (``"cg,ep"``), the keywords ``"all"``
+    (whole registry) and ``"evaluated"`` (the paper's 11 programs), or any
+    iterable of names.  Used by ``scalana sweep --apps``.
+    """
+    if isinstance(names, str):
+        if names == "all":
+            return [APPS[n] for n in app_names()]
+        if names == "evaluated":
+            return [APPS[n] for n in EVALUATED_APPS]
+        names = [n for n in names.split(",") if n]
+    try:
+        specs = [get_app(n) for n in names]
+    except KeyError as exc:
+        # get_app raises KeyError for lookups; a selection string is user
+        # input, so surface it as a clean ValueError instead
+        raise ValueError(exc.args[0]) from None
+    if not specs:
+        raise ValueError("empty app selection")
+    return specs

@@ -49,10 +49,11 @@ def results_dir() -> Path:
     """benchmarks/results/ at the repo root (created on demand)."""
     here = Path(__file__).resolve()
     for parent in here.parents:
-        if (parent / "pyproject.toml").exists():
+        if any((parent / marker).exists() for marker in ("pyproject.toml", "setup.py")):
             out = parent / "benchmarks" / "results"
             out.mkdir(parents=True, exist_ok=True)
             return out
+    # not installed from a source checkout: fall back to the working dir
     out = Path.cwd() / "benchmark_results"
     out.mkdir(parents=True, exist_ok=True)
     return out

@@ -54,6 +54,68 @@ class DetectionReport:
     def cause_locations(self) -> list[str]:
         return [rc.location for rc in self.root_causes]
 
+    def to_json_dict(self) -> dict:
+        """A machine-readable document (the ``--json`` CLI output).
+
+        Everything a downstream script needs to act on the diagnosis:
+        ranked root causes with their paths, plus the flagged vertices
+        each detector produced.  Plain JSON types only.
+        """
+        return {
+            "format": "scalana-report-v1",
+            "nprocs": self.nprocs,
+            "scales": list(self.scales),
+            "detection_seconds": self.detection_seconds,
+            "non_scalable": [
+                {
+                    "vid": v.vid,
+                    "alpha": v.fit.alpha,
+                    "r2": v.fit.r2,
+                    "times": list(v.times),
+                    "scales": list(v.scales),
+                    "time_fraction": v.time_fraction,
+                    "score": v.score,
+                }
+                for v in self.non_scalable
+            ],
+            "abnormal": [
+                {
+                    "vid": v.vid,
+                    "imbalance": v.imbalance,
+                    "mean_time": v.mean_time,
+                    "max_time": v.max_time,
+                    "abnormal_ranks": list(v.abnormal_ranks),
+                }
+                for v in self.abnormal
+            ],
+            "paths": [
+                {
+                    "start": list(p.start),
+                    "nodes": [list(n) for n in p.nodes],
+                    "terminated": p.terminated,
+                }
+                for p in self.paths
+            ],
+            "root_causes": [
+                {
+                    "rank": i,
+                    "vid": rc.vid,
+                    "label": rc.label,
+                    "location": rc.location,
+                    "function": rc.function,
+                    "symptom_vid": rc.symptom_vid,
+                    "symptom_label": rc.symptom_label,
+                    "symptom_location": rc.symptom_location,
+                    "path_ranks": list(rc.path_ranks),
+                    "path_locations": list(rc.path_locations),
+                    "mean_time": rc.mean_time,
+                    "imbalance": rc.imbalance,
+                    "score": rc.score,
+                }
+                for i, rc in enumerate(self.root_causes, 1)
+            ],
+        }
+
     def render(self, max_causes: int = 10) -> str:
         lines = [
             f"ScalAna detection report ({self.nprocs} processes, "

@@ -24,6 +24,7 @@ from repro.simulator.engine import (
     SimulationConfig,
     SimulationResult,
     simulate,
+    simulation_call_count,
 )
 from repro.simulator.errors import (
     DeadlockError,
@@ -71,4 +72,5 @@ __all__ = [
     "SimulationResult",
     "Workload",
     "simulate",
+    "simulation_call_count",
 ]

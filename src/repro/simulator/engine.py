@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import threading
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Iterator, Optional
@@ -56,7 +57,26 @@ from repro.simulator.events import (
 from repro.simulator.interp import Interpreter
 from repro.simulator.matching import Mailbox, Message, PostedRecv
 
-__all__ = ["DelayInjection", "SimulationConfig", "SimulationResult", "Engine", "simulate"]
+__all__ = [
+    "DelayInjection",
+    "SimulationConfig",
+    "SimulationResult",
+    "Engine",
+    "simulate",
+    "simulation_call_count",
+]
+
+#: Process-wide count of started simulations.  The artifact cache's
+#: contract is "a cache hit performs zero new simulations" — this counter
+#: is how that contract is asserted (and how batch drivers report work
+#: actually done vs. served from cache).
+_sim_call_lock = threading.Lock()
+_sim_call_count = 0
+
+
+def simulation_call_count() -> int:
+    """How many simulations this process has started (monotonic)."""
+    return _sim_call_count
 
 
 @dataclass(frozen=True)
@@ -656,4 +676,7 @@ class Engine:
 
 def simulate(program: ast.Program, psg: PSG, config: SimulationConfig) -> SimulationResult:
     """Convenience wrapper: run one simulation to completion."""
+    global _sim_call_count
+    with _sim_call_lock:
+        _sim_call_count += 1
     return Engine(program, psg, config).run()

@@ -1,6 +1,5 @@
-"""End-user tools: CLI, profile storage, and the text viewer (§V)."""
+"""End-user tools: CLI, profile storage, export, and the text viewer (§V)."""
 
-from repro.tools.cli import build_parser, main
 from repro.tools.storage import (
     LoadedProfile,
     load_profile,
@@ -19,3 +18,14 @@ __all__ = [
     "render_report_with_source",
     "source_snippet",
 ]
+
+
+def __getattr__(name: str):
+    # The CLI imports the package root (and through it repro.api, which in
+    # turn uses repro.tools.storage); loading it lazily keeps this package
+    # importable from anywhere without a cycle.
+    if name in ("main", "build_parser"):
+        from repro.tools import cli
+
+        return getattr(cli, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,13 +1,18 @@
-"""The ``scalana`` command line: static / prof / detect / view / run.
+"""The ``scalana`` command line: static / prof / detect / view / run / sweep.
 
-Mirrors the paper's four end-user steps (§V)::
+Mirrors the paper's four end-user steps (§V), all driven by the
+:class:`repro.api.Pipeline`::
 
     scalana static --app cg
-    scalana prof   --app cg --scales 4,8,16 --out profdir/
-    scalana detect --profiles profdir/
-    scalana run    --app zeusmp --scales 8,16,32     # all steps in one go
+    scalana prof   --app cg --scales 4,8,16 --out profdir/ --jobs 3
+    scalana detect --profiles profdir/ --json
+    scalana run    --app zeusmp --scales 8,16,32          # all steps in one go
+    scalana sweep  --apps cg,ep --scales 4,8,16 --seeds 0,1 --jobs 4
 
 ``run`` with a path instead of ``--app`` analyzes a MiniMPI source file.
+``--jobs N`` profiles scales in parallel; ``--json`` prints the
+machine-readable :class:`DetectionReport`; ``sweep --cache DIR`` reuses
+content-addressed profile artifacts across invocations.
 """
 
 from __future__ import annotations
@@ -16,11 +21,11 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro import ScalAna
-from repro.apps import app_names, get_app
-from repro.detection import detect_scaling_loss
+from repro import Pipeline, ScalAna, Session
+from repro.api.config import AnalysisConfig
+from repro.apps import app_names, get_app, resolve_apps
+from repro.tools.export import report_to_json
 from repro.tools.storage import load_profile, save_profile
-from repro.tools.viewer import render_report_with_source
 from repro.util.tables import Table, format_bytes
 
 __all__ = ["main", "build_parser"]
@@ -35,6 +40,22 @@ def _tool_from_args(args) -> ScalAna:
     raise SystemExit("need --app NAME or --source FILE")
 
 
+def _pipeline_from_args(args, session: Session | None = None) -> Pipeline:
+    if args.app:
+        return Pipeline.for_app(
+            get_app(args.app), seed=args.seed, session=session
+        )
+    if args.source:
+        source = Path(args.source).read_text()
+        return Pipeline(
+            source=source,
+            filename=args.source,
+            config=AnalysisConfig(seed=args.seed),
+            session=session,
+        )
+    raise SystemExit("need --app NAME or --source FILE")
+
+
 def _parse_scales(text: str) -> list[int]:
     try:
         scales = [int(x) for x in text.split(",") if x]
@@ -45,18 +66,26 @@ def _parse_scales(text: str) -> list[int]:
     return scales
 
 
+def _parse_seeds(text: str) -> list[int]:
+    try:
+        seeds = [int(x) for x in text.split(",") if x]
+    except ValueError:
+        raise SystemExit(f"bad --seeds value {text!r}; expected e.g. 0,1,2")
+    return seeds or [0]
+
+
 def cmd_apps(_args) -> int:
     print("\n".join(app_names()))
     return 0
 
 
 def cmd_static(args) -> int:
-    tool = _tool_from_args(args)
-    static = tool.static_analysis()
+    pipe = _pipeline_from_args(args)
+    static = pipe.static()
     stats_before = static.complete_psg.stats()
     stats_after = static.psg.stats()
     table = Table(
-        f"Static analysis of {tool.filename}",
+        f"Static analysis of {pipe.filename}",
         ["", "total", "Loop", "Branch", "Comp", "MPI", "Call"],
     )
     table.add_row(
@@ -75,17 +104,18 @@ def cmd_static(args) -> int:
 
 
 def cmd_prof(args) -> int:
-    tool = _tool_from_args(args)
+    pipe = _pipeline_from_args(args)
     outdir = Path(args.out)
     outdir.mkdir(parents=True, exist_ok=True)
     total_bytes = 0
-    for nprocs in _parse_scales(args.scales):
-        run = tool.profile(nprocs)
-        path = outdir / f"profile_p{nprocs}.json"
+    artifacts = pipe.profile_scales(_parse_scales(args.scales), jobs=args.jobs)
+    for artifact in artifacts:
+        run = artifact.run
+        path = outdir / f"profile_p{run.nprocs}.json"
         nbytes = save_profile(run, path)
         total_bytes += nbytes
         print(
-            f"p={nprocs:5d}  app {run.app_time:.4f}s  "
+            f"p={run.nprocs:5d}  app {run.app_time:.4f}s  "
             f"overhead {run.overhead.overhead_percent:.2f}%  "
             f"stored {format_bytes(nbytes)} -> {path}"
         )
@@ -94,15 +124,17 @@ def cmd_prof(args) -> int:
 
 
 def cmd_detect(args) -> int:
-    tool = _tool_from_args(args)
+    pipe = _pipeline_from_args(args)
     profdir = Path(args.profiles)
     files = sorted(profdir.glob("profile_p*.json"))
     if len(files) < 2:
         raise SystemExit(f"{profdir}: need profiles at >= 2 scales (found {len(files)})")
     runs = [load_profile(f) for f in files]
-    report = detect_scaling_loss(runs, psg=tool.psg)
-    if args.show_source:
-        print(render_report_with_source(report, tool.source))
+    report = pipe.detect(runs)
+    if args.json:
+        print(report_to_json(report))
+    elif args.show_source:
+        print(pipe.report(report, with_source=True).text)
     else:
         print(report.render())
     return 0
@@ -139,16 +171,16 @@ def cmd_export(args) -> int:
     from repro.ppg import build_ppg
     from repro.tools.export import ppg_to_dot, psg_to_dot, psg_to_graphml, write_text
 
-    tool = _tool_from_args(args)
+    pipe = _pipeline_from_args(args)
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
-    n = write_text(psg_to_dot(tool.psg), out / "psg.dot")
+    n = write_text(psg_to_dot(pipe.psg), out / "psg.dot")
     print(f"wrote {out / 'psg.dot'} ({n} bytes)")
-    psg_to_graphml(tool.psg, out / "psg.graphml")
+    psg_to_graphml(pipe.psg, out / "psg.graphml")
     print(f"wrote {out / 'psg.graphml'}")
     if args.nprocs:
-        run = tool.profile(int(args.nprocs))
-        ppg = build_ppg(tool.psg, run.nprocs, run.profile, run.comm)
+        run = pipe.profile(int(args.nprocs)).run
+        ppg = build_ppg(pipe.psg, run.nprocs, run.profile, run.comm)
         n = write_text(ppg_to_dot(ppg), out / f"ppg_p{run.nprocs}.dot")
         print(f"wrote {out / f'ppg_p{run.nprocs}.dot'} ({n} bytes)")
     return 0
@@ -165,20 +197,72 @@ def cmd_timeline(args) -> int:
 
 
 def cmd_run(args) -> int:
-    tool = _tool_from_args(args)
+    pipe = _pipeline_from_args(args)
     scales = _parse_scales(args.scales)
     if len(scales) < 2:
         raise SystemExit("run needs >= 2 scales to fit scaling trends")
-    runs = tool.profile_scales(scales)
-    for run in runs:
+    artifacts = pipe.profile_scales(scales, jobs=args.jobs)
+    report = pipe.detect(artifacts)
+    if args.json:
+        print(report_to_json(report))
+        return 0
+    for artifact in artifacts:
+        run = artifact.run
         print(
             f"p={run.nprocs:5d}  app {run.app_time:.4f}s  "
             f"overhead {run.overhead.overhead_percent:.2f}%  "
             f"storage {format_bytes(run.overhead.storage_bytes)}"
         )
-    report = tool.detect(runs)
     print()
-    print(tool.view(report) if args.show_source else report.render())
+    print(pipe.report(report, with_source=args.show_source).text)
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    """Batch-analyze an app × scales × seeds matrix through one session."""
+    import json as _json
+
+    try:
+        specs = resolve_apps(args.apps)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    scales = _parse_scales(args.scales)
+    if len(scales) < 2:
+        raise SystemExit("sweep needs >= 2 scales to fit scaling trends")
+    session = Session(cache_dir=Path(args.cache) if args.cache else None)
+    try:
+        results = session.sweep(
+            specs, scales, seeds=_parse_seeds(args.seeds), jobs=args.jobs
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    if args.json:
+        print(_json.dumps(
+            [
+                {
+                    "app": r.app,
+                    "seed": r.seed,
+                    "scales": list(r.scales),
+                    "cache_hits": r.cache_hits,
+                    "report": r.report.to_json_dict(),
+                }
+                for r in results
+            ],
+            indent=2,
+        ))
+        return 0
+    table = Table(
+        f"Sweep: {len(results)} analyses "
+        f"(cache {session.stats.hits} hits / {session.stats.misses} misses)",
+        ["app", "seed", "scales", "root causes", "top cause", "cached"],
+    )
+    for r in results:
+        top = r.report.root_causes[0].location if r.report.root_causes else "-"
+        table.add_row(
+            r.app, r.seed, ",".join(map(str, r.scales)),
+            len(r.report.root_causes), top, f"{r.cache_hits}/{len(r.scales)}",
+        )
+    print(table.render())
     return 0
 
 
@@ -194,6 +278,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--source", help="path to a MiniMPI source file")
         p.add_argument("--seed", type=int, default=0)
 
+    def jobs_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--jobs", type=int, default=1,
+            help="profile scales in parallel with N workers",
+        )
+
     p = sub.add_parser("apps", help="list registry applications")
     p.set_defaults(func=cmd_apps)
 
@@ -205,19 +295,39 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.add_argument("--scales", required=True, help="comma list, e.g. 4,8,16")
     p.add_argument("--out", default="scalana_profiles")
+    jobs_arg(p)
     p.set_defaults(func=cmd_prof)
 
     p = sub.add_parser("detect", help="detect root causes from saved profiles")
     common(p)
     p.add_argument("--profiles", default="scalana_profiles")
     p.add_argument("--show-source", action="store_true")
+    p.add_argument("--json", action="store_true", help="machine-readable report")
     p.set_defaults(func=cmd_detect)
 
     p = sub.add_parser("run", help="profile + detect in one go")
     common(p)
     p.add_argument("--scales", required=True, help="comma list, e.g. 4,8,16")
     p.add_argument("--show-source", action="store_true")
+    p.add_argument("--json", action="store_true", help="machine-readable report")
+    jobs_arg(p)
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "sweep", help="batch-analyze apps x scales x seeds through one session"
+    )
+    p.add_argument(
+        "--apps", required=True,
+        help="comma list of app names, or 'all' / 'evaluated'",
+    )
+    p.add_argument("--scales", required=True, help="comma list, e.g. 4,8,16")
+    p.add_argument("--seeds", default="0", help="comma list, e.g. 0,1,2")
+    p.add_argument(
+        "--cache", help="artifact cache directory (reused across invocations)"
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable reports")
+    jobs_arg(p)
+    p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("compare", help="compare tracer/profiler/ScalAna costs")
     common(p)

@@ -9,14 +9,22 @@ waiting time as label).
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import networkx as nx
 
+from repro.detection.report import DetectionReport
 from repro.ppg.build import PPG
 from repro.psg.graph import PSG, VertexType
 
-__all__ = ["psg_to_dot", "ppg_to_dot", "psg_to_graphml", "write_text"]
+__all__ = [
+    "psg_to_dot",
+    "ppg_to_dot",
+    "psg_to_graphml",
+    "report_to_json",
+    "write_text",
+]
 
 _SHAPE = {
     VertexType.ROOT: ("doublecircle", "gray90"),
@@ -111,6 +119,11 @@ def psg_to_graphml(psg: PSG, path: str | Path) -> None:
     """Write a PSG as GraphML (via networkx) for graph tools."""
     g = psg.to_networkx()
     nx.write_graphml(g, str(path))
+
+
+def report_to_json(report: DetectionReport, *, indent: int | None = 2) -> str:
+    """A DetectionReport as a JSON document (``scalana ... --json``)."""
+    return json.dumps(report.to_json_dict(), indent=indent, sort_keys=False)
 
 
 def write_text(text: str, path: str | Path) -> int:

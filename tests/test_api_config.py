@@ -1,0 +1,152 @@
+"""AnalysisConfig: validation, JSON round trip, digest stability."""
+
+import pytest
+
+from repro.api import AnalysisConfig, source_digest
+from repro.detection.aggregation import AggregationStrategy
+from repro.simulator import DelayInjection, MachineModel, NetworkModel
+
+
+def full_config() -> AnalysisConfig:
+    """A config with every field away from its default."""
+    return AnalysisConfig(
+        params={"n": 64, "iters": 10},
+        machine=MachineModel(flop_rate=1.0e9, noise_sigma=0.1),
+        network=NetworkModel(latency=5.0e-6, bandwidth=1.0e9),
+        max_loop_depth=3,
+        abnorm_thd=2.5,
+        freq_hz=100.0,
+        seed=42,
+        repetitions=3,
+        aggregation=AggregationStrategy.MEDIAN,
+        injected_delays=(DelayInjection(rank=4, filename="a.mm", line=3,
+                                        extra_seconds=0.5),),
+    )
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        AnalysisConfig()
+
+    def test_rejects_negative_loop_depth(self):
+        with pytest.raises(ValueError, match="max_loop_depth"):
+            AnalysisConfig(max_loop_depth=-1)
+
+    def test_zero_loop_depth_allowed(self):
+        assert AnalysisConfig(max_loop_depth=0).max_loop_depth == 0
+
+    def test_rejects_abnorm_thd_at_most_one(self):
+        with pytest.raises(ValueError, match="abnorm_thd"):
+            AnalysisConfig(abnorm_thd=1.0)
+
+    def test_rejects_nonpositive_freq(self):
+        with pytest.raises(ValueError, match="freq_hz"):
+            AnalysisConfig(freq_hz=0.0)
+
+    def test_rejects_zero_repetitions(self):
+        with pytest.raises(ValueError, match="repetitions"):
+            AnalysisConfig(repetitions=0)
+
+    def test_rejects_bad_delay_entries(self):
+        with pytest.raises(ValueError, match="DelayInjection"):
+            AnalysisConfig(injected_delays=("nope",))
+
+    def test_aggregation_accepts_enum_value_string(self):
+        cfg = AnalysisConfig(aggregation="median")
+        assert cfg.aggregation is AggregationStrategy.MEDIAN
+
+    def test_frozen(self):
+        cfg = AnalysisConfig()
+        with pytest.raises(AttributeError):
+            cfg.seed = 5
+
+    def test_injected_delays_normalized_to_tuple(self):
+        d = DelayInjection(rank=0, filename="x", line=1, extra_seconds=0.1)
+        cfg = AnalysisConfig(injected_delays=[d])
+        assert cfg.injected_delays == (d,)
+
+
+class TestJsonRoundTrip:
+    def test_default_round_trips(self):
+        cfg = AnalysisConfig()
+        assert AnalysisConfig.from_json(cfg.to_json()) == cfg
+
+    def test_full_round_trips(self):
+        cfg = full_config()
+        back = AnalysisConfig.from_json(cfg.to_json())
+        assert back == cfg
+        assert back.machine == cfg.machine
+        assert back.network == cfg.network
+        assert back.injected_delays == cfg.injected_delays
+        assert back.aggregation is AggregationStrategy.MEDIAN
+
+    def test_infinite_freq_round_trips(self):
+        cfg = AnalysisConfig(freq_hz=float("inf"))
+        back = AnalysisConfig.from_json(cfg.to_json())
+        assert back.freq_hz == float("inf")
+
+    def test_rejects_foreign_documents(self):
+        with pytest.raises(ValueError, match="scalana-config-v1"):
+            AnalysisConfig.from_dict({"format": "something-else"})
+
+
+class TestDigest:
+    def test_equal_configs_equal_digests(self):
+        assert full_config().digest() == full_config().digest()
+
+    def test_digest_survives_round_trip(self):
+        cfg = full_config()
+        assert AnalysisConfig.from_json(cfg.to_json()).digest() == cfg.digest()
+
+    def test_params_order_irrelevant(self):
+        a = AnalysisConfig(params={"x": 1, "y": 2})
+        b = AnalysisConfig(params={"y": 2, "x": 1})
+        assert a.digest() == b.digest()
+
+    def test_every_knob_changes_the_digest(self):
+        base = AnalysisConfig()
+        variants = [
+            base.with_overrides(params={"n": 1}),
+            base.with_overrides(machine=MachineModel(flop_rate=1.0)),
+            base.with_overrides(network=NetworkModel(latency=1.0)),
+            base.with_overrides(max_loop_depth=1),
+            base.with_overrides(abnorm_thd=9.9),
+            base.with_overrides(freq_hz=17.0),
+            base.with_overrides(seed=123),
+            base.with_overrides(repetitions=2),
+            base.with_overrides(aggregation=AggregationStrategy.MAX),
+            base.with_overrides(injected_delays=(
+                DelayInjection(rank=0, filename="f", line=1, extra_seconds=1.0),
+            )),
+        ]
+        digests = {base.digest()} | {v.digest() for v in variants}
+        assert len(digests) == len(variants) + 1  # all distinct
+
+    def test_source_digest_depends_on_source_and_filename(self):
+        assert source_digest("a", "f.mm") != source_digest("b", "f.mm")
+        assert source_digest("a", "f.mm") != source_digest("a", "g.mm")
+        assert source_digest("a", "f.mm") == source_digest("a", "f.mm")
+
+
+class TestBridges:
+    def test_simulation_config_carries_knobs(self):
+        cfg = full_config()
+        sim = cfg.simulation_config(8)
+        assert sim.nprocs == 8
+        assert sim.seed == 42
+        assert sim.machine == cfg.machine
+        assert sim.params == {"n": 64, "iters": 10}
+        assert list(sim.injected_delays) == list(cfg.injected_delays)
+
+    def test_simulation_config_overrides(self):
+        sim = full_config().simulation_config(4, seed=7)
+        assert sim.seed == 7
+
+    def test_for_app_picks_up_app_defaults(self):
+        from repro.apps import get_app
+
+        app = get_app("nekbone")  # has a machine override
+        cfg = AnalysisConfig.for_app(app, seed=3)
+        assert cfg.params == dict(app.params)
+        assert cfg.machine == app.machine
+        assert cfg.seed == 3

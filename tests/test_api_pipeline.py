@@ -1,0 +1,154 @@
+"""Pipeline stages: typed artifacts, parallel profiling, full runs."""
+
+import pytest
+
+from repro.api import (
+    AnalysisConfig,
+    DetectStage,
+    Pipeline,
+    ProfileStage,
+    ReportStage,
+    StaticStage,
+    run_fingerprint,
+)
+from repro.apps import get_app
+
+#: rank 0 does extra work every iteration; everyone blocks on a barrier.
+IMBALANCED = """\
+def main() {
+    for (var i = 0; i < 10; i = i + 1) {
+        compute(flops = 20000000, name = "work");
+        if (rank == 0) {
+            compute(flops = 80000000, name = "extra");
+        }
+        barrier();
+    }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def pipe() -> Pipeline:
+    return Pipeline(IMBALANCED, filename="imb.mm", config=AnalysisConfig(seed=2))
+
+
+class TestStages:
+    def test_static_stage_artifact(self, pipe):
+        art = StaticStage().run(pipe.source, pipe.filename, pipe.config)
+        assert art.source_digest == pipe.source_digest
+        assert len(art.psg) > 0
+        assert art.program is art.result.program
+
+    def test_profile_stage_single_scale(self, pipe):
+        run = ProfileStage().run(pipe.static(), pipe.config, 4)
+        assert run.nprocs == 4
+        assert run.app_time > 0
+
+    def test_detect_and_report_stages(self, pipe):
+        runs = ProfileStage().run_scales(pipe.static(), pipe.config, [4, 8])
+        report = DetectStage().run(pipe.static(), pipe.config, runs)
+        assert report.scales == (4, 8)
+        rendered = ReportStage().run(report, pipe.static(), with_source=True)
+        assert rendered.with_source
+        assert "ScalAna detection report" in rendered.text
+
+    def test_report_with_source_needs_static(self, pipe):
+        runs = ProfileStage().run_scales(pipe.static(), pipe.config, [4, 8])
+        report = DetectStage().run(pipe.static(), pipe.config, runs)
+        with pytest.raises(ValueError, match="StaticArtifact"):
+            ReportStage().run(report, None, with_source=True)
+
+
+class TestParallelScales:
+    def test_parallel_matches_serial_bit_for_bit(self, pipe):
+        stage = ProfileStage()
+        serial = stage.run_scales(pipe.static(), pipe.config, [4, 8, 16])
+        parallel = stage.run_scales(
+            pipe.static(), pipe.config, [4, 8, 16], jobs=3
+        )
+        assert [r.nprocs for r in parallel] == [4, 8, 16]
+        for s, p in zip(serial, parallel):
+            assert run_fingerprint(s) == run_fingerprint(p)
+
+    def test_fingerprint_distinguishes_scales(self, pipe):
+        stage = ProfileStage()
+        a, b = stage.run_scales(pipe.static(), pipe.config, [4, 8])
+        assert run_fingerprint(a) != run_fingerprint(b)
+
+    def test_more_jobs_than_scales(self, pipe):
+        runs = ProfileStage().run_scales(
+            pipe.static(), pipe.config, [4], jobs=8
+        )
+        assert [r.nprocs for r in runs] == [4]
+
+
+class TestPipeline:
+    def test_static_memoized(self, pipe):
+        assert pipe.static() is pipe.static()
+
+    def test_profile_artifact_key(self, pipe):
+        art = pipe.profile(4)
+        assert art.key.nprocs == 4
+        assert art.key.source_digest == pipe.source_digest
+        assert art.key.config_digest == pipe.config.digest()
+        assert not art.cached  # no session bound
+
+    def test_full_run_produces_detect_artifact(self, pipe):
+        result = pipe.run([4, 8], jobs=2)
+        assert result.scales == (4, 8)
+        assert result.report.nprocs == 8
+        assert result.source_digest == pipe.source_digest
+        # the planted imbalance is found and attributed to the source line
+        assert any("imb.mm" in loc for loc in result.report.cause_locations())
+
+    def test_run_rejects_empty_scales(self, pipe):
+        with pytest.raises(ValueError, match="at least one scale"):
+            pipe.run([])
+
+    def test_for_app_defaults_from_registry(self):
+        app = get_app("cg")
+        p = Pipeline.for_app(app, seed=5)
+        assert p.filename == app.filename
+        assert p.config.seed == 5
+        assert p.config.params == dict(app.params)
+
+    def test_adopt_static_rejects_other_program(self, pipe):
+        other = Pipeline("def main() { barrier(); }")
+        with pytest.raises(ValueError, match="different program"):
+            other.adopt_static(pipe.static())
+
+    def test_adopt_static_shares_artifact(self, pipe):
+        twin = Pipeline(
+            IMBALANCED, filename="imb.mm", config=AnalysisConfig(seed=99)
+        )
+        twin.adopt_static(pipe.static())
+        assert twin.static() is pipe.static()
+
+
+class TestFacadeParity:
+    """The classic facade is a thin wrapper: same numbers, same report."""
+
+    def test_scalana_profile_matches_pipeline(self, pipe):
+        from repro import ScalAna
+
+        tool = ScalAna(source=IMBALANCED, filename="imb.mm", seed=2)
+        facade_run = tool.profile(4)
+        pipeline_run = pipe.profile(4).run
+        assert run_fingerprint(facade_run) == run_fingerprint(pipeline_run)
+
+    def test_scalana_profile_scales_accepts_jobs(self):
+        from repro import ScalAna
+
+        tool = ScalAna(source=IMBALANCED, filename="imb.mm", seed=2)
+        serial = tool.profile_scales([4, 8])
+        parallel = tool.profile_scales([4, 8], jobs=2)
+        for s, p in zip(serial, parallel):
+            assert run_fingerprint(s) == run_fingerprint(p)
+
+    def test_analyze_program_jobs_parity(self):
+        from repro import analyze_program
+
+        a = analyze_program(IMBALANCED, [4, 8], filename="imb.mm", seed=2)
+        b = analyze_program(IMBALANCED, [4, 8], filename="imb.mm", seed=2, jobs=2)
+        assert a.cause_locations() == b.cause_locations()
+        assert a.scales == b.scales

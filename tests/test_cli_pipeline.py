@@ -1,0 +1,113 @@
+"""CLI surface added by the Pipeline/Session rewire: --jobs, --json, sweep."""
+
+import json
+
+import pytest
+
+from repro.tools.cli import main
+
+
+class TestProfJobs:
+    def test_prof_parallel_writes_all_scales(self, tmp_path, capsys):
+        out = tmp_path / "profs"
+        assert main([
+            "prof", "--app", "ep", "--scales", "4,8", "--jobs", "2",
+            "--out", str(out),
+        ]) == 0
+        assert (out / "profile_p4.json").exists()
+        assert (out / "profile_p8.json").exists()
+
+    def test_prof_parallel_bytes_match_serial(self, tmp_path):
+        serial, parallel = tmp_path / "s", tmp_path / "p"
+        main(["prof", "--app", "ep", "--scales", "4,8", "--out", str(serial)])
+        main(["prof", "--app", "ep", "--scales", "4,8", "--jobs", "2",
+              "--out", str(parallel)])
+        for name in ("profile_p4.json", "profile_p8.json"):
+            assert (serial / name).read_bytes() == (parallel / name).read_bytes()
+
+
+class TestJsonOutput:
+    def test_run_json_is_machine_readable(self, capsys):
+        assert main([
+            "run", "--app", "cg", "--scales", "4,8", "--json",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["format"] == "scalana-report-v1"
+        assert doc["scales"] == [4, 8]
+        assert doc["nprocs"] == 8
+        for key in ("root_causes", "non_scalable", "abnormal", "paths"):
+            assert isinstance(doc[key], list)
+
+    def test_detect_json_round_trip(self, tmp_path, capsys):
+        profdir = tmp_path / "profs"
+        main(["prof", "--app", "ep", "--scales", "4,8", "--out", str(profdir)])
+        capsys.readouterr()
+        assert main([
+            "detect", "--app", "ep", "--profiles", str(profdir), "--json",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["format"] == "scalana-report-v1"
+        assert doc["scales"] == [4, 8]
+
+    def test_run_json_reports_planted_delay(self, tmp_path, capsys):
+        src = tmp_path / "prog.mm"
+        src.write_text(
+            "def main() {\n"
+            "    for (var i = 0; i < 8; i = i + 1) {\n"
+            "        compute(flops = 10000000, name = \"w\");\n"
+            "        if (rank == 0) {\n"
+            "            compute(flops = 90000000, name = \"slow\");\n"
+            "        }\n"
+            "        barrier();\n"
+            "    }\n"
+            "}\n"
+        )
+        assert main([
+            "run", "--source", str(src), "--scales", "4,8", "--json",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["root_causes"], "expected at least one root cause"
+        assert any("prog.mm" in rc["location"] for rc in doc["root_causes"])
+
+
+class TestSweep:
+    def test_sweep_table_lists_every_cell(self, capsys):
+        assert main([
+            "sweep", "--apps", "ep,cg", "--scales", "4,8", "--seeds", "0,1",
+            "--jobs", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Sweep: 4 analyses" in out
+        assert out.count("ep") >= 2 and out.count("cg") >= 2
+
+    def test_sweep_json(self, capsys):
+        assert main([
+            "sweep", "--apps", "ep", "--scales", "4,8", "--json",
+        ]) == 0
+        docs = json.loads(capsys.readouterr().out)
+        assert [d["app"] for d in docs] == ["ep"]
+        assert docs[0]["report"]["format"] == "scalana-report-v1"
+
+    def test_sweep_cache_reused_across_invocations(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        args = ["sweep", "--apps", "ep", "--scales", "4,8",
+                "--cache", str(cache)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "0 hits / 2 misses" in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "2 hits / 0 misses" in second
+
+    def test_sweep_rejects_single_scale(self):
+        with pytest.raises(SystemExit, match=">= 2 scales"):
+            main(["sweep", "--apps", "ep", "--scales", "4"])
+
+    def test_sweep_rejects_unknown_app_cleanly(self):
+        with pytest.raises(SystemExit, match="unknown app"):
+            main(["sweep", "--apps", "nope", "--scales", "4,8"])
+
+    def test_sweep_rejects_all_invalid_scales_cleanly(self):
+        with pytest.warns(UserWarning, match="skipping bt"):
+            with pytest.raises(SystemExit, match="valid scales"):
+                main(["sweep", "--apps", "bt", "--scales", "5,6"])
