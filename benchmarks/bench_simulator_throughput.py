@@ -53,6 +53,30 @@ def test_throughput_collectives_p32(benchmark, coll_setup):
     assert len(result.collective_records) == 50
 
 
+def test_throughput_ring_p256_recorded(benchmark, ring_setup):
+    """The PR-2 headline target: full segment recording at 256 ranks.
+
+    This is the configuration the columnar TraceBuffer was built for —
+    ``benchmarks/BENCH_2.json`` pins its baseline throughput and
+    ``benchmarks/check_regression.py`` fails CI on a >20% drop.
+    """
+    prog, psg = ring_setup
+    cfg = SimulationConfig(nprocs=256, record_segments=True)
+    result = benchmark(lambda: simulate(prog, psg, cfg))
+    assert result.mpi_call_count == 50 * 2 * 256
+    assert result.trace.event_count == 50 * 3 * 256  # compute + send + recv
+
+
+def test_throughput_ring_p256_ring_mode(benchmark, ring_setup):
+    """Same scale with record_segments=False: the TraceBuffer folds sealed
+    chunks into aggregates and keeps memory bounded."""
+    prog, psg = ring_setup
+    cfg = SimulationConfig(nprocs=256, record_segments=False)
+    result = benchmark(lambda: simulate(prog, psg, cfg))
+    assert result.segments == []
+    assert result.vertex_time  # aggregates still maintained
+
+
 def test_throughput_static_analysis(benchmark):
     from repro.apps import get_app
 

@@ -1,0 +1,205 @@
+"""Benchmark-regression gate for the simulator (CI: bench-regression job).
+
+Measures the throughput of the ``bench_simulator_throughput`` workloads and
+compares against the committed baseline in ``benchmarks/BENCH_2.json``.
+The gate fails (exit 1) when any workload's throughput drops more than
+``--tolerance`` (default 20%) below the baseline.
+
+Machines differ, so raw seconds do not transfer: both the baseline and the
+current run are normalized by a calibration score — a fixed pure-Python +
+numpy workload timed on the same machine in the same process.  The
+committed numbers are "calibration units per run"; a faster machine scores
+proportionally higher on both the calibration and the benchmarks, and the
+ratio cancels.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py            # gate
+    PYTHONPATH=src python benchmarks/check_regression.py --update   # rebase
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.minilang.parser import parse_program
+from repro.psg import build_psg
+from repro.runtime import sample_result
+from repro.simulator import SimulationConfig, simulate
+
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_2.json"
+
+RING = """def main() {
+    for (var it = 0; it < 50; it = it + 1) {
+        compute(flops = 100000);
+        sendrecv(dest = (rank + 1) % nprocs, tag = 1, bytes = 1024,
+                 src = (rank - 1 + nprocs) % nprocs);
+    }
+}"""
+
+COLLECTIVES = """def main() {
+    for (var it = 0; it < 50; it = it + 1) {
+        compute(flops = 100000);
+        allreduce(bytes = 8);
+    }
+}"""
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    """Best wall-clock seconds of ``repeats`` runs (after one warmup)."""
+    fn()
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def calibration_score(repeats: int = 3) -> float:
+    """Machine-speed score (higher = faster): iterations/sec of a fixed
+    mixed Python + numpy workload shaped like the simulator hot loop."""
+
+    def workload():
+        acc = {}
+        buf = []
+        for i in range(200_000):
+            key = (i & 63, i % 17)
+            acc[key] = acc.get(key, 0.0) + 1.5
+            buf += (i, i + 1, 0.5)
+        arr = np.asarray(buf, dtype=np.float64)
+        np.bincount((arr[::3] % 64).astype(np.int64), weights=arr[2::3])
+
+    return 1.0 / _best_of(workload, repeats)
+
+
+def build_workloads():
+    ring_prog = parse_program(RING, "ring.mm")
+    ring_psg = build_psg(ring_prog).psg
+    coll_prog = parse_program(COLLECTIVES, "coll.mm")
+    coll_psg = build_psg(coll_prog).psg
+
+    def sim(prog, psg, nprocs, record):
+        cfg = SimulationConfig(nprocs=nprocs, record_segments=record)
+        return lambda: simulate(prog, psg, cfg)
+
+    # sample a 256-rank run (~38k events): big enough that the workload is
+    # not noise-dominated at millisecond scale on a loaded CI runner
+    sampling_res = simulate(
+        ring_prog, ring_psg, SimulationConfig(nprocs=256)
+    )
+
+    def static_analysis():
+        from repro.apps import get_app
+
+        # three real apps: keeps the workload above noise floor on CI
+        for name in ("zeusmp", "sst", "nekbone"):
+            spec = get_app(name)
+            build_psg(parse_program(spec.source, spec.filename))
+
+    return {
+        "ring_p32": sim(ring_prog, ring_psg, 32, False),
+        "collectives_p32": sim(coll_prog, coll_psg, 32, False),
+        "ring_p256_recorded": sim(ring_prog, ring_psg, 256, True),
+        "ring_p256_ring_mode": sim(ring_prog, ring_psg, 256, False),
+        "sampling_p256": lambda: sample_result(sampling_res, 200.0),
+        "static_analysis_apps": static_analysis,
+    }
+
+
+def measure(repeats: int = 3) -> dict:
+    # calibrate before *and* after the workloads and keep the faster score:
+    # transient load during one calibration window then cannot skew every
+    # normalized number in the same direction
+    calib = calibration_score(repeats)
+    rows = {}
+    for name, fn in build_workloads().items():
+        rows[name] = {"seconds": _best_of(fn, repeats)}
+    calib = max(calib, calibration_score(repeats))
+    for row in rows.values():
+        # machine-independent cost: calibration units burned per run
+        row["calibration_units"] = row["seconds"] * calib
+    return {"calibration_score": calib, "benchmarks": rows}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite the measured baseline numbers in BENCH_2.json",
+    )
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional throughput drop (0.20 = 20%%)")
+    parser.add_argument("--repeats", type=int, default=5)
+    args = parser.parse_args(argv)
+
+    current = measure(args.repeats)
+    if args.update or not BASELINE_PATH.exists():
+        doc = (
+            json.loads(BASELINE_PATH.read_text())
+            if BASELINE_PATH.exists()
+            else {}
+        )
+        doc.update(current)
+        BASELINE_PATH.write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"baseline written to {BASELINE_PATH}")
+        return 0
+
+    baseline = json.loads(BASELINE_PATH.read_text())
+    ratios = {}
+    print(f"{'benchmark':28s} {'base units':>12s} {'now units':>12s} {'ratio':>7s}")
+    for name, row in current["benchmarks"].items():
+        base = baseline["benchmarks"].get(name)
+        if base is None:
+            print(f"{name:28s} {'(new)':>12s} {row['calibration_units']:12.3f}")
+            continue
+        # throughput ratio = base cost / current cost (>1 means faster now)
+        ratio = base["calibration_units"] / row["calibration_units"]
+        flag = ""
+        if ratio < 1.0 - args.tolerance:
+            flag = "  below tolerance, will re-measure"
+        ratios[name] = ratio
+        print(
+            f"{name:28s} {base['calibration_units']:12.3f} "
+            f"{row['calibration_units']:12.3f} {ratio:7.2f}{flag}"
+        )
+
+    # Transient host load can sink a single measurement window; a *real*
+    # regression reproduces on every retry.  Re-measure only the workloads
+    # below tolerance (fresh calibration each time) and keep their best.
+    for attempt in range(2):
+        suspects = [
+            n for n, r in ratios.items() if r < 1.0 - args.tolerance
+        ]
+        if not suspects:
+            break
+        print(f"\nre-measuring {len(suspects)} suspect workload(s), "
+              f"attempt {attempt + 1}:")
+        workloads = build_workloads()
+        calib = calibration_score(args.repeats)
+        for name in suspects:
+            units = _best_of(workloads[name], args.repeats) * calib
+            ratio = baseline["benchmarks"][name]["calibration_units"] / units
+            ratios[name] = max(ratios[name], ratio)
+            print(f"{name:28s} {'':>12s} {units:12.3f} {ratios[name]:7.2f}")
+
+    failures = [
+        (n, r) for n, r in ratios.items() if r < 1.0 - args.tolerance
+    ]
+    if failures:
+        drops = ", ".join(f"{n} ({(1 - r) * 100:.0f}% slower)" for n, r in failures)
+        print(f"\nFAIL: throughput regression beyond "
+              f"{args.tolerance * 100:.0f}%: {drops}", file=sys.stderr)
+        return 1
+    print("\nOK: no benchmark regressed beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -97,6 +97,19 @@ class ProfileArtifact:
     def nprocs(self) -> int:
         return self.key.nprocs
 
+    @property
+    def trace(self):
+        """The run's columnar ground-truth TraceBuffer, or None.
+
+        Fresh profiles always carry it (``run.result.trace``); cache-loaded
+        profiles only when they were persisted with ``include_trace=True``
+        (see :func:`repro.tools.storage.save_profile`).
+        """
+        result = getattr(self.run, "result", None)
+        if result is not None:
+            return result.trace
+        return getattr(self.run, "trace", None)
+
 
 @dataclass(frozen=True)
 class DetectArtifact:

@@ -39,7 +39,9 @@ def cluster_processes(values: Sequence[float], k: int = 2) -> list[int]:
     iterations to convergence.  Returns a label per process, where labels
     are ordered by ascending centroid (label k-1 = slowest group).
     """
-    arr = np.asarray(list(values), dtype=float)
+    if not isinstance(values, (list, tuple, np.ndarray)):
+        values = list(values)  # accept generators without double-copying lists
+    arr = np.asarray(values, dtype=float)
     if arr.size == 0:
         raise ValueError("cannot cluster an empty sequence")
     k = min(k, arr.size)
@@ -68,7 +70,9 @@ def aggregate(
     values: Sequence[float], strategy: AggregationStrategy = AggregationStrategy.MEAN
 ) -> float:
     """Merge per-process values of one vertex into a scalar for fitting."""
-    arr = np.asarray(list(values), dtype=float)
+    if not isinstance(values, (list, tuple, np.ndarray)):
+        values = list(values)  # accept generators without double-copying lists
+    arr = np.asarray(values, dtype=float)
     if arr.size == 0:
         raise ValueError("cannot aggregate an empty sequence")
     if strategy is AggregationStrategy.SINGLE_PROCESS:

@@ -69,6 +69,10 @@ class PPG:
         #: (recv_rank, wait_vid) -> incoming comm edges (possibly pruned)
         self._in_edges: dict[PPGNode, list[_InEdge]] = defaultdict(list)
         self._collective_vids: set[int] = set()
+        #: vid -> per-rank times; the backtracking walk scores every node by
+        #: its cross-rank profile, so this is recomputed thousands of times
+        #: per detection without caching
+        self._vertex_times_cache: dict[int, list[float]] = {}
         self._index_edges()
 
     # ------------------------------------------------------------------
@@ -117,8 +121,13 @@ class PPG:
 
     def vertex_times(self, vid: int) -> list[float]:
         """Per-rank times of one PSG vertex — the location-aware comparison
-        axis of the abnormal-vertex detector."""
-        return self.profile.vertex_times(vid)
+        axis of the abnormal-vertex detector.  Cached: callers must not
+        mutate the returned list."""
+        times = self._vertex_times_cache.get(vid)
+        if times is None:
+            times = self.profile.vertex_times(vid)
+            self._vertex_times_cache[vid] = times
+        return times
 
     # ------------------------------------------------------------------
     # backward-traversal steps (Algorithm 1)

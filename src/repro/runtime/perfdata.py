@@ -24,6 +24,26 @@ class PerformanceVector:
     visits: int = 0
     counters: PerfCounters = field(default_factory=PerfCounters)
 
+    @classmethod
+    def from_trace_aggregates(
+        cls,
+        time: float,
+        wait: float,
+        visits: int,
+        counters: "PerfCounters | None",
+    ) -> "PerformanceVector":
+        """Build a vector from one (rank, vid) row of TraceBuffer aggregates.
+
+        The counters are copied — trace aggregates are shared, lazily built
+        dicts, and a vector's counters are mutated by sampling/merging.
+        """
+        return cls(
+            time=time,
+            wait=wait,
+            visits=visits,
+            counters=(counters + PerfCounters()) if counters is not None else PerfCounters(),
+        )
+
     def merge(self, other: "PerformanceVector") -> None:
         self.time += other.time
         self.wait += other.wait

@@ -17,14 +17,12 @@ sampling frequency rises).
 
 from __future__ import annotations
 
-import math
-from collections import defaultdict
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.runtime.perfdata import PerformanceVector
-from repro.simulator.costmodel import PerfCounters
 from repro.simulator.engine import SimulationResult
-from repro.simulator.events import Segment
 
 __all__ = ["SamplingProfile", "sample_result", "DEFAULT_FREQ_HZ"]
 
@@ -51,15 +49,6 @@ class SamplingProfile:
         return {vid for (_r, vid) in self.perf}
 
 
-def _segments_by_rank(result: SimulationResult) -> dict[int, list[Segment]]:
-    by_rank: dict[int, list[Segment]] = defaultdict(list)
-    for seg in result.segments:
-        by_rank[seg.rank].append(seg)
-    for segs in by_rank.values():
-        segs.sort(key=lambda s: (s.start, s.end))
-    return by_rank
-
-
 def sample_result(
     result: SimulationResult, freq_hz: float = DEFAULT_FREQ_HZ
 ) -> SamplingProfile:
@@ -67,6 +56,11 @@ def sample_result(
 
     Requires the run to have recorded segments
     (``SimulationConfig.record_segments=True``).
+
+    Operates directly on the TraceBuffer columns: per-segment sample counts
+    come from one vectorized pass; the per-vertex accumulation loop visits
+    segments rank by rank in (start, end) order — the exact float-add order
+    of the historical Segment-object path, so profiles are bit-identical.
     """
     if freq_hz <= 0:
         raise ValueError("sampling frequency must be positive")
@@ -76,22 +70,27 @@ def sample_result(
     perf: dict[tuple[int, int], PerformanceVector] = {}
     total_samples = 0
 
-    by_rank = _segments_by_rank(result)
-    for rank, segments in by_rank.items():
-        # Per-segment sample counts via closed-form: samples at t = k*period.
-        samples_in_seg: dict[int, int] = {}
-        for i, seg in enumerate(segments):
-            if seg.end <= seg.start:
+    cols = result.trace.columns()
+    rank_c, vid_c = cols["rank"], cols["vid"]
+    start_c, end_c, wait_c = cols["start"], cols["end"], cols["wait"]
+    if len(rank_c):
+        # samples at instants t = k*period with start < t <= end:
+        counts = (np.floor(end_c / period) - np.floor(start_c / period)).tolist()
+        durations = (end_c - start_c).tolist()
+        ranks = rank_c.tolist()
+        vids = vid_c.tolist()
+        waits = wait_c.tolist()
+        # rank-major, then (start, end), ties in recorded order — matches
+        # the old per-rank stable sort of Segment lists
+        order = np.lexsort((end_c, start_c, rank_c)).tolist()
+        vertex_counters = result.vertex_counters
+        vertex_time = result.vertex_time
+        for i in order:
+            count = int(counts[i])
+            if count <= 0:
                 continue
-            # samples at instants t = k*period with start < t <= end:
-            count = math.floor(seg.end / period) - math.floor(seg.start / period)
-            if count > 0:
-                samples_in_seg[i] = count
-                total_samples += count
-
-        for i, count in samples_in_seg.items():
-            seg = segments[i]
-            key = (rank, seg.vid)
+            total_samples += count
+            key = (int(ranks[i]), int(vids[i]))
             vec = perf.get(key)
             if vec is None:
                 vec = PerformanceVector()
@@ -99,15 +98,16 @@ def sample_result(
             sampled_time = count * period
             vec.time += sampled_time
             vec.visits += 1
-            if seg.duration > 0:
-                frac = min(1.0, sampled_time / seg.duration)
-                vec.wait += seg.wait * frac
-                exact = result.vertex_counters.get(key)
+            duration = durations[i]
+            if duration > 0:
+                frac = min(1.0, sampled_time / duration)
+                vec.wait += waits[i] * frac
+                exact = vertex_counters.get(key)
                 if exact is not None:
                     # distribute the vertex's exact counters by sampled share
-                    total = result.vertex_time.get(key, 0.0)
+                    total = vertex_time.get(key, 0.0)
                     if total > 0:
-                        vec.counters += exact.scaled(seg.duration / total * frac)
+                        vec.counters += exact.scaled(duration / total * frac)
 
     return SamplingProfile(
         freq_hz=freq_hz,
@@ -123,12 +123,15 @@ def exact_profile(result: SimulationResult) -> SamplingProfile:
     Used by tests (to bound sampling error) and by ablation benches.
     """
     perf: dict[tuple[int, int], PerformanceVector] = {}
+    vertex_wait = result.vertex_wait
+    vertex_visits = result.vertex_visits
+    vertex_counters = result.vertex_counters
     for key, t in result.vertex_time.items():
-        perf[key] = PerformanceVector(
-            time=t,
-            wait=result.vertex_wait.get(key, 0.0),
-            visits=result.vertex_visits.get(key, 0),
-            counters=result.vertex_counters.get(key, PerfCounters()) + PerfCounters(),
+        perf[key] = PerformanceVector.from_trace_aggregates(
+            t,
+            vertex_wait.get(key, 0.0),
+            vertex_visits.get(key, 0),
+            vertex_counters.get(key),
         )
     return SamplingProfile(
         freq_hz=float("inf"),

@@ -51,11 +51,14 @@ from repro.simulator.events import (
     CollectiveRecord,
     IndirectNote,
     P2PRecord,
-    Segment,
-    SegmentKind,
 )
 from repro.simulator.interp import Interpreter
 from repro.simulator.matching import Mailbox, Message, PostedRecv
+from repro.simulator.trace import MPI_OP_CODES, SegmentsView, TraceBuffer
+
+#: Hot-loop op codes (module constants beat dict lookups in the wait paths).
+_WAIT_CODE = MPI_OP_CODES[MpiOp.WAIT]
+_WAITALL_CODE = MPI_OP_CODES[MpiOp.WAITALL]
 
 __all__ = [
     "DelayInjection",
@@ -110,22 +113,46 @@ class SimulationConfig:
 
 @dataclass
 class SimulationResult:
-    """Ground truth of one run."""
+    """Ground truth of one run.
+
+    Timeline events live in a columnar :class:`TraceBuffer`; the historical
+    accessors (``segments``, ``vertex_time``, ``vertex_wait``,
+    ``vertex_counters``, ``vertex_visits``, ``time_of``) are lazy views
+    over it, so pre-TraceBuffer callers keep working unchanged.
+    """
 
     nprocs: int
     config: SimulationConfig
     finish_times: list[float]
-    segments: list[Segment]
+    trace: TraceBuffer
     p2p_records: list[P2PRecord]
     collective_records: list[CollectiveRecord]
     indirect_notes: list[IndirectNote]
-    #: exact per-(rank, vid) aggregates maintained during the run
-    vertex_time: dict[tuple[int, int], float]
-    vertex_wait: dict[tuple[int, int], float]
-    vertex_counters: dict[tuple[int, int], PerfCounters]
-    vertex_visits: dict[tuple[int, int], int]
     mpi_call_count: int
     compute_count: int
+
+    @property
+    def segments(self) -> SegmentsView:
+        """Timeline events as Segment objects (lazy; empty when the run was
+        executed with ``record_segments=False``)."""
+        return self.trace.segments()
+
+    @property
+    def vertex_time(self) -> dict[tuple[int, int], float]:
+        """Exact per-(rank, vid) executed time (lazy aggregate)."""
+        return self.trace.vertex_time()
+
+    @property
+    def vertex_wait(self) -> dict[tuple[int, int], float]:
+        return self.trace.vertex_wait()
+
+    @property
+    def vertex_counters(self) -> dict[tuple[int, int], PerfCounters]:
+        return self.trace.vertex_counters()
+
+    @property
+    def vertex_visits(self) -> dict[tuple[int, int], int]:
+        return self.trace.vertex_visits()
 
     @property
     def total_time(self) -> float:
@@ -139,7 +166,8 @@ class SimulationResult:
 
     def time_of(self, vid: int) -> list[float]:
         """Per-rank exact time of one PSG vertex (0.0 where never executed)."""
-        return [self.vertex_time.get((r, vid), 0.0) for r in range(self.nprocs)]
+        vt = self.vertex_time
+        return [vt.get((r, vid), 0.0) for r in range(self.nprocs)]
 
 
 class _Status(Enum):
@@ -196,19 +224,20 @@ class Engine:
         self.procs: list[_Proc] = []
         self._heap: list[tuple[float, int, int]] = []
         self._counter = itertools.count()
-        # recording
-        self.segments: list[Segment] = []
+        # recording: columnar trace (ring mode when segments are not kept)
+        self.trace = TraceBuffer(keep_events=config.record_segments)
+        self._trace_append = self.trace.append
         self.p2p_records: list[P2PRecord] = []
         self.collective_records: list[CollectiveRecord] = []
         self.indirect_notes: list[IndirectNote] = []
-        self.vertex_time: dict[tuple[int, int], float] = {}
-        self.vertex_wait: dict[tuple[int, int], float] = {}
-        self.vertex_counters: dict[tuple[int, int], PerfCounters] = {}
-        self.vertex_visits: dict[tuple[int, int], int] = {}
         self.mpi_call_count = 0
         self.compute_count = 0
         #: irecv PostedRecv.seq -> its _Request, until matched
         self._recv_reqs: dict[int, _Request] = {}
+        #: memoized (rank, workload) -> (duration, counter 4-tuple); only
+        #: valid when per-execution noise is off (the cost is then pure)
+        self._compute_cache: dict = {}
+        self._compute_cacheable = config.machine.noise_sigma <= 0.0
         # delay injection lookup
         self._delays: dict[tuple[int, str, int], float] = {}
         for d in config.injected_delays:
@@ -216,43 +245,14 @@ class Engine:
             self._delays[key] = self._delays.get(key, 0.0) + d.extra_seconds
 
     # ------------------------------------------------------------------
-    # recording helpers
-    # ------------------------------------------------------------------
-
-    def _record_segment(
-        self,
-        rank: int,
-        vid: int,
-        kind: SegmentKind,
-        start: float,
-        end: float,
-        wait: float = 0.0,
-        mpi_op: Optional[MpiOp] = None,
-        counters: Optional[PerfCounters] = None,
-    ) -> None:
-        key = (rank, vid)
-        self.vertex_time[key] = self.vertex_time.get(key, 0.0) + (end - start)
-        if wait:
-            self.vertex_wait[key] = self.vertex_wait.get(key, 0.0) + wait
-        self.vertex_visits[key] = self.vertex_visits.get(key, 0) + 1
-        if counters is not None:
-            agg = self.vertex_counters.get(key)
-            if agg is None:
-                self.vertex_counters[key] = PerfCounters() + counters
-            else:
-                agg += counters
-        if self.config.record_segments:
-            self.segments.append(
-                Segment(rank=rank, vid=vid, kind=kind, start=start, end=end,
-                        wait=wait, mpi_op=mpi_op)
-            )
-
-    # ------------------------------------------------------------------
     # main loop
     # ------------------------------------------------------------------
 
     def run(self) -> SimulationResult:
         cfg = self.config
+        # One compiled-expression cache shared by every rank: the AST is
+        # rank-independent, so each expression compiles exactly once.
+        expr_cache: dict = {}
         for pid in range(cfg.nprocs):
             interp = Interpreter(
                 self.program,
@@ -262,6 +262,7 @@ class Engine:
                 cfg.params,
                 max_iterations=cfg.max_iterations,
                 entry=cfg.entry,
+                expr_cache=expr_cache,
             )
             proc = _Proc(pid, interp.run())
             self.procs.append(proc)
@@ -288,14 +289,10 @@ class Engine:
             nprocs=cfg.nprocs,
             config=cfg,
             finish_times=finish,
-            segments=self.segments,
+            trace=self.trace,
             p2p_records=self.p2p_records,
             collective_records=self.collective_records,
             indirect_notes=self.indirect_notes,
-            vertex_time=self.vertex_time,
-            vertex_wait=self.vertex_wait,
-            vertex_counters=self.vertex_counters,
-            vertex_visits=self.vertex_visits,
             mpi_call_count=self.mpi_call_count,
             compute_count=self.compute_count,
         )
@@ -328,16 +325,34 @@ class Engine:
 
     def _step(self, proc: _Proc) -> None:
         """Run ``proc`` op-by-op while it stays the globally minimal clock."""
+        heap = self._heap
+        procs = self.procs
+        handlers = _HANDLERS
+        gen_next = proc.gen.__next__
         while True:
             try:
-                op = next(proc.gen)
+                op = gen_next()
             except StopIteration:
                 proc.status = _Status.DONE
                 return
-            parked = self._handle(proc, op)
+            handler = handlers.get(type(op))
+            if handler is None:
+                raise SimulationError(f"engine cannot handle {type(op).__name__}")
+            parked = handler(self, proc, op)
             if parked:
                 return
-            if self._heap and proc.clock > self._heap[0][0]:
+            # Anti-churn check: keep stepping while this proc is still the
+            # globally minimal clock.  The heap may hold *stale* entries
+            # (superseded tokens, procs no longer READY) with arbitrarily
+            # small clocks — peek past them first, or a stale top would
+            # re-park this proc for nothing (pure heap churn).
+            while heap:
+                top_clock, top_token, top_pid = heap[0]
+                top = procs[top_pid]
+                if top.status is _Status.READY and top.token == top_token:
+                    break
+                heapq.heappop(heap)
+            if heap and proc.clock > heap[0][0]:
                 self._push(proc)
                 return
             # else: still the minimum — keep stepping without heap churn.
@@ -345,47 +360,62 @@ class Engine:
     def _handle(self, proc: _Proc, op: ops.Op) -> bool:
         """Process one op.  Returns True when the proc was parked (or is
         otherwise no longer runnable in this step)."""
-        if isinstance(op, ops.ComputeOp):
-            self._handle_compute(proc, op)
-            return False
-        if isinstance(op, ops.SendOp):
-            self._handle_send(proc, op)
-            return False
-        if isinstance(op, ops.RecvOp):
-            return self._handle_recv(proc, op)
-        if isinstance(op, ops.WaitOp):
-            return self._handle_wait(proc, op)
-        if isinstance(op, ops.WaitAllOp):
-            return self._handle_waitall(proc, op)
-        if isinstance(op, ops.CollectiveOp):
-            return self._handle_collective(proc, op)
-        if isinstance(op, ops.IndirectCallNote):
-            self.indirect_notes.append(
-                IndirectNote(
-                    rank=proc.pid,
-                    stmt_id=op.stmt_id,
-                    inline_path=op.inline_path,
-                    target=op.target,
-                )
+        handler = _HANDLERS.get(type(op))
+        if handler is None:
+            raise SimulationError(f"engine cannot handle {type(op).__name__}")
+        return handler(self, proc, op)
+
+    def _handle_compute_op(self, proc: _Proc, op: ops.ComputeOp) -> bool:
+        self._handle_compute(proc, op)
+        return False
+
+    def _handle_send_op(self, proc: _Proc, op: ops.SendOp) -> bool:
+        self._handle_send(proc, op)
+        return False
+
+    def _handle_indirect_note(self, proc: _Proc, op: ops.IndirectCallNote) -> bool:
+        self.indirect_notes.append(
+            IndirectNote(
+                rank=proc.pid,
+                stmt_id=op.stmt_id,
+                inline_path=op.inline_path,
+                target=op.target,
             )
-            return False
-        raise SimulationError(f"engine cannot handle {type(op).__name__}")
+        )
+        return False
 
     # -- compute -----------------------------------------------------------
 
     def _handle_compute(self, proc: _Proc, op: ops.ComputeOp) -> None:
-        duration, counters = self.cost.compute_cost(proc.pid, op.workload)
-        key = (proc.pid, op.location.filename, op.location.line)
-        extra = self._delays.get(key)
-        if extra:
-            duration += extra
+        pid = proc.pid
+        if self._compute_cacheable:
+            ckey = (pid, op.workload)
+            cached = self._compute_cache.get(ckey)
+            if cached is None:
+                duration, counters = self.cost.compute_cost(pid, op.workload)
+                cached = (
+                    duration, counters.tot_ins, counters.tot_cyc,
+                    counters.tot_lst_ins, counters.l2_dcm,
+                )
+                self._compute_cache[ckey] = cached
+            duration, ins, cyc, lst, dcm = cached
+        else:
+            duration, counters = self.cost.compute_cost(pid, op.workload)
+            ins, cyc, lst, dcm = (
+                counters.tot_ins, counters.tot_cyc,
+                counters.tot_lst_ins, counters.l2_dcm,
+            )
+        if self._delays:
+            extra = self._delays.get(
+                (pid, op.location.filename, op.location.line)
+            )
+            if extra:
+                duration += extra
         start = proc.clock
         proc.clock = start + duration
         self.compute_count += 1
-        self._record_segment(
-            proc.pid, op.vid, SegmentKind.COMPUTE, start, proc.clock,
-            counters=counters,
-        )
+        self._trace_append(pid, op.vid, 0, start, proc.clock, 0.0, -1)
+        self.trace.append_counters(pid, op.vid, ins, cyc, lst, dcm)
 
     # -- point-to-point ------------------------------------------------------
 
@@ -393,21 +423,17 @@ class Engine:
         self.mpi_call_count += 1
         start = proc.clock
         proc.clock = start + self.cost.send_overhead()
+        # positional: this constructor runs once per message sent
         msg = Message(
-            src=proc.pid,
-            dest=op.dest,
-            tag=op.tag,
-            nbytes=op.nbytes,
-            send_time=start,
-            arrival=start + self.cost.p2p_transfer(op.nbytes),
-            send_vid=op.vid,
+            proc.pid, op.dest, op.tag, op.nbytes,
+            start, start + self.cost.p2p_transfer(op.nbytes), op.vid,
         )
         if op.request is not None:  # isend: completes locally right away
             proc.requests.setdefault(op.request, []).append(
                 _Request(name=op.request, kind="send", post_time=start, vid=op.vid)
             )
-        self._record_segment(
-            proc.pid, op.vid, SegmentKind.MPI, start, proc.clock, mpi_op=op.mpi_op
+        self._trace_append(
+            proc.pid, op.vid, 1, start, proc.clock, 0.0, MPI_OP_CODES[op.mpi_op]
         )
         match = self.mailboxes[op.dest].deliver(msg)
         if match is not None:
@@ -436,8 +462,9 @@ class Engine:
                 self._complete_match(match)
             start = proc.clock
             proc.clock = start + self.cost.recv_overhead()
-            self._record_segment(
-                proc.pid, op.vid, SegmentKind.MPI, start, proc.clock, mpi_op=op.mpi_op
+            self._trace_append(
+                proc.pid, op.vid, 1, start, proc.clock, 0.0,
+                MPI_OP_CODES[op.mpi_op],
             )
             return False
         # blocking recv
@@ -455,26 +482,20 @@ class Engine:
         completion = max(start, ready) + self.cost.recv_overhead()
         wait = max(0.0, match.message.arrival - start)
         proc.clock = completion
-        self._record_segment(
-            proc.pid, op.vid, SegmentKind.MPI, start, completion,
-            wait=wait, mpi_op=op.mpi_op,
+        self._trace_append(
+            proc.pid, op.vid, 1, start, completion, wait, MPI_OP_CODES[op.mpi_op]
         )
+        msg, recv = match.message, match.recv
+        # positional P2PRecord: (send_rank, send_vid, recv_rank, recv_vid,
+        # tag, nbytes, send_time, arrival, recv_post, completion, wait_vid,
+        # wait_time, declared_src, declared_tag) — once per matched message
         self.p2p_records.append(
             P2PRecord(
-                send_rank=match.message.src,
-                send_vid=match.message.send_vid,
-                recv_rank=proc.pid,
-                recv_vid=op.vid,
-                tag=match.message.tag,
-                nbytes=match.message.nbytes,
-                send_time=match.message.send_time,
-                arrival=match.message.arrival,
-                recv_post=match.recv.post_time,
-                completion=completion,
-                wait_vid=op.vid,
-                wait_time=wait,
-                declared_src=None if match.recv.src is ops.ANY else match.recv.src,
-                declared_tag=None if match.recv.tag is ops.ANY else match.recv.tag,
+                msg.src, msg.send_vid, proc.pid, op.vid,
+                msg.tag, msg.nbytes, msg.send_time, msg.arrival,
+                recv.post_time, completion, op.vid, wait,
+                None if recv.src is ops.ANY else recv.src,
+                None if recv.tag is ops.ANY else recv.tag,
             )
         )
 
@@ -555,11 +576,13 @@ class Engine:
         self, proc: _Proc, op: ops.WaitOp, req: _Request, *, block_start: float
     ) -> None:
         if req.kind == "send":
+            # An isend completed locally at post time: its MPI_Wait returns
+            # after the *send-side* software overhead (this used to charge
+            # the receive overhead — wrong side of the protocol stack).
             start = block_start
-            proc.clock = start + self.cost.recv_overhead()
-            self._record_segment(
-                proc.pid, op.vid, SegmentKind.MPI, start, proc.clock,
-                mpi_op=MpiOp.WAIT,
+            proc.clock = start + self.cost.send_overhead()
+            self._trace_append(
+                proc.pid, op.vid, 1, start, proc.clock, 0.0, _WAIT_CODE
             )
             return
         assert req.ready_time is not None
@@ -571,9 +594,8 @@ class Engine:
             req.record.completion = completion
             req.record.wait_vid = op.vid
             req.record.wait_time = wait
-        self._record_segment(
-            proc.pid, op.vid, SegmentKind.MPI, start, completion,
-            wait=wait, mpi_op=MpiOp.WAIT,
+        self._trace_append(
+            proc.pid, op.vid, 1, start, completion, wait, _WAIT_CODE
         )
 
     def _outstanding_requests(self, proc: _Proc) -> list[_Request]:
@@ -613,9 +635,8 @@ class Engine:
                 req.record.wait_time = max(0.0, req.ready_time - block_start)
         proc.requests.clear()
         proc.waitall_reqs = []
-        self._record_segment(
-            proc.pid, op.vid, SegmentKind.MPI, block_start, completion,
-            wait=wait, mpi_op=MpiOp.WAITALL,
+        self._trace_append(
+            proc.pid, op.vid, 1, block_start, completion, wait, _WAITALL_CODE
         )
 
     # -- collectives ------------------------------------------------------------
@@ -656,13 +677,13 @@ class Engine:
             completions=completions,
         )
         self.collective_records.append(record)
+        op_code = MPI_OP_CODES[inst.mpi_op]
         for rank, (arrival, vid) in inst.arrivals.items():
             other = self.procs[rank]
             completion = completions[rank]
             wait = max(0.0, completion - arrival - cost)
-            self._record_segment(
-                rank, vid, SegmentKind.MPI, arrival, completion,
-                wait=wait, mpi_op=inst.mpi_op,
+            self._trace_append(
+                rank, vid, 1, arrival, completion, wait, op_code
             )
             if rank == proc.pid:
                 proc.clock = completion
@@ -672,6 +693,18 @@ class Engine:
                 other.clock = completion
                 self._push(other)
         return False
+
+
+#: Op-type dispatch for the hot loop (single dict lookup per op).
+_HANDLERS = {
+    ops.ComputeOp: Engine._handle_compute_op,
+    ops.SendOp: Engine._handle_send_op,
+    ops.RecvOp: Engine._handle_recv,
+    ops.WaitOp: Engine._handle_wait,
+    ops.WaitAllOp: Engine._handle_waitall,
+    ops.CollectiveOp: Engine._handle_collective,
+    ops.IndirectCallNote: Engine._handle_indirect_note,
+}
 
 
 def simulate(program: ast.Program, psg: PSG, config: SimulationConfig) -> SimulationResult:

@@ -15,8 +15,6 @@ vertex via ``psg.lookup_stmt`` — this is the runtime half of the paper's
 
 from __future__ import annotations
 
-import hashlib
-import math
 from dataclasses import dataclass
 from typing import Iterator, Mapping, Optional
 
@@ -26,6 +24,13 @@ from repro.psg.graph import PSG
 from repro.simulator import ops
 from repro.simulator.costmodel import Workload
 from repro.simulator.errors import IterationLimitError, MpiUsageError, SimulationError
+from repro.simulator.exprcompile import (
+    BUILTIN_IMPL as _BUILTIN_IMPL,  # re-exported for compatibility
+    compile_expr,
+    frame_names_for,
+    hashrand as _hashrand,
+    truthy as _truthy_impl,
+)
 
 __all__ = ["Interpreter", "FuncRefValue"]
 
@@ -44,26 +49,103 @@ class _Return(Exception):
         self.value = value
 
 
-def _hashrand(args: tuple) -> float:
-    """Deterministic pseudo-random in [0, 1) from the argument tuple.
-
-    Apps use this to write reproducible load imbalance (e.g. per-rank,
-    per-iteration work variation) without any hidden RNG state.
-    """
-    h = hashlib.blake2b(repr(args).encode(), digest_size=8).digest()
-    return int.from_bytes(h, "little") / 2.0**64
+#: Compiled-statement kinds (how a statement closure emits ops).
+_ACTION, _YIELD_ONE, _YIELD_PAIR, _SUBGEN = 0, 1, 2, 3
 
 
-_BUILTIN_IMPL = {
-    "min": min,
-    "max": max,
-    "abs": abs,
-    "log2": math.log2,
-    "sqrt": math.sqrt,
-    "pow": pow,
-    "floor": math.floor,
-    "ceil": math.ceil,
-}
+def _run_entry(entry, frame, ctx, ip):
+    """Run one compiled (kind, fn) entry from generator context."""
+    kind, fn = entry
+    if kind == _ACTION:
+        fn(frame, ctx, ip)
+    elif kind == _YIELD_ONE:
+        yield fn(frame, ctx, ip)
+    elif kind == _SUBGEN:
+        yield from fn(frame, ctx, ip)
+    else:
+        first, second = fn(frame, ctx, ip)
+        yield first
+        yield second
+
+
+# -- typed argument validators (compiled form of the old _eval_* helpers) --
+
+
+def _number_arg(expr_fn, loc, what):
+    def fn(frame, ctx):
+        value = expr_fn(frame, ctx)
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise MpiUsageError(f"{loc}: {what} must be a number, got {value!r}")
+        return float(value)
+
+    return fn
+
+
+def _rank_arg(expr_fn, loc, what):
+    def fn(frame, ctx):
+        value = expr_fn(frame, ctx)
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise MpiUsageError(
+                f"{loc}: {what} must be an integer rank, got {value!r}"
+            )
+        if not (0 <= value < ctx.nprocs):
+            raise MpiUsageError(
+                f"{loc}: {what}={value} out of range for {ctx.nprocs} processes"
+            )
+        return value
+
+    return fn
+
+
+def _rank_or_any_arg(expr_fn, loc, what):
+    def fn(frame, ctx):
+        value = expr_fn(frame, ctx)
+        if value is ops.ANY:
+            return ops.ANY
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise MpiUsageError(
+                f"{loc}: {what} must be a rank or ANY, got {value!r}"
+            )
+        if not (0 <= value < ctx.nprocs):
+            raise MpiUsageError(
+                f"{loc}: {what}={value} out of range for {ctx.nprocs} processes"
+            )
+        return value
+
+    return fn
+
+
+def _tag_arg(expr_fn, loc, *, allow_any):
+    def fn(frame, ctx):
+        value = expr_fn(frame, ctx)
+        if value is ops.ANY:
+            if allow_any:
+                return ops.ANY
+            raise MpiUsageError(f"{loc}: ANY is not a valid send tag")
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise MpiUsageError(f"{loc}: tag must be an integer, got {value!r}")
+        if value < 0:
+            raise MpiUsageError(f"{loc}: tag must be non-negative, got {value}")
+        return value
+
+    return fn
+
+
+def _bytes_arg(expr, loc, compiler):
+    if expr is None:
+        return lambda frame, ctx: 0
+    expr_fn = compiler(expr)
+
+    def fn(frame, ctx):
+        value = expr_fn(frame, ctx)
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise MpiUsageError(f"{loc}: bytes must be a number, got {value!r}")
+        nbytes = int(value)
+        if nbytes < 0:
+            raise MpiUsageError(f"{loc}: bytes must be non-negative, got {nbytes}")
+        return nbytes
+
+    return fn
 
 
 class Interpreter:
@@ -79,6 +161,7 @@ class Interpreter:
         *,
         max_iterations: int = 10_000_000,
         entry: str = "main",
+        expr_cache: Optional[dict] = None,
     ) -> None:
         if not (0 <= rank < nprocs):
             raise ValueError(f"rank {rank} out of range for {nprocs} processes")
@@ -91,6 +174,19 @@ class Interpreter:
         self.entry = entry
         self.iterations = 0
         self._vid_cache: dict[tuple[tuple[int, ...], int], int] = {}
+        #: compiled-expression cache, shareable across same-program ranks
+        #: (expressions are pure; rank-dependence flows in via the context)
+        self._expr_cache: dict = expr_cache if expr_cache is not None else {}
+        #: names that may ever be frame-resident (rank-static analysis)
+        self._fnames = frame_names_for(program, self._expr_cache)
+        #: per-rank values of memoized rank-static subtrees
+        self._static_cache: dict = {}
+        #: per-statement memo of the last Workload built (usually invariant)
+        self._workload_cache: dict[int, tuple[tuple, Workload]] = {}
+
+    def _compile_expr(self, expr: ast.Expr):
+        """Compile through the shared cache with rank-static analysis on."""
+        return compile_expr(expr, self._expr_cache, self._fnames)
 
     # ------------------------------------------------------------------
     # driver
@@ -102,104 +198,193 @@ class Interpreter:
             raise SimulationError(f"program has no entry function {self.entry!r}")
         if func.params:
             raise SimulationError(f"entry function {self.entry!r} must take no arguments")
-        try:
-            yield from self._exec_func(func, [], ())
-        except _Return:
-            pass
+        yield from self._call_function(func, [], ())
 
     # ------------------------------------------------------------------
-    # statement execution
+    # statement compilation
+    #
+    # Statements compile once (per program, shared across ranks via the
+    # engine's expr_cache) into closures of signature (frame, ctx, ip):
+    # ``ctx`` is the evaluating Interpreter, ``ip`` the dynamic inline
+    # path.  Each compiled statement is tagged with how it emits ops so
+    # blocks only pay generator machinery where ops actually flow:
+    #
+    #   _ACTION      runs for effect, emits nothing (VarDecl/Assign/Return)
+    #   _YIELD_ONE   returns exactly one op (compute, most MPI)
+    #   _YIELD_PAIR  returns an op 2-tuple (sendrecv)
+    #   _SUBGEN      is a generator (if/for/while/call)
     # ------------------------------------------------------------------
 
-    def _exec_func(
-        self, func: ast.FunctionDef, args: list[object], inline_path: tuple[int, ...]
+    def _call_function(
+        self, func: ast.FunctionDef, args: list, ip: tuple[int, ...]
     ) -> Iterator[ops.Op]:
         if len(args) != len(func.params):
             raise SimulationError(
                 f"{func.name}() takes {len(func.params)} arguments, got {len(args)}"
             )
         frame = dict(zip(func.params, args))
+        cache = self._expr_cache
+        body = cache.get(id(func))
+        if body is None:
+            body = self._compile_block(func.body)
+            cache[id(func)] = body
         try:
-            yield from self._exec_block(func.body, frame, inline_path)
+            yield from body(frame, self, ip)
         except _Return:
             return
 
-    def _exec_block(
-        self, block: ast.Block, frame: dict, inline_path: tuple[int, ...]
-    ) -> Iterator[ops.Op]:
-        for stmt in block.statements:
-            yield from self._exec_stmt(stmt, frame, inline_path)
+    def _compile_block(self, block: ast.Block):
+        plan = tuple(self._compile_stmt(s) for s in block.statements)
+        if len(plan) == 1 and plan[0][0] == _SUBGEN:
+            return plan[0][1]
 
-    def _exec_stmt(
-        self, stmt: ast.Stmt, frame: dict, inline_path: tuple[int, ...]
-    ) -> Iterator[ops.Op]:
+        def run_block(frame, ctx, ip, _plan=plan):
+            for kind, fn in _plan:
+                if kind == _ACTION:
+                    fn(frame, ctx, ip)
+                elif kind == _YIELD_ONE:
+                    yield fn(frame, ctx, ip)
+                elif kind == _SUBGEN:
+                    yield from fn(frame, ctx, ip)
+                else:
+                    first, second = fn(frame, ctx, ip)
+                    yield first
+                    yield second
+
+        return run_block
+
+    def _compile_stmt(self, stmt: ast.Stmt):
         if isinstance(stmt, ast.VarDecl):
-            frame[stmt.name] = self._eval(stmt.init, frame) if stmt.init else 0
-        elif isinstance(stmt, ast.Assign):
-            if stmt.name not in frame:
-                raise SimulationError(
-                    f"{stmt.location}: assignment to undeclared variable {stmt.name!r}"
-                )
-            frame[stmt.name] = self._eval(stmt.value, frame)
-        elif isinstance(stmt, ast.ReturnStmt):
-            value = self._eval(stmt.value, frame) if stmt.value else None
-            raise _Return(value)
-        elif isinstance(stmt, ast.ComputeStmt):
-            yield self._make_compute(stmt, frame, inline_path)
-        elif isinstance(stmt, ast.MpiStmt):
-            yield from self._exec_mpi(stmt, frame, inline_path)
-        elif isinstance(stmt, ast.IfStmt):
-            if self._truthy(self._eval(stmt.cond, frame)):
-                yield from self._exec_block(stmt.then_body, frame, inline_path)
-            elif stmt.else_body is not None:
-                yield from self._exec_block(stmt.else_body, frame, inline_path)
-        elif isinstance(stmt, ast.ForStmt):
+            name = stmt.name
             if stmt.init is not None:
-                yield from self._exec_stmt(stmt.init, frame, inline_path)
-            while stmt.cond is None or self._truthy(self._eval(stmt.cond, frame)):
-                self._count_iteration(stmt)
-                yield from self._exec_block(stmt.body, frame, inline_path)
-                if stmt.step is not None:
-                    yield from self._exec_stmt(stmt.step, frame, inline_path)
-        elif isinstance(stmt, ast.WhileStmt):
-            while self._truthy(self._eval(stmt.cond, frame)):
-                self._count_iteration(stmt)
-                yield from self._exec_block(stmt.body, frame, inline_path)
-        elif isinstance(stmt, ast.CallStmt):
-            yield from self._exec_call(stmt, frame, inline_path)
-        else:  # pragma: no cover
-            raise SimulationError(f"cannot execute {type(stmt).__name__}")
+                init = self._compile_expr(stmt.init)
 
-    def _exec_call(
-        self, stmt: ast.CallStmt, frame: dict, inline_path: tuple[int, ...]
-    ) -> Iterator[ops.Op]:
-        callee = stmt.callee
-        target: Optional[str] = None
-        indirect = False
-        if isinstance(callee, ast.VarRef) and callee.name in self.program.functions:
-            target = callee.name
-        else:
-            value = self._eval(callee, frame)
-            if not isinstance(value, FuncRefValue):
-                raise SimulationError(
-                    f"{stmt.location}: call target is not a function "
-                    f"(got {type(value).__name__})"
-                )
-            target = value.name
-            indirect = True
-        func = self.program.functions.get(target)
-        if func is None:
-            raise SimulationError(f"{stmt.location}: call to undefined function {target!r}")
-        if indirect:
-            yield ops.IndirectCallNote(
-                vid=-1,
-                location=stmt.location,
-                stmt_id=stmt.stmt_id,
-                inline_path=inline_path,
-                target=target,
+                def fn(frame, ctx, ip):
+                    frame[name] = init(frame, ctx)
+
+            else:
+
+                def fn(frame, ctx, ip):
+                    frame[name] = 0
+
+            return _ACTION, fn
+        if isinstance(stmt, ast.Assign):
+            name, loc = stmt.name, stmt.location
+            value = self._compile_expr(stmt.value)
+
+            def fn(frame, ctx, ip):
+                if name not in frame:
+                    raise SimulationError(
+                        f"{loc}: assignment to undeclared variable {name!r}"
+                    )
+                frame[name] = value(frame, ctx)
+
+            return _ACTION, fn
+        if isinstance(stmt, ast.ReturnStmt):
+            value = (
+                self._compile_expr(stmt.value) if stmt.value is not None else None
             )
-        args = [self._eval(a, frame) for a in stmt.args]
-        yield from self._exec_func(func, args, inline_path + (stmt.stmt_id,))
+
+            def fn(frame, ctx, ip):
+                raise _Return(value(frame, ctx) if value is not None else None)
+
+            return _ACTION, fn
+        if isinstance(stmt, ast.ComputeStmt):
+            return _YIELD_ONE, self._compile_compute(stmt)
+        if isinstance(stmt, ast.MpiStmt):
+            return self._compile_mpi(stmt)
+        if isinstance(stmt, ast.IfStmt):
+            cond = self._compile_expr(stmt.cond)
+            then_body = self._compile_block(stmt.then_body)
+            else_body = (
+                self._compile_block(stmt.else_body)
+                if stmt.else_body is not None
+                else None
+            )
+
+            def fn(frame, ctx, ip):
+                if _truthy_impl(cond(frame, ctx)):
+                    yield from then_body(frame, ctx, ip)
+                elif else_body is not None:
+                    yield from else_body(frame, ctx, ip)
+
+            return _SUBGEN, fn
+        if isinstance(stmt, ast.ForStmt):
+            init = self._compile_stmt(stmt.init) if stmt.init is not None else None
+            cond = self._compile_expr(stmt.cond) if stmt.cond is not None else None
+            step = self._compile_stmt(stmt.step) if stmt.step is not None else None
+            body = self._compile_block(stmt.body)
+
+            def fn(frame, ctx, ip):
+                if init is not None:
+                    yield from _run_entry(init, frame, ctx, ip)
+                while cond is None or _truthy_impl(cond(frame, ctx)):
+                    ctx._count_iteration(stmt)
+                    yield from body(frame, ctx, ip)
+                    if step is not None:
+                        kind, sfn = step
+                        if kind == _ACTION:
+                            sfn(frame, ctx, ip)
+                        else:
+                            yield from _run_entry(step, frame, ctx, ip)
+
+            return _SUBGEN, fn
+        if isinstance(stmt, ast.WhileStmt):
+            cond = self._compile_expr(stmt.cond)
+            body = self._compile_block(stmt.body)
+
+            def fn(frame, ctx, ip):
+                while _truthy_impl(cond(frame, ctx)):
+                    ctx._count_iteration(stmt)
+                    yield from body(frame, ctx, ip)
+
+            return _SUBGEN, fn
+        if isinstance(stmt, ast.CallStmt):
+            return _SUBGEN, self._compile_call(stmt)
+        raise SimulationError(f"cannot execute {type(stmt).__name__}")
+
+    def _compile_call(self, stmt: ast.CallStmt):
+        functions = self.program.functions
+        callee = stmt.callee
+        loc = stmt.location
+        arg_fns = tuple(self._compile_expr(a) for a in stmt.args)
+        direct = (
+            callee.name
+            if isinstance(callee, ast.VarRef) and callee.name in functions
+            else None
+        )
+        callee_fn = self._compile_expr(callee) if direct is None else None
+
+        def fn(frame, ctx, ip):
+            if direct is not None:
+                target = direct
+                indirect = False
+            else:
+                value = callee_fn(frame, ctx)
+                if not isinstance(value, FuncRefValue):
+                    raise SimulationError(
+                        f"{loc}: call target is not a function "
+                        f"(got {type(value).__name__})"
+                    )
+                target = value.name
+                indirect = True
+            func = functions.get(target)
+            if func is None:
+                raise SimulationError(
+                    f"{loc}: call to undefined function {target!r}"
+                )
+            if indirect:
+                yield ops.IndirectCallNote(
+                    vid=-1,
+                    location=loc,
+                    stmt_id=stmt.stmt_id,
+                    inline_path=ip,
+                    target=target,
+                )
+            args = [a(frame, ctx) for a in arg_fns]
+            yield from ctx._call_function(func, args, ip + (stmt.stmt_id,))
+
+        return fn
 
     def _count_iteration(self, stmt: ast.Stmt) -> None:
         self.iterations += 1
@@ -210,103 +395,144 @@ class Interpreter:
             )
 
     # ------------------------------------------------------------------
-    # MPI statements
+    # MPI / compute statement compilation
     # ------------------------------------------------------------------
 
-    def _exec_mpi(
-        self, stmt: ast.MpiStmt, frame: dict, inline_path: tuple[int, ...]
-    ) -> Iterator[ops.Op]:
-        vid = self._vid_of(stmt, inline_path)
+    def _compile_mpi(self, stmt: ast.MpiStmt):
         loc = stmt.location
         op = stmt.op
 
         if op in (MpiOp.SEND, MpiOp.ISEND):
-            dest = self._eval_rank(stmt.dest, frame, loc, "dest")
-            tag = self._eval_tag(stmt.tag, frame, loc, allow_any=False)
-            nbytes = self._eval_bytes(stmt.bytes_expr, frame, loc)
-            yield ops.SendOp(
-                vid=vid,
-                location=loc,
-                dest=dest,
-                tag=tag,
-                nbytes=nbytes,
-                mpi_op=op,
-                blocking=op is MpiOp.SEND,
-                request=stmt.request,
-            )
-        elif op in (MpiOp.RECV, MpiOp.IRECV):
-            src = self._eval_rank_or_any(stmt.src, frame, loc, "src")
-            tag = self._eval_tag(stmt.tag, frame, loc, allow_any=True)
-            yield ops.RecvOp(
-                vid=vid,
-                location=loc,
-                src=src,
-                tag=tag,
-                mpi_op=op,
-                blocking=op is MpiOp.RECV,
-                request=stmt.request,
-            )
-        elif op is MpiOp.SENDRECV:
-            dest = self._eval_rank(stmt.dest, frame, loc, "dest")
-            tag = self._eval_tag(stmt.tag, frame, loc, allow_any=False)
-            nbytes = self._eval_bytes(stmt.bytes_expr, frame, loc)
-            src = self._eval_rank_or_any(stmt.recv_src, frame, loc, "src")
-            recv_tag = self._eval_tag(stmt.recv_tag, frame, loc, allow_any=True)
-            yield ops.SendOp(
-                vid=vid, location=loc, dest=dest, tag=tag, nbytes=nbytes,
-                mpi_op=MpiOp.SENDRECV, blocking=False,
-            )
-            yield ops.RecvOp(
-                vid=vid, location=loc, src=src, tag=recv_tag,
-                mpi_op=MpiOp.SENDRECV, blocking=True,
-            )
-        elif op is MpiOp.WAIT:
-            assert stmt.request is not None
-            yield ops.WaitOp(vid=vid, location=loc, request=stmt.request)
-        elif op is MpiOp.WAITALL:
-            yield ops.WaitAllOp(vid=vid, location=loc)
-        else:  # collectives
-            root = 0
-            if stmt.root is not None:
-                root = self._eval_rank(stmt.root, frame, loc, "root")
-            nbytes = self._eval_bytes(stmt.bytes_expr, frame, loc)
-            yield ops.CollectiveOp(
-                vid=vid, location=loc, mpi_op=op, root=root, nbytes=nbytes
+            dest = _rank_arg(self._compile_expr(stmt.dest), loc, "dest")
+            tag = _tag_arg(self._compile_expr(stmt.tag), loc, allow_any=False)
+            nbytes = _bytes_arg(stmt.bytes_expr, loc, self._compile_expr)
+            blocking = op is MpiOp.SEND
+            request = stmt.request
+
+            def fn(frame, ctx, ip):
+                return ops.SendOp(
+                    ctx._vid_of(stmt, ip), loc, dest(frame, ctx),
+                    tag(frame, ctx), nbytes(frame, ctx), op, blocking, request,
+                )
+
+            return _YIELD_ONE, fn
+        if op in (MpiOp.RECV, MpiOp.IRECV):
+            src = _rank_or_any_arg(self._compile_expr(stmt.src), loc, "src")
+            tag = _tag_arg(self._compile_expr(stmt.tag), loc, allow_any=True)
+            blocking = op is MpiOp.RECV
+            request = stmt.request
+
+            def fn(frame, ctx, ip):
+                return ops.RecvOp(
+                    ctx._vid_of(stmt, ip), loc, src(frame, ctx),
+                    tag(frame, ctx), op, blocking, request,
+                )
+
+            return _YIELD_ONE, fn
+        if op is MpiOp.SENDRECV:
+            dest = _rank_arg(self._compile_expr(stmt.dest), loc, "dest")
+            tag = _tag_arg(self._compile_expr(stmt.tag), loc, allow_any=False)
+            nbytes = _bytes_arg(stmt.bytes_expr, loc, self._compile_expr)
+            src = _rank_or_any_arg(self._compile_expr(stmt.recv_src), loc, "src")
+            recv_tag = _tag_arg(
+                self._compile_expr(stmt.recv_tag), loc, allow_any=True
             )
 
-    def _make_compute(
-        self, stmt: ast.ComputeStmt, frame: dict, inline_path: tuple[int, ...]
-    ) -> ops.ComputeOp:
-        flops = self._eval_number(stmt.flops, frame, stmt.location, "flops")
-        mem = (
-            self._eval_number(stmt.mem_bytes, frame, stmt.location, "bytes")
+            def fn(frame, ctx, ip):
+                vid = ctx._vid_of(stmt, ip)
+                send = ops.SendOp(
+                    vid, loc, dest(frame, ctx), tag(frame, ctx),
+                    nbytes(frame, ctx), MpiOp.SENDRECV, False, None,
+                )
+                recv = ops.RecvOp(
+                    vid, loc, src(frame, ctx), recv_tag(frame, ctx),
+                    MpiOp.SENDRECV, True, None,
+                )
+                return send, recv
+
+            return _YIELD_PAIR, fn
+        if op is MpiOp.WAIT:
+            assert stmt.request is not None
+            request = stmt.request
+
+            def fn(frame, ctx, ip):
+                return ops.WaitOp(
+                    vid=ctx._vid_of(stmt, ip), location=loc, request=request
+                )
+
+            return _YIELD_ONE, fn
+        if op is MpiOp.WAITALL:
+
+            def fn(frame, ctx, ip):
+                return ops.WaitAllOp(vid=ctx._vid_of(stmt, ip), location=loc)
+
+            return _YIELD_ONE, fn
+        # collectives
+        root = (
+            _rank_arg(self._compile_expr(stmt.root), loc, "root")
+            if stmt.root is not None
+            else None
+        )
+        nbytes = _bytes_arg(stmt.bytes_expr, loc, self._compile_expr)
+
+        def fn(frame, ctx, ip):
+            return ops.CollectiveOp(
+                vid=ctx._vid_of(stmt, ip),
+                location=loc,
+                mpi_op=op,
+                root=root(frame, ctx) if root is not None else 0,
+                nbytes=nbytes(frame, ctx),
+            )
+
+        return _YIELD_ONE, fn
+
+    def _compile_compute(self, stmt: ast.ComputeStmt):
+        loc = stmt.location
+        stmt_id = stmt.stmt_id
+        flops_fn = _number_arg(self._compile_expr(stmt.flops), loc, "flops")
+        mem_fn = (
+            _number_arg(self._compile_expr(stmt.mem_bytes), loc, "bytes")
             if stmt.mem_bytes is not None
-            else 0.0
+            else None
         )
-        locality = (
-            self._eval_number(stmt.locality, frame, stmt.location, "locality")
+        locality_fn = (
+            _number_arg(self._compile_expr(stmt.locality), loc, "locality")
             if stmt.locality is not None
-            else 1.0
+            else None
         )
-        threads = (
-            self._eval_number(stmt.threads, frame, stmt.location, "threads")
+        threads_fn = (
+            _number_arg(self._compile_expr(stmt.threads), loc, "threads")
             if stmt.threads is not None
-            else 1.0
+            else None
         )
-        if flops < 0 or mem < 0:
-            raise MpiUsageError(f"{stmt.location}: negative workload")
-        if threads < 1:
-            raise MpiUsageError(f"{stmt.location}: threads must be >= 1")
-        return ops.ComputeOp(
-            vid=self._vid_of(stmt, inline_path),
-            location=stmt.location,
-            workload=Workload(
-                flops=float(flops),
-                mem_bytes=float(mem),
-                locality=float(locality),
-                threads=float(threads),
-            ),
-        )
+
+        def fn(frame, ctx, ip):
+            flops = flops_fn(frame, ctx)
+            mem = mem_fn(frame, ctx) if mem_fn is not None else 0.0
+            locality = locality_fn(frame, ctx) if locality_fn is not None else 1.0
+            threads = threads_fn(frame, ctx) if threads_fn is not None else 1.0
+            if flops < 0 or mem < 0:
+                raise MpiUsageError(f"{loc}: negative workload")
+            if threads < 1:
+                raise MpiUsageError(f"{loc}: threads must be >= 1")
+            # Workload is frozen + validated, which makes construction the
+            # costliest part of a compute op; per-statement arguments are
+            # usually loop-invariant, so memoize the last instance built.
+            args = (flops, mem, locality, threads)
+            cached = ctx._workload_cache.get(stmt_id)
+            if cached is not None and cached[0] == args:
+                workload = cached[1]
+            else:
+                workload = Workload(
+                    flops=flops, mem_bytes=mem,
+                    locality=locality, threads=threads,
+                )
+                ctx._workload_cache[stmt_id] = (args, workload)
+            return ops.ComputeOp(
+                vid=ctx._vid_of(stmt, ip), location=loc, workload=workload
+            )
+
+        return fn
 
     def _vid_of(self, stmt: ast.Stmt, inline_path: tuple[int, ...]) -> int:
         key = (inline_path, stmt.stmt_id)
@@ -338,99 +564,11 @@ class Interpreter:
     # ------------------------------------------------------------------
 
     def _truthy(self, value: object) -> bool:
-        if isinstance(value, bool):
-            return value
-        if isinstance(value, (int, float)):
-            return value != 0
-        raise SimulationError(f"value {value!r} is not usable as a condition")
+        return _truthy_impl(value)
 
     def _eval(self, expr: ast.Expr, frame: dict) -> object:
-        if isinstance(expr, ast.IntLit):
-            return expr.value
-        if isinstance(expr, ast.FloatLit):
-            return expr.value
-        if isinstance(expr, ast.StringLit):
-            return expr.value
-        if isinstance(expr, ast.BoolLit):
-            return expr.value
-        if isinstance(expr, ast.AnyLit):
-            return ops.ANY
-        if isinstance(expr, ast.FuncRef):
-            if expr.name not in self.program.functions:
-                raise SimulationError(
-                    f"{expr.location}: &{expr.name} references undefined function"
-                )
-            return FuncRefValue(expr.name)
-        if isinstance(expr, ast.VarRef):
-            return self._lookup(expr, frame)
-        if isinstance(expr, ast.UnaryExpr):
-            value = self._eval(expr.operand, frame)
-            if expr.op == "-":
-                if not isinstance(value, (int, float)) or isinstance(value, bool):
-                    raise SimulationError(f"{expr.location}: cannot negate {value!r}")
-                return -value
-            if expr.op == "!":
-                return not self._truthy(value)
-            raise SimulationError(f"unknown unary op {expr.op!r}")
-        if isinstance(expr, ast.BinaryExpr):
-            return self._eval_binary(expr, frame)
-        if isinstance(expr, ast.CallExpr):
-            if expr.func == "hashrand":
-                args = tuple(self._eval(a, frame) for a in expr.args)
-                return _hashrand(args)
-            impl = _BUILTIN_IMPL[expr.func]
-            args = [self._eval(a, frame) for a in expr.args]
-            try:
-                return impl(*args)
-            except (TypeError, ValueError) as exc:
-                raise SimulationError(f"{expr.location}: {expr.func}(): {exc}") from exc
-        raise SimulationError(f"cannot evaluate {type(expr).__name__}")
-
-    def _eval_binary(self, expr: ast.BinaryExpr, frame: dict) -> object:
-        op = expr.op
-        if op == "&&":
-            return self._truthy(self._eval(expr.left, frame)) and self._truthy(
-                self._eval(expr.right, frame)
-            )
-        if op == "||":
-            return self._truthy(self._eval(expr.left, frame)) or self._truthy(
-                self._eval(expr.right, frame)
-            )
-        left = self._eval(expr.left, frame)
-        right = self._eval(expr.right, frame)
-        if op in ("==", "!="):
-            result = left == right
-            return result if op == "==" else not result
-        if not isinstance(left, (int, float)) or not isinstance(right, (int, float)):
-            raise SimulationError(
-                f"{expr.location}: operator {op!r} needs numbers, "
-                f"got {left!r} and {right!r}"
-            )
-        if op == "+":
-            return left + right
-        if op == "-":
-            return left - right
-        if op == "*":
-            return left * right
-        if op == "/":
-            if right == 0:
-                raise SimulationError(f"{expr.location}: division by zero")
-            if isinstance(left, int) and isinstance(right, int):
-                return int(left / right)  # C-style truncation
-            return left / right
-        if op == "%":
-            if right == 0:
-                raise SimulationError(f"{expr.location}: modulo by zero")
-            return left % right
-        if op == "<":
-            return left < right
-        if op == ">":
-            return left > right
-        if op == "<=":
-            return left <= right
-        if op == ">=":
-            return left >= right
-        raise SimulationError(f"unknown binary op {op!r}")
+        """Evaluate via the compiled-closure cache (see exprcompile)."""
+        return self._compile_expr(expr)(frame, self)
 
     def _lookup(self, ref: ast.VarRef, frame: dict) -> object:
         name = ref.name
@@ -443,56 +581,3 @@ class Interpreter:
         if name == "nprocs":
             return self.nprocs
         raise SimulationError(f"{ref.location}: undefined variable {name!r}")
-
-    # -- typed argument evaluation -----------------------------------------
-
-    def _eval_number(self, expr: ast.Expr, frame: dict, loc, what: str) -> float:
-        value = self._eval(expr, frame)
-        if isinstance(value, bool) or not isinstance(value, (int, float)):
-            raise MpiUsageError(f"{loc}: {what} must be a number, got {value!r}")
-        return float(value)
-
-    def _eval_rank(self, expr: ast.Expr, frame: dict, loc, what: str) -> int:
-        value = self._eval(expr, frame)
-        if isinstance(value, bool) or not isinstance(value, int):
-            raise MpiUsageError(f"{loc}: {what} must be an integer rank, got {value!r}")
-        if not (0 <= value < self.nprocs):
-            raise MpiUsageError(
-                f"{loc}: {what}={value} out of range for {self.nprocs} processes"
-            )
-        return value
-
-    def _eval_rank_or_any(self, expr: ast.Expr, frame: dict, loc, what: str) -> object:
-        value = self._eval(expr, frame)
-        if value is ops.ANY:
-            return ops.ANY
-        if isinstance(value, bool) or not isinstance(value, int):
-            raise MpiUsageError(f"{loc}: {what} must be a rank or ANY, got {value!r}")
-        if not (0 <= value < self.nprocs):
-            raise MpiUsageError(
-                f"{loc}: {what}={value} out of range for {self.nprocs} processes"
-            )
-        return value
-
-    def _eval_tag(self, expr: ast.Expr, frame: dict, loc, *, allow_any: bool) -> object:
-        value = self._eval(expr, frame)
-        if value is ops.ANY:
-            if allow_any:
-                return ops.ANY
-            raise MpiUsageError(f"{loc}: ANY is not a valid send tag")
-        if isinstance(value, bool) or not isinstance(value, int):
-            raise MpiUsageError(f"{loc}: tag must be an integer, got {value!r}")
-        if value < 0:
-            raise MpiUsageError(f"{loc}: tag must be non-negative, got {value}")
-        return value
-
-    def _eval_bytes(self, expr: Optional[ast.Expr], frame: dict, loc) -> int:
-        if expr is None:
-            return 0
-        value = self._eval(expr, frame)
-        if isinstance(value, bool) or not isinstance(value, (int, float)):
-            raise MpiUsageError(f"{loc}: bytes must be a number, got {value!r}")
-        nbytes = int(value)
-        if nbytes < 0:
-            raise MpiUsageError(f"{loc}: bytes must be non-negative, got {nbytes}")
-        return nbytes

@@ -32,13 +32,13 @@ __all__ = [
 ANY = object()
 
 
-@dataclass
+@dataclass(slots=True)
 class Op:
     vid: int
     location: SourceLocation
 
 
-@dataclass
+@dataclass(slots=True)
 class ComputeOp(Op):
     workload: Workload
     #: Filled by the cost model before the engine advances the clock.
@@ -46,7 +46,7 @@ class ComputeOp(Op):
     counters: Optional[PerfCounters] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class SendOp(Op):
     dest: int
     tag: int
@@ -56,7 +56,7 @@ class SendOp(Op):
     request: Optional[str] = None  # isend
 
 
-@dataclass
+@dataclass(slots=True)
 class RecvOp(Op):
     src: object  # int rank or ANY
     tag: object  # int or ANY
@@ -65,24 +65,24 @@ class RecvOp(Op):
     request: Optional[str] = None  # irecv
 
 
-@dataclass
+@dataclass(slots=True)
 class WaitOp(Op):
     request: str
 
 
-@dataclass
+@dataclass(slots=True)
 class WaitAllOp(Op):
     pass
 
 
-@dataclass
+@dataclass(slots=True)
 class CollectiveOp(Op):
     mpi_op: MpiOp = MpiOp.BARRIER
     root: int = 0
     nbytes: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class IndirectCallNote(Op):
     """Not a blocking op: tells the runtime layer that an indirect call site
     resolved to ``target`` (paper §III-B3).  The engine forwards it to hooks

@@ -1,0 +1,503 @@
+"""Columnar ground-truth recording: the :class:`TraceBuffer`.
+
+The engine used to record one :class:`~repro.simulator.events.Segment`
+dataclass per timeline event plus four dict-of-tuple per-vertex aggregates,
+all updated inside the simulation hot loop.  At 256+ ranks that Python
+object churn dominated simulation time.  The TraceBuffer replaces it with a
+struct-of-arrays layout:
+
+**Layout.**  One logical *event table* with seven float64 columns::
+
+    column  meaning
+    ------  --------------------------------------------------------------
+    rank    rank the span executed on
+    vid     PSG vertex id the span is attributed to
+    kind    SegmentKind (0 = COMPUTE, 1 = MPI)
+    start   span start, simulated seconds
+    end     span end, simulated seconds
+    wait    portion of the span spent waiting on other ranks (MPI only)
+    op      MpiOp code (index into MPI_OP_CODES; -1 = no MPI op)
+
+and one *counter table* with six columns (``rank, vid, tot_ins, tot_cyc,
+tot_lst_ins, l2_dcm``), appended only for spans that carry simulated PMU
+counters (compute spans).  Integral columns are stored as float64 too —
+ranks, vids and op codes are far below 2**53, so the round trip is exact
+and appends stay a single flat-list extend.
+
+**Write path.**  ``append()`` extends a flat pending list (one C-level
+``list.__iadd__`` per event — no per-event objects, no dict updates).  When
+the pending list reaches one chunk (:data:`CHUNK_EVENTS` events) it is
+sealed into a ``(n, 7)`` float64 ndarray.  With ``keep_events=False`` the
+buffer behaves as a bounded ring: each sealed chunk is folded into the
+running per-vertex aggregates in event order and then dropped, so memory
+stays O(chunk + vertices) no matter how long the run is.
+
+**Read path.**  Everything downstream is a lazy view over the columns:
+
+* :meth:`segments` — a sequence view materializing ``Segment`` objects on
+  demand (keeps every pre-TraceBuffer caller working unchanged),
+* :meth:`vertex_time` / :meth:`vertex_wait` / :meth:`vertex_visits` /
+  :meth:`vertex_counters` — per-``(rank, vid)`` aggregate dicts computed in
+  one vectorized pass (``np.bincount`` accumulates weights in occurrence
+  order, so the sums are bit-identical to the old streaming dict updates),
+* :meth:`columns` — the raw column arrays for vectorized consumers
+  (sampling, timelines, serialization).
+
+``to_doc()`` / ``from_doc()`` round-trip the columns through base64-packed
+little-endian float64 — the compact form profiles use when ground truth is
+persisted through the Session artifact cache.
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.minilang.ast_nodes import MpiOp
+from repro.simulator.costmodel import PerfCounters
+from repro.simulator.events import Segment, SegmentKind
+
+__all__ = [
+    "CHUNK_EVENTS",
+    "MPI_OP_CODES",
+    "mpi_op_code",
+    "TraceBuffer",
+    "SegmentsView",
+]
+
+#: Events per sealed chunk (the ring granularity with ``keep_events=False``).
+CHUNK_EVENTS = 1 << 15
+
+#: Stable op <-> code mapping (declaration order of :class:`MpiOp`).
+MPI_OP_CODES: dict[MpiOp, int] = {op: i for i, op in enumerate(MpiOp)}
+_CODE_TO_OP: list[MpiOp] = list(MpiOp)
+
+_EVENT_STRIDE = 7
+_COUNTER_STRIDE = 6
+
+
+def mpi_op_code(op: Optional[MpiOp]) -> int:
+    """The integer code stored in the ``op`` column (-1 for None)."""
+    return -1 if op is None else MPI_OP_CODES[op]
+
+
+def _op_from_code(code: int) -> Optional[MpiOp]:
+    return None if code < 0 else _CODE_TO_OP[code]
+
+
+class SegmentsView:
+    """Lazy sequence of :class:`Segment` objects over a TraceBuffer.
+
+    Materializes one ``Segment`` per access/iteration step; supports
+    ``len``, indexing, slicing, iteration and equality against any other
+    sequence of segments (``result.segments == []`` keeps working).
+    """
+
+    __slots__ = ("_buf",)
+
+    def __init__(self, buf: "TraceBuffer") -> None:
+        self._buf = buf
+
+    def __len__(self) -> int:
+        return self._buf.event_count if self._buf.keep_events else 0
+
+    def __getitem__(self, index):
+        n = len(self)
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(n))]
+        if index < 0:
+            index += n
+        if not (0 <= index < n):
+            raise IndexError("segment index out of range")
+        return self._buf.segment(index)
+
+    def __iter__(self) -> Iterator[Segment]:
+        if not self._buf.keep_events:
+            return
+        cols = self._buf.columns()
+        for rank, vid, kind, start, end, wait, op in zip(
+            cols["rank"], cols["vid"], cols["kind"],
+            cols["start"], cols["end"], cols["wait"], cols["op"],
+        ):
+            yield Segment(
+                rank=int(rank),
+                vid=int(vid),
+                kind=SegmentKind(int(kind)),
+                start=float(start),
+                end=float(end),
+                wait=float(wait),
+                mpi_op=_op_from_code(int(op)),
+            )
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, SegmentsView) and other._buf is self._buf:
+            return True
+        try:
+            if len(other) != len(self):  # type: ignore[arg-type]
+                return False
+            return all(a == b for a, b in zip(self, other))  # type: ignore[arg-type]
+        except TypeError:
+            return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        return f"SegmentsView({len(self)} segments)"
+
+
+class TraceBuffer:
+    """Struct-of-arrays recording of one simulation's timeline events."""
+
+    __slots__ = (
+        "keep_events",
+        "_pending", "_chunks", "_event_count",
+        "_cpending", "_cchunks", "_counter_count",
+        "_fold_time", "_fold_wait", "_fold_waited", "_fold_visits",
+        "_fold_counters",
+        "_columns", "_columns_count", "_ccolumns", "_ccolumns_count",
+        "_aggregates", "_agg_count", "_counter_agg", "_cagg_count",
+    )
+
+    def __init__(self, *, keep_events: bool = True) -> None:
+        self.keep_events = keep_events
+        self._pending: list[float] = []
+        self._chunks: list[np.ndarray] = []
+        self._event_count = 0
+        self._cpending: list[float] = []
+        self._cchunks: list[np.ndarray] = []
+        self._counter_count = 0
+        # streaming aggregates, used when chunks are folded (ring mode)
+        self._fold_time: dict[tuple[int, int], float] = {}
+        self._fold_wait: dict[tuple[int, int], float] = {}
+        self._fold_waited: set[tuple[int, int]] = set()
+        self._fold_visits: dict[tuple[int, int], int] = {}
+        self._fold_counters: dict[tuple[int, int], PerfCounters] = {}
+        # lazy caches (invalidated by event count when appends continue)
+        self._columns: Optional[dict[str, np.ndarray]] = None
+        self._columns_count = -1
+        self._ccolumns: Optional[dict[str, np.ndarray]] = None
+        self._ccolumns_count = -1
+        self._aggregates: Optional[tuple[dict, dict, dict]] = None
+        self._agg_count = -1
+        self._counter_agg: Optional[dict[tuple[int, int], PerfCounters]] = None
+        self._cagg_count = -1
+
+    # ------------------------------------------------------------------
+    # write path (simulation hot loop)
+    # ------------------------------------------------------------------
+
+    def append(
+        self,
+        rank: int,
+        vid: int,
+        kind: int,
+        start: float,
+        end: float,
+        wait: float,
+        op_code: int,
+    ) -> None:
+        """Record one timeline event (O(1) amortized, no object churn)."""
+        pending = self._pending
+        pending += (rank, vid, kind, start, end, wait, op_code)
+        self._event_count += 1
+        if len(pending) >= CHUNK_EVENTS * _EVENT_STRIDE:
+            self._seal_events()
+
+    def append_counters(
+        self,
+        rank: int,
+        vid: int,
+        tot_ins: float,
+        tot_cyc: float,
+        tot_lst_ins: float,
+        l2_dcm: float,
+    ) -> None:
+        """Record the PMU counter deltas of one (compute) span."""
+        pending = self._cpending
+        pending += (rank, vid, tot_ins, tot_cyc, tot_lst_ins, l2_dcm)
+        self._counter_count += 1
+        if len(pending) >= CHUNK_EVENTS * _COUNTER_STRIDE:
+            self._seal_counters()
+
+    def _seal_events(self) -> None:
+        if not self._pending:
+            return
+        chunk = np.asarray(self._pending, dtype=np.float64).reshape(
+            -1, _EVENT_STRIDE
+        )
+        self._pending = []
+        if self.keep_events:
+            self._chunks.append(chunk)
+        else:
+            self._fold_event_chunk(chunk)
+
+    def _seal_counters(self) -> None:
+        if not self._cpending:
+            return
+        chunk = np.asarray(self._cpending, dtype=np.float64).reshape(
+            -1, _COUNTER_STRIDE
+        )
+        self._cpending = []
+        if self.keep_events:
+            self._cchunks.append(chunk)
+        else:
+            self._fold_counter_chunk(chunk)
+
+    def _fold_event_chunk(self, chunk: np.ndarray) -> None:
+        # Ring mode: accumulate the chunk into the running aggregates in
+        # event order (identical float association to the one-shot path for
+        # runs that fit one chunk) and let the chunk go.
+        time = self._fold_time
+        wait_d = self._fold_wait
+        waited = self._fold_waited
+        visits = self._fold_visits
+        for rank, vid, _kind, start, end, wait, _op in chunk.tolist():
+            key = (int(rank), int(vid))
+            time[key] = time.get(key, 0.0) + (end - start)
+            if wait:
+                waited.add(key)
+            wait_d[key] = wait_d.get(key, 0.0) + wait
+            visits[key] = visits.get(key, 0) + 1
+
+    def _fold_counter_chunk(self, chunk: np.ndarray) -> None:
+        counters = self._fold_counters
+        for rank, vid, ins, cyc, lst, dcm in chunk.tolist():
+            key = (int(rank), int(vid))
+            agg = counters.get(key)
+            if agg is None:
+                counters[key] = PerfCounters(
+                    tot_ins=ins, tot_cyc=cyc, tot_lst_ins=lst, l2_dcm=dcm
+                )
+            else:
+                agg.tot_ins += ins
+                agg.tot_cyc += cyc
+                agg.tot_lst_ins += lst
+                agg.l2_dcm += dcm
+
+    # ------------------------------------------------------------------
+    # read path (post-run views)
+    # ------------------------------------------------------------------
+
+    @property
+    def event_count(self) -> int:
+        return self._event_count
+
+    @property
+    def counter_count(self) -> int:
+        return self._counter_count
+
+    def nbytes(self) -> int:
+        """Approximate resident bytes of the columnar storage."""
+        sealed = sum(c.nbytes for c in self._chunks)
+        sealed += sum(c.nbytes for c in self._cchunks)
+        return sealed + 8 * (len(self._pending) + len(self._cpending))
+
+    def _event_matrix(self) -> np.ndarray:
+        self._seal_events()
+        if not self._chunks:
+            return np.empty((0, _EVENT_STRIDE), dtype=np.float64)
+        if len(self._chunks) > 1:
+            self._chunks = [np.concatenate(self._chunks, axis=0)]
+        return self._chunks[0]
+
+    def _counter_matrix(self) -> np.ndarray:
+        self._seal_counters()
+        if not self._cchunks:
+            return np.empty((0, _COUNTER_STRIDE), dtype=np.float64)
+        if len(self._cchunks) > 1:
+            self._cchunks = [np.concatenate(self._cchunks, axis=0)]
+        return self._cchunks[0]
+
+    def columns(self) -> dict[str, np.ndarray]:
+        """The event table as named column arrays (empty in ring mode)."""
+        if self._columns is None or self._columns_count != self._event_count:
+            m = self._event_matrix()
+            self._columns = {
+                "rank": m[:, 0],
+                "vid": m[:, 1],
+                "kind": m[:, 2],
+                "start": m[:, 3],
+                "end": m[:, 4],
+                "wait": m[:, 5],
+                "op": m[:, 6],
+            }
+            self._columns_count = self._event_count
+        return self._columns
+
+    def counter_columns(self) -> dict[str, np.ndarray]:
+        """The counter table as named column arrays (empty in ring mode)."""
+        if self._ccolumns is None or self._ccolumns_count != self._counter_count:
+            m = self._counter_matrix()
+            self._ccolumns = {
+                "rank": m[:, 0],
+                "vid": m[:, 1],
+                "tot_ins": m[:, 2],
+                "tot_cyc": m[:, 3],
+                "tot_lst_ins": m[:, 4],
+                "l2_dcm": m[:, 5],
+            }
+            self._ccolumns_count = self._counter_count
+        return self._ccolumns
+
+    def segment(self, index: int) -> Segment:
+        """Materialize the ``index``-th event as a Segment object."""
+        cols = self.columns()
+        return Segment(
+            rank=int(cols["rank"][index]),
+            vid=int(cols["vid"][index]),
+            kind=SegmentKind(int(cols["kind"][index])),
+            start=float(cols["start"][index]),
+            end=float(cols["end"][index]),
+            wait=float(cols["wait"][index]),
+            mpi_op=_op_from_code(int(cols["op"][index])),
+        )
+
+    def segments(self) -> SegmentsView:
+        return SegmentsView(self)
+
+    # -- per-vertex aggregation ------------------------------------------
+
+    @staticmethod
+    def _grouped(
+        rank: np.ndarray, vid: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, list[tuple[int, int]]]:
+        """Group rows by (rank, vid): returns (inverse, order, keys).
+
+        ``keys[order]`` enumerates groups in first-occurrence order, which
+        matches the insertion order the old streaming dicts had.
+        """
+        composite = rank.astype(np.int64) * (int(vid.max()) + 1 if len(vid) else 1)
+        composite = composite + vid.astype(np.int64)
+        uniq, first, inv = np.unique(
+            composite, return_index=True, return_inverse=True
+        )
+        order = np.argsort(first, kind="stable")
+        keys = [
+            (int(rank[first[g]]), int(vid[first[g]])) for g in range(len(uniq))
+        ]
+        return inv, order, keys
+
+    def _aggregate_events(self) -> tuple[dict, dict, dict]:
+        """(vertex_time, vertex_wait, vertex_visits) from the event table.
+
+        ``np.bincount`` adds weights in occurrence order, so every per-key
+        sum reproduces the old ``dict[key] += x`` streaming accumulation
+        bit-for-bit.
+        """
+        if self._aggregates is not None and self._agg_count == self._event_count:
+            return self._aggregates
+        self._agg_count = self._event_count
+        if not self.keep_events:
+            # ring mode: sealed chunks were folded as they went; fold the tail
+            self._seal_events()
+            self._aggregates = (
+                self._fold_time,
+                {k: v for k, v in self._fold_wait.items() if k in self._fold_waited},
+                self._fold_visits,
+            )
+            return self._aggregates
+        cols = self.columns()
+        rank, vid = cols["rank"], cols["vid"]
+        vertex_time: dict[tuple[int, int], float] = {}
+        vertex_wait: dict[tuple[int, int], float] = {}
+        vertex_visits: dict[tuple[int, int], int] = {}
+        if len(rank):
+            inv, order, keys = self._grouped(rank, vid)
+            n = len(keys)
+            durations = cols["end"] - cols["start"]
+            time_sums = np.bincount(inv, weights=durations, minlength=n)
+            wait_sums = np.bincount(inv, weights=cols["wait"], minlength=n)
+            waited = np.bincount(
+                inv, weights=(cols["wait"] != 0.0), minlength=n
+            )
+            visit_counts = np.bincount(inv, minlength=n)
+            for g in order:
+                key = keys[g]
+                vertex_time[key] = float(time_sums[g])
+                vertex_visits[key] = int(visit_counts[g])
+                if waited[g]:
+                    vertex_wait[key] = float(wait_sums[g])
+        self._aggregates = (vertex_time, vertex_wait, vertex_visits)
+        return self._aggregates
+
+    def vertex_time(self) -> dict[tuple[int, int], float]:
+        return self._aggregate_events()[0]
+
+    def vertex_wait(self) -> dict[tuple[int, int], float]:
+        return self._aggregate_events()[1]
+
+    def vertex_visits(self) -> dict[tuple[int, int], int]:
+        return self._aggregate_events()[2]
+
+    def vertex_counters(self) -> dict[tuple[int, int], PerfCounters]:
+        if (
+            self._counter_agg is not None
+            and self._cagg_count == self._counter_count
+        ):
+            return self._counter_agg
+        self._cagg_count = self._counter_count
+        if not self.keep_events:
+            self._seal_counters()
+            self._counter_agg = self._fold_counters
+            return self._counter_agg
+        cols = self.counter_columns()
+        rank, vid = cols["rank"], cols["vid"]
+        out: dict[tuple[int, int], PerfCounters] = {}
+        if len(rank):
+            inv, order, keys = self._grouped(rank, vid)
+            n = len(keys)
+            sums = {
+                field: np.bincount(inv, weights=cols[field], minlength=n)
+                for field in ("tot_ins", "tot_cyc", "tot_lst_ins", "l2_dcm")
+            }
+            for g in order:
+                out[keys[g]] = PerfCounters(
+                    tot_ins=float(sums["tot_ins"][g]),
+                    tot_cyc=float(sums["tot_cyc"][g]),
+                    tot_lst_ins=float(sums["tot_lst_ins"][g]),
+                    l2_dcm=float(sums["l2_dcm"][g]),
+                )
+        self._counter_agg = out
+        return self._counter_agg
+
+    # ------------------------------------------------------------------
+    # serialization (Session artifact cache)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _pack(matrix: np.ndarray) -> str:
+        return base64.b64encode(
+            np.ascontiguousarray(matrix, dtype="<f8").tobytes()
+        ).decode("ascii")
+
+    @staticmethod
+    def _unpack(data: str, stride: int) -> np.ndarray:
+        raw = np.frombuffer(base64.b64decode(data), dtype="<f8")
+        return raw.reshape(-1, stride).astype(np.float64)
+
+    def to_doc(self) -> dict:
+        """Compact JSON-safe form (base64-packed little-endian columns)."""
+        if not self.keep_events:
+            raise ValueError("a ring-mode TraceBuffer has no events to serialize")
+        return {
+            "format": "scalana-trace-v1",
+            "events": self._pack(self._event_matrix()),
+            "counters": self._pack(self._counter_matrix()),
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "TraceBuffer":
+        if doc.get("format") != "scalana-trace-v1":
+            raise ValueError("not a serialized TraceBuffer")
+        buf = cls(keep_events=True)
+        events = cls._unpack(doc["events"], _EVENT_STRIDE)
+        counters = cls._unpack(doc["counters"], _COUNTER_STRIDE)
+        if len(events):
+            buf._chunks.append(events)
+            buf._event_count = len(events)
+        if len(counters):
+            buf._cchunks.append(counters)
+            buf._counter_count = len(counters)
+        return buf

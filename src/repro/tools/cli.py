@@ -189,10 +189,14 @@ def cmd_export(args) -> int:
 def cmd_timeline(args) -> int:
     """Render an ASCII execution timeline (Vampir-lite)."""
     from repro.tools.timeline import render_timeline
+    from repro.tools.viewer import render_wait_summary
 
     tool = _tool_from_args(args)
     result = tool.run_uninstrumented(int(args.nprocs))
     print(render_timeline(result, width=int(args.width)))
+    if args.wait_summary:
+        print()
+        print(render_wait_summary(result, width=int(args.width) // 2))
     return 0
 
 
@@ -344,6 +348,10 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.add_argument("--nprocs", default="16")
     p.add_argument("--width", default="100")
+    p.add_argument(
+        "--wait-summary", action="store_true",
+        help="also print the per-rank compute/MPI/wait split",
+    )
     p.set_defaults(func=cmd_timeline)
 
     return parser

@@ -10,6 +10,7 @@ waiting time as label).
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 
 import networkx as nx
@@ -23,6 +24,7 @@ __all__ = [
     "ppg_to_dot",
     "psg_to_graphml",
     "report_to_json",
+    "sanitize_json_floats",
     "write_text",
 ]
 
@@ -121,9 +123,32 @@ def psg_to_graphml(psg: PSG, path: str | Path) -> None:
     nx.write_graphml(g, str(path))
 
 
+def sanitize_json_floats(obj):
+    """Replace non-finite floats (NaN/inf) with ``None``, recursively.
+
+    Simulation ground truth legitimately contains NaN sentinels — e.g. an
+    irecv that matched but was never waited on leaves
+    ``P2PRecord.completion = nan`` — and ``json.dumps`` happily serializes
+    them as bare ``NaN``, which is *not* JSON and breaks every downstream
+    parser.  Exports sanitize to ``null`` instead.
+    """
+    if isinstance(obj, float) and not math.isfinite(obj):
+        return None
+    if isinstance(obj, dict):
+        return {k: sanitize_json_floats(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [sanitize_json_floats(x) for x in obj]
+    return obj
+
+
 def report_to_json(report: DetectionReport, *, indent: int | None = 2) -> str:
-    """A DetectionReport as a JSON document (``scalana ... --json``)."""
-    return json.dumps(report.to_json_dict(), indent=indent, sort_keys=False)
+    """A DetectionReport as a JSON document (``scalana ... --json``).
+
+    Non-finite floats become ``null`` and ``allow_nan=False`` guarantees
+    the output is strictly parseable JSON.
+    """
+    doc = sanitize_json_floats(report.to_json_dict())
+    return json.dumps(doc, indent=indent, sort_keys=False, allow_nan=False)
 
 
 def write_text(text: str, path: str | Path) -> int:

@@ -19,6 +19,7 @@ from repro.runtime.interposition import CollectiveGroup, CommDependence, CommEdg
 from repro.runtime.perfdata import PerformanceVector
 from repro.runtime.sampling import SamplingProfile
 from repro.simulator.costmodel import PerfCounters
+from repro.simulator.trace import TraceBuffer
 from repro.util.serialization import dump_json, load_json
 
 __all__ = ["save_profile", "load_profile", "profile_file_bytes", "LoadedProfile"]
@@ -26,7 +27,12 @@ __all__ = ["save_profile", "load_profile", "profile_file_bytes", "LoadedProfile"
 
 class LoadedProfile:
     """A ProfiledRun reconstructed from disk (no SimulationResult inside —
-    detection never needs the ground truth, only the collected data)."""
+    detection never needs the ground truth, only the collected data).
+
+    ``trace`` carries the run's columnar ground-truth timeline when the
+    profile was saved with ``include_trace=True`` (None otherwise); it
+    enables post-mortem timeline rendering without re-simulating.
+    """
 
     def __init__(
         self,
@@ -35,20 +41,29 @@ class LoadedProfile:
         comm: CommDependence,
         overhead: OverheadReport,
         app_time: float,
+        trace: TraceBuffer | None = None,
     ) -> None:
         self.nprocs = nprocs
         self.profile = profile
         self.comm = comm
         self.overhead = overhead
         self._app_time = app_time
+        self.trace = trace
 
     @property
     def app_time(self) -> float:
         return self._app_time
 
 
-def save_profile(run: ProfiledRun, path: str | Path) -> int:
-    """Serialize one profiled run; returns bytes written (the storage cost)."""
+def save_profile(
+    run: ProfiledRun, path: str | Path, *, include_trace: bool = False
+) -> int:
+    """Serialize one profiled run; returns bytes written (the storage cost).
+
+    ``include_trace=True`` additionally embeds the columnar TraceBuffer
+    (base64-packed float64 columns) when the run recorded events — the
+    compact ground-truth form profiles carry through the Session cache.
+    """
     perf = {
         f"{rank},{vid}": [
             vec.time,
@@ -91,6 +106,10 @@ def save_profile(run: ProfiledRun, path: str | Path) -> int:
         "overhead_seconds": run.overhead.overhead_seconds,
         "storage_bytes_model": run.overhead.storage_bytes,
     }
+    if include_trace:
+        result = getattr(run, "result", None)
+        if result is not None and result.trace.keep_events:
+            doc["trace"] = result.trace.to_doc()
     return dump_json(doc, path)
 
 
@@ -155,12 +174,16 @@ def load_profile(path: str | Path) -> LoadedProfile:
         overhead_seconds=doc["overhead_seconds"],
         storage_bytes=doc["storage_bytes_model"],
     )
+    trace = (
+        TraceBuffer.from_doc(doc["trace"]) if "trace" in doc else None
+    )
     return LoadedProfile(
         nprocs=doc["nprocs"],
         profile=profile,
         comm=comm,
         overhead=overhead,
         app_time=doc["app_time"],
+        trace=trace,
     )
 
 

@@ -38,19 +38,27 @@ def render_timeline(
     scale = width / (end - t0)
 
     # cell priority: 0 empty < 1 mpi < 2 compute < 3 wait
+    # (painted straight from the trace columns — no Segment objects)
     grid = [[0] * width for _ in range(nrows)]
-    for seg in result.segments:
-        if seg.rank >= nrows or seg.end <= t0 or seg.start >= end:
+    cols = result.trace.columns()
+    rows = zip(
+        cols["rank"].tolist(), cols["kind"].tolist(),
+        cols["start"].tolist(), cols["end"].tolist(), cols["wait"].tolist(),
+    )
+    compute_kind = int(SegmentKind.COMPUTE)
+    for rank, kind, start, stop, wait in rows:
+        rank = int(rank)
+        if rank >= nrows or stop <= t0 or start >= end:
             continue
-        c0 = max(0, int((seg.start - t0) * scale))
-        c1 = min(width - 1, int((seg.end - t0) * scale))
-        if seg.kind is SegmentKind.COMPUTE:
+        c0 = max(0, int((start - t0) * scale))
+        c1 = min(width - 1, int((stop - t0) * scale))
+        if int(kind) == compute_kind:
             prio = 2
-        elif seg.wait > 0.5 * seg.duration:
+        elif wait > 0.5 * (stop - start):
             prio = 3
         else:
             prio = 1
-        row = grid[seg.rank]
+        row = grid[rank]
         for c in range(c0, c1 + 1):
             if prio > row[c]:
                 row[c] = prio

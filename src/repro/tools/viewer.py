@@ -7,10 +7,61 @@ vertex (§V, Fig. 9).  This renders the same content as plain text.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.detection.report import DetectionReport
 from repro.ppg.build import PPG
+from repro.simulator.engine import SimulationResult
 
-__all__ = ["render_report_with_source", "source_snippet", "render_rank_bars"]
+__all__ = [
+    "render_report_with_source",
+    "source_snippet",
+    "render_rank_bars",
+    "render_wait_summary",
+]
+
+
+def render_wait_summary(
+    result: SimulationResult, *, width: int = 40, max_ranks: int = 32
+) -> str:
+    """Per-rank time split (compute / MPI / waiting) from the trace columns.
+
+    The imbalance companion of the ASCII timeline: one vectorized pass over
+    the columnar TraceBuffer, no Segment materialization.
+    """
+    cols = result.trace.columns()
+    nprocs = result.nprocs
+    ranks = cols["rank"].astype(np.int64)
+    durations = cols["end"] - cols["start"]
+    compute_mask = cols["kind"] == 0.0
+    total = np.bincount(ranks, weights=durations, minlength=nprocs)
+    compute = np.bincount(
+        ranks, weights=np.where(compute_mask, durations, 0.0), minlength=nprocs
+    )
+    wait = np.bincount(ranks, weights=cols["wait"], minlength=nprocs)
+    lines = ["per-rank time split (# compute, . mpi, w waiting):"]
+    peak = float(total.max()) if len(total) else 0.0
+    if peak <= 0:
+        lines.append("  (no recorded events)")
+        return "\n".join(lines)
+    shown = min(nprocs, max_ranks)
+    for r in range(shown):
+        mpi = max(0.0, total[r] - compute[r] - wait[r])
+        n_c = int(width * compute[r] / peak)
+        n_m = int(width * mpi / peak)
+        n_w = int(width * wait[r] / peak)
+        bar = "#" * n_c + "." * n_m + "w" * n_w
+        lines.append(
+            f"  rank {r:4d} |{bar:<{width}s}| {total[r]:9.4f}s"
+            f"  (wait {wait[r]:8.4f}s)"
+        )
+    if shown < nprocs:
+        rest_wait = float(wait[shown:].sum())
+        lines.append(
+            f"  ... {nprocs - shown} more ranks "
+            f"(total wait {rest_wait:.4f}s)"
+        )
+    return "\n".join(lines)
 
 
 def render_rank_bars(ppg: PPG, vid: int, *, width: int = 40, max_ranks: int = 32) -> str:

@@ -43,8 +43,17 @@ def to_jsonable(obj: Any) -> Any:
 
 
 def dump_json(obj: Any, path: str | Path) -> int:
-    """Write ``obj`` as JSON; returns the number of bytes written."""
-    text = json.dumps(to_jsonable(obj), indent=None, separators=(",", ":"))
+    """Write ``obj`` as JSON; returns the number of bytes written.
+
+    ``allow_nan=False``: a non-finite float would serialize as bare ``NaN``
+    — invalid JSON that poisons the artifact cache (every load fails, every
+    miss rewrites the same bad file).  Failing the write is the cheap place
+    to catch it; exports that may legitimately carry NaN sentinels sanitize
+    first (see ``repro.tools.export.sanitize_json_floats``).
+    """
+    text = json.dumps(
+        to_jsonable(obj), indent=None, separators=(",", ":"), allow_nan=False
+    )
     data = text.encode()
     Path(path).write_bytes(data)
     return len(data)

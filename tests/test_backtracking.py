@@ -97,6 +97,105 @@ class TestBacktrackWalk:
         assert len(path.nodes) == len(set(path.nodes))
 
 
+#: Amdahl-style program: the parallel part shrinks with nprocs, the serial
+#: section is identical on every rank — *perfectly balanced*, so no vertex
+#: can make other ranks wait and cause_node's imbalance score is 0 for all.
+AMDAHL_SHAPE = """def main() {
+    for (var it = 0; it < 10; it = it + 1) {
+        compute(flops = 30000000 / nprocs, name = "parallel_part");
+        barrier();
+        compute(flops = 60000000, name = "serial_section");
+        allreduce(bytes = 8);
+    }
+}"""
+
+
+class TestCauseNodeTieBreaking:
+    """cause_node scoring when every computation vertex is perfectly
+    balanced (the Amdahl fallback path)."""
+
+    @pytest.fixture(scope="class")
+    def amdahl_setup(self):
+        runs = []
+        psg = None
+        for p in (4, 8, 16):
+            run, psg, _ = profile_source(AMDAHL_SHAPE, p, filename="amdahl.mm")
+            runs.append(run)
+        ppgs = [build_ppg(psg, r.nprocs, r.profile, r.comm) for r in runs]
+        return runs, ppgs, psg
+
+    def _comp_vid(self, psg, name):
+        (v,) = [v for v in psg.vertices.values() if name in v.label]
+        return v.vid
+
+    def test_all_computations_balanced(self, amdahl_setup):
+        _runs, ppgs, psg = amdahl_setup
+        ppg = ppgs[-1]
+        for name in ("parallel_part", "serial_section"):
+            times = ppg.vertex_times(self._comp_vid(psg, name))
+            assert max(times) == pytest.approx(min(times), rel=1e-9)
+
+    def test_fallback_blames_largest_balanced_computation(self, amdahl_setup):
+        """With zero imbalance everywhere, the walk falls back to the
+        largest mean-time computation on the path — the serial section
+        (60e6 flops vs 30e6/16 for the parallel part at 16 ranks)."""
+        from repro.detection.backtracking import RootCausePath
+
+        _runs, ppgs, psg = amdahl_setup
+        ppg = ppgs[-1]
+        par = self._comp_vid(psg, "parallel_part")
+        ser = self._comp_vid(psg, "serial_section")
+        path = RootCausePath(
+            start=(0, ser), nodes=[(0, ser), (0, par)], terminated="root"
+        )
+        assert path.cause_node(ppg) == (0, ser)
+        # order independence: the larger mean wins from either direction
+        path_rev = RootCausePath(
+            start=(0, par), nodes=[(0, par), (0, ser)], terminated="root"
+        )
+        assert path_rev.cause_node(ppg) == (0, ser)
+
+    def test_exact_tie_goes_to_deeper_node(self, amdahl_setup):
+        """Equal means (same vertex seen on two ranks): the node reached
+        *later* in the backward walk wins the tie."""
+        from repro.detection.backtracking import RootCausePath
+
+        _runs, ppgs, psg = amdahl_setup
+        ppg = ppgs[-1]
+        ser = self._comp_vid(psg, "serial_section")
+        path = RootCausePath(
+            start=(0, ser), nodes=[(0, ser), (3, ser)], terminated="root"
+        )
+        assert path.cause_node(ppg) == (3, ser)
+
+    def test_path_without_computation_returns_last_node(self, amdahl_setup):
+        from repro.detection.backtracking import RootCausePath
+
+        _runs, ppgs, psg = amdahl_setup
+        ppg = ppgs[-1]
+        allr = [v for v in psg.mpi_vertices() if v.name == "MPI_Allreduce"][0]
+        path = RootCausePath(
+            start=(0, allr.vid),
+            nodes=[(0, allr.vid), (1, allr.vid)],
+            terminated="collective",
+        )
+        assert path.cause_node(ppg) == (1, allr.vid)
+        empty = RootCausePath(start=(2, allr.vid), nodes=[], terminated="root")
+        assert empty.cause_node(ppg) == (2, allr.vid)
+
+    def test_full_detection_blames_serial_section(self, amdahl_setup):
+        """End-to-end: the non-scalable serial section is found and the
+        Amdahl fallback names it (not the shrinking parallel part)."""
+        runs, _ppgs, psg = amdahl_setup
+        report = detect_scaling_loss(runs, psg=psg)
+        assert report.root_causes
+        assert any("serial_section" in rc.label for rc in report.root_causes)
+        top_balanced = [
+            rc for rc in report.root_causes if "serial_section" in rc.label
+        ]
+        assert all(rc.imbalance == pytest.approx(1.0) for rc in top_balanced)
+
+
 class TestMainAlgorithm:
     def test_paths_from_nonscalable_then_abnormal(self, zeus_setup):
         _runs, ppgs, psg = zeus_setup

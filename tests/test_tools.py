@@ -60,6 +60,37 @@ class TestStorage:
         assert set(loaded.comm.edges) == set(run.comm.edges)
         assert loaded.comm.group_stats.keys() == run.comm.group_stats.keys()
 
+    def test_trace_roundtrip_when_requested(self, tmp_path, cg_runs):
+        """include_trace=True embeds the columnar ground truth; the loaded
+        profile can rebuild the exact timeline (and render it)."""
+        from repro.tools.timeline import render_timeline
+
+        tool, runs = cg_runs
+        run = runs[0]
+        plain = tmp_path / "plain.json"
+        with_trace = tmp_path / "with_trace.json"
+        n_plain = save_profile(run, plain)
+        n_trace = save_profile(run, with_trace, include_trace=True)
+        assert n_trace > n_plain  # the trace costs bytes — only on request
+        assert load_profile(plain).trace is None
+        loaded = load_profile(with_trace)
+        assert loaded.trace is not None
+        assert loaded.trace.event_count == run.result.trace.event_count
+        assert list(loaded.trace.segments()) == list(run.result.trace.segments())
+        assert loaded.trace.vertex_time() == run.result.trace.vertex_time()
+        # a loaded trace drives the same timeline rendering as the live run
+        art = render_timeline(run.result)
+        assert art.splitlines()[0].startswith("timeline")
+
+    def test_profile_artifact_exposes_trace(self, cg_runs):
+        from repro.api.artifacts import ArtifactKey, ProfileArtifact
+
+        tool, runs = cg_runs
+        key = ArtifactKey(source_digest="s", config_digest="c", nprocs=4)
+        art = ProfileArtifact(key=key, run=runs[0])
+        assert art.trace is runs[0].result.trace
+        assert art.trace.event_count > 0
+
     def test_bad_format_rejected(self, tmp_path):
         p = tmp_path / "junk.json"
         p.write_text('{"format": "something-else"}')

@@ -1,0 +1,255 @@
+"""TraceBuffer unit tests: columnar recording, lazy views, aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.minilang.ast_nodes import MpiOp
+from repro.simulator import SegmentKind, SimulationConfig
+from repro.simulator.events import Segment
+from repro.simulator.trace import (
+    CHUNK_EVENTS,
+    MPI_OP_CODES,
+    SegmentsView,
+    TraceBuffer,
+    mpi_op_code,
+)
+from tests.conftest import run_source
+
+
+def _fill(buf, events):
+    for rank, vid, kind, start, end, wait, op in events:
+        buf.append(rank, vid, kind, start, end, wait, op)
+
+
+EVENTS = [
+    (0, 3, 0, 0.0, 1.0, 0.0, -1),
+    (0, 4, 1, 1.0, 1.5, 0.25, MPI_OP_CODES[MpiOp.RECV]),
+    (1, 3, 0, 0.0, 0.5, 0.0, -1),
+    (0, 3, 0, 1.5, 2.0, 0.0, -1),
+    (1, 4, 1, 0.5, 0.75, 0.0, MPI_OP_CODES[MpiOp.SEND]),
+]
+
+
+class TestOpCodes:
+    def test_round_trip_all_ops(self):
+        for op in MpiOp:
+            code = mpi_op_code(op)
+            assert code >= 0
+            buf = TraceBuffer()
+            buf.append(0, 1, 1, 0.0, 1.0, 0.0, code)
+            assert buf.segment(0).mpi_op is op
+
+    def test_none_is_minus_one(self):
+        assert mpi_op_code(None) == -1
+        buf = TraceBuffer()
+        buf.append(0, 1, 0, 0.0, 1.0, 0.0, -1)
+        assert buf.segment(0).mpi_op is None
+
+
+class TestSegmentsView:
+    def test_len_getitem_iteration(self):
+        buf = TraceBuffer()
+        _fill(buf, EVENTS)
+        view = buf.segments()
+        assert len(view) == 5
+        assert view[0] == Segment(0, 3, SegmentKind.COMPUTE, 0.0, 1.0)
+        assert view[1].wait == 0.25
+        assert view[1].mpi_op is MpiOp.RECV
+        assert view[-1].rank == 1
+        assert [s.vid for s in view] == [3, 4, 3, 3, 4]
+
+    def test_slice_and_index_errors(self):
+        buf = TraceBuffer()
+        _fill(buf, EVENTS)
+        view = buf.segments()
+        assert [s.start for s in view[1:3]] == [1.0, 0.0]
+        with pytest.raises(IndexError):
+            view[5]
+        with pytest.raises(IndexError):
+            view[-6]
+
+    def test_equality_with_lists(self):
+        buf = TraceBuffer()
+        assert buf.segments() == []
+        _fill(buf, EVENTS)
+        view = buf.segments()
+        assert view == list(view)
+        assert view != list(view)[:-1]
+        assert view == buf.segments()
+
+    def test_ring_mode_view_is_empty(self):
+        buf = TraceBuffer(keep_events=False)
+        _fill(buf, EVENTS)
+        assert len(buf.segments()) == 0
+        assert buf.segments() == []
+        assert buf.event_count == 5  # events were counted, not kept
+
+
+class TestAggregation:
+    def _reference(self, events):
+        """The old engine's streaming dict accumulation, verbatim."""
+        time, wait_d, visits = {}, {}, {}
+        for rank, vid, _kind, start, end, wait, _op in events:
+            key = (rank, vid)
+            time[key] = time.get(key, 0.0) + (end - start)
+            if wait:
+                wait_d[key] = wait_d.get(key, 0.0) + wait
+            visits[key] = visits.get(key, 0) + 1
+        return time, wait_d, visits
+
+    def test_matches_streaming_reference_bitwise(self):
+        buf = TraceBuffer()
+        _fill(buf, EVENTS)
+        time, wait, visits = self._reference(EVENTS)
+        assert buf.vertex_time() == time
+        assert buf.vertex_wait() == wait
+        assert buf.vertex_visits() == visits
+
+    def test_zero_wait_keys_absent(self):
+        buf = TraceBuffer()
+        _fill(buf, EVENTS)
+        assert (1, 4) not in buf.vertex_wait()  # waited 0.0 only
+        assert (0, 4) in buf.vertex_wait()
+
+    def test_ring_mode_aggregates_match_kept_mode(self):
+        kept = TraceBuffer(keep_events=True)
+        ring = TraceBuffer(keep_events=False)
+        rng = np.random.default_rng(7)
+        events = [
+            (int(r), int(v), 1, float(s), float(s) + float(d), float(w), -1)
+            for r, v, s, d, w in zip(
+                rng.integers(0, 4, 500),
+                rng.integers(0, 6, 500),
+                rng.random(500),
+                rng.random(500),
+                rng.random(500) * (rng.random(500) > 0.5),
+            )
+        ]
+        _fill(kept, events)
+        _fill(ring, events)
+        assert kept.vertex_time() == ring.vertex_time()
+        assert kept.vertex_wait() == ring.vertex_wait()
+        assert kept.vertex_visits() == ring.vertex_visits()
+
+    def test_counters_aggregate(self):
+        buf = TraceBuffer()
+        buf.append_counters(0, 3, 10.0, 20.0, 5.0, 1.0)
+        buf.append_counters(0, 3, 1.0, 2.0, 0.5, 0.25)
+        buf.append_counters(1, 3, 7.0, 7.0, 7.0, 7.0)
+        agg = buf.vertex_counters()
+        assert agg[(0, 3)].tot_ins == 11.0
+        assert agg[(0, 3)].tot_cyc == 22.0
+        assert agg[(0, 3)].tot_lst_ins == 5.5
+        assert agg[(0, 3)].l2_dcm == 1.25
+        assert agg[(1, 3)].tot_ins == 7.0
+
+    def test_empty_buffer(self):
+        buf = TraceBuffer()
+        assert buf.vertex_time() == {}
+        assert buf.vertex_wait() == {}
+        assert buf.vertex_visits() == {}
+        assert buf.vertex_counters() == {}
+        assert len(buf.segments()) == 0
+
+
+class TestChunking:
+    def test_multi_chunk_columns(self, monkeypatch):
+        import repro.simulator.trace as trace_mod
+
+        monkeypatch.setattr(trace_mod, "CHUNK_EVENTS", 16)
+        buf = TraceBuffer()
+        events = [
+            (r % 3, r % 5, 0, float(r), float(r) + 1.0, 0.0, -1)
+            for r in range(100)
+        ]
+        _fill(buf, events)
+        assert buf.event_count == 100
+        cols = buf.columns()
+        assert len(cols["rank"]) == 100
+        assert cols["start"].tolist() == [float(r) for r in range(100)]
+        ref_time, _ref_wait, ref_visits = TestAggregation()._reference(events)
+        assert buf.vertex_time() == ref_time
+        assert buf.vertex_visits() == ref_visits
+
+    def test_ring_mode_folds_chunks(self, monkeypatch):
+        import repro.simulator.trace as trace_mod
+
+        monkeypatch.setattr(trace_mod, "CHUNK_EVENTS", 16)
+        buf = TraceBuffer(keep_events=False)
+        events = [
+            (r % 3, r % 5, 0, float(r), float(r) + 1.0, 0.5, -1)
+            for r in range(100)
+        ]
+        _fill(buf, events)
+        ref_time, ref_wait, ref_visits = TestAggregation()._reference(events)
+        assert buf.vertex_time() == ref_time
+        assert buf.vertex_wait() == ref_wait
+        assert buf.vertex_visits() == ref_visits
+        # the ring kept no columns around
+        assert len(buf.segments()) == 0
+
+    def test_default_chunk_bound(self):
+        assert CHUNK_EVENTS >= 1024  # appends amortize over real chunks
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        buf = TraceBuffer()
+        _fill(buf, EVENTS)
+        buf.append_counters(0, 3, 10.0, 20.0, 5.0, 1.0)
+        doc = buf.to_doc()
+        assert doc["format"] == "scalana-trace-v1"
+        back = TraceBuffer.from_doc(doc)
+        assert back.event_count == buf.event_count
+        assert list(back.segments()) == list(buf.segments())
+        assert back.vertex_counters() == buf.vertex_counters()
+        assert back.vertex_time() == buf.vertex_time()
+
+    def test_ring_mode_refuses_serialization(self):
+        buf = TraceBuffer(keep_events=False)
+        with pytest.raises(ValueError, match="ring-mode"):
+            buf.to_doc()
+
+    def test_bad_doc_rejected(self):
+        with pytest.raises(ValueError, match="not a serialized TraceBuffer"):
+            TraceBuffer.from_doc({"format": "nope"})
+
+
+class TestEngineIntegration:
+    def test_simulation_result_views_consistent(self):
+        res, _, _ = run_source(
+            "def main() { compute(flops = 1000000); allreduce(bytes = 8); }",
+            nprocs=4,
+        )
+        # the lazy views and the raw columns describe the same events
+        assert res.trace.event_count == len(res.segments)
+        cols = res.trace.columns()
+        assert cols["end"].tolist() == [s.end for s in res.segments]
+        total = sum(s.duration for s in res.segments if s.rank == 2)
+        assert total == pytest.approx(res.finish_times[2], rel=1e-9)
+
+    def test_record_segments_off_matches_on_aggregates(self):
+        src = """def main() {
+            for (var i = 0; i < 4; i = i + 1) {
+                compute(flops = 100000 * (rank + 1));
+                allreduce(bytes = 8);
+            }
+        }"""
+        on, _, _ = run_source(src, nprocs=4)
+        off, _, _ = run_source(src, nprocs=4, record_segments=False)
+        assert off.segments == []
+        assert on.vertex_time == off.vertex_time
+        assert on.vertex_wait == off.vertex_wait
+        assert on.vertex_visits == off.vertex_visits
+        assert on.vertex_counters == off.vertex_counters
+        assert on.finish_times == off.finish_times
+
+    def test_nbytes_reports_columnar_footprint(self):
+        res, _, _ = run_source(
+            "def main() { compute(flops = 1000); barrier(); }", nprocs=2
+        )
+        res.trace.columns()  # seal
+        assert res.trace.nbytes() > 0
+        # 7 float64 event columns + 6 float64 counter columns
+        expected = 8 * (7 * res.trace.event_count + 6 * res.trace.counter_count)
+        assert res.trace.nbytes() == expected
