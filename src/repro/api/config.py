@@ -81,6 +81,13 @@ class AnalysisConfig:
     repetitions: int = 1
     aggregation: AggregationStrategy = AggregationStrategy.MEAN
     injected_delays: tuple[DelayInjection, ...] = ()
+    #: Shard each simulation over this many engines (see
+    #: :mod:`repro.simulator.parallel`).  An *execution strategy*, not an
+    #: analysis input: results are bit-identical for any value, so these
+    #: two fields are excluded from :meth:`digest` — a profile cached by a
+    #: serial run is a valid hit for a sharded request and vice versa.
+    sim_shards: int = 1
+    sim_executor: str = "auto"
 
     def __post_init__(self) -> None:
         # normalize mutable-looking inputs so the instance is deeply frozen
@@ -103,6 +110,12 @@ class AnalysisConfig:
         for d in self.injected_delays:
             if not isinstance(d, DelayInjection):
                 raise ValueError(f"injected_delays entries must be DelayInjection, got {type(d).__name__}")
+        if self.sim_shards < 1:
+            raise ValueError("sim_shards must be >= 1")
+        if self.sim_executor not in ("auto", "inprocess", "process"):
+            raise ValueError(
+                "sim_executor must be 'auto', 'inprocess' or 'process'"
+            )
 
     # -- derivation ------------------------------------------------------
 
@@ -125,6 +138,8 @@ class AnalysisConfig:
             "repetitions": self.repetitions,
             "aggregation": self.aggregation.value,
             "injected_delays": [dataclasses.asdict(d) for d in self.injected_delays],
+            "sim_shards": self.sim_shards,
+            "sim_executor": self.sim_executor,
         }
 
     @classmethod
@@ -144,6 +159,8 @@ class AnalysisConfig:
             injected_delays=tuple(
                 DelayInjection(**d) for d in doc.get("injected_delays", ())
             ),
+            sim_shards=int(doc.get("sim_shards", 1)),
+            sim_executor=str(doc.get("sim_executor", "auto")),
         )
 
     def to_json(self) -> str:
@@ -156,8 +173,24 @@ class AnalysisConfig:
     # -- content addressing ----------------------------------------------
 
     def digest(self) -> str:
-        """Stable content hash: the second third of the cache key."""
-        return digest_text(self.to_json())
+        """Stable content hash: the second third of the cache key.
+
+        Execution-strategy fields (``sim_shards``, ``sim_executor``) are
+        excluded: they change how a simulation is *executed*, not what it
+        computes — results are bit-identical across them — so equal
+        analyses share cache entries regardless of sharding, and digests
+        stay compatible with pre-sharding sessions.  (Caveat, inherited
+        from the engine guarantee: a program whose ``MPI_ANY_SOURCE``
+        receives race distinct senders at *exactly* equal virtual times
+        has an MPI-ambiguous match that serial and sharded execution
+        tie-break differently — see :mod:`repro.simulator.parallel`; for
+        such a program a cached artifact reflects whichever strategy ran
+        first.)
+        """
+        doc = self.to_dict()
+        del doc["sim_shards"]
+        del doc["sim_executor"]
+        return digest_text(canonical_json(doc))
 
     # -- bridges to the execution layers ---------------------------------
 
@@ -172,6 +205,8 @@ class AnalysisConfig:
             network=self.network,
             seed=self.seed,
             injected_delays=list(self.injected_delays),
+            sim_shards=self.sim_shards,
+            sim_executor=self.sim_executor,
         )
         kwargs.update(overrides)
         return SimulationConfig(**kwargs)

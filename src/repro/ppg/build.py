@@ -98,7 +98,15 @@ class PPG:
                 )
             )
         for node, edges in self._in_edges.items():
-            edges.sort(key=lambda e: (-e.max_wait, e.send_rank, e.send_vid))
+            # Total order over every field: the ranking is a pure function
+            # of the edge set, independent of the (serial-vs-sharded)
+            # discovery order the edges dict was populated in.
+            edges.sort(
+                key=lambda e: (
+                    -e.max_wait, e.send_rank, e.send_vid, e.tag, e.nbytes,
+                    e.count,
+                )
+            )
         for v in self.psg.vertices.values():
             if v.vtype is VertexType.MPI and v.mpi_op in COLLECTIVE_OPS:
                 self._collective_vids.add(v.vid)

@@ -25,7 +25,7 @@ from typing import Optional
 from repro.minilang.ast_nodes import MpiOp
 from repro.simulator.engine import SimulationResult
 from repro.simulator.events import CollectiveRecord, P2PRecord
-from repro.util.rng import RngStream
+from repro.util.rng import derive_seed
 
 __all__ = ["CommEdge", "CollectiveGroup", "CommDependence", "collect_comm_dependence"]
 
@@ -130,16 +130,31 @@ def collect_comm_dependence(
     ``sample_probability`` is the random-instrumentation threshold: 1.0
     records every call (the compression still deduplicates); lower values
     trade completeness for overhead, as the paper's technique does.
+
+    Each event's keep/drop draw is derived from the seed plus the event's
+    *content* (peers, vertices, timestamps), not from a sequential stream:
+    the decision is then a pure function of the event, independent of
+    record order, so a sharded simulation — whose merged record order
+    differs from the serial engine's — samples the identical subset.
+    (Events with fully identical content draw identically; for the
+    Vetter-style overhead model that correlation is irrelevant.)
     """
     if not (0.0 < sample_probability <= 1.0):
         raise ValueError("sample_probability must be in (0, 1]")
-    rng = RngStream(seed, "comm_sampling")
+    threshold = sample_probability * float(2**63)
+
+    def keep(*key: object) -> bool:
+        return derive_seed(seed, "comm_sampling", *key) < threshold
+
     dep = CommDependence()
     converter = _RequestConverter()
 
     for rec_id, rec in enumerate(result.p2p_records):
         dep.observed_events += 1
-        if sample_probability < 1.0 and not rng.bernoulli(sample_probability):
+        if sample_probability < 1.0 and not keep(
+            "p2p", rec.send_rank, rec.send_vid, rec.recv_rank,
+            rec.recv_vid, rec.tag, rec.nbytes, rec.send_time, rec.recv_post,
+        ):
             continue
         dep.recorded_events += 1
         # Fig. 5: store declared (source, tag) at irecv; resolve wildcards
@@ -164,7 +179,7 @@ def collect_comm_dependence(
 
     for crec in result.collective_records:
         dep.observed_events += 1
-        if sample_probability < 1.0 and not rng.bernoulli(sample_probability):
+        if sample_probability < 1.0 and not keep("collective", crec.index):
             continue
         dep.recorded_events += 1
         group = CollectiveGroup(

@@ -21,8 +21,10 @@ from repro.simulator.costmodel import (
 from repro.simulator.engine import (
     DelayInjection,
     Engine,
+    ParallelRunStats,
     SimulationConfig,
     SimulationResult,
+    add_simulation_calls,
     simulate,
     simulation_call_count,
 )
@@ -63,8 +65,10 @@ __all__ = [
     "MpiUsageError",
     "NetworkModel",
     "P2PRecord",
+    "ParallelRunStats",
     "PerfCounters",
     "PostedRecv",
+    "add_simulation_calls",
     "Segment",
     "SegmentKind",
     "SimulationConfig",

@@ -64,9 +64,12 @@ __all__ = [
     "DelayInjection",
     "SimulationConfig",
     "SimulationResult",
+    "ParallelRunStats",
     "Engine",
     "simulate",
     "simulation_call_count",
+    "add_simulation_calls",
+    "collective_completions",
 ]
 
 #: Process-wide count of started simulations.  The artifact cache's
@@ -78,8 +81,28 @@ _sim_call_count = 0
 
 
 def simulation_call_count() -> int:
-    """How many simulations this process has started (monotonic)."""
+    """How many logical simulations this process has started (monotonic).
+
+    "Started" means *on behalf of* this process: a sharded run whose
+    engines execute inside worker processes still counts exactly once
+    here, in the coordinating process (``simulate_sharded`` increments
+    it), so `Session`'s cache assertions — a miss is +1, a hit +0 — keep
+    holding under multiprocess execution.  Per-shard engine runs are
+    reported separately in ``SimulationResult.parallel_stats``.
+    """
     return _sim_call_count
+
+
+def add_simulation_calls(n: int = 1) -> None:
+    """Fold ``n`` logical simulation starts into this process's counter.
+
+    The seam drivers use when the engines backing a run execute outside
+    the normal :func:`simulate` path (the sharded coordinator counts its
+    run through this; :func:`simulate` itself does too).
+    """
+    global _sim_call_count
+    with _sim_call_lock:
+        _sim_call_count += n
 
 
 @dataclass(frozen=True)
@@ -105,10 +128,38 @@ class SimulationConfig:
     record_segments: bool = True
     injected_delays: list[DelayInjection] = field(default_factory=list)
     entry: str = "main"
+    #: Partition the ranks over this many shard engines and run them as a
+    #: conservative parallel DES (see :mod:`repro.simulator.parallel`).
+    #: 1 = the classic serial engine.  Results are bit-identical either
+    #: way; only wall-clock changes.
+    sim_shards: int = 1
+    #: How shard engines execute: "inprocess" (deterministic single-thread
+    #: scheduler — tests, debugging), "process" (multiprocessing workers),
+    #: or "auto" (process when >1 CPU is available, else inprocess).
+    sim_executor: str = "auto"
 
     def __post_init__(self) -> None:
         if self.nprocs < 1:
             raise ValueError("nprocs must be >= 1")
+        if self.sim_shards < 1:
+            raise ValueError("sim_shards must be >= 1")
+        if self.sim_executor not in ("auto", "inprocess", "process"):
+            raise ValueError(
+                "sim_executor must be 'auto', 'inprocess' or 'process'"
+            )
+
+
+@dataclass(frozen=True)
+class ParallelRunStats:
+    """Execution provenance of one sharded run (absent for serial runs)."""
+
+    shards: int
+    executor: str
+    rounds: int
+    messages_routed: int
+    #: Shard engine runs performed (one per shard), aggregated from the
+    #: shard finals so a lost worker cannot go unnoticed.
+    engine_runs: int
 
 
 @dataclass
@@ -130,6 +181,8 @@ class SimulationResult:
     indirect_notes: list[IndirectNote]
     mpi_call_count: int
     compute_count: int
+    #: Set when the run was produced by the sharded parallel executor.
+    parallel_stats: Optional[ParallelRunStats] = None
 
     @property
     def segments(self) -> SegmentsView:
@@ -194,7 +247,7 @@ class _Request:
 class _Proc:
     __slots__ = (
         "pid", "gen", "clock", "status", "token", "blocked_on", "block_start",
-        "requests", "waitall_reqs",
+        "requests", "waitall_reqs", "op_index",
     )
 
     def __init__(self, pid: int, gen: Iterator[ops.Op]) -> None:
@@ -209,20 +262,52 @@ class _Proc:
         self.requests: dict[str, list[_Request]] = {}
         #: requests captured by an in-progress waitall
         self.waitall_reqs: list[_Request] = []
+        #: Monotone rank-local mailbox-op counter (sends + recv posts).
+        #: Deterministic across executions — the parallel subsystem uses
+        #: ``(time, pid, op_index)`` as the canonical order of mailbox
+        #: operations, where the serial engine's order is emergent.
+        self.op_index = 0
 
 
 class Engine:
-    """Runs one MiniMPI program at one scale and produces ground truth."""
+    """Runs one MiniMPI program at one scale and produces ground truth.
 
-    def __init__(self, program: ast.Program, psg: PSG, config: SimulationConfig) -> None:
+    ``local_ranks`` restricts the engine to a subset of the ranks: only
+    those get interpreters, mailboxes and heap entries.  The serial engine
+    always owns all ranks; the sharded executor instantiates one engine
+    per shard and wires the cross-shard seams (send routing, collective
+    participation, wildcard ordering) in the
+    :class:`repro.simulator.parallel.shard.ShardEngine` subclass.
+    """
+
+    def __init__(
+        self,
+        program: ast.Program,
+        psg: PSG,
+        config: SimulationConfig,
+        *,
+        local_ranks: Optional[range] = None,
+    ) -> None:
         self.program = program
         self.psg = psg
         self.config = config
+        self.local_ranks = (
+            range(config.nprocs) if local_ranks is None else local_ranks
+        )
         self.cost = CostModel(config.machine, config.network, seed=config.seed)
         self.tracker = CollectiveTracker(config.nprocs)
-        self.mailboxes = [Mailbox(r) for r in range(config.nprocs)]
-        self.procs: list[_Proc] = []
+        self.mailboxes: dict[int, Mailbox] = {
+            r: Mailbox(r) for r in self.local_ranks
+        }
+        #: pid -> _Proc (None for ranks owned by another shard)
+        self.procs: list[Optional[_Proc]] = [None] * config.nprocs
         self._heap: list[tuple[float, int, int]] = []
+        #: per-instance handler dispatch: bound methods, so subclasses can
+        #: override individual op handlers without touching the hot loop
+        self._handlers = {
+            op_type: getattr(self, name)
+            for op_type, name in _HANDLER_NAMES.items()
+        }
         self._counter = itertools.count()
         # recording: columnar trace (ring mode when segments are not kept)
         self.trace = TraceBuffer(keep_events=config.record_segments)
@@ -249,11 +334,17 @@ class Engine:
     # ------------------------------------------------------------------
 
     def run(self) -> SimulationResult:
+        self.start()
+        self.drain()
+        return self.finish()
+
+    def start(self) -> None:
+        """Create the interpreters and make every local rank runnable."""
         cfg = self.config
         # One compiled-expression cache shared by every rank: the AST is
         # rank-independent, so each expression compiles exactly once.
         expr_cache: dict = {}
-        for pid in range(cfg.nprocs):
+        for pid in self.local_ranks:
             interp = Interpreter(
                 self.program,
                 self.psg,
@@ -265,25 +356,67 @@ class Engine:
                 expr_cache=expr_cache,
             )
             proc = _Proc(pid, interp.run())
-            self.procs.append(proc)
+            self.procs[pid] = proc
             self._push(proc)
 
-        finish = [0.0] * cfg.nprocs
-        while self._heap:
-            clock, token, pid = heapq.heappop(self._heap)
-            proc = self.procs[pid]
+    def drain(self, horizon: Optional[float] = None) -> None:
+        """Run runnable ranks in virtual-time order.
+
+        Without a horizon this is the serial main loop: it returns when no
+        rank is runnable (all done, or all blocked — a deadlock the caller
+        diagnoses via :meth:`finish`).  With a horizon (the parallel
+        executor's conservative window bound) ranks only step while their
+        clock stays below it; anything at or past the horizon stays parked
+        in the heap for the next window.
+        """
+        heap = self._heap
+        procs = self.procs
+        while heap:
+            clock, token, pid = heap[0]
+            if horizon is not None and clock >= horizon:
+                return
+            heapq.heappop(heap)
+            proc = procs[pid]
             if proc.status is not _Status.READY or proc.token != token:
                 continue  # stale entry
-            self._step(proc)
+            self._step(proc, horizon)
 
-        blocked = [p for p in self.procs if p.status is _Status.BLOCKED]
-        if blocked:
-            raise DeadlockError(
-                f"deadlock: {len(blocked)} of {cfg.nprocs} ranks blocked",
-                [self._describe_block(p) for p in blocked],
-            )
-        for p in self.procs:
-            finish[p.pid] = p.clock
+    def next_event_time(self) -> float:
+        """Clock of the earliest runnable rank (inf when none is runnable).
+
+        A lower bound on the timestamp of anything this engine can still
+        do without new external input — the quantity conservative windows
+        are built from.
+        """
+        heap = self._heap
+        procs = self.procs
+        while heap:
+            clock, token, pid = heap[0]
+            proc = procs[pid]
+            if proc.status is _Status.READY and proc.token == token:
+                return clock
+            heapq.heappop(heap)
+        return float("inf")
+
+    def blocked_procs(self) -> list["_Proc"]:
+        return [
+            p for p in self.procs
+            if p is not None and p.status is _Status.BLOCKED
+        ]
+
+    def finish(self, *, check_deadlock: bool = True) -> SimulationResult:
+        """Diagnose deadlock and assemble the result for the local ranks."""
+        cfg = self.config
+        if check_deadlock:
+            blocked = self.blocked_procs()
+            if blocked:
+                raise DeadlockError(
+                    f"deadlock: {len(blocked)} of {cfg.nprocs} ranks blocked",
+                    [self._describe_block(p) for p in blocked],
+                )
+        finish = [0.0] * cfg.nprocs
+        for pid in self.local_ranks:
+            finish[pid] = self.procs[pid].clock
 
         return SimulationResult(
             nprocs=cfg.nprocs,
@@ -323,11 +456,12 @@ class Engine:
     # stepping one process
     # ------------------------------------------------------------------
 
-    def _step(self, proc: _Proc) -> None:
-        """Run ``proc`` op-by-op while it stays the globally minimal clock."""
+    def _step(self, proc: _Proc, horizon: Optional[float] = None) -> None:
+        """Run ``proc`` op-by-op while it stays the globally minimal clock
+        (and, in windowed mode, below the horizon)."""
         heap = self._heap
         procs = self.procs
-        handlers = _HANDLERS
+        handlers = self._handlers
         gen_next = proc.gen.__next__
         while True:
             try:
@@ -338,8 +472,13 @@ class Engine:
             handler = handlers.get(type(op))
             if handler is None:
                 raise SimulationError(f"engine cannot handle {type(op).__name__}")
-            parked = handler(self, proc, op)
+            parked = handler(proc, op)
             if parked:
+                return
+            if horizon is not None and proc.clock >= horizon:
+                # Window edge: the proc crossed the conservative horizon —
+                # park it for the next window.
+                self._push(proc)
                 return
             # Anti-churn check: keep stepping while this proc is still the
             # globally minimal clock.  The heap may hold *stale* entries
@@ -356,14 +495,6 @@ class Engine:
                 self._push(proc)
                 return
             # else: still the minimum — keep stepping without heap churn.
-
-    def _handle(self, proc: _Proc, op: ops.Op) -> bool:
-        """Process one op.  Returns True when the proc was parked (or is
-        otherwise no longer runnable in this step)."""
-        handler = _HANDLERS.get(type(op))
-        if handler is None:
-            raise SimulationError(f"engine cannot handle {type(op).__name__}")
-        return handler(self, proc, op)
 
     def _handle_compute_op(self, proc: _Proc, op: ops.ComputeOp) -> bool:
         self._handle_compute(proc, op)
@@ -423,11 +554,13 @@ class Engine:
         self.mpi_call_count += 1
         start = proc.clock
         proc.clock = start + self.cost.send_overhead()
+        proc.op_index += 1
         # positional: this constructor runs once per message sent
         msg = Message(
             proc.pid, op.dest, op.tag, op.nbytes,
             start, start + self.cost.p2p_transfer(op.nbytes), op.vid,
         )
+        msg.src_seq = proc.op_index
         if op.request is not None:  # isend: completes locally right away
             proc.requests.setdefault(op.request, []).append(
                 _Request(name=op.request, kind="send", post_time=start, vid=op.vid)
@@ -435,12 +568,19 @@ class Engine:
         self._trace_append(
             proc.pid, op.vid, 1, start, proc.clock, 0.0, MPI_OP_CODES[op.mpi_op]
         )
-        match = self.mailboxes[op.dest].deliver(msg)
+        self._route_send(msg)
+
+    def _route_send(self, msg: Message) -> None:
+        """Hand a freshly posted message to its destination mailbox.  The
+        sharded engine overrides this to divert cross-shard traffic into
+        its outbox."""
+        match = self.mailboxes[msg.dest].deliver(msg)
         if match is not None:
             self._complete_match(match)
 
     def _handle_recv(self, proc: _Proc, op: ops.RecvOp) -> bool:
         self.mpi_call_count += 1
+        proc.op_index += 1
         recv = PostedRecv(
             rank=proc.pid,
             src=op.src,
@@ -652,64 +792,113 @@ class Engine:
             proc.status = _Status.BLOCKED
             return True
         # Last arrival: complete the instance for everyone.
-        nprocs = self.config.nprocs
-        cost = self.cost.collective_cost(inst.mpi_op, nprocs, inst.nbytes)
-        max_arrival = inst.max_arrival
-        root_arrival = inst.root_arrival
-        completions: dict[int, float] = {}
-        for rank, (arrival, _vid) in inst.arrivals.items():
-            if inst.mpi_op in (MpiOp.BCAST, MpiOp.SCATTER):
-                completions[rank] = max(arrival, root_arrival + cost)
-            elif inst.mpi_op in (MpiOp.REDUCE, MpiOp.GATHER):
-                if rank == inst.root:
-                    completions[rank] = max_arrival + cost
-                else:
-                    completions[rank] = arrival + self.cost.network.call_overhead
-            else:  # synchronizing collectives
-                completions[rank] = max_arrival + cost
-        record = CollectiveRecord(
-            index=inst.index,
-            mpi_op=inst.mpi_op,
-            root=inst.root,
-            nbytes=inst.nbytes,
-            vids={r: vid for r, (_t, vid) in inst.arrivals.items()},
-            arrivals={r: t for r, (t, _vid) in inst.arrivals.items()},
-            completions=completions,
+        record, cost = build_collective_record(
+            inst, self.cost, self.config.nprocs
         )
         self.collective_records.append(record)
-        op_code = MPI_OP_CODES[inst.mpi_op]
-        for rank, (arrival, vid) in inst.arrivals.items():
+        self._apply_collective(record, cost, arriving=proc)
+        return False
+
+    def _apply_collective(
+        self, record: CollectiveRecord, cost: float, arriving: Optional[_Proc]
+    ) -> None:
+        """Record the per-rank collective rows and release the local ranks.
+
+        ``arriving`` is the rank whose arrival completed the instance (it
+        is still READY and mid-step); everyone else local is parked and
+        gets woken.  The sharded engine calls this with ``arriving=None``
+        when a coordinator-completed instance is applied: all its local
+        participants are parked then.
+        """
+        op_code = MPI_OP_CODES[record.mpi_op]
+        completions = record.completions
+        for rank, arrival in record.arrivals.items():
             other = self.procs[rank]
+            if other is None:
+                continue  # rank lives on another shard
+            vid = record.vids[rank]
             completion = completions[rank]
             wait = max(0.0, completion - arrival - cost)
             self._trace_append(
                 rank, vid, 1, arrival, completion, wait, op_code
             )
-            if rank == proc.pid:
-                proc.clock = completion
+            if arriving is not None and rank == arriving.pid:
+                arriving.clock = completion
             else:
                 assert other.status is _Status.BLOCKED
                 other.blocked_on = None
                 other.clock = completion
                 self._push(other)
-        return False
 
 
-#: Op-type dispatch for the hot loop (single dict lookup per op).
-_HANDLERS = {
-    ops.ComputeOp: Engine._handle_compute_op,
-    ops.SendOp: Engine._handle_send_op,
-    ops.RecvOp: Engine._handle_recv,
-    ops.WaitOp: Engine._handle_wait,
-    ops.WaitAllOp: Engine._handle_waitall,
-    ops.CollectiveOp: Engine._handle_collective,
-    ops.IndirectCallNote: Engine._handle_indirect_note,
+#: Op-type dispatch for the hot loop: bound per instance in ``__init__``
+#: (one dict lookup + bound call per op, and subclass overrides are
+#: honoured automatically).
+_HANDLER_NAMES = {
+    ops.ComputeOp: "_handle_compute_op",
+    ops.SendOp: "_handle_send_op",
+    ops.RecvOp: "_handle_recv",
+    ops.WaitOp: "_handle_wait",
+    ops.WaitAllOp: "_handle_waitall",
+    ops.CollectiveOp: "_handle_collective",
+    ops.IndirectCallNote: "_handle_indirect_note",
 }
 
 
+def collective_completions(
+    inst, cost_model: CostModel, nprocs: int
+) -> tuple[dict[int, float], float]:
+    """Per-rank completion times of a fully-arrived collective instance.
+
+    Pure function of the arrival data and the cost model — shared by the
+    serial engine (which completes instances inline) and the parallel
+    coordinator (which completes instances spanning shards), so both paths
+    compute bit-identical timestamps.
+    """
+    cost = cost_model.collective_cost(inst.mpi_op, nprocs, inst.nbytes)
+    max_arrival = inst.max_arrival
+    root_arrival = inst.root_arrival
+    completions: dict[int, float] = {}
+    for rank, (arrival, _vid) in inst.arrivals.items():
+        if inst.mpi_op in (MpiOp.BCAST, MpiOp.SCATTER):
+            completions[rank] = max(arrival, root_arrival + cost)
+        elif inst.mpi_op in (MpiOp.REDUCE, MpiOp.GATHER):
+            if rank == inst.root:
+                completions[rank] = max_arrival + cost
+            else:
+                completions[rank] = arrival + cost_model.network.call_overhead
+        else:  # synchronizing collectives
+            completions[rank] = max_arrival + cost
+    return completions, cost
+
+
+def build_collective_record(
+    inst, cost_model: CostModel, nprocs: int
+) -> tuple[CollectiveRecord, float]:
+    """The :class:`CollectiveRecord` of a fully-arrived instance."""
+    completions, cost = collective_completions(inst, cost_model, nprocs)
+    record = CollectiveRecord(
+        index=inst.index,
+        mpi_op=inst.mpi_op,
+        root=inst.root,
+        nbytes=inst.nbytes,
+        vids={r: vid for r, (_t, vid) in inst.arrivals.items()},
+        arrivals={r: t for r, (t, _vid) in inst.arrivals.items()},
+        completions=completions,
+    )
+    return record, cost
+
+
 def simulate(program: ast.Program, psg: PSG, config: SimulationConfig) -> SimulationResult:
-    """Convenience wrapper: run one simulation to completion."""
-    global _sim_call_count
-    with _sim_call_lock:
-        _sim_call_count += 1
+    """Convenience wrapper: run one simulation to completion.
+
+    Dispatches to the sharded parallel executor when the config asks for
+    more than one shard (``sim_shards > 1``); results are bit-identical
+    either way.
+    """
+    if config.sim_shards > 1 and config.nprocs > 1:
+        from repro.simulator.parallel import simulate_sharded
+
+        return simulate_sharded(program, psg, config)  # counts itself
+    add_simulation_calls(1)
     return Engine(program, psg, config).run()

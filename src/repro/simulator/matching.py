@@ -12,13 +12,32 @@ Implements the matching semantics the analyses depend on:
 
 The engine owns the clock; this module is pure bookkeeping, which makes it
 easy to property-test (FIFO per channel, no lost or duplicated messages).
+
+**Data structure.**  The mailbox used to keep one flat list per side and
+scan it linearly on every ``deliver``/``post_recv`` — O(outstanding) per
+call, which dominated matching cost at high rank counts.  Both sides are
+now hash-bucketed:
+
+* pending messages bucket by their concrete ``(src, tag)``,
+* posted receives bucket by their *declared* ``(src-or-ANY, tag-or-ANY)``,
+
+so the fully-specified fast path (the overwhelmingly common case) is a
+single dict probe + deque head.  Wildcards fall back to a bounded candidate
+scan: a message can only match four posted-recv buckets — ``(src, tag)``,
+``(src, ANY)``, ``(ANY, tag)``, ``(ANY, ANY)`` — and a wildcard receive
+scans bucket *heads* only (FIFO inside a bucket means no deeper entry can
+win).  Every insertion carries a mailbox-local monotone stamp so the
+earliest-inserted-wins semantics of the old linear scan are reproduced
+exactly: the minimum stamp over candidate bucket heads is the element the
+old code would have found first.
 """
 
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Iterator, Optional
 
 from repro.simulator.ops import ANY
 
@@ -40,6 +59,11 @@ class Message:
     arrival: float
     send_vid: int
     seq: int = field(default_factory=lambda: next(_msg_counter))
+    #: Sender-local op index at send time (deterministic across executions,
+    #: unlike ``seq`` which is a process-global counter).  Set by the
+    #: engine; the parallel subsystem orders cross-shard traffic by the
+    #: canonical key ``(send_time, src, src_seq)``.
+    src_seq: int = -1
 
 
 @dataclass(slots=True)
@@ -77,10 +101,18 @@ class Match:
 class Mailbox:
     """Pending messages and posted receives of one destination rank."""
 
+    __slots__ = ("rank", "_pending", "_posted", "_stamp", "_pending_count",
+                 "_posted_count")
+
     def __init__(self, rank: int) -> None:
         self.rank = rank
-        self.pending: list[Message] = []  # in posting order
-        self.posted: list[PostedRecv] = []  # in posting order
+        #: (src, tag) -> deque of (stamp, Message), FIFO in insertion order
+        self._pending: dict[tuple[int, int], deque] = {}
+        #: (src|ANY, tag|ANY) -> deque of (stamp, PostedRecv)
+        self._posted: dict[tuple[object, object], deque] = {}
+        self._stamp = 0
+        self._pending_count = 0
+        self._posted_count = 0
 
     # -- the two entry points -------------------------------------------
 
@@ -89,11 +121,36 @@ class Mailbox:
         already-posted receive accepts it (earliest-posted wins)."""
         if msg.dest != self.rank:
             raise ValueError(f"message for rank {msg.dest} delivered to {self.rank}")
-        for i, recv in enumerate(self.posted):
-            if recv.accepts(msg):
-                self.posted.pop(i)
+        if self._posted_count:
+            posted = self._posted
+            best_key = None
+            best_stamp = -1
+            # A message can only match these four declared-recv buckets.
+            for key in (
+                (msg.src, msg.tag),
+                (msg.src, ANY),
+                (ANY, msg.tag),
+                (ANY, ANY),
+            ):
+                bucket = posted.get(key)
+                if bucket:
+                    stamp = bucket[0][0]
+                    if best_key is None or stamp < best_stamp:
+                        best_key, best_stamp = key, stamp
+            if best_key is not None:
+                bucket = posted[best_key]
+                _, recv = bucket.popleft()
+                if not bucket:
+                    del posted[best_key]
+                self._posted_count -= 1
                 return Match(message=msg, recv=recv)
-        self.pending.append(msg)
+        pkey = (msg.src, msg.tag)
+        bucket = self._pending.get(pkey)
+        if bucket is None:
+            bucket = self._pending[pkey] = deque()
+        self._stamp = stamp = self._stamp + 1
+        bucket.append((stamp, msg))
+        self._pending_count += 1
         return None
 
     def post_recv(self, recv: PostedRecv) -> Optional[Match]:
@@ -101,16 +158,139 @@ class Mailbox:
         eligible pending message, if any."""
         if recv.rank != self.rank:
             raise ValueError(f"recv of rank {recv.rank} posted to mailbox {self.rank}")
-        for i, msg in enumerate(self.pending):
-            if recv.accepts(msg):
-                self.pending.pop(i)
+        src, tag = recv.src, recv.tag
+        if src is not ANY and tag is not ANY:
+            # fast path: a fully-addressed recv matches one bucket's head
+            pkey = (src, tag)
+            bucket = self._pending.get(pkey)
+            if bucket:
+                _, msg = bucket.popleft()
+                if not bucket:
+                    del self._pending[pkey]
+                self._pending_count -= 1
                 return Match(message=msg, recv=recv)
-        self.posted.append(recv)
+        elif self._pending_count:
+            best = self._min_pending(recv, lambda stamp_msg: stamp_msg[0])
+            if best is not None:
+                return Match(message=best, recv=recv)
+        key = (src, tag)
+        bucket = self._posted.get(key)
+        if bucket is None:
+            bucket = self._posted[key] = deque()
+        self._stamp = stamp = self._stamp + 1
+        bucket.append((stamp, recv))
+        self._posted_count += 1
         return None
+
+    # -- canonical selection (parallel shards) ----------------------------
+
+    def take_pending(
+        self,
+        recv: PostedRecv,
+        key: Callable[[Message], tuple],
+        bound: Optional[tuple] = None,
+    ) -> Optional[Match]:
+        """Match ``recv`` against the eligible pending message minimizing
+        ``key(message)`` (instead of insertion order).
+
+        Used by the sharded engine when it resolves a held wildcard
+        receive: cross-shard messages may have been inserted out of send
+        order, so the selection re-derives the serial engine's
+        earliest-sent-wins rule from the canonical message key
+        ``(send_time, src, src_seq)`` rather than from insertion stamps.
+        With a ``bound``, a candidate whose key is not strictly below it is
+        left untouched (the conservative window cannot yet prove no
+        earlier-keyed message is still in flight).
+        """
+        best = self._min_pending(
+            recv, lambda stamp_msg: key(stamp_msg[1]), bound=bound
+        )
+        if best is None:
+            return None
+        return Match(message=best, recv=recv)
+
+    def remove_pending(self, msg: Message) -> None:
+        """Withdraw one pending message (the sharded engine rewinds
+        canonically-future messages into a gate's replay queue)."""
+        key = (msg.src, msg.tag)
+        bucket = self._pending.get(key)
+        if bucket is None:
+            raise ValueError(f"message {msg.seq} is not pending")
+        for i, (_stamp, m) in enumerate(bucket):
+            if m is msg:
+                del bucket[i]
+                break
+        else:
+            raise ValueError(f"message {msg.seq} is not pending")
+        if not bucket:
+            del self._pending[key]
+        self._pending_count -= 1
+
+    def post_unmatched(self, recv: PostedRecv) -> None:
+        """Insert ``recv`` into the posted buckets without attempting a
+        match (the sharded engine posts a resolved-but-unmatched wildcard
+        receive this way: its candidate scan already ran under the
+        canonical key)."""
+        key = (recv.src, recv.tag)
+        bucket = self._posted.get(key)
+        if bucket is None:
+            bucket = self._posted[key] = deque()
+        bucket.append((self._next_stamp(), recv))
+        self._posted_count += 1
+
+    def _min_pending(
+        self, recv: PostedRecv, rank_fn, bound: Optional[tuple] = None
+    ) -> Optional[Message]:
+        """Pop and return the eligible pending message minimizing
+        ``rank_fn((stamp, msg))``, or None.  Only bucket heads can win:
+        buckets are FIFO and a recv is either eligible for a whole
+        ``(src, tag)`` bucket or for none of it."""
+        pending = self._pending
+        src, tag = recv.src, recv.tag
+        if src is not ANY and tag is not ANY:
+            keys: Iterator = iter(((src, tag),))
+        elif src is not ANY:
+            keys = (k for k in pending if k[0] == src)
+        elif tag is not ANY:
+            keys = (k for k in pending if k[1] == tag)
+        else:
+            keys = iter(list(pending))
+        best_key = None
+        best_rank = None
+        for k in keys:
+            bucket = pending.get(k)
+            if bucket:
+                r = rank_fn(bucket[0])
+                if best_key is None or r < best_rank:
+                    best_key, best_rank = k, r
+        if best_key is None:
+            return None
+        if bound is not None and best_rank >= bound:
+            return None
+        bucket = pending[best_key]
+        _, msg = bucket.popleft()
+        if not bucket:
+            del pending[best_key]
+        self._pending_count -= 1
+        return msg
+
+    def _next_stamp(self) -> int:
+        self._stamp += 1
+        return self._stamp
 
     # -- introspection ----------------------------------------------------
 
     def outstanding(self) -> tuple[int, int]:
         """(pending messages, posted receives) — both non-zero only
         transiently inside an engine step."""
-        return len(self.pending), len(self.posted)
+        return self._pending_count, self._posted_count
+
+    def has_wildcard_posted(self) -> bool:
+        """Is any posted (unmatched) receive declared with ANY source?"""
+        return any(k[0] is ANY for k in self._posted)
+
+    def pending_messages(self) -> list[Message]:
+        """All pending messages in insertion order (diagnostics only)."""
+        entries = [e for bucket in self._pending.values() for e in bucket]
+        entries.sort(key=lambda e: e[0])
+        return [m for _stamp, m in entries]

@@ -1,0 +1,126 @@
+"""The wire protocol between the coordinator and its shard engines.
+
+Everything here is a plain picklable dataclass: the in-process scheduler
+passes these objects directly, the multiprocessing executor sends the very
+same objects through pipes — one protocol, two transports, so both
+executors traverse identical round structures and produce identical
+results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.minilang.ast_nodes import MpiOp
+from repro.minilang.errors import SourceLocation
+from repro.simulator.events import CollectiveRecord
+from repro.simulator.matching import Message
+
+__all__ = [
+    "CanonicalKey",
+    "Arrival",
+    "CompletedCollective",
+    "RoundInput",
+    "RoundOutput",
+    "ShardFinal",
+]
+
+#: Canonical order of mailbox operations: ``(time, pid, op_index)``.
+#: Wherever operations have distinct virtual times this reproduces the
+#: serial engine's order exactly.  At *equal* times — which symmetric
+#: programs (identical per-rank work under the default zero-noise cost
+#: model) produce routinely — the serial order is emergent heap/token
+#: order while this key breaks ties by rank id.  The only decisions that
+#: ever read cross-rank order are ``MPI_ANY_SOURCE`` matches, so the
+#: bit-identity guarantee is precisely: sharded == serial unless distinct
+#: senders race for one wildcard receive at exactly equal times — a race
+#: real MPI leaves nondeterministic anyway; sharded mode resolves it
+#: canonically (lowest rank first, deterministic across shard counts and
+#: executors).
+CanonicalKey = Tuple[float, int, int]
+
+
+@dataclass(slots=True)
+class Arrival:
+    """One local rank entering its next collective."""
+
+    index: int  # per-rank call-order index (the instance identity)
+    rank: int
+    time: float
+    vid: int
+    mpi_op: MpiOp
+    root: int
+    nbytes: int
+    location: SourceLocation
+
+
+@dataclass(slots=True)
+class CompletedCollective:
+    """A coordinator-completed instance, broadcast to every shard."""
+
+    record: CollectiveRecord
+    cost: float
+
+
+@dataclass(slots=True)
+class RoundInput:
+    """Coordinator -> shard, once per conservative round."""
+
+    #: Cross-shard messages destined for this shard's ranks.
+    deliveries: list[Message] = field(default_factory=list)
+    #: Collective instances that completed, in index order.
+    completions: list[CompletedCollective] = field(default_factory=list)
+    #: Wildcard-ordering safety bound: every not-yet-seen send is
+    #: guaranteed to order at or after this key, so gated mailboxes may
+    #: process queued operations strictly below it.
+    gate_bound: CanonicalKey = (0.0, -1, -1)
+    #: The one held wildcard receive allowed to resolve this round (the
+    #: globally minimal hold), or None.
+    resolve: Optional[CanonicalKey] = None
+    #: Optional window horizon: with a value, the shard only advances
+    #: ranks whose clock stays below it (bounded-window mode); None lets
+    #: the shard run to local quiescence (maximal conservative window).
+    horizon: Optional[float] = None
+
+
+@dataclass(slots=True)
+class RoundOutput:
+    """Shard -> coordinator at the round's barrier edge."""
+
+    #: Messages this shard's ranks sent to other shards' ranks.
+    outbox: list[Message] = field(default_factory=list)
+    #: Collective arrivals recorded this round, in local virtual-time order.
+    arrivals: list[Arrival] = field(default_factory=list)
+    #: Head held-wildcard key of each gated mailbox still waiting.
+    holds: list[CanonicalKey] = field(default_factory=list)
+    #: Earliest runnable local event (inf when quiescent).
+    next_event: float = float("inf")
+    #: All local ranks ran to completion.
+    done: bool = False
+    #: Number of locally blocked ranks (deadlock diagnostics).
+    blocked: int = 0
+    #: Anything happened this round (ops executed, gate entries replayed).
+    #: A fixpoint where no shard progresses, nothing was routed and no
+    #: hold resolves is a deadlock.
+    progressed: bool = False
+
+
+@dataclass(slots=True)
+class ShardFinal:
+    """Shard -> coordinator after the last round: everything needed to
+    merge one :class:`~repro.simulator.engine.SimulationResult`."""
+
+    shard_index: int
+    trace: object  # TraceBuffer (sealed)
+    p2p_records: list
+    indirect_notes: list
+    finish_times: dict[int, float]
+    mpi_call_count: int
+    compute_count: int
+    #: Engine runs this shard performed: one, by construction.  Summed
+    #: into ``ParallelRunStats.engine_runs`` so the coordinator can
+    #: assert no shard was lost; the process-level simulation counter is
+    #: incremented once per *logical* run by ``simulate_sharded``, never
+    #: by workers.
+    engine_runs: int = 1

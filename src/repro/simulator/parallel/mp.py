@@ -1,0 +1,134 @@
+"""Multiprocessing executor: one OS process per shard.
+
+Workers run the very same :class:`~repro.simulator.parallel.shard.ShardEngine`
+round loop the in-process scheduler drives, over pipes instead of direct
+calls — the round structure (and therefore every simulated timestamp and
+the merged result) is identical; only wall-clock differs.
+
+The ``fork`` start method is preferred: the parsed program and PSG are
+inherited by the workers for free.  Under ``spawn`` (platforms without
+fork) the same objects are pickled into the workers instead.  At the end
+each worker seals its columnar :class:`~repro.simulator.trace.TraceBuffer`
+and ships the chunks back in one message for the coordinator to merge.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Optional
+
+from repro.minilang import ast_nodes as ast
+from repro.psg.graph import PSG
+from repro.simulator.engine import SimulationConfig, SimulationResult
+from repro.simulator.parallel.coordinator import run_coordinated
+from repro.simulator.parallel.messages import RoundInput, RoundOutput, ShardFinal
+from repro.simulator.parallel.plan import ShardPlan
+from repro.simulator.parallel.shard import ShardEngine
+
+__all__ = ["run_multiprocess"]
+
+
+def _worker_main(conn, program, psg, config, plan, shard_index) -> None:
+    try:
+        engine = ShardEngine(program, psg, config, plan, shard_index)
+        engine.start()
+        while True:
+            request = conn.recv()
+            kind = request[0]
+            if kind == "round":
+                conn.send(("ok", engine.run_round(request[1])))
+            elif kind == "describe":
+                conn.send(("ok", engine.describe_blocked()))
+            elif kind == "finalize":
+                conn.send(("ok", engine.finalize()))
+            elif kind == "stop":
+                return
+            else:  # pragma: no cover - protocol guard
+                raise RuntimeError(f"unknown request {kind!r}")
+    except EOFError:  # coordinator went away
+        return
+    except BaseException as exc:  # ship the failure to the coordinator
+        try:
+            conn.send(("error", exc))
+        except Exception:
+            conn.send(("error", RuntimeError(repr(exc))))
+
+
+class _ProcessShardHandle:
+    """Pipe-backed :class:`~...coordinator.ShardHandle`."""
+
+    def __init__(self, ctx, program, psg, config, plan, shard_index) -> None:
+        parent, child = ctx.Pipe()
+        self.conn = parent
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(child, program, psg, config, plan, shard_index),
+            daemon=True,
+        )
+        self.process.start()
+        child.close()
+
+    def _recv(self):
+        status, payload = self.conn.recv()
+        if status == "error":
+            raise payload
+        return payload
+
+    def begin_round(self, rinput: RoundInput) -> None:
+        self.conn.send(("round", rinput))
+
+    def end_round(self) -> RoundOutput:
+        return self._recv()
+
+    def describe_blocked(self) -> list[str]:
+        self.conn.send(("describe",))
+        return self._recv()
+
+    def finalize(self) -> ShardFinal:
+        self.conn.send(("finalize",))
+        return self._recv()
+
+    def shutdown(self) -> None:
+        try:
+            self.conn.send(("stop",))
+        except (BrokenPipeError, OSError):
+            pass
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        self.process.join(timeout=5)
+        if self.process.is_alive():  # pragma: no cover - hung worker
+            self.process.terminate()
+            self.process.join(timeout=5)
+
+
+def _context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def run_multiprocess(
+    program: ast.Program,
+    psg: PSG,
+    config: SimulationConfig,
+    plan: ShardPlan,
+    *,
+    bounded_windows: bool = False,
+) -> SimulationResult:
+    ctx = _context()
+    handles: list[_ProcessShardHandle] = []
+    try:
+        for s in range(plan.nshards):
+            handles.append(
+                _ProcessShardHandle(ctx, program, psg, config, plan, s)
+            )
+        return run_coordinated(
+            handles, plan, config,
+            executor="process", bounded_windows=bounded_windows,
+        )
+    finally:
+        for handle in handles:
+            handle.shutdown()

@@ -463,6 +463,49 @@ class TraceBuffer:
         return self._counter_agg
 
     # ------------------------------------------------------------------
+    # merging (parallel shards)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def merge(cls, parts: list["TraceBuffer"]) -> "TraceBuffer":
+        """One TraceBuffer from per-shard buffers, in ``parts`` order.
+
+        The merged event table is the shard tables concatenated (shard 0's
+        events, then shard 1's, ...).  Each shard records only its own
+        ranks and every rank's events stay in that rank's execution order,
+        which is the invariant every consumer depends on: the per-(rank,
+        vid) ``np.bincount`` sums accumulate per key in per-rank order, and
+        :func:`repro.runtime.sampling.sample_result` re-sorts rank-major
+        before accumulating — so aggregates and profiles are bit-identical
+        to a serial run's, even though the global interleaving differs.
+
+        Ring-mode buffers (``keep_events=False``) merge their folded
+        per-vertex aggregates instead; the key spaces are disjoint because
+        a rank lives on exactly one shard.
+        """
+        if not parts:
+            return cls()
+        keep = parts[0].keep_events
+        if any(p.keep_events is not keep for p in parts):
+            raise ValueError("cannot merge ring-mode with recorded buffers")
+        buf = cls(keep_events=keep)
+        for part in parts:
+            part._seal_events()
+            part._seal_counters()
+            buf._event_count += part._event_count
+            buf._counter_count += part._counter_count
+            if keep:
+                buf._chunks.extend(part._chunks)
+                buf._cchunks.extend(part._cchunks)
+            else:
+                buf._fold_time.update(part._fold_time)
+                buf._fold_wait.update(part._fold_wait)
+                buf._fold_waited.update(part._fold_waited)
+                buf._fold_visits.update(part._fold_visits)
+                buf._fold_counters.update(part._fold_counters)
+        return buf
+
+    # ------------------------------------------------------------------
     # serialization (Session artifact cache)
     # ------------------------------------------------------------------
 

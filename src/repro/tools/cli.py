@@ -31,26 +31,40 @@ from repro.util.tables import Table, format_bytes
 __all__ = ["main", "build_parser"]
 
 
+def _sim_args(args) -> dict:
+    """Execution-strategy knobs shared by every simulating command."""
+    out: dict = {}
+    if getattr(args, "sim_shards", 1) != 1:
+        out["sim_shards"] = args.sim_shards
+    if getattr(args, "sim_executor", "auto") != "auto":
+        out["sim_executor"] = args.sim_executor
+    return out
+
+
 def _tool_from_args(args) -> ScalAna:
+    extra = _sim_args(args)
     if args.app:
-        return ScalAna.for_app(get_app(args.app), seed=args.seed)
+        return ScalAna.for_app(get_app(args.app), seed=args.seed, **extra)
     if args.source:
         source = Path(args.source).read_text()
-        return ScalAna(source=source, filename=args.source, seed=args.seed)
+        return ScalAna(
+            source=source, filename=args.source, seed=args.seed, **extra
+        )
     raise SystemExit("need --app NAME or --source FILE")
 
 
 def _pipeline_from_args(args, session: Session | None = None) -> Pipeline:
+    extra = _sim_args(args)
     if args.app:
         return Pipeline.for_app(
-            get_app(args.app), seed=args.seed, session=session
+            get_app(args.app), seed=args.seed, session=session, **extra
         )
     if args.source:
         source = Path(args.source).read_text()
         return Pipeline(
             source=source,
             filename=args.source,
-            config=AnalysisConfig(seed=args.seed),
+            config=AnalysisConfig(seed=args.seed, **extra),
             session=session,
         )
     raise SystemExit("need --app NAME or --source FILE")
@@ -222,6 +236,36 @@ def cmd_run(args) -> int:
     return 0
 
 
+def cmd_simulate(args) -> int:
+    """Pure ground-truth simulation at one scale (no instrumentation).
+
+    The simulator-benchmark entry point: prints makespan, event counts and
+    wall-clock; ``--sim-shards N`` runs the conservative parallel DES.
+    """
+    import time as _time
+
+    tool = _tool_from_args(args)
+    tool.static_analysis()  # parse outside the timed region
+    t0 = _time.perf_counter()
+    result = tool.run_uninstrumented(int(args.nprocs))
+    wall = _time.perf_counter() - t0
+    stats = result.parallel_stats
+    mode = (
+        f"{stats.shards} shards ({stats.executor}, {stats.rounds} rounds, "
+        f"{stats.messages_routed} cross-shard msgs)"
+        if stats is not None
+        else "serial"
+    )
+    print(f"nprocs      {result.nprocs}")
+    print(f"executor    {mode}")
+    print(f"makespan    {result.total_time:.6f}s simulated")
+    print(f"events      {result.trace.event_count} "
+          f"({result.mpi_call_count} MPI calls, {result.compute_count} compute)")
+    print(f"wall clock  {wall:.3f}s "
+          f"({result.trace.event_count / max(wall, 1e-9):,.0f} events/s)")
+    return 0
+
+
 def cmd_sweep(args) -> int:
     """Batch-analyze an app × scales × seeds matrix through one session."""
     import json as _json
@@ -236,7 +280,8 @@ def cmd_sweep(args) -> int:
     session = Session(cache_dir=Path(args.cache) if args.cache else None)
     try:
         results = session.sweep(
-            specs, scales, seeds=_parse_seeds(args.seeds), jobs=args.jobs
+            specs, scales, seeds=_parse_seeds(args.seeds), jobs=args.jobs,
+            **_sim_args(args),
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
@@ -288,6 +333,18 @@ def build_parser() -> argparse.ArgumentParser:
             help="profile scales in parallel with N workers",
         )
 
+    def shards_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--sim-shards", type=int, default=1, metavar="N",
+            help="shard each simulation over N engines "
+                 "(multi-core, bit-identical results)",
+        )
+        p.add_argument(
+            "--sim-executor", default="auto",
+            choices=("auto", "inprocess", "process"),
+            help="how shard engines run (default: auto)",
+        )
+
     p = sub.add_parser("apps", help="list registry applications")
     p.set_defaults(func=cmd_apps)
 
@@ -300,6 +357,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scales", required=True, help="comma list, e.g. 4,8,16")
     p.add_argument("--out", default="scalana_profiles")
     jobs_arg(p)
+    shards_arg(p)
     p.set_defaults(func=cmd_prof)
 
     p = sub.add_parser("detect", help="detect root causes from saved profiles")
@@ -315,6 +373,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--show-source", action="store_true")
     p.add_argument("--json", action="store_true", help="machine-readable report")
     jobs_arg(p)
+    shards_arg(p)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser(
@@ -331,7 +390,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--json", action="store_true", help="machine-readable reports")
     jobs_arg(p)
+    shards_arg(p)
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "simulate", help="pure ground-truth simulation at one scale"
+    )
+    common(p)
+    p.add_argument("--nprocs", default="64")
+    shards_arg(p)
+    p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser("compare", help="compare tracer/profiler/ScalAna costs")
     common(p)

@@ -124,6 +124,87 @@ def channel_traffic(draw):
     return draw(st.permutations(ops))
 
 
+class _ReferenceMailbox:
+    """The pre-bucketing implementation: flat lists + linear scans.
+
+    Kept verbatim as the behavioural oracle for the hash-bucketed
+    mailbox: any divergence on any op sequence is a bucketing bug.
+    """
+
+    def __init__(self, rank):
+        self.rank = rank
+        self.pending = []
+        self.posted = []
+
+    def deliver(self, msg):
+        for i, r in enumerate(self.posted):
+            if r.accepts(msg):
+                self.posted.pop(i)
+                return (msg, r)
+        self.pending.append(msg)
+        return None
+
+    def post_recv(self, recv):
+        for i, m in enumerate(self.pending):
+            if recv.accepts(m):
+                self.pending.pop(i)
+                return (m, recv)
+        self.posted.append(recv)
+        return None
+
+
+@st.composite
+def mailbox_ops(draw):
+    """A random interleaving of sends and receives with wildcards."""
+    n = draw(st.integers(min_value=1, max_value=40))
+    ops = []
+    for _ in range(n):
+        if draw(st.booleans()):
+            ops.append(("send", draw(st.integers(0, 3)), draw(st.integers(0, 3))))
+        else:
+            src = draw(st.one_of(st.none(), st.integers(0, 3)))
+            tag = draw(st.one_of(st.none(), st.integers(0, 3)))
+            ops.append(("recv", src, tag))
+    return ops
+
+
+class TestBucketEquivalence:
+    """Hash-bucketed mailbox == reference linear scan, op for op."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(mailbox_ops())
+    def test_wildcard_vs_bucket_equivalence(self, ops):
+        bucketed = Mailbox(0)
+        reference = _ReferenceMailbox(0)
+        t = 0.0
+        for kind, a, b in ops:
+            t += 1.0
+            if kind == "send":
+                m1 = msg(src=a, tag=b, seq_time=t)
+                m2 = msg(src=a, tag=b, seq_time=t)
+                got = bucketed.deliver(m1)
+                want = reference.deliver(m2)
+            else:
+                src = ANY if a is None else a
+                tag = ANY if b is None else b
+                r1 = recv(src=src, tag=tag, t=t)
+                r2 = recv(src=src, tag=tag, t=t)
+                got = bucketed.post_recv(r1)
+                want = reference.post_recv(r2)
+            if want is None:
+                assert got is None
+            else:
+                assert got is not None
+                # compare by content: the two mailboxes hold twin objects
+                wm, wr = want
+                assert (got.message.src, got.message.tag,
+                        got.message.send_time) == (wm.src, wm.tag, wm.send_time)
+                assert (got.recv.src, got.recv.tag, got.recv.post_time) == (
+                    wr.src, wr.tag, wr.post_time)
+        assert bucketed.outstanding() == (
+            len(reference.pending), len(reference.posted))
+
+
 class TestMatchingProperties:
     @settings(max_examples=100, deadline=None)
     @given(channel_traffic())
