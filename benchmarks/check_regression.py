@@ -1,11 +1,13 @@
 """Benchmark-regression gate for the simulator (CI: bench-regression job).
 
-Measures the throughput of the simulator, detection and sharded-simulator
-workloads and compares against the committed baselines: the PR-2 rows live
-in ``benchmarks/BENCH_2.json``, the PR-3 rows (detection pipeline, sharded
-simulator) in ``benchmarks/BENCH_3.json``.  The gate fails (exit 1) when
-any workload's throughput drops more than ``--tolerance`` (default 20%)
-below its baseline.
+Measures the throughput of the simulator, detection, sharded-simulator and
+comm-dependence-collection workloads and compares against the committed
+baselines: the PR-2 rows live in ``benchmarks/BENCH_2.json``, the PR-3 rows
+(detection pipeline, sharded simulator) in ``benchmarks/BENCH_3.json``, the
+PR-4 rows (columnar comm-dependence collection + fingerprint) in
+``benchmarks/BENCH_4.json``.  The gate fails (exit 1) when any workload's
+throughput drops more than ``--tolerance`` (default 20%) below its
+baseline.
 
 Machines differ, so raw seconds do not transfer: both the baseline and the
 current run are normalized by a calibration score — a fixed pure-Python +
@@ -19,8 +21,8 @@ Usage::
     PYTHONPATH=src python benchmarks/check_regression.py            # gate
     PYTHONPATH=src python benchmarks/check_regression.py --update   # rebase
 
-``--update`` only (re)writes BENCH_3.json rows — the committed PR-2
-baselines are history, not a moving target.
+``--update`` only (re)writes BENCH_4.json rows — the committed PR-2 and
+PR-3 baselines are history, not a moving target.
 """
 
 from __future__ import annotations
@@ -40,6 +42,7 @@ from repro.simulator import SimulationConfig, simulate
 
 BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_2.json"
 BASELINE_3_PATH = Path(__file__).resolve().parent / "BENCH_3.json"
+BASELINE_4_PATH = Path(__file__).resolve().parent / "BENCH_4.json"
 
 RING = """def main() {
     for (var it = 0; it < 50; it = it + 1) {
@@ -52,6 +55,18 @@ RING = """def main() {
 COLLECTIVES = """def main() {
     for (var it = 0; it < 50; it = it + 1) {
         compute(flops = 100000);
+        allreduce(bytes = 8);
+    }
+}"""
+
+#: p2p + collective traffic in one loop: the comm-dependence-collection
+#: workload exercises both record tables (edge lexsort grouping *and*
+#: ragged participant reductions).
+MIXED_COMM = """def main() {
+    for (var it = 0; it < 30; it = it + 1) {
+        compute(flops = 100000);
+        sendrecv(dest = (rank + 1) % nprocs, tag = 1, bytes = 1024,
+                 src = (rank - 1 + nprocs) % nprocs);
         allreduce(bytes = 8);
     }
 }"""
@@ -142,6 +157,33 @@ def build_workloads():
         ab = detect_abnormal(ppgs[-1])
         backtrack_root_causes(ppgs[-1], ns, ab)
 
+    # PR-4 row (baselined in BENCH_4.json): comm-dependence collection +
+    # run fingerprinting over the columnar record tables of a 256-rank
+    # mixed p2p/collective run — full-trace collection, the BLAKE2b-batched
+    # sampled path, and the byte-view fingerprint in one workload (each
+    # part alone is too fast to clear the noise floor on a loaded runner).
+    from types import SimpleNamespace
+
+    from repro.api import run_fingerprint
+    from repro.runtime import collect_comm_dependence
+
+    mixed_prog = parse_program(MIXED_COMM, "mixed.mm")
+    mixed_psg = build_psg(mixed_prog).psg
+    comm_res = simulate(
+        mixed_prog, mixed_psg, SimulationConfig(nprocs=256)
+    )
+    comm_run = SimpleNamespace(
+        nprocs=256,
+        app_time=comm_res.total_time,
+        profile=sample_result(comm_res, 200.0),
+        comm=collect_comm_dependence(comm_res),
+    )
+
+    def comm_dependence():
+        collect_comm_dependence(comm_res)
+        collect_comm_dependence(comm_res, sample_probability=0.5, seed=3)
+        run_fingerprint(comm_run)
+
     return {
         "ring_p32": sim(ring_prog, ring_psg, 32, False),
         "collectives_p32": sim(coll_prog, coll_psg, 32, False),
@@ -159,6 +201,8 @@ def build_workloads():
             ring_prog, ring_psg, 256, True,
             sim_shards=2, sim_executor="inprocess",
         ),
+        # PR-4 row (baselined in BENCH_4.json):
+        "comm_dependence_p256": comm_dependence,
     }
 
 
@@ -181,9 +225,9 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--update", action="store_true",
-        help="rewrite the measured baselines in BENCH_3.json (BENCH_2.json "
-             "rows are committed history and never rewritten; edit by hand "
-             "if a legacy workload must be rebased)",
+        help="rewrite the measured baselines in BENCH_4.json (BENCH_2.json "
+             "and BENCH_3.json rows are committed history and never "
+             "rewritten; edit by hand if a legacy workload must be rebased)",
     )
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="allowed fractional throughput drop (0.20 = 20%%)")
@@ -191,29 +235,31 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     current = measure(args.repeats)
-    legacy = (
-        json.loads(BASELINE_PATH.read_text())
-        if BASELINE_PATH.exists() else {"benchmarks": {}}
-    )
-    if args.update or not BASELINE_3_PATH.exists():
-        # Only the PR-3 file is a live baseline; BENCH_2 rows are history.
+    # Committed history: BENCH_2 (PR 2) and BENCH_3 (PR 3) rows are never
+    # rewritten by --update; edit by hand if a legacy workload must rebase.
+    history: dict = {}
+    for path in (BASELINE_PATH, BASELINE_3_PATH):
+        if path.exists():
+            history.update(json.loads(path.read_text()).get("benchmarks", {}))
+    if args.update or not BASELINE_4_PATH.exists():
+        # Only the PR-4 file is a live baseline.
         doc = (
-            json.loads(BASELINE_3_PATH.read_text())
-            if BASELINE_3_PATH.exists()
+            json.loads(BASELINE_4_PATH.read_text())
+            if BASELINE_4_PATH.exists()
             else {}
         )
         doc["calibration_score"] = current["calibration_score"]
         doc.setdefault("benchmarks", {})
         for name, row in current["benchmarks"].items():
-            if name not in legacy["benchmarks"]:
+            if name not in history:
                 doc["benchmarks"][name] = row
-        BASELINE_3_PATH.write_text(json.dumps(doc, indent=2) + "\n")
-        print(f"baseline written to {BASELINE_3_PATH}")
+        BASELINE_4_PATH.write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"baseline written to {BASELINE_4_PATH}")
         return 0
 
-    baseline = {"benchmarks": dict(legacy["benchmarks"])}
+    baseline = {"benchmarks": dict(history)}
     baseline["benchmarks"].update(
-        json.loads(BASELINE_3_PATH.read_text()).get("benchmarks", {})
+        json.loads(BASELINE_4_PATH.read_text()).get("benchmarks", {})
     )
     ratios = {}
     print(f"{'benchmark':28s} {'base units':>12s} {'now units':>12s} {'ratio':>7s}")

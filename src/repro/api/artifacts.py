@@ -23,6 +23,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Union
 
+import numpy as np
+
 from repro.detection import DetectionReport
 from repro.psg import StaticAnalysisResult
 from repro.runtime import ProfiledRun
@@ -136,17 +138,50 @@ def run_fingerprint(run: AnyProfile) -> str:
     offline pipeline is concerned: same sampled performance vectors, same
     communication dependence, same measured app time.  Used to assert that
     the parallel profiling path reproduces the serial one exactly.
+
+    The two sections whose size scales with the run — the sampled perf
+    vectors and the unique communication edges — are hashed as canonical
+    little-endian byte views of key-sorted column arrays (one ``update``
+    per column block) instead of per-entry string formatting; ragged
+    sections (collective groups, indirect targets) keep the textual path.
+    Every section is length-prefixed so section boundaries cannot alias.
     """
     h = hashlib.sha256()
     h.update(f"nprocs={run.nprocs};app_time={run.app_time!r};".encode())
-    for (rank, vid), vec in sorted(run.profile.perf.items()):
-        c = vec.counters
-        h.update(
-            f"{rank},{vid}:{vec.time!r},{vec.wait!r},{vec.visits},"
-            f"{c.tot_ins!r},{c.tot_cyc!r},{c.tot_lst_ins!r},{c.l2_dcm!r};".encode()
+    perf_items = sorted(run.profile.perf.items())
+    h.update(f"P{len(perf_items)};".encode())
+    if perf_items:
+        keys = np.ascontiguousarray(
+            [k for k, _v in perf_items], dtype="<i8"
         )
-    for key in sorted(run.comm.edges):
-        h.update(f"E{key}:{run.comm.edge_stats[key]!r};".encode())
+        vals = np.ascontiguousarray(
+            [
+                (
+                    v.time, v.wait, v.visits,
+                    v.counters.tot_ins, v.counters.tot_cyc,
+                    v.counters.tot_lst_ins, v.counters.l2_dcm,
+                )
+                for _k, v in perf_items
+            ],
+            dtype="<f8",
+        )
+        h.update(keys.tobytes())
+        h.update(vals.tobytes())
+    edge_keys = sorted(run.comm.edges)
+    h.update(f"E{len(edge_keys)};".encode())
+    if edge_keys:
+        stats = [run.comm.edge_stats[k] for k in edge_keys]
+        h.update(np.ascontiguousarray(edge_keys, dtype="<i8").tobytes())
+        h.update(
+            np.ascontiguousarray(
+                [s[0] for s in stats], dtype="<i8"
+            ).tobytes()
+        )
+        h.update(
+            np.ascontiguousarray(
+                [s[1] for s in stats], dtype="<f8"
+            ).tobytes()
+        )
     for key in sorted(run.comm.groups, key=repr):
         h.update(f"G{key!r}:{run.comm.group_stats[key]!r};".encode())
     for key in sorted(run.comm.indirect_targets, key=repr):

@@ -14,7 +14,23 @@ module reproduces faithfully:
 The request-converter of the paper's Fig. 5 is implemented explicitly:
 ``irecv`` stores ``(source, tag)`` keyed by request; at ``wait`` time, if
 either was a wildcard, the actual values are taken from the matched message
-(the simulated ``status.MPI_SOURCE`` / ``status.MPI_TAG``).
+(the simulated ``status.MPI_SOURCE`` / ``status.MPI_TAG``).  The converter
+mirrors the mechanism only — its equivalence with the direct values is
+proven by a dedicated test over wildcard-heavy workloads
+(``tests/test_comm_tables.py``), not re-checked inside the collection hot
+path.
+
+**Vectorized collection.**  :func:`collect_comm_dependence` reads the
+struct-of-arrays record tables (:class:`~repro.simulator.trace.P2PTable` /
+:class:`~repro.simulator.trace.CollectiveTable`) directly instead of
+walking per-message record objects: unique edges come from a lexsort over
+the seven key columns with counts/max-waits reduced per group
+(``np.maximum.reduceat``), collective waits reduce over the ragged
+participant arrays, and the content-derived sampling draws batch a shared
+BLAKE2b prefix over the key columns.  The output — every dict, every
+value, every insertion order — is bit-identical to the historical
+object-walking loop (property-tested against it over randomized
+workloads).
 """
 
 from __future__ import annotations
@@ -22,10 +38,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+import numpy as np
+
 from repro.minilang.ast_nodes import MpiOp
 from repro.simulator.engine import SimulationResult
-from repro.simulator.events import CollectiveRecord, P2PRecord
-from repro.util.rng import derive_seed
+from repro.simulator.trace import MPI_CODE_TO_OP
+from repro.util.rng import derive_seed_prefix, derive_seeds
 
 __all__ = ["CommEdge", "CollectiveGroup", "CommDependence", "collect_comm_dependence"]
 
@@ -102,8 +120,12 @@ class _RequestConverter:
 
     In the simulator the matched message always knows its true source and
     tag, so this class only mirrors the mechanism (store declared values at
-    irecv, override from "status" at wait when uncertain) — tested against
-    the direct values to prove the code path is equivalent.
+    irecv, override from "status" at wait when uncertain).  The vectorized
+    collection path reads the true values from the record table directly;
+    the converter's equivalence with them is proven by
+    ``tests/test_comm_tables.py`` over wildcard-heavy workloads instead of
+    an assert in the collection hot loop (which ``python -O`` would have
+    silently dropped anyway).
     """
 
     def __init__(self) -> None:
@@ -119,13 +141,172 @@ class _RequestConverter:
         return src, tag
 
 
+#: Edge identity, in CommEdge.key() order (what the lexsort groups by).
+_EDGE_KEY_COLUMNS = (
+    "send_rank", "send_vid", "recv_rank", "recv_vid", "wait_vid",
+    "tag", "nbytes",
+)
+
+
+def _sampling_prefix(seed: int):
+    """The shared BLAKE2b prefix of every keep/drop draw of one run."""
+    return derive_seed_prefix(seed, "comm_sampling")
+
+
+def _p2p_keep_mask(seed: int, threshold: float, cols: dict) -> np.ndarray:
+    """Keep/drop mask over the P2P table, batched over the key columns.
+
+    Bit-identical to per-record ``derive_seed(seed, "comm_sampling",
+    "p2p", send_rank, ..., recv_post)`` draws: each row's key-path suffix
+    is byte-built from the columns (ints and floats ``repr`` exactly as
+    the record attributes would) and hashed onto a copied shared prefix.
+    """
+    prefix = _sampling_prefix(seed)
+    suffixes = (
+        f"/'p2p'/{sr}/{sv}/{rr}/{rv}/{tag}/{nb}/{st!r}/{rp!r}".encode()
+        for sr, sv, rr, rv, tag, nb, st, rp in zip(
+            cols["send_rank"].tolist(), cols["send_vid"].tolist(),
+            cols["recv_rank"].tolist(), cols["recv_vid"].tolist(),
+            cols["tag"].tolist(), cols["nbytes"].tolist(),
+            cols["send_time"].tolist(), cols["recv_post"].tolist(),
+        )
+    )
+    # Exact int-vs-float comparison per draw (float64-converting the 63-bit
+    # draws could flip decisions within one ulp of the threshold).
+    draws = derive_seeds(prefix, suffixes)
+    return np.fromiter(
+        (d < threshold for d in draws), dtype=bool, count=len(draws)
+    )
+
+
+def _collective_keep_mask(
+    seed: int, threshold: float, indices: np.ndarray
+) -> np.ndarray:
+    """Keep/drop mask over the collective table (key = instance index)."""
+    prefix = _sampling_prefix(seed)
+    suffixes = (
+        f"/'collective'/{idx}".encode() for idx in indices.tolist()
+    )
+    draws = derive_seeds(prefix, suffixes)
+    return np.fromiter(
+        (d < threshold for d in draws), dtype=bool, count=len(draws)
+    )
+
+
+def _collect_p2p(dep: CommDependence, result: SimulationResult,
+                 sample_probability: float, threshold: float, seed: int) -> None:
+    """Fold the P2P table into ``dep`` (edges + stats), vectorized."""
+    table = result.trace.p2p
+    n = table.row_count
+    dep.observed_events += n
+    if not n:
+        return
+    cols = table.columns()
+    if sample_probability < 1.0:
+        keep = _p2p_keep_mask(seed, threshold, cols)
+        cols = {name: arr[keep] for name, arr in cols.items()}
+        m = len(cols["send_rank"])
+    else:
+        m = n
+    dep.recorded_events += m
+    if not m:
+        return
+    key_cols = [cols[name] for name in _EDGE_KEY_COLUMNS]
+    # Stable lexsort (last key primary) so equal-key runs keep their
+    # original record order: the first row of each run is the edge's first
+    # occurrence, which fixes the dicts' insertion order to match the
+    # historical record-walking loop exactly.
+    order = np.lexsort(tuple(reversed(key_cols)))
+    sorted_keys = [c[order] for c in key_cols]
+    boundary = np.zeros(m, dtype=bool)
+    boundary[0] = True
+    for c in sorted_keys:
+        boundary[1:] |= c[1:] != c[:-1]
+    starts = np.flatnonzero(boundary)
+    counts = np.diff(np.append(starts, m))
+    max_waits = np.maximum.reduceat(cols["wait_time"][order], starts)
+    first_rows = order[starts]  # original row of each group's first record
+    for g in np.argsort(first_rows, kind="stable").tolist():
+        i = int(starts[g])
+        edge = CommEdge(
+            send_rank=int(sorted_keys[0][i]),
+            send_vid=int(sorted_keys[1][i]),
+            recv_rank=int(sorted_keys[2][i]),
+            recv_vid=int(sorted_keys[3][i]),
+            wait_vid=int(sorted_keys[4][i]),
+            tag=int(sorted_keys[5][i]),
+            nbytes=int(sorted_keys[6][i]),
+        )
+        key = edge.key()
+        dep.edges[key] = edge
+        dep.edge_stats[key] = (int(counts[g]), max(0.0, float(max_waits[g])))
+
+
+def _collect_collectives(dep: CommDependence, result: SimulationResult,
+                         sample_probability: float, threshold: float,
+                         seed: int) -> None:
+    """Fold the collective table into ``dep`` (groups + stats)."""
+    table = result.trace.collectives
+    n = table.row_count
+    dep.observed_events += n
+    if not n:
+        return
+    cols = table.columns()
+    if sample_probability < 1.0:
+        keep = _collective_keep_mask(seed, threshold, cols["index"])
+    else:
+        keep = None
+    offsets = cols["offsets"]
+    starts = offsets[:-1]
+    # Per-instance reductions over the ragged participant arrays: the
+    # intrinsic op cost is the minimum (completion - arrival); the worst
+    # wait is the maximum over it (floored at zero like wait_of).
+    diffs = cols["part_completion"] - cols["part_arrival"]
+    if len(diffs):
+        op_costs = np.minimum.reduceat(diffs, starts)
+        worsts = np.maximum(
+            0.0, np.maximum.reduceat(diffs, starts) - op_costs
+        )
+    else:
+        worsts = np.zeros(n)
+    part_rank = cols["part_rank"]
+    part_vid = cols["part_vid"]
+    part_arrival = cols["part_arrival"]
+    index_l = cols["index"].tolist()
+    op_l = cols["op"].tolist()
+    root_l = cols["root"].tolist()
+    nbytes_l = cols["nbytes"].tolist()
+    for i in range(n):
+        if keep is not None and not keep[i]:
+            continue
+        dep.recorded_events += 1
+        s, e = int(offsets[i]), int(offsets[i + 1])
+        ranks = part_rank[s:e]
+        group = CollectiveGroup(
+            mpi_op=MPI_CODE_TO_OP[op_l[i]],
+            root=root_l[i],
+            nbytes=nbytes_l[i],
+            vids=tuple(sorted(zip(ranks.tolist(), part_vid[s:e].tolist()))),
+        )
+        key = group.key()
+        count, max_wait, laggard = dep.group_stats.get(key, (0, 0.0, -1))
+        worst = float(worsts[i])
+        if worst >= max_wait:
+            # the laggard everyone waited for: max (arrival, rank)
+            arrivals = part_arrival[s:e]
+            tied = np.flatnonzero(arrivals == arrivals.max())
+            laggard = int(ranks[tied].max())
+        dep.groups[key] = group
+        dep.group_stats[key] = (count + 1, max(max_wait, worst), laggard)
+
+
 def collect_comm_dependence(
     result: SimulationResult,
     *,
     sample_probability: float = 1.0,
     seed: int = 0,
 ) -> CommDependence:
-    """Run the interposition layer over a simulation's event stream.
+    """Run the interposition layer over a simulation's recorded tables.
 
     ``sample_probability`` is the random-instrumentation threshold: 1.0
     records every call (the compression still deduplicates); lower values
@@ -143,61 +324,10 @@ def collect_comm_dependence(
         raise ValueError("sample_probability must be in (0, 1]")
     threshold = sample_probability * float(2**63)
 
-    def keep(*key: object) -> bool:
-        return derive_seed(seed, "comm_sampling", *key) < threshold
-
     dep = CommDependence()
-    converter = _RequestConverter()
-
-    for rec_id, rec in enumerate(result.p2p_records):
-        dep.observed_events += 1
-        if sample_probability < 1.0 and not keep(
-            "p2p", rec.send_rank, rec.send_vid, rec.recv_rank,
-            rec.recv_vid, rec.tag, rec.nbytes, rec.send_time, rec.recv_post,
-        ):
-            continue
-        dep.recorded_events += 1
-        # Fig. 5: store declared (source, tag) at irecv; resolve wildcards
-        # from status at wait.  The resolved values must equal the matched
-        # message's — asserted here, tested explicitly in the test suite.
-        converter.on_irecv(rec_id, rec.declared_src, rec.declared_tag)
-        src, tag = converter.on_wait(rec_id, rec.send_rank, rec.tag)
-        assert src == rec.send_rank and tag == rec.tag
-        edge = CommEdge(
-            send_rank=src,
-            send_vid=rec.send_vid,
-            recv_rank=rec.recv_rank,
-            recv_vid=rec.recv_vid,
-            wait_vid=rec.wait_vid,
-            tag=tag,
-            nbytes=rec.nbytes,
-        )
-        key = edge.key()
-        count, max_wait = dep.edge_stats.get(key, (0, 0.0))
-        dep.edges[key] = edge
-        dep.edge_stats[key] = (count + 1, max(max_wait, rec.wait_time))
-
-    for crec in result.collective_records:
-        dep.observed_events += 1
-        if sample_probability < 1.0 and not keep("collective", crec.index):
-            continue
-        dep.recorded_events += 1
-        group = CollectiveGroup(
-            mpi_op=crec.mpi_op,
-            root=crec.root,
-            nbytes=crec.nbytes,
-            vids=tuple(sorted(crec.vids.items())),
-        )
-        key = group.key()
-        count, max_wait, laggard = dep.group_stats.get(key, (0, 0.0, -1))
-        worst = max(crec.wait_of(r) for r in crec.arrivals)
-        if worst >= max_wait:
-            laggard = crec.last_arrival_rank
-        dep.groups[key] = group
-        dep.group_stats[key] = (count + 1, max(max_wait, worst), laggard)
-
+    _collect_p2p(dep, result, sample_probability, threshold, seed)
+    _collect_collectives(dep, result, sample_probability, threshold, seed)
     for note in result.indirect_notes:
         key = (note.inline_path, note.stmt_id)
         dep.indirect_targets.setdefault(key, set()).add(note.target)
-
     return dep

@@ -44,11 +44,21 @@ from repro.simulator.events import (
 from repro.simulator.interp import FuncRefValue, Interpreter
 from repro.simulator.matching import Mailbox, Match, Message, PostedRecv
 from repro.simulator.ops import ANY
+from repro.simulator.trace import (
+    CollectiveRecordsView,
+    CollectiveTable,
+    P2PRecordsView,
+    P2PTable,
+    TraceBuffer,
+    WILDCARD_CODE,
+)
 
 __all__ = [
     "ANY",
     "CollectiveMismatchError",
     "CollectiveRecord",
+    "CollectiveRecordsView",
+    "CollectiveTable",
     "CollectiveTracker",
     "CostModel",
     "DeadlockError",
@@ -65,6 +75,8 @@ __all__ = [
     "MpiUsageError",
     "NetworkModel",
     "P2PRecord",
+    "P2PRecordsView",
+    "P2PTable",
     "ParallelRunStats",
     "PerfCounters",
     "PostedRecv",
@@ -74,6 +86,8 @@ __all__ = [
     "SimulationConfig",
     "SimulationError",
     "SimulationResult",
+    "TraceBuffer",
+    "WILDCARD_CODE",
     "Workload",
     "simulate",
     "simulation_call_count",

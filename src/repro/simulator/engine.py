@@ -50,11 +50,17 @@ from repro.simulator.errors import DeadlockError, MpiUsageError, SimulationError
 from repro.simulator.events import (
     CollectiveRecord,
     IndirectNote,
-    P2PRecord,
 )
 from repro.simulator.interp import Interpreter
 from repro.simulator.matching import Mailbox, Message, PostedRecv
-from repro.simulator.trace import MPI_OP_CODES, SegmentsView, TraceBuffer
+from repro.simulator.trace import (
+    MPI_OP_CODES,
+    WILDCARD_CODE,
+    CollectiveRecordsView,
+    P2PRecordsView,
+    SegmentsView,
+    TraceBuffer,
+)
 
 #: Hot-loop op codes (module constants beat dict lookups in the wait paths).
 _WAIT_CODE = MPI_OP_CODES[MpiOp.WAIT]
@@ -176,8 +182,6 @@ class SimulationResult:
     config: SimulationConfig
     finish_times: list[float]
     trace: TraceBuffer
-    p2p_records: list[P2PRecord]
-    collective_records: list[CollectiveRecord]
     indirect_notes: list[IndirectNote]
     mpi_call_count: int
     compute_count: int
@@ -189,6 +193,18 @@ class SimulationResult:
         """Timeline events as Segment objects (lazy; empty when the run was
         executed with ``record_segments=False``)."""
         return self.trace.segments()
+
+    @property
+    def p2p_records(self) -> P2PRecordsView:
+        """Matched messages as P2PRecord objects (lazy view over the
+        columnar :class:`~repro.simulator.trace.P2PTable`)."""
+        return self.trace.p2p.records()
+
+    @property
+    def collective_records(self) -> CollectiveRecordsView:
+        """Completed collectives as CollectiveRecord objects (lazy view
+        over the columnar :class:`~repro.simulator.trace.CollectiveTable`)."""
+        return self.trace.collectives.records()
 
     @property
     def vertex_time(self) -> dict[tuple[int, int], float]:
@@ -237,7 +253,10 @@ class _Request:
     vid: int
     #: For recv requests: earliest completion time once matched.
     ready_time: Optional[float] = None
-    record: Optional[P2PRecord] = None
+    #: Row of this request's message in the run's P2PTable (-1 until
+    #: matched); the wait that completes the request fills the row's
+    #: completion columns in place.
+    row: int = -1
 
     @property
     def matched(self) -> bool:
@@ -309,11 +328,11 @@ class Engine:
             for op_type, name in _HANDLER_NAMES.items()
         }
         self._counter = itertools.count()
-        # recording: columnar trace (ring mode when segments are not kept)
+        # recording: columnar trace (ring mode when segments are not kept);
+        # the buffer owns the p2p/collective record tables too
         self.trace = TraceBuffer(keep_events=config.record_segments)
         self._trace_append = self.trace.append
-        self.p2p_records: list[P2PRecord] = []
-        self.collective_records: list[CollectiveRecord] = []
+        self._p2p_append = self.trace.p2p.append
         self.indirect_notes: list[IndirectNote] = []
         self.mpi_call_count = 0
         self.compute_count = 0
@@ -423,8 +442,6 @@ class Engine:
             config=cfg,
             finish_times=finish,
             trace=self.trace,
-            p2p_records=self.p2p_records,
-            collective_records=self.collective_records,
             indirect_notes=self.indirect_notes,
             mpi_call_count=self.mpi_call_count,
             compute_count=self.compute_count,
@@ -626,17 +643,13 @@ class Engine:
             proc.pid, op.vid, 1, start, completion, wait, MPI_OP_CODES[op.mpi_op]
         )
         msg, recv = match.message, match.recv
-        # positional P2PRecord: (send_rank, send_vid, recv_rank, recv_vid,
-        # tag, nbytes, send_time, arrival, recv_post, completion, wait_vid,
-        # wait_time, declared_src, declared_tag) — once per matched message
-        self.p2p_records.append(
-            P2PRecord(
-                msg.src, msg.send_vid, proc.pid, op.vid,
-                msg.tag, msg.nbytes, msg.send_time, msg.arrival,
-                recv.post_time, completion, op.vid, wait,
-                None if recv.src is ops.ANY else recv.src,
-                None if recv.tag is ops.ANY else recv.tag,
-            )
+        # one P2PTable row per matched message (flat-list append, no object)
+        self._p2p_append(
+            msg.src, msg.send_vid, proc.pid, op.vid, op.vid,
+            msg.tag, msg.nbytes,
+            WILDCARD_CODE if recv.src is ops.ANY else recv.src,
+            WILDCARD_CODE if recv.tag is ops.ANY else recv.tag,
+            msg.send_time, msg.arrival, recv.post_time, completion, wait,
         )
 
     def _attach_request(self, rank: int, recv: PostedRecv, req: _Request) -> None:
@@ -659,23 +672,20 @@ class Engine:
             self._push(proc)
             return
         # irecv: mark the request ready; maybe wake a waiting process.
+        # The row is appended at match time with completion = NaN (the
+        # sentinel a matched-never-waited irecv keeps); the observing
+        # wait/waitall fills it via set_wait.
         req = self._recv_reqs.pop(recv.seq)
         req.ready_time = match.ready_time
-        req.record = P2PRecord(
-            send_rank=match.message.src,
-            send_vid=match.message.send_vid,
-            recv_rank=recv.rank,
-            recv_vid=recv.recv_vid,
-            tag=match.message.tag,
-            nbytes=match.message.nbytes,
-            send_time=match.message.send_time,
-            arrival=match.message.arrival,
-            recv_post=recv.post_time,
-            completion=float("nan"),
-            declared_src=None if recv.src is ops.ANY else recv.src,
-            declared_tag=None if recv.tag is ops.ANY else recv.tag,
+        req.row = self._p2p_append(
+            match.message.src, match.message.send_vid,
+            recv.rank, recv.recv_vid, -1,
+            match.message.tag, match.message.nbytes,
+            WILDCARD_CODE if recv.src is ops.ANY else recv.src,
+            WILDCARD_CODE if recv.tag is ops.ANY else recv.tag,
+            match.message.send_time, match.message.arrival,
+            recv.post_time, float("nan"), 0.0,
         )
-        self.p2p_records.append(req.record)
         if proc.status is _Status.BLOCKED and proc.blocked_on is not None:
             kind = proc.blocked_on[0]
             if kind == "wait" and proc.blocked_on[1] is req:
@@ -730,10 +740,8 @@ class Engine:
         completion = max(start, req.ready_time) + self.cost.recv_overhead()
         wait = max(0.0, req.ready_time - start)
         proc.clock = completion
-        if req.record is not None:
-            req.record.completion = completion
-            req.record.wait_vid = op.vid
-            req.record.wait_time = wait
+        if req.row >= 0:
+            self.trace.p2p.set_wait(req.row, completion, op.vid, wait)
         self._trace_append(
             proc.pid, op.vid, 1, start, completion, wait, _WAIT_CODE
         )
@@ -768,11 +776,13 @@ class Engine:
         completion = max(ready_times) + self.cost.recv_overhead()
         wait = max(0.0, max(ready_times) - block_start)
         proc.clock = completion
+        set_wait = self.trace.p2p.set_wait
         for req in outstanding:
-            if req.record is not None:
-                req.record.completion = completion
-                req.record.wait_vid = op.vid
-                req.record.wait_time = max(0.0, req.ready_time - block_start)
+            if req.row >= 0:
+                set_wait(
+                    req.row, completion, op.vid,
+                    max(0.0, req.ready_time - block_start),
+                )
         proc.requests.clear()
         proc.waitall_reqs = []
         self._trace_append(
@@ -795,7 +805,7 @@ class Engine:
         record, cost = build_collective_record(
             inst, self.cost, self.config.nprocs
         )
-        self.collective_records.append(record)
+        self.trace.collectives.append_record(record)
         self._apply_collective(record, cost, arriving=proc)
         return False
 

@@ -6,6 +6,20 @@ measurement tools are built as different views over this ground truth —
 the tracer keeps (a serialization of) all of it, the call-path profiler
 keeps sampled aggregates, and ScalAna keeps sampled aggregates *plus*
 compressed communication dependence.
+
+**Records are views, not storage.**  The engine does not keep lists of
+these dataclasses: ground truth lives in the columnar
+:class:`~repro.simulator.trace.TraceBuffer` family — the event table for
+:class:`Segment`, the :class:`~repro.simulator.trace.P2PTable` for
+:class:`P2PRecord`, the :class:`~repro.simulator.trace.CollectiveTable`
+for :class:`CollectiveRecord`.  ``SimulationResult.segments`` /
+``.p2p_records`` / ``.collective_records`` are lazy sequences that
+materialize one of these objects per access, so per-record call sites keep
+working while vectorized consumers read the column arrays directly.  A
+:class:`CollectiveRecord` also still travels by value: the engine builds
+one transient instance per completed collective to apply the per-rank
+completions (and the sharded coordinator broadcasts it to the shards)
+before it is appended to the table.
 """
 
 from __future__ import annotations
@@ -80,10 +94,12 @@ class CollectiveRecord:
     mpi_op: MpiOp
     root: int
     nbytes: int
-    #: Per-rank PSG vertex the collective executed under.
-    vids: dict[int, int] = None  # type: ignore[assignment]
-    arrivals: dict[int, float] = None  # type: ignore[assignment]
-    completions: dict[int, float] = None  # type: ignore[assignment]
+    #: Per-rank PSG vertex the collective executed under.  All three dicts
+    #: share the instance's arrival-insertion key order, which collective
+    #: trace replay depends on.
+    vids: dict[int, int]
+    arrivals: dict[int, float]
+    completions: dict[int, float]
 
     def wait_of(self, rank: int) -> float:
         """Time ``rank`` spent blocked in this collective beyond the

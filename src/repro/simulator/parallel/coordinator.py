@@ -63,7 +63,7 @@ from repro.simulator.parallel.messages import (
 )
 from repro.simulator.parallel.plan import ShardPlan
 from repro.simulator.parallel.shard import ShardEngine
-from repro.simulator.trace import TraceBuffer
+from repro.simulator.trace import CollectiveTable, TraceBuffer
 
 __all__ = ["ShardHandle", "LocalShardHandle", "run_coordinated", "simulate_sharded"]
 
@@ -119,7 +119,10 @@ def run_coordinated(
     cost = CostModel(config.machine, config.network, seed=config.seed)
     lookahead = plan.lookahead(config.network)
     tracker = CollectiveTracker(nprocs)
-    collective_records = []
+    # Collectives complete in the coordinator (a shard only sees its local
+    # arrivals), so the run's CollectiveTable is built here, in completion
+    # order — the order the serial engine appends in.
+    collective_records = CollectiveTable()
 
     deliveries: list[list[Message]] = [[] for _ in range(nshards)]
     completions: list[CompletedCollective] = []
@@ -178,7 +181,7 @@ def run_coordinated(
                 )
                 if complete:
                     record, ccost = build_collective_record(inst, cost, nprocs)
-                    collective_records.append(record)
+                    collective_records.append_record(record)
                     completions.append(CompletedCollective(record, ccost))
             if out.outbox or out.arrivals:
                 produced_something = True
@@ -213,7 +216,7 @@ def run_coordinated(
 
 def _merge(
     finals: list[ShardFinal],
-    collective_records: list,
+    collective_records: CollectiveTable,
     config: SimulationConfig,
     rounds: int,
     messages_routed: int,
@@ -225,13 +228,15 @@ def _merge(
     for final in finals:
         for pid, clock in final.finish_times.items():
             finish[pid] = clock
+    # Shard traces concatenate (each shard's P2PTable rides along inside
+    # its TraceBuffer); the collective table was built coordinator-side.
+    trace = TraceBuffer.merge([f.trace for f in finals])
+    trace.collectives = collective_records
     return SimulationResult(
         nprocs=config.nprocs,
         config=config,
         finish_times=finish,
-        trace=TraceBuffer.merge([f.trace for f in finals]),
-        p2p_records=[r for f in finals for r in f.p2p_records],
-        collective_records=collective_records,
+        trace=trace,
         indirect_notes=[n for f in finals for n in f.indirect_notes],
         mpi_call_count=sum(f.mpi_call_count for f in finals),
         compute_count=sum(f.compute_count for f in finals),

@@ -109,11 +109,16 @@ class RoundOutput:
 @dataclass(slots=True)
 class ShardFinal:
     """Shard -> coordinator after the last round: everything needed to
-    merge one :class:`~repro.simulator.engine.SimulationResult`."""
+    merge one :class:`~repro.simulator.engine.SimulationResult`.
+
+    The sealed TraceBuffer carries the shard's whole columnar ground truth
+    — event/counter columns *and* the P2P record table — so what crosses
+    the multiprocessing pipe is packed ndarray chunks, never per-message
+    Python objects.
+    """
 
     shard_index: int
-    trace: object  # TraceBuffer (sealed)
-    p2p_records: list
+    trace: object  # TraceBuffer (sealed; includes the shard's P2PTable)
     indirect_notes: list
     finish_times: dict[int, float]
     mpi_call_count: int

@@ -9,7 +9,10 @@ The ``fork`` start method is preferred: the parsed program and PSG are
 inherited by the workers for free.  Under ``spawn`` (platforms without
 fork) the same objects are pickled into the workers instead.  At the end
 each worker seals its columnar :class:`~repro.simulator.trace.TraceBuffer`
-and ships the chunks back in one message for the coordinator to merge.
+— event/counter chunks *and* the shard's struct-of-arrays
+:class:`~repro.simulator.trace.P2PTable` — and ships the packed arrays
+back in one message for the coordinator to merge; no per-message Python
+objects cross the pipe.
 """
 
 from __future__ import annotations

@@ -354,10 +354,12 @@ class ShardEngine(Engine):
         return [self._describe_block(p) for p in self.blocked_procs()]
 
     def finalize(self) -> ShardFinal:
+        # Seal every pending flat list first: a multiprocessing transport
+        # then pickles packed column arrays, not per-record Python lists.
+        self.trace.seal()
         return ShardFinal(
             shard_index=self.shard_index,
             trace=self.trace,
-            p2p_records=self.p2p_records,
             indirect_notes=self.indirect_notes,
             finish_times={
                 pid: self.procs[pid].clock for pid in self.local_ranks

@@ -1,10 +1,28 @@
-"""Columnar ground-truth recording: the :class:`TraceBuffer`.
+"""Columnar ground-truth recording: the :class:`TraceBuffer` family.
 
 The engine used to record one :class:`~repro.simulator.events.Segment`
 dataclass per timeline event plus four dict-of-tuple per-vertex aggregates,
 all updated inside the simulation hot loop.  At 256+ ranks that Python
 object churn dominated simulation time.  The TraceBuffer replaces it with a
-struct-of-arrays layout:
+struct-of-arrays layout, and — since the communication ground truth pays
+the same object tax — the buffer also owns two sibling record tables:
+
+* :class:`P2PTable` — one row per matched point-to-point message
+  (``TraceBuffer.p2p``), int64 identity columns + float64 timestamp
+  columns, with in-place completion updates for the irecv/wait protocol,
+* :class:`CollectiveTable` — one row per completed collective instance
+  (``TraceBuffer.collectives``), fixed int64 columns plus ragged per-rank
+  participant data stored as offset-indexed flat arrays.
+
+Both tables append via C-level flat-list extends in the engine hot path,
+seal into ndarray chunks at :data:`CHUNK_EVENTS` boundaries, concatenate
+across shards in :meth:`TraceBuffer.merge`, and serialize alongside the
+event columns in :meth:`TraceBuffer.to_doc`.  Consumers read them as named
+column arrays (:meth:`P2PTable.columns`) or as lazy
+:class:`~repro.simulator.events.P2PRecord` /
+:class:`~repro.simulator.events.CollectiveRecord` row views
+(:meth:`P2PTable.records`), mirroring how ``SimulationResult.segments``
+wraps the event table.
 
 **Layout.**  One logical *event table* with seven float64 columns::
 
@@ -57,14 +75,20 @@ import numpy as np
 
 from repro.minilang.ast_nodes import MpiOp
 from repro.simulator.costmodel import PerfCounters
-from repro.simulator.events import Segment, SegmentKind
+from repro.simulator.events import CollectiveRecord, P2PRecord, Segment, SegmentKind
 
 __all__ = [
     "CHUNK_EVENTS",
     "MPI_OP_CODES",
+    "MPI_CODE_TO_OP",
+    "WILDCARD_CODE",
     "mpi_op_code",
     "TraceBuffer",
     "SegmentsView",
+    "P2PTable",
+    "P2PRecordsView",
+    "CollectiveTable",
+    "CollectiveRecordsView",
 ]
 
 #: Events per sealed chunk (the ring granularity with ``keep_events=False``).
@@ -72,7 +96,15 @@ CHUNK_EVENTS = 1 << 15
 
 #: Stable op <-> code mapping (declaration order of :class:`MpiOp`).
 MPI_OP_CODES: dict[MpiOp, int] = {op: i for i, op in enumerate(MpiOp)}
-_CODE_TO_OP: list[MpiOp] = list(MpiOp)
+#: The inverse mapping, indexable by op code (for column consumers).
+MPI_CODE_TO_OP: tuple[MpiOp, ...] = tuple(MpiOp)
+_CODE_TO_OP: tuple[MpiOp, ...] = MPI_CODE_TO_OP
+
+#: Sentinel stored in the ``declared_src`` / ``declared_tag`` columns of the
+#: :class:`P2PTable` for a wildcard (``MPI_ANY_SOURCE`` / ``MPI_ANY_TAG``)
+#: receive — i.e. the column encoding of ``P2PRecord.declared_src is None``.
+#: Far outside any realistic rank or tag space.
+WILDCARD_CODE = -(1 << 62)
 
 _EVENT_STRIDE = 7
 _COUNTER_STRIDE = 6
@@ -147,11 +179,468 @@ class SegmentsView:
         return f"SegmentsView({len(self)} segments)"
 
 
+def _pack_matrix(matrix: np.ndarray, dtype: str) -> str:
+    return base64.b64encode(
+        np.ascontiguousarray(matrix, dtype=dtype).tobytes()
+    ).decode("ascii")
+
+
+def _unpack_matrix(data: str, dtype: str, stride: int) -> np.ndarray:
+    raw = np.frombuffer(base64.b64decode(data), dtype=dtype)
+    if stride > 1:
+        raw = raw.reshape(-1, stride)
+    return raw.astype(dtype.lstrip("<"))
+
+
+class _RecordsView:
+    """Lazy sequence base: materializes one record per access/iteration.
+
+    Shared by :class:`P2PRecordsView` and :class:`CollectiveRecordsView`;
+    supports ``len``, indexing, slicing, iteration and equality against any
+    other sequence of records, like :class:`SegmentsView` does for
+    segments.
+    """
+
+    __slots__ = ("_table",)
+
+    def __init__(self, table) -> None:
+        self._table = table
+
+    def __len__(self) -> int:
+        return self._table.row_count
+
+    def __getitem__(self, index):
+        n = len(self)
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(n))]
+        if index < 0:
+            index += n
+        if not (0 <= index < n):
+            raise IndexError("record index out of range")
+        return self._table.row(index)
+
+    def __iter__(self):
+        for i in range(len(self)):
+            yield self._table.row(i)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, _RecordsView) and other._table is self._table:
+            return True
+        try:
+            if len(other) != len(self):  # type: ignore[arg-type]
+                return False
+            return all(a == b for a, b in zip(self, other))  # type: ignore[arg-type]
+        except TypeError:
+            return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({len(self)} records)"
+
+
+class P2PRecordsView(_RecordsView):
+    """Lazy sequence of :class:`P2PRecord` objects over a :class:`P2PTable`."""
+
+    __slots__ = ()
+
+
+class CollectiveRecordsView(_RecordsView):
+    """Lazy :class:`CollectiveRecord` sequence over a :class:`CollectiveTable`."""
+
+    __slots__ = ()
+
+
+class P2PTable:
+    """Struct-of-arrays storage of one run's matched point-to-point messages.
+
+    Nine int64 columns (``send_rank, send_vid, recv_rank, recv_vid,
+    wait_vid, tag, nbytes, declared_src, declared_tag`` — the last two use
+    :data:`WILDCARD_CODE` for wildcard receives) and five float64 columns
+    (``send_time, arrival, recv_post, completion, wait_time``).  Appends
+    are O(1) flat-list extends; rows seal into ndarray chunks at
+    :data:`CHUNK_EVENTS` rows.  :meth:`set_wait` updates a previously
+    appended row in place — the irecv protocol appends the row at match
+    time with ``completion = NaN`` and fills completion/wait at the
+    MPI_Wait/MPI_Waitall that observes it, exactly as the historical
+    mutable ``P2PRecord`` objects did.
+    """
+
+    INT_COLUMNS = (
+        "send_rank", "send_vid", "recv_rank", "recv_vid", "wait_vid",
+        "tag", "nbytes", "declared_src", "declared_tag",
+    )
+    FLOAT_COLUMNS = ("send_time", "arrival", "recv_post", "completion", "wait_time")
+
+    _ISTRIDE = len(INT_COLUMNS)
+    _FSTRIDE = len(FLOAT_COLUMNS)
+
+    __slots__ = (
+        "_ipending", "_fpending", "_ichunks", "_fchunks", "_chunk_rows",
+        "_sealed_rows", "_count", "_cols", "_cols_count",
+    )
+
+    def __init__(self) -> None:
+        self._ipending: list[int] = []
+        self._fpending: list[float] = []
+        self._ichunks: list[np.ndarray] = []
+        self._fchunks: list[np.ndarray] = []
+        #: first row index of each sealed chunk (parallel to the chunk lists)
+        self._chunk_rows: list[int] = []
+        self._sealed_rows = 0
+        self._count = 0
+        self._cols: Optional[dict[str, np.ndarray]] = None
+        self._cols_count = -1
+
+    # -- write path (engine hot loop) -----------------------------------
+
+    def append(
+        self,
+        send_rank: int,
+        send_vid: int,
+        recv_rank: int,
+        recv_vid: int,
+        wait_vid: int,
+        tag: int,
+        nbytes: int,
+        declared_src: int,
+        declared_tag: int,
+        send_time: float,
+        arrival: float,
+        recv_post: float,
+        completion: float,
+        wait_time: float,
+    ) -> int:
+        """Record one matched message; returns the row index (for
+        :meth:`set_wait` updates)."""
+        row = self._count
+        self._ipending += (
+            send_rank, send_vid, recv_rank, recv_vid, wait_vid,
+            tag, nbytes, declared_src, declared_tag,
+        )
+        self._fpending += (send_time, arrival, recv_post, completion, wait_time)
+        self._count = row + 1
+        if len(self._ipending) >= CHUNK_EVENTS * self._ISTRIDE:
+            self.seal()
+        return row
+
+    def set_wait(
+        self, row: int, completion: float, wait_vid: int, wait_time: float
+    ) -> None:
+        """Fill the completion data of an irecv row at wait time."""
+        off = row - self._sealed_rows
+        if off >= 0:
+            self._fpending[off * self._FSTRIDE + 3] = completion
+            self._fpending[off * self._FSTRIDE + 4] = wait_time
+            self._ipending[off * self._ISTRIDE + 4] = wait_vid
+            return
+        # Sealed row: walk the chunks from the newest (updates target
+        # recent rows — an outstanding request rarely spans a chunk seal).
+        for ci in range(len(self._chunk_rows) - 1, -1, -1):
+            start = self._chunk_rows[ci]
+            if row >= start:
+                self._fchunks[ci][row - start, 3] = completion
+                self._fchunks[ci][row - start, 4] = wait_time
+                self._ichunks[ci][row - start, 4] = wait_vid
+                return
+        raise IndexError(f"p2p row {row} out of range")
+
+    def seal(self) -> None:
+        """Seal pending rows into ndarray chunks (no-op when empty)."""
+        if not self._ipending:
+            return
+        self._chunk_rows.append(self._sealed_rows)
+        self._ichunks.append(
+            np.asarray(self._ipending, dtype=np.int64).reshape(-1, self._ISTRIDE)
+        )
+        self._fchunks.append(
+            np.asarray(self._fpending, dtype=np.float64).reshape(-1, self._FSTRIDE)
+        )
+        self._sealed_rows = self._count
+        self._ipending = []
+        self._fpending = []
+
+    # -- read path -------------------------------------------------------
+
+    @property
+    def row_count(self) -> int:
+        return self._count
+
+    def __len__(self) -> int:
+        return self._count
+
+    def _matrices(self) -> tuple[np.ndarray, np.ndarray]:
+        self.seal()
+        if not self._ichunks:
+            return (
+                np.empty((0, self._ISTRIDE), dtype=np.int64),
+                np.empty((0, self._FSTRIDE), dtype=np.float64),
+            )
+        if len(self._ichunks) > 1:
+            self._ichunks = [np.concatenate(self._ichunks, axis=0)]
+            self._fchunks = [np.concatenate(self._fchunks, axis=0)]
+            self._chunk_rows = [0]
+        return self._ichunks[0], self._fchunks[0]
+
+    def columns(self) -> dict[str, np.ndarray]:
+        """The table as named column arrays (int64 and float64)."""
+        if self._cols is None or self._cols_count != self._count:
+            imat, fmat = self._matrices()
+            cols = {name: imat[:, i] for i, name in enumerate(self.INT_COLUMNS)}
+            cols.update(
+                {name: fmat[:, i] for i, name in enumerate(self.FLOAT_COLUMNS)}
+            )
+            self._cols = cols
+            self._cols_count = self._count
+        return self._cols
+
+    def row(self, index: int) -> P2PRecord:
+        """Materialize one row as a :class:`P2PRecord` object."""
+        cols = self.columns()
+        declared_src = int(cols["declared_src"][index])
+        declared_tag = int(cols["declared_tag"][index])
+        return P2PRecord(
+            send_rank=int(cols["send_rank"][index]),
+            send_vid=int(cols["send_vid"][index]),
+            recv_rank=int(cols["recv_rank"][index]),
+            recv_vid=int(cols["recv_vid"][index]),
+            tag=int(cols["tag"][index]),
+            nbytes=int(cols["nbytes"][index]),
+            send_time=float(cols["send_time"][index]),
+            arrival=float(cols["arrival"][index]),
+            recv_post=float(cols["recv_post"][index]),
+            completion=float(cols["completion"][index]),
+            wait_vid=int(cols["wait_vid"][index]),
+            wait_time=float(cols["wait_time"][index]),
+            declared_src=None if declared_src == WILDCARD_CODE else declared_src,
+            declared_tag=None if declared_tag == WILDCARD_CODE else declared_tag,
+        )
+
+    def records(self) -> P2PRecordsView:
+        return P2PRecordsView(self)
+
+    # -- merge / serialization ------------------------------------------
+
+    @classmethod
+    def merge(cls, parts: list["P2PTable"]) -> "P2PTable":
+        """One table from per-shard tables, concatenated in ``parts`` order."""
+        table = cls()
+        for part in parts:
+            part.seal()
+            for imat, fmat in zip(part._ichunks, part._fchunks):
+                table._chunk_rows.append(table._sealed_rows)
+                table._ichunks.append(imat)
+                table._fchunks.append(fmat)
+                table._sealed_rows += len(imat)
+            table._count = table._sealed_rows
+        return table
+
+    def to_doc(self) -> dict:
+        imat, fmat = self._matrices()
+        return {
+            "ints": _pack_matrix(imat, "<i8"),
+            "floats": _pack_matrix(fmat, "<f8"),
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "P2PTable":
+        table = cls()
+        imat = _unpack_matrix(doc["ints"], "<i8", cls._ISTRIDE)
+        fmat = _unpack_matrix(doc["floats"], "<f8", cls._FSTRIDE)
+        if len(imat):
+            table._chunk_rows.append(0)
+            table._ichunks.append(imat)
+            table._fchunks.append(fmat)
+            table._sealed_rows = table._count = len(imat)
+        return table
+
+
+class CollectiveTable:
+    """Struct-of-arrays storage of one run's completed collective instances.
+
+    Fixed int64 columns (``index, op, root, nbytes``) plus ragged per-rank
+    participant data in offset-indexed flat arrays: row ``i``'s
+    participants live at ``offsets[i]:offsets[i+1]`` of the ``part_rank /
+    part_vid`` (int64) and ``part_arrival / part_completion`` (float64)
+    arrays, in the instance's arrival-insertion order — the order
+    :meth:`row` rebuilds the ``vids/arrivals/completions`` dicts in, which
+    is what keeps collective trace replay bit-identical.
+    """
+
+    __slots__ = (
+        "_pending", "_ppending", "_offsets",
+        "_chunks", "_pchunks", "_sealed_rows", "_sealed_parts", "_count",
+        "_cols", "_cols_count",
+    )
+
+    _STRIDE = 4  # index, op, root, nbytes
+    _PSTRIDE = 4  # rank, vid, arrival, completion (mixed; split on seal)
+
+    def __init__(self) -> None:
+        self._pending: list[int] = []
+        self._ppending: list[float] = []
+        #: cumulative participant counts; len == row_count + 1
+        self._offsets: list[int] = [0]
+        self._chunks: list[np.ndarray] = []
+        self._pchunks: list[np.ndarray] = []
+        self._sealed_rows = 0
+        self._sealed_parts = 0
+        self._count = 0
+        self._cols: Optional[dict[str, np.ndarray]] = None
+        self._cols_count = -1
+
+    # -- write path ------------------------------------------------------
+
+    def append_record(self, record: CollectiveRecord) -> int:
+        """Record one completed collective instance; returns its row."""
+        row = self._count
+        self._pending += (
+            record.index, MPI_OP_CODES[record.mpi_op], record.root,
+            record.nbytes,
+        )
+        ppending = self._ppending
+        completions = record.completions
+        vids = record.vids
+        for rank, arrival in record.arrivals.items():
+            ppending += (rank, vids[rank], arrival, completions[rank])
+        self._offsets.append(self._offsets[-1] + len(record.arrivals))
+        self._count = row + 1
+        if len(ppending) >= CHUNK_EVENTS * self._PSTRIDE:
+            self.seal()
+        return row
+
+    def seal(self) -> None:
+        """Seal pending rows and participants into ndarray chunks."""
+        if not self._pending:
+            return
+        self._chunks.append(
+            np.asarray(self._pending, dtype=np.int64).reshape(-1, self._STRIDE)
+        )
+        self._pchunks.append(
+            np.asarray(self._ppending, dtype=np.float64).reshape(
+                -1, self._PSTRIDE
+            )
+        )
+        self._sealed_rows = self._count
+        self._sealed_parts = self._offsets[-1]
+        self._pending = []
+        self._ppending = []
+
+    # -- read path -------------------------------------------------------
+
+    @property
+    def row_count(self) -> int:
+        return self._count
+
+    def __len__(self) -> int:
+        return self._count
+
+    def _matrices(self) -> tuple[np.ndarray, np.ndarray]:
+        self.seal()
+        if not self._chunks:
+            return (
+                np.empty((0, self._STRIDE), dtype=np.int64),
+                np.empty((0, self._PSTRIDE), dtype=np.float64),
+            )
+        if len(self._chunks) > 1:
+            self._chunks = [np.concatenate(self._chunks, axis=0)]
+            self._pchunks = [np.concatenate(self._pchunks, axis=0)]
+        return self._chunks[0], self._pchunks[0]
+
+    def columns(self) -> dict[str, np.ndarray]:
+        """Fixed columns + ``offsets`` + flat participant columns.
+
+        ``part_rank`` / ``part_vid`` are int64 views of the participant
+        matrix's first two columns; ``part_arrival`` / ``part_completion``
+        are its float64 columns.  ``offsets`` has ``row_count + 1`` entries.
+        """
+        if self._cols is None or self._cols_count != self._count:
+            mat, pmat = self._matrices()
+            self._cols = {
+                "index": mat[:, 0],
+                "op": mat[:, 1],
+                "root": mat[:, 2],
+                "nbytes": mat[:, 3],
+                "offsets": np.asarray(self._offsets, dtype=np.int64),
+                "part_rank": pmat[:, 0].astype(np.int64),
+                "part_vid": pmat[:, 1].astype(np.int64),
+                "part_arrival": pmat[:, 2],
+                "part_completion": pmat[:, 3],
+            }
+            self._cols_count = self._count
+        return self._cols
+
+    def row(self, index: int) -> CollectiveRecord:
+        """Materialize one row as a :class:`CollectiveRecord` object."""
+        cols = self.columns()
+        start = int(cols["offsets"][index])
+        end = int(cols["offsets"][index + 1])
+        ranks = cols["part_rank"][start:end].tolist()
+        vids = cols["part_vid"][start:end].tolist()
+        arrivals = cols["part_arrival"][start:end].tolist()
+        completions = cols["part_completion"][start:end].tolist()
+        return CollectiveRecord(
+            index=int(cols["index"][index]),
+            mpi_op=_CODE_TO_OP[int(cols["op"][index])],
+            root=int(cols["root"][index]),
+            nbytes=int(cols["nbytes"][index]),
+            vids=dict(zip(ranks, vids)),
+            arrivals=dict(zip(ranks, arrivals)),
+            completions=dict(zip(ranks, completions)),
+        )
+
+    def records(self) -> CollectiveRecordsView:
+        return CollectiveRecordsView(self)
+
+    # -- merge / serialization ------------------------------------------
+
+    @classmethod
+    def merge(cls, parts: list["CollectiveTable"]) -> "CollectiveTable":
+        table = cls()
+        for part in parts:
+            part.seal()
+            table._chunks.extend(part._chunks)
+            table._pchunks.extend(part._pchunks)
+            base = table._offsets[-1]
+            table._offsets.extend(base + off for off in part._offsets[1:])
+            table._count += part._count
+            table._sealed_rows = table._count
+            table._sealed_parts = table._offsets[-1]
+        return table
+
+    def to_doc(self) -> dict:
+        mat, pmat = self._matrices()
+        return {
+            "rows": _pack_matrix(mat, "<i8"),
+            "offsets": _pack_matrix(
+                np.asarray(self._offsets, dtype=np.int64), "<i8"
+            ),
+            "participants": _pack_matrix(pmat, "<f8"),
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "CollectiveTable":
+        table = cls()
+        mat = _unpack_matrix(doc["rows"], "<i8", cls._STRIDE)
+        pmat = _unpack_matrix(doc["participants"], "<f8", cls._PSTRIDE)
+        offsets = _unpack_matrix(doc["offsets"], "<i8", 1)
+        table._offsets = offsets.tolist()
+        if len(mat):
+            table._chunks.append(mat)
+            table._pchunks.append(pmat)
+            table._sealed_rows = table._count = len(mat)
+            table._sealed_parts = table._offsets[-1]
+        else:
+            table._offsets = [0]
+        return table
+
+
 class TraceBuffer:
     """Struct-of-arrays recording of one simulation's timeline events."""
 
     __slots__ = (
         "keep_events",
+        "p2p", "collectives",
         "_pending", "_chunks", "_event_count",
         "_cpending", "_cchunks", "_counter_count",
         "_fold_time", "_fold_wait", "_fold_waited", "_fold_visits",
@@ -162,6 +651,11 @@ class TraceBuffer:
 
     def __init__(self, *, keep_events: bool = True) -> None:
         self.keep_events = keep_events
+        #: Communication ground truth: matched messages and collective
+        #: instances, recorded even in ring mode (their memory is bounded
+        #: by message count, not timeline length).
+        self.p2p = P2PTable()
+        self.collectives = CollectiveTable()
         self._pending: list[float] = []
         self._chunks: list[np.ndarray] = []
         self._event_count = 0
@@ -293,6 +787,17 @@ class TraceBuffer:
         sealed = sum(c.nbytes for c in self._chunks)
         sealed += sum(c.nbytes for c in self._cchunks)
         return sealed + 8 * (len(self._pending) + len(self._cpending))
+
+    def seal(self) -> None:
+        """Seal every pending flat list into ndarray chunks.
+
+        Called before a shard's buffer crosses a process boundary so what
+        gets pickled is packed column arrays, not Python lists.
+        """
+        self._seal_events()
+        self._seal_counters()
+        self.p2p.seal()
+        self.collectives.seal()
 
     def _event_matrix(self) -> np.ndarray:
         self._seal_events()
@@ -489,6 +994,8 @@ class TraceBuffer:
         if any(p.keep_events is not keep for p in parts):
             raise ValueError("cannot merge ring-mode with recorded buffers")
         buf = cls(keep_events=keep)
+        buf.p2p = P2PTable.merge([p.p2p for p in parts])
+        buf.collectives = CollectiveTable.merge([p.collectives for p in parts])
         for part in parts:
             part._seal_events()
             part._seal_counters()
@@ -509,25 +1016,21 @@ class TraceBuffer:
     # serialization (Session artifact cache)
     # ------------------------------------------------------------------
 
-    @staticmethod
-    def _pack(matrix: np.ndarray) -> str:
-        return base64.b64encode(
-            np.ascontiguousarray(matrix, dtype="<f8").tobytes()
-        ).decode("ascii")
-
-    @staticmethod
-    def _unpack(data: str, stride: int) -> np.ndarray:
-        raw = np.frombuffer(base64.b64decode(data), dtype="<f8")
-        return raw.reshape(-1, stride).astype(np.float64)
-
     def to_doc(self) -> dict:
-        """Compact JSON-safe form (base64-packed little-endian columns)."""
+        """Compact JSON-safe form (base64-packed little-endian columns).
+
+        Includes the communication record tables since the columnar
+        refactor; ``from_doc`` still accepts pre-table documents (their
+        ``p2p``/``collectives`` load empty).
+        """
         if not self.keep_events:
             raise ValueError("a ring-mode TraceBuffer has no events to serialize")
         return {
             "format": "scalana-trace-v1",
-            "events": self._pack(self._event_matrix()),
-            "counters": self._pack(self._counter_matrix()),
+            "events": _pack_matrix(self._event_matrix(), "<f8"),
+            "counters": _pack_matrix(self._counter_matrix(), "<f8"),
+            "p2p": self.p2p.to_doc(),
+            "collectives": self.collectives.to_doc(),
         }
 
     @classmethod
@@ -535,12 +1038,16 @@ class TraceBuffer:
         if doc.get("format") != "scalana-trace-v1":
             raise ValueError("not a serialized TraceBuffer")
         buf = cls(keep_events=True)
-        events = cls._unpack(doc["events"], _EVENT_STRIDE)
-        counters = cls._unpack(doc["counters"], _COUNTER_STRIDE)
+        events = _unpack_matrix(doc["events"], "<f8", _EVENT_STRIDE)
+        counters = _unpack_matrix(doc["counters"], "<f8", _COUNTER_STRIDE)
         if len(events):
             buf._chunks.append(events)
             buf._event_count = len(events)
         if len(counters):
             buf._cchunks.append(counters)
             buf._counter_count = len(counters)
+        if "p2p" in doc:
+            buf.p2p = P2PTable.from_doc(doc["p2p"])
+        if "collectives" in doc:
+            buf.collectives = CollectiveTable.from_doc(doc["collectives"])
         return buf

@@ -127,10 +127,11 @@ def sanitize_json_floats(obj):
     """Replace non-finite floats (NaN/inf) with ``None``, recursively.
 
     Simulation ground truth legitimately contains NaN sentinels — e.g. an
-    irecv that matched but was never waited on leaves
-    ``P2PRecord.completion = nan`` — and ``json.dumps`` happily serializes
-    them as bare ``NaN``, which is *not* JSON and breaks every downstream
-    parser.  Exports sanitize to ``null`` instead.
+    irecv that matched but was never waited on keeps ``NaN`` in its
+    ``completion`` column (surfacing as ``P2PRecord.completion = nan``
+    through the row views) — and ``json.dumps`` happily serializes them as
+    bare ``NaN``, which is *not* JSON and breaks every downstream parser.
+    Exports sanitize to ``null`` instead.
     """
     if isinstance(obj, float) and not math.isfinite(obj):
         return None

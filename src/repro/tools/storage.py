@@ -29,9 +29,12 @@ class LoadedProfile:
     """A ProfiledRun reconstructed from disk (no SimulationResult inside —
     detection never needs the ground truth, only the collected data).
 
-    ``trace`` carries the run's columnar ground-truth timeline when the
-    profile was saved with ``include_trace=True`` (None otherwise); it
-    enables post-mortem timeline rendering without re-simulating.
+    ``trace`` carries the run's columnar ground truth when the profile was
+    saved with ``include_trace=True`` (None otherwise): the timeline
+    columns plus the P2P/collective record tables, so post-mortem timeline
+    rendering *and* re-running comm-dependence collection both work
+    without re-simulating.  Pre-table documents load with empty record
+    tables.
     """
 
     def __init__(
@@ -61,8 +64,10 @@ def save_profile(
     """Serialize one profiled run; returns bytes written (the storage cost).
 
     ``include_trace=True`` additionally embeds the columnar TraceBuffer
-    (base64-packed float64 columns) when the run recorded events — the
-    compact ground-truth form profiles carry through the Session cache.
+    (base64-packed little-endian columns: timeline events, PMU counters,
+    and the struct-of-arrays P2P/collective record tables) when the run
+    recorded events — the compact ground-truth form profiles carry through
+    the Session cache.
     """
     perf = {
         f"{rank},{vid}": [

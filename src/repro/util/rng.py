@@ -19,7 +19,23 @@ from typing import Iterable
 
 import numpy as np
 
-__all__ = ["derive_seed", "RngStream"]
+__all__ = ["derive_seed", "derive_seed_prefix", "derive_seeds", "RngStream"]
+
+
+def derive_seed_prefix(root_seed: int, *keys: object) -> "hashlib._Hash":
+    """Partially evaluated :func:`derive_seed`: the BLAKE2b state after
+    hashing ``root_seed`` and the leading keys.
+
+    Batch callers ``copy()`` this prefix per item and append only the
+    per-item key-path suffix, so a shared prefix is hashed once instead of
+    once per item.  ``derive_seeds(prefix, suffixes)`` is the draw loop.
+    """
+    h = hashlib.blake2b(digest_size=8)
+    h.update(str(int(root_seed)).encode())
+    for key in keys:
+        h.update(b"/")
+        h.update(repr(key).encode())
+    return h
 
 
 def derive_seed(root_seed: int, *keys: object) -> int:
@@ -28,12 +44,27 @@ def derive_seed(root_seed: int, *keys: object) -> int:
     Uses BLAKE2b over the textual key path; stable across platforms and
     Python versions (unlike ``hash()``).
     """
-    h = hashlib.blake2b(digest_size=8)
-    h.update(str(int(root_seed)).encode())
-    for key in keys:
-        h.update(b"/")
-        h.update(repr(key).encode())
+    h = derive_seed_prefix(root_seed, *keys)
     return int.from_bytes(h.digest(), "little") & (2**63 - 1)
+
+
+def derive_seeds(prefix: "hashlib._Hash", suffixes: Iterable[bytes]) -> list[int]:
+    """Batch :func:`derive_seed` over a shared key-path prefix.
+
+    Each suffix must be the byte encoding of the remaining key path —
+    ``b"/" + repr(key_i) + ...`` exactly as :func:`derive_seed` would feed
+    it — so ``derive_seeds(derive_seed_prefix(s, *head), [enc(*tail)])``
+    equals ``[derive_seed(s, *head, *tail)]`` bit for bit.
+    """
+    mask = 2**63 - 1
+    copy = prefix.copy
+    from_bytes = int.from_bytes
+    out = []
+    for suffix in suffixes:
+        h = copy()
+        h.update(suffix)
+        out.append(from_bytes(h.digest(), "little") & mask)
+    return out
 
 
 class RngStream:
