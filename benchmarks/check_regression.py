@@ -1,13 +1,15 @@
 """Benchmark-regression gate for the simulator (CI: bench-regression job).
 
-Measures the throughput of the simulator, detection, sharded-simulator and
-comm-dependence-collection workloads and compares against the committed
-baselines: the PR-2 rows live in ``benchmarks/BENCH_2.json``, the PR-3 rows
-(detection pipeline, sharded simulator) in ``benchmarks/BENCH_3.json``, the
-PR-4 rows (columnar comm-dependence collection + fingerprint) in
-``benchmarks/BENCH_4.json``.  The gate fails (exit 1) when any workload's
-throughput drops more than ``--tolerance`` (default 20%) below its
-baseline.
+Measures the throughput of the simulator, detection, sharded-simulator,
+comm-dependence-collection and 1024-rank scheduler/baseline workloads and
+compares against the committed baselines: the PR-2 rows live in
+``benchmarks/BENCH_2.json``, the PR-3 rows (detection pipeline, sharded
+simulator) in ``benchmarks/BENCH_3.json``, the PR-4 rows (columnar
+comm-dependence collection + fingerprint) in ``benchmarks/BENCH_4.json``,
+and the PR-5 rows (≥1024-rank engine, schedulers serial and sharded, plus
+the baselines' vectorized collective loops) in ``benchmarks/BENCH_5.json``.
+The gate fails (exit 1) when any workload's throughput drops more than
+``--tolerance`` (default 20%) below its baseline.
 
 Machines differ, so raw seconds do not transfer: both the baseline and the
 current run are normalized by a calibration score — a fixed pure-Python +
@@ -21,8 +23,8 @@ Usage::
     PYTHONPATH=src python benchmarks/check_regression.py            # gate
     PYTHONPATH=src python benchmarks/check_regression.py --update   # rebase
 
-``--update`` only (re)writes BENCH_4.json rows — the committed PR-2 and
-PR-3 baselines are history, not a moving target.
+``--update`` only (re)writes BENCH_5.json rows — the committed PR-2, PR-3
+and PR-4 baselines are history, not a moving target.
 """
 
 from __future__ import annotations
@@ -43,6 +45,7 @@ from repro.simulator import SimulationConfig, simulate
 BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_2.json"
 BASELINE_3_PATH = Path(__file__).resolve().parent / "BENCH_3.json"
 BASELINE_4_PATH = Path(__file__).resolve().parent / "BENCH_4.json"
+BASELINE_5_PATH = Path(__file__).resolve().parent / "BENCH_5.json"
 
 RING = """def main() {
     for (var it = 0; it < 50; it = it + 1) {
@@ -65,6 +68,28 @@ COLLECTIVES = """def main() {
 MIXED_COMM = """def main() {
     for (var it = 0; it < 30; it = it + 1) {
         compute(flops = 100000);
+        sendrecv(dest = (rank + 1) % nprocs, tag = 1, bytes = 1024,
+                 src = (rank - 1 + nprocs) % nprocs);
+        allreduce(bytes = 8);
+    }
+}"""
+
+#: The ≥1024-rank scale workload (PR 5): a short ring so the gate stays
+#: CI-affordable while every per-event cost — scheduler ops, op records,
+#: columnar appends — runs at production rank count.
+RING_1024 = """def main() {
+    for (var it = 0; it < 12; it = it + 1) {
+        compute(flops = 100000);
+        sendrecv(dest = (rank + 1) % nprocs, tag = 1, bytes = 1024,
+                 src = (rank - 1 + nprocs) % nprocs);
+    }
+}"""
+
+#: Imbalanced p2p + collectives at 1024 ranks: the baselines' vectorized
+#: collective loops (the O(P^2) wait_of fix) run over its record tables.
+MIXED_1024 = """def main() {
+    for (var it = 0; it < 10; it = it + 1) {
+        compute(flops = 100000 + 5000 * (rank % 4));
         sendrecv(dest = (rank + 1) % nprocs, tag = 1, bytes = 1024,
                  src = (rank - 1 + nprocs) % nprocs);
         allreduce(bytes = 8);
@@ -184,6 +209,26 @@ def build_workloads():
         collect_comm_dependence(comm_res, sample_probability=0.5, seed=3)
         run_fingerprint(comm_run)
 
+    # PR-5 rows (baselined in BENCH_5.json): the ≥1024-rank gates — the
+    # engine at production rank count (serial + sharded, and the explicit
+    # calendar queue so both schedulers stay covered), plus the baselines'
+    # vectorized collective loops over a 1024-rank run's record tables.
+    from repro.baselines import TracerTool, classify_wait_states
+
+    ring1k_prog = parse_program(RING_1024, "ring1k.mm")
+    ring1k_psg = build_psg(ring1k_prog).psg
+    mixed1k_prog = parse_program(MIXED_1024, "mixed1k.mm")
+    mixed1k_psg = build_psg(mixed1k_prog).psg
+    mixed1k_res = simulate(
+        mixed1k_prog, mixed1k_psg, SimulationConfig(nprocs=1024)
+    )
+    tracer_tool = TracerTool()
+    tracer_run = SimpleNamespace(result=mixed1k_res)
+
+    def baseline_collective_loops():
+        classify_wait_states(mixed1k_res)
+        tracer_tool.analyze(tracer_run)
+
     return {
         "ring_p32": sim(ring_prog, ring_psg, 32, False),
         "collectives_p32": sim(coll_prog, coll_psg, 32, False),
@@ -203,6 +248,16 @@ def build_workloads():
         ),
         # PR-4 row (baselined in BENCH_4.json):
         "comm_dependence_p256": comm_dependence,
+        # PR-5 rows (baselined in BENCH_5.json):
+        "ring_p1024": sim(ring1k_prog, ring1k_psg, 1024, False),
+        "ring_p1024_calendar": sim(
+            ring1k_prog, ring1k_psg, 1024, False, sim_scheduler="calendar",
+        ),
+        "ring_p1024_sharded2_inproc": sim(
+            ring1k_prog, ring1k_psg, 1024, False,
+            sim_shards=2, sim_executor="inprocess",
+        ),
+        "baseline_collective_loops_p1024": baseline_collective_loops,
     }
 
 
@@ -225,9 +280,9 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--update", action="store_true",
-        help="rewrite the measured baselines in BENCH_4.json (BENCH_2.json "
-             "and BENCH_3.json rows are committed history and never "
-             "rewritten; edit by hand if a legacy workload must be rebased)",
+        help="rewrite the measured baselines in BENCH_5.json (BENCH_2/3/4 "
+             ".json rows are committed history and never rewritten; edit "
+             "by hand if a legacy workload must be rebased)",
     )
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="allowed fractional throughput drop (0.20 = 20%%)")
@@ -235,17 +290,18 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     current = measure(args.repeats)
-    # Committed history: BENCH_2 (PR 2) and BENCH_3 (PR 3) rows are never
-    # rewritten by --update; edit by hand if a legacy workload must rebase.
+    # Committed history: BENCH_2 (PR 2), BENCH_3 (PR 3) and BENCH_4 (PR 4)
+    # rows are never rewritten by --update; edit by hand if a legacy
+    # workload must rebase.
     history: dict = {}
-    for path in (BASELINE_PATH, BASELINE_3_PATH):
+    for path in (BASELINE_PATH, BASELINE_3_PATH, BASELINE_4_PATH):
         if path.exists():
             history.update(json.loads(path.read_text()).get("benchmarks", {}))
-    if args.update or not BASELINE_4_PATH.exists():
-        # Only the PR-4 file is a live baseline.
+    if args.update or not BASELINE_5_PATH.exists():
+        # Only the PR-5 file is a live baseline.
         doc = (
-            json.loads(BASELINE_4_PATH.read_text())
-            if BASELINE_4_PATH.exists()
+            json.loads(BASELINE_5_PATH.read_text())
+            if BASELINE_5_PATH.exists()
             else {}
         )
         doc["calibration_score"] = current["calibration_score"]
@@ -253,13 +309,13 @@ def main(argv=None) -> int:
         for name, row in current["benchmarks"].items():
             if name not in history:
                 doc["benchmarks"][name] = row
-        BASELINE_4_PATH.write_text(json.dumps(doc, indent=2) + "\n")
-        print(f"baseline written to {BASELINE_4_PATH}")
+        BASELINE_5_PATH.write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"baseline written to {BASELINE_5_PATH}")
         return 0
 
     baseline = {"benchmarks": dict(history)}
     baseline["benchmarks"].update(
-        json.loads(BASELINE_4_PATH.read_text()).get("benchmarks", {})
+        json.loads(BASELINE_5_PATH.read_text()).get("benchmarks", {})
     )
     ratios = {}
     print(f"{'benchmark':28s} {'base units':>12s} {'now units':>12s} {'ratio':>7s}")

@@ -140,6 +140,9 @@ class ScalAna:
     #: bit-identical — see :mod:`repro.simulator.parallel`).
     sim_shards: int = 1
     sim_executor: str = "auto"
+    #: Engine event-queue implementation ("auto" | "heap" | "calendar" —
+    #: bit-identical, see :mod:`repro.simulator.schedq`).
+    sim_scheduler: str = "auto"
     _static: Optional[StaticAnalysisResult] = field(default=None, repr=False)
 
     # ------------------------------------------------------------------
@@ -175,6 +178,7 @@ class ScalAna:
             injected_delays=tuple(self.injected_delays),
             sim_shards=self.sim_shards,
             sim_executor=self.sim_executor,
+            sim_scheduler=self.sim_scheduler,
         )
         kwargs.update(overrides)
         return AnalysisConfig(**kwargs)

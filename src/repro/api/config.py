@@ -84,10 +84,14 @@ class AnalysisConfig:
     #: Shard each simulation over this many engines (see
     #: :mod:`repro.simulator.parallel`).  An *execution strategy*, not an
     #: analysis input: results are bit-identical for any value, so these
-    #: two fields are excluded from :meth:`digest` — a profile cached by a
-    #: serial run is a valid hit for a sharded request and vice versa.
+    #: three fields are excluded from :meth:`digest` — a profile cached by
+    #: a serial run is a valid hit for a sharded request and vice versa.
     sim_shards: int = 1
     sim_executor: str = "auto"
+    #: Engine event-queue implementation ("auto" | "heap" | "calendar" —
+    #: see :mod:`repro.simulator.schedq`).  Digest-neutral like
+    #: ``sim_shards``: service order is exact for every scheduler.
+    sim_scheduler: str = "auto"
 
     def __post_init__(self) -> None:
         # normalize mutable-looking inputs so the instance is deeply frozen
@@ -116,6 +120,10 @@ class AnalysisConfig:
             raise ValueError(
                 "sim_executor must be 'auto', 'inprocess' or 'process'"
             )
+        if self.sim_scheduler not in ("auto", "heap", "calendar"):
+            raise ValueError(
+                "sim_scheduler must be 'auto', 'heap' or 'calendar'"
+            )
 
     # -- derivation ------------------------------------------------------
 
@@ -140,6 +148,7 @@ class AnalysisConfig:
             "injected_delays": [dataclasses.asdict(d) for d in self.injected_delays],
             "sim_shards": self.sim_shards,
             "sim_executor": self.sim_executor,
+            "sim_scheduler": self.sim_scheduler,
         }
 
     @classmethod
@@ -161,6 +170,7 @@ class AnalysisConfig:
             ),
             sim_shards=int(doc.get("sim_shards", 1)),
             sim_executor=str(doc.get("sim_executor", "auto")),
+            sim_scheduler=str(doc.get("sim_scheduler", "auto")),
         )
 
     def to_json(self) -> str:
@@ -175,9 +185,10 @@ class AnalysisConfig:
     def digest(self) -> str:
         """Stable content hash: the second third of the cache key.
 
-        Execution-strategy fields (``sim_shards``, ``sim_executor``) are
-        excluded: they change how a simulation is *executed*, not what it
-        computes — results are bit-identical across them — so equal
+        Execution-strategy fields (``sim_shards``, ``sim_executor``,
+        ``sim_scheduler``) are excluded: they change how a simulation is
+        *executed*, not what it computes — results are bit-identical
+        across them — so equal
         analyses share cache entries regardless of sharding, and digests
         stay compatible with pre-sharding sessions.  (Caveat, inherited
         from the engine guarantee: a program whose ``MPI_ANY_SOURCE``
@@ -190,6 +201,7 @@ class AnalysisConfig:
         doc = self.to_dict()
         del doc["sim_shards"]
         del doc["sim_executor"]
+        del doc["sim_scheduler"]
         return digest_text(canonical_json(doc))
 
     # -- bridges to the execution layers ---------------------------------
@@ -207,6 +219,7 @@ class AnalysisConfig:
             injected_delays=list(self.injected_delays),
             sim_shards=self.sim_shards,
             sim_executor=self.sim_executor,
+            sim_scheduler=self.sim_scheduler,
         )
         kwargs.update(overrides)
         return SimulationConfig(**kwargs)

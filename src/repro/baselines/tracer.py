@@ -13,9 +13,10 @@ runs over the trace (a simplified Bohme-style backward replay [64]).
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Optional
+
+import numpy as np
 
 from repro.minilang import ast_nodes as ast
 from repro.psg.graph import PSG
@@ -141,56 +142,84 @@ class TracerTool:
         op cost), attribute the wait to the code the *peer* was executing
         when it finally posted — one backward-replay hop through the
         complete trace.
+
+        Reads the columnar tables directly: the compute-segment cause index
+        is built with one stable lexsort instead of per-segment objects,
+        and the collective loop uses the vectorized per-participant waits
+        (``CollectiveTable.wait_columns``) instead of the O(P²)-per-record
+        ``wait_of`` walk.  Bit-identical to the per-record implementation,
+        which the tests keep as the behavioural oracle.
         """
         analysis = TraceAnalysis()
         result = run.result
-        # Index: per rank, time-ordered compute segments for cause lookup.
-        compute_by_rank: dict[int, list] = defaultdict(list)
-        for seg in result.segments:
-            if seg.kind is SegmentKind.COMPUTE:
-                compute_by_rank[seg.rank].append(seg)
-        for segs in compute_by_rank.values():
-            segs.sort(key=lambda s: s.start)
+        # Index: per rank, time-ordered compute (start, vid) arrays for
+        # cause lookup.  A stable sort by (rank, start) reproduces the
+        # historical per-rank stable sort exactly.
+        trace_cols = result.trace.columns()
+        compute_rows = np.nonzero(trace_cols["kind"] == 0.0)[0]
+        cause_tables: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        if len(compute_rows):
+            cranks = trace_cols["rank"][compute_rows]
+            cstarts = trace_cols["start"][compute_rows]
+            cvids = trace_cols["vid"][compute_rows]
+            order = np.lexsort((cstarts, cranks))  # stable
+            cranks = cranks[order]
+            cstarts = cstarts[order]
+            cvids = cvids[order]
+            bounds = np.nonzero(np.diff(cranks))[0] + 1
+            los = np.concatenate(([0], bounds))
+            his = np.concatenate((bounds, [len(cranks)]))
+            for lo, hi in zip(los.tolist(), his.tolist()):
+                cause_tables[int(cranks[lo])] = (
+                    cstarts[lo:hi], cvids[lo:hi]
+                )
 
         def cause_at(rank: int, t: float) -> Optional[int]:
             """Vertex rank was computing at (or last before) time t."""
-            segs = compute_by_rank.get(rank)
-            if not segs:
+            table = cause_tables.get(rank)
+            if table is None:
                 return None
-            lo, hi = 0, len(segs)
-            while lo < hi:
-                mid = (lo + hi) // 2
-                if segs[mid].start <= t:
-                    lo = mid + 1
-                else:
-                    hi = mid
-            idx = lo - 1
+            starts, vids = table
+            idx = int(np.searchsorted(starts, t, side="right")) - 1
             if idx < 0:
                 return None
-            return segs[idx].vid
+            return int(vids[idx])
 
-        for rec in result.p2p_records:
-            if rec.wait_time <= 0:
-                continue
-            wvid = rec.wait_vid
-            analysis.wait_by_vertex[wvid] = (
-                analysis.wait_by_vertex.get(wvid, 0.0) + rec.wait_time
-            )
-            cause = cause_at(rec.send_rank, rec.send_time)
-            if cause is not None:
-                causes = analysis.wait_causes.setdefault(wvid, {})
-                causes[cause] = causes.get(cause, 0.0) + rec.wait_time
-        for crec in result.collective_records:
-            laggard = crec.last_arrival_rank
-            for rank in crec.arrivals:
-                w = crec.wait_of(rank)
-                if w <= 0:
-                    continue
-                vid = crec.vids[rank]
-                analysis.wait_by_vertex[vid] = (
-                    analysis.wait_by_vertex.get(vid, 0.0) + w
-                )
-                cause = cause_at(laggard, crec.arrivals[laggard])
+        wait_by_vertex = analysis.wait_by_vertex
+        p2p = result.trace.p2p.columns()
+        wait_time = p2p["wait_time"]
+        if len(wait_time):
+            wait_vid = p2p["wait_vid"]
+            send_rank = p2p["send_rank"]
+            send_time = p2p["send_time"]
+            for i in np.nonzero(wait_time > 0.0)[0].tolist():
+                w = float(wait_time[i])
+                wvid = int(wait_vid[i])
+                wait_by_vertex[wvid] = wait_by_vertex.get(wvid, 0.0) + w
+                cause = cause_at(int(send_rank[i]), float(send_time[i]))
+                if cause is not None:
+                    causes = analysis.wait_causes.setdefault(wvid, {})
+                    causes[cause] = causes.get(cause, 0.0) + w
+        collectives = result.trace.collectives
+        if len(collectives):
+            cols = collectives.columns()
+            wc = collectives.wait_columns()
+            row = wc["row"]
+            wait = wc["wait"]
+            laggard = wc["laggard"]
+            laggard_arrival = wc["laggard_arrival"]
+            part_vid = cols["part_vid"]
+            waiting = np.nonzero(wait > 0.0)[0]
+            cause_of_row: dict[int, Optional[int]] = {
+                i: cause_at(int(laggard[i]), float(laggard_arrival[i]))
+                for i in np.unique(row[waiting]).tolist()
+            }
+            for j in waiting.tolist():
+                i = int(row[j])
+                w = float(wait[j])
+                vid = int(part_vid[j])
+                wait_by_vertex[vid] = wait_by_vertex.get(vid, 0.0) + w
+                cause = cause_of_row[i]
                 if cause is not None:
                     causes = analysis.wait_causes.setdefault(vid, {})
                     causes[cause] = causes.get(cause, 0.0) + w

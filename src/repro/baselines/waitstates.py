@@ -20,8 +20,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum
 
+import numpy as np
+
 from repro.minilang.ast_nodes import MpiOp
 from repro.simulator.engine import SimulationResult
+from repro.simulator.trace import MPI_CODE_TO_OP
 
 __all__ = ["WaitStateKind", "WaitState", "WaitStateProfile", "classify_wait_states"]
 
@@ -93,43 +96,69 @@ class WaitStateProfile:
 
 
 def classify_wait_states(result: SimulationResult) -> WaitStateProfile:
-    """Classify every waiting event of a completed run."""
+    """Classify every waiting event of a completed run.
+
+    Reads the columnar record tables directly (Python objects only for the
+    events that actually waited) instead of materializing one record per
+    message and recomputing the per-collective op-cost min per rank — the
+    old laggard loop was O(P²) per collective.  Output is bit-identical to
+    that per-record walk, which the tests keep as the behavioural oracle.
+    """
     profile = WaitStateProfile()
-    for rec in result.p2p_records:
-        if rec.wait_time <= 0.0:
-            continue
-        if rec.send_time > rec.recv_post:
-            kind = WaitStateKind.LATE_SENDER
-            # the portion of the wait before the send was even posted is
-            # the sender's fault; the wire time is Transfer
-            late = min(rec.wait_time, rec.send_time - rec.recv_post)
-            profile.states.append(
-                WaitState(kind, rec.recv_rank, rec.wait_vid, late, rec.send_rank)
-            )
-            rest = rec.wait_time - late
-            if rest > 0:
-                profile.states.append(
+    states = profile.states
+    p2p = result.trace.p2p.columns()
+    wait_time = p2p["wait_time"]
+    if len(wait_time):
+        send_rank = p2p["send_rank"]
+        recv_rank = p2p["recv_rank"]
+        wait_vid = p2p["wait_vid"]
+        send_time = p2p["send_time"]
+        recv_post = p2p["recv_post"]
+        for i in np.nonzero(wait_time > 0.0)[0].tolist():
+            w = float(wait_time[i])
+            st = float(send_time[i])
+            rp = float(recv_post[i])
+            rrank = int(recv_rank[i])
+            wvid = int(wait_vid[i])
+            if st > rp:
+                # the portion of the wait before the send was even posted
+                # is the sender's fault; the wire time is Transfer
+                late = min(w, st - rp)
+                states.append(
                     WaitState(
-                        WaitStateKind.TRANSFER, rec.recv_rank, rec.wait_vid, rest
+                        WaitStateKind.LATE_SENDER, rrank, wvid, late,
+                        int(send_rank[i]),
                     )
                 )
-        else:
-            profile.states.append(
-                WaitState(
-                    WaitStateKind.TRANSFER,
-                    rec.recv_rank,
-                    rec.wait_vid,
-                    rec.wait_time,
+                rest = w - late
+                if rest > 0:
+                    states.append(
+                        WaitState(WaitStateKind.TRANSFER, rrank, wvid, rest)
+                    )
+            else:
+                states.append(
+                    WaitState(WaitStateKind.TRANSFER, rrank, wvid, w)
                 )
-            )
-    for crec in result.collective_records:
-        kind = _COLLECTIVE_KIND[crec.mpi_op]
-        laggard = crec.last_arrival_rank
-        for rank in crec.arrivals:
-            w = crec.wait_of(rank)
-            if w <= 0.0 or rank == laggard:
-                continue
-            profile.states.append(
-                WaitState(kind, rank, crec.vids[rank], w, laggard)
+    collectives = result.trace.collectives
+    if len(collectives):
+        cols = collectives.columns()
+        wc = collectives.wait_columns()
+        row = wc["row"]
+        wait = wc["wait"]
+        laggard = wc["laggard"]
+        part_rank = cols["part_rank"]
+        part_vid = cols["part_vid"]
+        kinds = [
+            _COLLECTIVE_KIND[MPI_CODE_TO_OP[code]]
+            for code in cols["op"].tolist()
+        ]
+        emit = (wait > 0.0) & (part_rank != laggard[row])
+        for j in np.nonzero(emit)[0].tolist():
+            i = int(row[j])
+            states.append(
+                WaitState(
+                    kinds[i], int(part_rank[j]), int(part_vid[j]),
+                    float(wait[j]), int(laggard[i]),
+                )
             )
     return profile

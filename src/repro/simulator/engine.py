@@ -1,11 +1,13 @@
 """The discrete-event simulation engine.
 
-A sequential conservative DES: all runnable ranks sit in a min-heap keyed by
-their local virtual clock, and the engine always steps the rank with the
-smallest clock.  Because a rank's ops are handled in nondecreasing global
-time order, message matching is causal and deterministic — the property the
-whole reproduction rests on (two runs of the same configuration are
-bit-identical).
+A sequential conservative DES: all runnable ranks sit in a pluggable
+priority queue (:mod:`repro.simulator.schedq` — binary heap or calendar
+queue, the ``sim_scheduler`` knob) keyed by their local virtual clock, and
+the engine always steps the rank with the smallest clock.  Because a rank's
+ops are handled in nondecreasing global time order, message matching is
+causal and deterministic — the property the whole reproduction rests on
+(two runs of the same configuration are bit-identical, for every
+scheduler).
 
 Blocking semantics:
 
@@ -28,7 +30,6 @@ reports a per-rank stuck-at diagnostic.
 
 from __future__ import annotations
 
-import heapq
 import itertools
 import threading
 from dataclasses import dataclass, field
@@ -53,6 +54,7 @@ from repro.simulator.events import (
 )
 from repro.simulator.interp import Interpreter
 from repro.simulator.matching import Mailbox, Message, PostedRecv
+from repro.simulator.schedq import make_queue, resolve_scheduler
 from repro.simulator.trace import (
     MPI_OP_CODES,
     WILDCARD_CODE,
@@ -143,6 +145,12 @@ class SimulationConfig:
     #: scheduler — tests, debugging), "process" (multiprocessing workers),
     #: or "auto" (process when >1 CPU is available, else inprocess).
     sim_executor: str = "auto"
+    #: Event-queue implementation behind the engine hot loop: "heap"
+    #: (binary heap), "calendar" (calendar queue — O(1) amortized, wins
+    #: once ~64k ranks feed one engine), or "auto" (calendar at scale).
+    #: Execution strategy like ``sim_shards``: service order and results
+    #: are bit-identical for every value (see :mod:`repro.simulator.schedq`).
+    sim_scheduler: str = "auto"
 
     def __post_init__(self) -> None:
         if self.nprocs < 1:
@@ -152,6 +160,10 @@ class SimulationConfig:
         if self.sim_executor not in ("auto", "inprocess", "process"):
             raise ValueError(
                 "sim_executor must be 'auto', 'inprocess' or 'process'"
+            )
+        if self.sim_scheduler not in ("auto", "heap", "calendar"):
+            raise ValueError(
+                "sim_scheduler must be 'auto', 'heap' or 'calendar'"
             )
 
 
@@ -320,7 +332,15 @@ class Engine:
         }
         #: pid -> _Proc (None for ranks owned by another shard)
         self.procs: list[Optional[_Proc]] = [None] * config.nprocs
-        self._heap: list[tuple[float, int, int]] = []
+        #: resolved event-queue implementation ("auto" picks by how many
+        #: ranks feed this engine — a shard counts only its local ranks)
+        self.scheduler = resolve_scheduler(
+            config.sim_scheduler, len(self.local_ranks)
+        )
+        #: runnable-rank scheduler, entries (clock, token, pid); stale
+        #: entries (superseded token / non-READY proc) are pruned lazily
+        #: by the queue itself via the _entry_live predicate
+        self._queue = make_queue(self.scheduler, live=self._entry_live)
         #: per-instance handler dispatch: bound methods, so subclasses can
         #: override individual op handlers without touching the hot loop
         self._handlers = {
@@ -386,19 +406,13 @@ class Engine:
         diagnoses via :meth:`finish`).  With a horizon (the parallel
         executor's conservative window bound) ranks only step while their
         clock stays below it; anything at or past the horizon stays parked
-        in the heap for the next window.
+        in the queue for the next window.
         """
-        heap = self._heap
+        queue = self._queue
         procs = self.procs
-        while heap:
-            clock, token, pid = heap[0]
-            if horizon is not None and clock >= horizon:
-                return
-            heapq.heappop(heap)
-            proc = procs[pid]
-            if proc.status is not _Status.READY or proc.token != token:
-                continue  # stale entry
-            self._step(proc, horizon)
+        entry = queue.pop(horizon)
+        while entry is not None:
+            entry = self._step(procs[entry[2]], horizon)
 
     def next_event_time(self) -> float:
         """Clock of the earliest runnable rank (inf when none is runnable).
@@ -407,15 +421,13 @@ class Engine:
         do without new external input — the quantity conservative windows
         are built from.
         """
-        heap = self._heap
-        procs = self.procs
-        while heap:
-            clock, token, pid = heap[0]
-            proc = procs[pid]
-            if proc.status is _Status.READY and proc.token == token:
-                return clock
-            heapq.heappop(heap)
-        return float("inf")
+        return self._queue.min_time()
+
+    def _entry_live(self, entry: tuple) -> bool:
+        """Queue staleness predicate: does this entry still schedule its
+        proc?  (Superseded tokens and parked/finished procs do not.)"""
+        proc = self.procs[entry[2]]
+        return proc.status is _Status.READY and proc.token == entry[1]
 
     def blocked_procs(self) -> list["_Proc"]:
         return [
@@ -450,7 +462,7 @@ class Engine:
     def _push(self, proc: _Proc) -> None:
         proc.status = _Status.READY
         proc.token = next(self._counter)
-        heapq.heappush(self._heap, (proc.clock, proc.token, proc.pid))
+        self._queue.push((proc.clock, proc.token, proc.pid))
 
     def _describe_block(self, proc: _Proc) -> str:
         kind = proc.blocked_on[0] if proc.blocked_on else "?"
@@ -463,7 +475,19 @@ class Engine:
         elif kind == "wait":
             detail = f"wait(req={proc.blocked_on[1].name})"
         elif kind == "waitall":
-            detail = f"waitall({len(proc.blocked_on[1])} incomplete)"
+            # Report only the *incomplete* requests — blocked_on[1] is the
+            # live id-set that _complete_match drains, so cross-check the
+            # captured list against it rather than dumping every captured
+            # request — and name them like the wait branch does.
+            remaining = proc.blocked_on[1]
+            names = [
+                r.name for r in proc.waitall_reqs if id(r) in remaining
+            ]
+            detail = (
+                f"waitall({len(names)} incomplete: req={', '.join(names)})"
+                if names
+                else f"waitall({len(remaining)} incomplete)"
+            )
         elif kind == "collective":
             inst = proc.blocked_on[1]
             detail = f"{inst.mpi_op.display_name} #{inst.index} ({len(inst.arrivals)}/{inst.nprocs} arrived)"
@@ -473,11 +497,11 @@ class Engine:
     # stepping one process
     # ------------------------------------------------------------------
 
-    def _step(self, proc: _Proc, horizon: Optional[float] = None) -> None:
+    def _step(self, proc: _Proc, horizon: Optional[float] = None) -> Optional[tuple]:
         """Run ``proc`` op-by-op while it stays the globally minimal clock
-        (and, in windowed mode, below the horizon)."""
-        heap = self._heap
-        procs = self.procs
+        (and, in windowed mode, below the horizon); returns the queue entry
+        of the next rank to serve (None when the drain is over)."""
+        queue_pop = self._queue.pop
         handlers = self._handlers
         gen_next = proc.gen.__next__
         while True:
@@ -485,33 +509,29 @@ class Engine:
                 op = gen_next()
             except StopIteration:
                 proc.status = _Status.DONE
-                return
+                return queue_pop(horizon)
             handler = handlers.get(type(op))
             if handler is None:
                 raise SimulationError(f"engine cannot handle {type(op).__name__}")
             parked = handler(proc, op)
             if parked:
-                return
+                return queue_pop(horizon)
             if horizon is not None and proc.clock >= horizon:
                 # Window edge: the proc crossed the conservative horizon —
                 # park it for the next window.
                 self._push(proc)
-                return
+                return queue_pop(horizon)
             # Anti-churn check: keep stepping while this proc is still the
-            # globally minimal clock.  The heap may hold *stale* entries
-            # (superseded tokens, procs no longer READY) with arbitrarily
-            # small clocks — peek past them first, or a stale top would
-            # re-park this proc for nothing (pure heap churn).
-            while heap:
-                top_clock, top_token, top_pid = heap[0]
-                top = procs[top_pid]
-                if top.status is _Status.READY and top.token == top_token:
-                    break
-                heapq.heappop(heap)
-            if heap and proc.clock > heap[0][0]:
+            # globally minimal clock.  One fused queue op does it all:
+            # pop-below-own-clock prunes stale entries on the way (so a
+            # stale front never re-parks this proc for nothing) and, when a
+            # strictly earlier rank exists, hands it over directly — no
+            # separate peek, no extra pop in the drain loop.
+            nxt = queue_pop(proc.clock)
+            if nxt is not None:
                 self._push(proc)
-                return
-            # else: still the minimum — keep stepping without heap churn.
+                return nxt
+            # else: still the minimum — keep stepping without queue churn.
 
     def _handle_compute_op(self, proc: _Proc, op: ops.ComputeOp) -> bool:
         self._handle_compute(proc, op)

@@ -24,7 +24,7 @@ before it is appended to the table.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import IntEnum
 from typing import Optional
 
@@ -100,14 +100,32 @@ class CollectiveRecord:
     vids: dict[int, int]
     arrivals: dict[int, float]
     completions: dict[int, float]
+    #: Lazily cached :attr:`op_cost` (``compare=False``: equality between
+    #: records must not depend on whether a wait was ever queried).
+    cached_op_cost: Optional[float] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    @property
+    def op_cost(self) -> float:
+        """Intrinsic cost of the operation: the smallest per-participant
+        ``completion - arrival`` span (computed once, then cached —
+        ``wait_of`` used to recompute this O(P) min per call, which made
+        every all-ranks laggard loop O(P²) per collective)."""
+        cost = self.cached_op_cost
+        if cost is None:
+            cost = min(
+                self.completions[r] - self.arrivals[r] for r in self.arrivals
+            )
+            self.cached_op_cost = cost
+        return cost
 
     def wait_of(self, rank: int) -> float:
         """Time ``rank`` spent blocked in this collective beyond the
         intrinsic operation cost."""
-        op_cost = min(
-            self.completions[r] - self.arrivals[r] for r in self.arrivals
+        return max(
+            0.0, (self.completions[rank] - self.arrivals[rank]) - self.op_cost
         )
-        return max(0.0, (self.completions[rank] - self.arrivals[rank]) - op_cost)
 
     @property
     def last_arrival_rank(self) -> int:

@@ -36,6 +36,7 @@ from repro.simulator.errors import SimulationError
 
 __all__ = [
     "compile_expr",
+    "expr_is_static",
     "collect_frame_names",
     "frame_names_for",
     "FRAME_NAMES_KEY",
@@ -162,7 +163,28 @@ def compile_expr(
         if kind == _STATIC:
             fn = _memoized(fn, id(expr))
         cache[id(expr)] = fn
+        cache[("kind", id(expr))] = kind
     return fn
+
+
+def expr_is_static(
+    expr: Optional[ast.Expr], cache: dict, fnames: Optional[frozenset[str]] = None
+) -> bool:
+    """Is ``expr``'s value fixed per interpreter context (or absent)?
+
+    True for constants and rank-static subtrees — the soundness condition
+    for reusing an op record built from it (the interpreter memoizes whole
+    slotted op instances per call site when every argument is static).
+    """
+    if expr is None:
+        return True
+    kind = cache.get(("kind", id(expr)))
+    if kind is None:
+        compile_expr(expr, cache, fnames)
+        kind = cache.get(("kind", id(expr)))
+        if kind is None:  # fn cached before kind tracking: re-analyze
+            kind = _compile(expr, fnames)[1]
+    return kind != _DYN
 
 
 def _const(value: object) -> tuple[CompiledExpr, int]:

@@ -27,6 +27,7 @@ from repro.simulator.errors import IterationLimitError, MpiUsageError, Simulatio
 from repro.simulator.exprcompile import (
     BUILTIN_IMPL as _BUILTIN_IMPL,  # re-exported for compatibility
     compile_expr,
+    expr_is_static,
     frame_names_for,
     hashrand as _hashrand,
     truthy as _truthy_impl,
@@ -51,6 +52,29 @@ class _Return(Exception):
 
 #: Compiled-statement kinds (how a statement closure emits ops).
 _ACTION, _YIELD_ONE, _YIELD_PAIR, _SUBGEN = 0, 1, 2, 3
+
+
+def _reused(build, stmt_id: int):
+    """Memoize a statement's op record per (interpreter, inline path).
+
+    Sound only when every argument the op captures is rank-static (fixed
+    per interpreter context — the caller checks): the vid is already fixed
+    per ``(stmt, inline path)``, the engine never mutates ops (see
+    :mod:`repro.simulator.ops`), and a rank cannot have two in-flight
+    yields of one call site, so the slotted instance is freely reusable —
+    loop-invariant MPI/compute statements then construct their op exactly
+    once per rank instead of once per execution.
+    """
+
+    def fn(frame, ctx, ip):
+        key = (stmt_id, ip)
+        op = ctx._op_cache.get(key)
+        if op is None:
+            op = build(frame, ctx, ip)
+            ctx._op_cache[key] = op
+        return op
+
+    return fn
 
 
 def _run_entry(entry, frame, ctx, ip):
@@ -183,10 +207,20 @@ class Interpreter:
         self._static_cache: dict = {}
         #: per-statement memo of the last Workload built (usually invariant)
         self._workload_cache: dict[int, tuple[tuple, Workload]] = {}
+        #: (stmt_id, inline_path) -> reusable op record, for statements
+        #: whose arguments are all rank-static (see :func:`_reused`)
+        self._op_cache: dict[tuple[int, tuple[int, ...]], object] = {}
 
     def _compile_expr(self, expr: ast.Expr):
         """Compile through the shared cache with rank-static analysis on."""
         return compile_expr(expr, self._expr_cache, self._fnames)
+
+    def _static_args(self, *exprs: Optional[ast.Expr]) -> bool:
+        """True when every given expression (None = defaulted) is
+        rank-static — the op built from them is then reusable."""
+        return all(
+            expr_is_static(e, self._expr_cache, self._fnames) for e in exprs
+        )
 
     # ------------------------------------------------------------------
     # driver
@@ -415,6 +449,8 @@ class Interpreter:
                     tag(frame, ctx), nbytes(frame, ctx), op, blocking, request,
                 )
 
+            if self._static_args(stmt.dest, stmt.tag, stmt.bytes_expr):
+                fn = _reused(fn, stmt.stmt_id)
             return _YIELD_ONE, fn
         if op in (MpiOp.RECV, MpiOp.IRECV):
             src = _rank_or_any_arg(self._compile_expr(stmt.src), loc, "src")
@@ -428,6 +464,8 @@ class Interpreter:
                     tag(frame, ctx), op, blocking, request,
                 )
 
+            if self._static_args(stmt.src, stmt.tag):
+                fn = _reused(fn, stmt.stmt_id)
             return _YIELD_ONE, fn
         if op is MpiOp.SENDRECV:
             dest = _rank_arg(self._compile_expr(stmt.dest), loc, "dest")
@@ -450,6 +488,11 @@ class Interpreter:
                 )
                 return send, recv
 
+            if self._static_args(
+                stmt.dest, stmt.tag, stmt.bytes_expr,
+                stmt.recv_src, stmt.recv_tag,
+            ):
+                fn = _reused(fn, stmt.stmt_id)  # caches the (send, recv) pair
             return _YIELD_PAIR, fn
         if op is MpiOp.WAIT:
             assert stmt.request is not None
@@ -460,13 +503,13 @@ class Interpreter:
                     vid=ctx._vid_of(stmt, ip), location=loc, request=request
                 )
 
-            return _YIELD_ONE, fn
+            return _YIELD_ONE, _reused(fn, stmt.stmt_id)
         if op is MpiOp.WAITALL:
 
             def fn(frame, ctx, ip):
                 return ops.WaitAllOp(vid=ctx._vid_of(stmt, ip), location=loc)
 
-            return _YIELD_ONE, fn
+            return _YIELD_ONE, _reused(fn, stmt.stmt_id)
         # collectives
         root = (
             _rank_arg(self._compile_expr(stmt.root), loc, "root")
@@ -484,6 +527,8 @@ class Interpreter:
                 nbytes=nbytes(frame, ctx),
             )
 
+        if self._static_args(stmt.root, stmt.bytes_expr):
+            fn = _reused(fn, stmt.stmt_id)
         return _YIELD_ONE, fn
 
     def _compile_compute(self, stmt: ast.ComputeStmt):
@@ -532,6 +577,10 @@ class Interpreter:
                 vid=ctx._vid_of(stmt, ip), location=loc, workload=workload
             )
 
+        if self._static_args(
+            stmt.flops, stmt.mem_bytes, stmt.locality, stmt.threads
+        ):
+            fn = _reused(fn, stmt_id)
         return fn
 
     def _vid_of(self, stmt: ast.Stmt, inline_path: tuple[int, ...]) -> int:

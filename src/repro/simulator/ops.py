@@ -5,6 +5,14 @@ the clock or other ranks directly: it *yields* one of these op records and
 the engine decides when the op completes.  Every op carries the PSG vertex
 id it executes under (``vid``) and the source location, which is how runtime
 behaviour is attributed back to static structure.
+
+**Ops are immutable once yielded.**  The engine only ever reads them, which
+is what lets the interpreter *reuse* one slotted instance per call site
+when rank-static memoization proves every argument fixed for the rank (see
+``Interpreter._op_cache``) — the hot loop then pays zero dataclass
+construction for loop-invariant MPI/compute statements.  Keep it that way:
+a handler that needs per-execution state must keep it on the ``_Proc`` or
+in its own records, never on the op.
 """
 
 from __future__ import annotations
@@ -14,7 +22,7 @@ from typing import Optional
 
 from repro.minilang.ast_nodes import MpiOp
 from repro.minilang.errors import SourceLocation
-from repro.simulator.costmodel import PerfCounters, Workload
+from repro.simulator.costmodel import Workload
 
 __all__ = [
     "Op",
@@ -41,9 +49,6 @@ class Op:
 @dataclass(slots=True)
 class ComputeOp(Op):
     workload: Workload
-    #: Filled by the cost model before the engine advances the clock.
-    duration: float = 0.0
-    counters: Optional[PerfCounters] = None
 
 
 @dataclass(slots=True)

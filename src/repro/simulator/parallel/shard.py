@@ -36,7 +36,6 @@ deliveries match in canonical order.
 
 from __future__ import annotations
 
-import heapq
 import itertools
 from typing import Optional
 
@@ -59,6 +58,7 @@ from repro.simulator.parallel.messages import (
     ShardFinal,
 )
 from repro.simulator.parallel.plan import ShardPlan
+from repro.simulator.schedq import SCHEDULERS
 from repro.simulator.trace import MPI_OP_CODES
 
 __all__ = ["ShardEngine"]
@@ -69,24 +69,33 @@ def _message_key(msg: Message) -> CanonicalKey:
 
 
 class _Gate:
-    """Canonical-order replay queue of one gated mailbox."""
+    """Canonical-order replay queue of one gated mailbox.
+
+    Entries flatten the canonical key into the queue tuple —
+    ``(time, pid, op_index, tie, kind, payload)`` with a per-gate unique
+    ``tie`` so comparisons never reach the payload — and ride the same
+    pluggable :mod:`~repro.simulator.schedq` scheduler as the engine's
+    runnable-rank queue (gate entries are never stale, so no ``live``).
+    """
 
     __slots__ = ("rank", "entries", "_tie")
 
-    def __init__(self, rank: int) -> None:
+    def __init__(self, rank: int, scheduler: str) -> None:
         self.rank = rank
-        #: heap of (key, tie, kind, payload); kind is "deliver" or "recv"
-        self.entries: list[tuple] = []
+        #: EventQueue of (time, pid, op_index, tie, kind, payload);
+        #: kind is "deliver" or "recv"
+        self.entries = SCHEDULERS[scheduler]()
         self._tie = itertools.count()
 
     def push(self, key: CanonicalKey, kind: str, payload) -> None:
-        heapq.heappush(self.entries, (key, next(self._tie), kind, payload))
+        self.entries.push(key + (next(self._tie), kind, payload))
 
     def min_hold(self) -> Optional[CanonicalKey]:
         """Key of this gate's earliest queued wildcard receive, if any."""
         best = None
-        for key, _tie, kind, payload in self.entries:
-            if kind == "recv" and payload[1].src is ops.ANY:
+        for entry in self.entries:
+            if entry[4] == "recv" and entry[5][1].src is ops.ANY:
+                key = entry[:3]
                 if best is None or key < best:
                     best = key
         return best
@@ -152,13 +161,23 @@ class ShardEngine(Engine):
             recv_vid=op.vid,
             request=op.request,
         )
+        key = (proc.clock, proc.pid, proc.op_index)
         if gate is None:
-            gate = self._gates[proc.pid] = _Gate(proc.pid)
+            gate = self._gates[proc.pid] = _Gate(proc.pid, self.scheduler)
             # Rewind pending messages that canonically order after the
             # wildcard: they must replay through the gate, or the held
             # receive's candidate scan would see the future.
-            self._rewind_pending(gate, (proc.clock, proc.pid, proc.op_index))
-        key = (proc.clock, proc.pid, proc.op_index)
+            self._rewind_pending(gate, key)
+        elif wildcard:
+            # Same rewind for a wildcard posted through an *existing* gate:
+            # this round's replay may have committed deliveries up to the
+            # round bound — computed before this receive existed — so the
+            # mailbox's committed state can already sit past the new
+            # wildcard's key.  Without the rewind, the resolution scan
+            # (bounded by the receive's own key) cannot see those
+            # messages, and a later queued delivery would jump the
+            # canonical order when it matches the posted receive directly.
+            self._rewind_pending(gate, key)
         gate.push(key, "recv", (proc, recv, op))
         if op.request is not None:
             # irecv: never blocks; the request resolves through the gate.
@@ -234,7 +253,8 @@ class ShardEngine(Engine):
         bound = self._gate_bound
         mailbox = self.mailboxes[gate.rank]
         while entries:
-            key, _tie, kind, payload = entries[0]
+            entry = entries.peek()
+            key, kind, payload = entry[:3], entry[4], entry[5]
             if (
                 resolve is not None
                 and key == resolve
@@ -244,7 +264,7 @@ class ShardEngine(Engine):
                 # The designated resolution sits exactly at the bound
                 # (the bound *is* min(B, its key)): everything ordering
                 # before it was just replayed, so decide it now.
-                heapq.heappop(entries)
+                entries.pop()
                 self._gate_pops += 1
                 resolve = None
                 self._resolve_wildcard(payload[1], key)
@@ -252,7 +272,7 @@ class ShardEngine(Engine):
             if key >= bound:
                 break
             if kind == "deliver":
-                heapq.heappop(entries)
+                entries.pop()
                 self._gate_pops += 1
                 match = mailbox.deliver(payload)
                 if match is not None:
@@ -261,7 +281,7 @@ class ShardEngine(Engine):
             proc, recv, op = payload
             if recv.src is ops.ANY:
                 break  # held: the coordinator has not cleared it yet
-            heapq.heappop(entries)
+            entries.pop()
             self._gate_pops += 1
             match = mailbox.post_recv(recv)
             if match is not None:

@@ -570,6 +570,53 @@ class CollectiveTable:
             self._cols_count = self._count
         return self._cols
 
+    def wait_columns(self) -> dict[str, np.ndarray]:
+        """Vectorized per-participant waiting data over the ragged columns.
+
+        Elementwise identical to walking :meth:`records` and calling
+        ``CollectiveRecord.wait_of`` / ``.last_arrival_rank`` (which the
+        baseline laggard loops used to do per rank, O(P²) per collective):
+
+        * ``op_cost``      — per row: min participant ``completion - arrival``,
+        * ``laggard``      — per row: last-arrival rank (max-rank tie-break),
+        * ``laggard_arrival`` — per row: that arrival time (the row max),
+        * ``row``          — per participant: owning row index,
+        * ``wait``         — per participant: time beyond ``op_cost``, >= 0.
+
+        Every engine-built row has at least one participant (reduceat needs
+        non-empty segments).
+        """
+        cols = self.columns()
+        arr = cols["part_arrival"]
+        n = self._count
+        if n == 0:
+            ef = np.empty(0, dtype=np.float64)
+            ei = np.empty(0, dtype=np.int64)
+            return {
+                "op_cost": ef, "laggard": ei, "laggard_arrival": ef,
+                "row": ei, "wait": ef,
+            }
+        offsets = cols["offsets"]
+        starts = offsets[:-1]
+        counts = np.diff(offsets)
+        comp = cols["part_completion"]
+        ranks = cols["part_rank"]
+        span = comp - arr
+        op_cost = np.minimum.reduceat(span, starts)
+        row = np.repeat(np.arange(n, dtype=np.int64), counts)
+        laggard_arrival = np.maximum.reduceat(arr, starts)
+        laggard = np.maximum.reduceat(
+            np.where(arr == laggard_arrival[row], ranks, -1), starts
+        )
+        wait = np.maximum(0.0, span - op_cost[row])
+        return {
+            "op_cost": op_cost,
+            "laggard": laggard,
+            "laggard_arrival": laggard_arrival,
+            "row": row,
+            "wait": wait,
+        }
+
     def row(self, index: int) -> CollectiveRecord:
         """Materialize one row as a :class:`CollectiveRecord` object."""
         cols = self.columns()

@@ -38,6 +38,8 @@ def _sim_args(args) -> dict:
         out["sim_shards"] = args.sim_shards
     if getattr(args, "sim_executor", "auto") != "auto":
         out["sim_executor"] = args.sim_executor
+    if getattr(args, "sim_scheduler", "auto") != "auto":
+        out["sim_scheduler"] = args.sim_scheduler
     return out
 
 
@@ -343,6 +345,12 @@ def build_parser() -> argparse.ArgumentParser:
             "--sim-executor", default="auto",
             choices=("auto", "inprocess", "process"),
             help="how shard engines run (default: auto)",
+        )
+        p.add_argument(
+            "--sim-scheduler", default="auto",
+            choices=("auto", "heap", "calendar"),
+            help="engine event-queue implementation (bit-identical "
+                 "results; auto = calendar queue at 64k+ ranks per engine)",
         )
 
     p = sub.add_parser("apps", help="list registry applications")

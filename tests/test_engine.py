@@ -272,6 +272,87 @@ class TestDeadlock:
             run_source(src, nprocs=2)
 
 
+class TestBlockDiagnostics:
+    """Direct coverage of _describe_block for every block kind: the
+    deadlock stack-dump must say what each rank is stuck *on*."""
+
+    @staticmethod
+    def _diagnostics(src, nprocs, **cfg):
+        with pytest.raises(DeadlockError) as exc:
+            run_source(src, nprocs=nprocs, **cfg)
+        return exc.value.blocked
+
+    def test_recv_names_source_and_tag(self):
+        blocked = self._diagnostics(
+            "def main() { if (rank == 0) { recv(src = 1, tag = 5); } }",
+            nprocs=2,
+        )
+        assert len(blocked) == 1
+        assert "rank 0 blocked" in blocked[0]
+        assert "recv(src=1, tag=5)" in blocked[0]
+
+    def test_wildcard_recv_names_any(self):
+        blocked = self._diagnostics(
+            "def main() { if (rank == 0) { recv(src = ANY, tag = ANY); } }",
+            nprocs=2,
+        )
+        assert "recv(src=ANY, tag=ANY)" in blocked[0]
+
+    def test_wait_names_request(self):
+        blocked = self._diagnostics(
+            "def main() { if (rank == 0) {"
+            " irecv(src = 1, tag = 1, req = r); wait(req = r); } }",
+            nprocs=2,
+        )
+        assert "wait(req=r)" in blocked[0]
+
+    def test_waitall_reports_only_incomplete_requests_by_name(self):
+        # Three captured requests; the isend completes locally and one
+        # irecv is matched by rank 1's send, so exactly one is incomplete
+        # at the deadlock — the diagnostic must name it (and only it).
+        src = """def main() {
+            if (rank == 0) {
+                isend(dest = 1, tag = 1, bytes = 8, req = s);
+                irecv(src = 1, tag = 1, req = a);
+                irecv(src = 1, tag = 2, req = b);
+                waitall();
+            } else {
+                recv(src = 0, tag = 1);
+                send(dest = 0, tag = 1, bytes = 8);
+            }
+        }"""
+        blocked = self._diagnostics(src, nprocs=2)
+        assert len(blocked) == 1
+        assert "waitall(1 incomplete: req=b)" in blocked[0]
+        assert "req=a" not in blocked[0]
+        assert "req=s" not in blocked[0]
+
+    def test_waitall_names_every_incomplete_request(self):
+        src = """def main() {
+            if (rank == 0) {
+                irecv(src = 1, tag = 1, req = a);
+                irecv(src = 1, tag = 2, req = b);
+                waitall();
+            } else { compute(flops = 1000); }
+        }"""
+        blocked = self._diagnostics(src, nprocs=2)
+        assert "waitall(2 incomplete: req=a, b)" in blocked[0]
+
+    def test_collective_names_op_and_arrival_count(self):
+        blocked = self._diagnostics(
+            "def main() { if (rank == 0) { barrier(); } }", nprocs=3
+        )
+        assert len(blocked) == 1
+        assert "MPI_Barrier #0 (1/3 arrived)" in blocked[0]
+
+    def test_sharded_collective_block_names_op(self):
+        blocked = self._diagnostics(
+            "def main() { if (rank < 2) { allreduce(bytes = 8); } }",
+            nprocs=4, sim_shards=2, sim_executor="inprocess",
+        )
+        assert any("MPI_Allreduce #0" in line for line in blocked)
+
+
 class TestSegments:
     def test_segments_cover_rank_time(self):
         res, _, _ = run_source(

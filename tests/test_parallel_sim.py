@@ -223,6 +223,57 @@ class TestBitIdentity:
             assert sharded.trace.event_count == serial.trace.event_count
 
 
+#: Regression for the wildcard-gate rewind bug: a multi-iteration wildcard
+#: fan-in where fast senders race a whole iteration ahead of the receiver.
+#: A round's replay then commits far-future deliveries to the mailbox
+#: *before* the receiver posts its next wildcard into the existing gate —
+#: without rewinding the committed-but-unmatched messages past the new
+#: receive's key, its resolution scan cannot see them and a later queued
+#: delivery jumps the canonical match order (diverging from serial).
+RACING_WILDCARD_LOOP = """\
+def main() {
+    for (var it = 0; it < 2; it = it + 1) {
+        compute(flops = 50000 + floor(30000 * hashrand(rank, it)));
+        if (rank == 0) {
+            for (var i = 1; i < nprocs; i = i + 1) {
+                recv(src = ANY, tag = 2);
+            }
+        } else {
+            compute(flops = 20000 * rank + floor(20000 * hashrand(rank, it)));
+            send(dest = 0, tag = 2, bytes = 256);
+        }
+        isend(dest = (rank + 1) % nprocs, tag = 1, bytes = 2048, req = s);
+        irecv(src = (rank - 1 + nprocs) % nprocs, tag = 1, req = r);
+        waitall();
+    }
+}
+"""
+
+
+class TestWildcardGateRewind:
+    @pytest.mark.parametrize("shards", [2, 3, 4])
+    def test_racing_wildcard_loop_matches_serial(self, shards):
+        serial = _fingerprint(RACING_WILDCARD_LOOP, "racewild", 9)
+        assert _fingerprint(
+            RACING_WILDCARD_LOOP, "racewild", 9,
+            sim_shards=shards, sim_executor="inprocess",
+        ) == serial
+
+    def test_match_pairing_identical_to_serial(self):
+        program, psg = _compiled(RACING_WILDCARD_LOOP, "racewild")
+        serial = simulate(program, psg, SimulationConfig(nprocs=9))
+        sharded = simulate_sharded(
+            program, psg, SimulationConfig(nprocs=9, sim_shards=3),
+            executor="inprocess",
+        )
+        pair = lambda r: sorted(
+            (rec.send_rank, rec.send_time, rec.recv_rank, rec.completion)
+            for rec in r.p2p_records
+        )
+        assert pair(sharded) == pair(serial)
+        assert sharded.finish_times == serial.finish_times
+
+
 #: All senders race one wildcard receiver at *exactly* equal virtual
 #: times: the match order is ambiguous in MPI semantics (and emergent in
 #: the serial engine), so this sits outside the bit-identity guarantee —

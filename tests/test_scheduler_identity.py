@@ -1,0 +1,250 @@
+"""Scheduler bit-identity: calendar-queue runs reproduce heap runs exactly.
+
+Mirrors ``tests/test_parallel_sim.py``'s identity gate for the
+``sim_scheduler`` knob: across ~100 randomized workloads (wildcards,
+collectives, imbalanced compute, irecv/waitall), serial and sharded, both
+executors, the calendar queue must produce the same ``run_fingerprint``
+and the same canonical detection report as the binary heap — the
+scheduler is an execution strategy, not an analysis input.
+"""
+
+import random
+
+import pytest
+
+from repro.api import AnalysisConfig, Pipeline, run_fingerprint
+from repro.api.config import canonical_json
+from repro.minilang import parse_program
+from repro.psg import build_psg
+from repro.runtime import profile_run
+from repro.simulator import SimulationConfig, simulate
+from tests.conftest import IMBALANCED_SOURCE
+
+# ----------------------------------------------------------------------
+# randomized workload generator
+# ----------------------------------------------------------------------
+
+#: Communication patterns; each renders with rng-drawn constants.
+def _ring(rng):
+    return (
+        f"        sendrecv(dest = (rank + 1) % nprocs, tag = {rng.randint(1, 3)}, "
+        f"bytes = {rng.choice([64, 1024, 65536])}, "
+        "src = (rank - 1 + nprocs) % nprocs);\n"
+    )
+
+
+#: Wildcard senders get a content-derived stagger so no two sends hit the
+#: ANY-source receiver at *exactly* equal virtual times — the exact tie is
+#: MPI-ambiguous and sits outside the serial bit-identity guarantee (see
+#: test_parallel_sim.TestWildcardTieCarveOut); everything time-separated
+#: is inside it.
+_STAGGER = "compute(flops = 20000 * rank + floor(20000 * hashrand(rank, it)));"
+
+
+def _wildcard_fan_in(rng):
+    tag = rng.randint(1, 3)
+    return (
+        "        if (rank == 0) {\n"
+        "            for (var i = 1; i < nprocs; i = i + 1) {\n"
+        f"                recv(src = ANY, tag = {tag});\n"
+        "            }\n"
+        "        } else {\n"
+        f"            {_STAGGER}\n"
+        f"            send(dest = 0, tag = {tag}, bytes = {rng.choice([8, 256])});\n"
+        "        }\n"
+    )
+
+
+def _wildcard_irecv_waitall(rng):
+    root = rng.randint(0, 1)
+    return (
+        f"        if (rank == {root}) {{\n"
+        "            for (var i = 0; i < nprocs - 1; i = i + 1) {\n"
+        "                irecv(src = ANY, tag = ANY, req = r);\n"
+        "            }\n"
+        "            waitall();\n"
+        f"            bcast(root = {root}, bytes = 8);\n"
+        "        } else {\n"
+        f"            {_STAGGER}\n"
+        f"            send(dest = {root}, tag = rank, bytes = 128);\n"
+        f"            bcast(root = {root}, bytes = 8);\n"
+        "        }\n"
+    )
+
+
+def _collectives(rng):
+    op = rng.choice(
+        [
+            "allreduce(bytes = 8);",
+            "barrier();",
+            f"bcast(root = {rng.randint(0, 2)}, bytes = 64);",
+            f"reduce(root = {rng.randint(0, 2)}, bytes = 32);",
+            "allgather(bytes = 16);",
+        ]
+    )
+    return f"        {op}\n"
+
+
+def _isend_ring_waitall(rng):
+    tag = rng.randint(1, 2)
+    return (
+        f"        isend(dest = (rank + 1) % nprocs, tag = {tag}, "
+        f"bytes = {rng.choice([512, 2048])}, req = s);\n"
+        f"        irecv(src = (rank - 1 + nprocs) % nprocs, tag = {tag}, req = r);\n"
+        "        waitall();\n"
+    )
+
+
+_PATTERNS = (
+    _ring, _wildcard_fan_in, _wildcard_irecv_waitall,
+    _collectives, _isend_ring_waitall,
+)
+
+
+def make_workload(seed: int) -> str:
+    """One randomized MiniMPI program: imbalanced compute plus 1-3 comm
+    patterns per loop iteration (time-separated wildcard races only — the
+    exactly-tied ANY-source race sits outside the serial bit-identity
+    guarantee; see test_parallel_sim.TestWildcardTieCarveOut)."""
+    rng = random.Random(seed)
+    iters = rng.randint(2, 4)
+    imbalance = rng.choice(
+        [
+            "5000 * rank",
+            "9000 * (rank % 3)",
+            "floor(30000 * hashrand(rank, it))",
+        ]
+    )
+    body = (
+        f"        compute(flops = {rng.randint(4, 12)}0000 + {imbalance});\n"
+    )
+    for pattern in rng.sample(_PATTERNS, rng.randint(1, 3)):
+        body += pattern(rng)
+    return (
+        "def main() {\n"
+        f"    for (var it = 0; it < {iters}; it = it + 1) {{\n"
+        + body
+        + "    }\n"
+        "}\n"
+    )
+
+
+def _compiled(source, name):
+    program = parse_program(source, f"{name}.mm")
+    return program, build_psg(program).psg
+
+
+def _fingerprint(program, psg, nprocs, **cfg):
+    run = profile_run(program, psg, SimulationConfig(nprocs=nprocs, **cfg))
+    return run_fingerprint(run)
+
+
+class TestRandomizedWorkloads:
+    #: ~100 randomized workloads through the full identity check.
+    SEEDS = range(100)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_calendar_matches_heap_serial_and_sharded(self, seed):
+        source = make_workload(seed)
+        rng = random.Random(10_000 + seed)
+        nprocs = rng.randint(5, 9)
+        program, psg = _compiled(source, f"rand{seed}")
+        heap = _fingerprint(program, psg, nprocs, sim_scheduler="heap")
+        calendar = _fingerprint(
+            program, psg, nprocs, sim_scheduler="calendar"
+        )
+        assert calendar == heap, f"serial divergence on seed {seed}"
+        sharded = _fingerprint(
+            program, psg, nprocs,
+            sim_scheduler="calendar",
+            sim_shards=rng.randint(2, 4), sim_executor="inprocess",
+        )
+        assert sharded == heap, f"sharded divergence on seed {seed}"
+
+    @pytest.mark.parametrize("seed", [0, 17, 33, 58, 76, 91])
+    def test_process_executor_matches_too(self, seed):
+        """Both executors: the multiprocess path ships the scheduler knob
+        through the worker config unchanged."""
+        source = make_workload(seed)
+        program, psg = _compiled(source, f"randmp{seed}")
+        heap = _fingerprint(program, psg, 6, sim_scheduler="heap")
+        for scheduler in ("heap", "calendar"):
+            sharded = _fingerprint(
+                program, psg, 6,
+                sim_scheduler=scheduler,
+                sim_shards=2, sim_executor="process",
+            )
+            assert sharded == heap, (seed, scheduler)
+
+    @pytest.mark.parametrize("seed", [3, 41])
+    def test_trace_columns_identical_not_just_fingerprints(self, seed):
+        source = make_workload(seed)
+        program, psg = _compiled(source, f"randcols{seed}")
+        results = {
+            scheduler: simulate(
+                program, psg,
+                SimulationConfig(nprocs=7, sim_scheduler=scheduler),
+            )
+            for scheduler in ("heap", "calendar")
+        }
+        a, b = results["heap"], results["calendar"]
+        assert a.finish_times == b.finish_times
+        ca, cb = a.trace.columns(), b.trace.columns()
+        for column in ca:
+            assert ca[column].tolist() == cb[column].tolist(), column
+        assert len(a.p2p_records) == len(b.p2p_records)
+        assert a.trace.p2p.columns()["send_time"].tolist() == \
+            b.trace.p2p.columns()["send_time"].tolist()
+
+
+class TestCanonicalReport:
+    def test_report_sha_identical_across_schedulers(self):
+        """The BENCH_2-pinned acceptance shape: a calendar-queue analysis
+        produces a detection report bit-identical to the heap's (whose
+        serial sha is pinned by tests/test_detection_baseline.py)."""
+        reports = {}
+        for scheduler in ("heap", "calendar"):
+            pipeline = Pipeline(
+                source=IMBALANCED_SOURCE, filename="imbalanced.mm",
+                config=AnalysisConfig(seed=0, sim_scheduler=scheduler),
+            )
+            doc = pipeline.run([4, 8, 16]).report.to_json_dict()
+            doc["detection_seconds"] = 0.0
+            reports[scheduler] = canonical_json(doc)
+        assert reports["calendar"] == reports["heap"]
+
+    def test_scheduler_is_digest_neutral(self):
+        base = AnalysisConfig(seed=0)
+        cal = AnalysisConfig(seed=0, sim_scheduler="calendar")
+        assert base.digest() == cal.digest()
+        assert AnalysisConfig.from_json(cal.to_json()) == cal
+        # pre-scheduler documents load with the default
+        import json
+
+        doc = json.loads(base.to_json())
+        del doc["sim_scheduler"]
+        assert AnalysisConfig.from_dict(doc).sim_scheduler == "auto"
+        with pytest.raises(ValueError):
+            AnalysisConfig(sim_scheduler="fifo")
+        with pytest.raises(ValueError):
+            SimulationConfig(nprocs=2, sim_scheduler="fifo")
+
+
+class TestCLI:
+    def test_sim_scheduler_flag_is_bit_identical(self, tmp_path, capsys):
+        import json
+
+        from repro.tools.cli import main
+
+        source = tmp_path / "ring.mm"
+        source.write_text(make_workload(5))
+        outs = {}
+        for scheduler in ("heap", "calendar"):
+            assert main([
+                "run", "--source", str(source), "--scales", "4,8", "--json",
+                "--sim-scheduler", scheduler,
+            ]) == 0
+            doc = json.loads(capsys.readouterr().out)
+            doc["detection_seconds"] = 0.0
+            outs[scheduler] = doc
+        assert outs["heap"] == outs["calendar"]
