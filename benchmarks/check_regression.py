@@ -6,8 +6,10 @@ compares against the committed baselines: the PR-2 rows live in
 ``benchmarks/BENCH_2.json``, the PR-3 rows (detection pipeline, sharded
 simulator) in ``benchmarks/BENCH_3.json``, the PR-4 rows (columnar
 comm-dependence collection + fingerprint) in ``benchmarks/BENCH_4.json``,
-and the PR-5 rows (≥1024-rank engine, schedulers serial and sharded, plus
-the baselines' vectorized collective loops) in ``benchmarks/BENCH_5.json``.
+the PR-5 rows (≥1024-rank engine, schedulers serial and sharded, plus
+the baselines' vectorized collective loops) in ``benchmarks/BENCH_5.json``,
+and the PR-6 rows (PSG contraction over the bundled apps, whole-program
+rank-dependence analysis + static MPI lint) in ``benchmarks/BENCH_6.json``.
 The gate fails (exit 1) when any workload's throughput drops more than
 ``--tolerance`` (default 20%) below its baseline.
 
@@ -23,8 +25,8 @@ Usage::
     PYTHONPATH=src python benchmarks/check_regression.py            # gate
     PYTHONPATH=src python benchmarks/check_regression.py --update   # rebase
 
-``--update`` only (re)writes BENCH_5.json rows — the committed PR-2, PR-3
-and PR-4 baselines are history, not a moving target.
+``--update`` only (re)writes BENCH_6.json rows — the committed PR-2
+through PR-5 baselines are history, not a moving target.
 """
 
 from __future__ import annotations
@@ -46,6 +48,7 @@ BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_2.json"
 BASELINE_3_PATH = Path(__file__).resolve().parent / "BENCH_3.json"
 BASELINE_4_PATH = Path(__file__).resolve().parent / "BENCH_4.json"
 BASELINE_5_PATH = Path(__file__).resolve().parent / "BENCH_5.json"
+BASELINE_6_PATH = Path(__file__).resolve().parent / "BENCH_6.json"
 
 RING = """def main() {
     for (var it = 0; it < 50; it = it + 1) {
@@ -229,6 +232,41 @@ def build_workloads():
         classify_wait_states(mixed1k_res)
         tracer_tool.analyze(tracer_run)
 
+    # PR-6 rows (baselined in BENCH_6.json): PSG contraction isolated
+    # from parsing/CFG (the complete PSGs are prebuilt, only contract_psg
+    # is timed), and the new analysis layer — whole-program
+    # rank-dependence dataflow plus the full static MPI lint — over real
+    # apps at two scales each.
+    from repro.analysis import run_lint
+    from repro.psg import DEFAULT_MAX_LOOP_DEPTH, build_complete_psg, contract_psg
+
+    contraction_inputs = []
+    for name in ("zeusmp", "sst", "nekbone", "lu", "mg", "bt", "sp", "ft"):
+        spec = get_app(name)
+        prog = parse_program(spec.source, spec.filename)
+        contraction_inputs.append(build_complete_psg(prog))
+
+    def psg_contraction():
+        # several depths x several passes: one contraction of these PSGs
+        # is ~1 ms, far below the noise floor of a loaded CI runner
+        for _ in range(8):
+            for complete in contraction_inputs:
+                for depth in (0, 1, DEFAULT_MAX_LOOP_DEPTH):
+                    contract_psg(complete, depth)
+
+    lint_inputs = []
+    for name in ("cg", "lu", "zeusmp"):
+        spec = get_app(name)
+        prog = parse_program(spec.source, spec.filename)
+        psg = build_psg(prog).psg
+        scales = [n for n in (8, 16) if spec.nprocs_valid(n)] or [4]
+        lint_inputs.append((prog, psg, scales, dict(spec.params)))
+
+    def rank_analysis_lint():
+        for prog, psg, scales, params in lint_inputs:
+            for nprocs in scales:
+                run_lint(prog, psg, nprocs, params)
+
     return {
         "ring_p32": sim(ring_prog, ring_psg, 32, False),
         "collectives_p32": sim(coll_prog, coll_psg, 32, False),
@@ -258,6 +296,9 @@ def build_workloads():
             sim_shards=2, sim_executor="inprocess",
         ),
         "baseline_collective_loops_p1024": baseline_collective_loops,
+        # PR-6 rows (baselined in BENCH_6.json):
+        "psg_contraction_apps": psg_contraction,
+        "rank_analysis_lint_apps": rank_analysis_lint,
     }
 
 
@@ -280,7 +321,7 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--update", action="store_true",
-        help="rewrite the measured baselines in BENCH_5.json (BENCH_2/3/4 "
+        help="rewrite the measured baselines in BENCH_6.json (BENCH_2-5"
              ".json rows are committed history and never rewritten; edit "
              "by hand if a legacy workload must be rebased)",
     )
@@ -290,18 +331,20 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     current = measure(args.repeats)
-    # Committed history: BENCH_2 (PR 2), BENCH_3 (PR 3) and BENCH_4 (PR 4)
-    # rows are never rewritten by --update; edit by hand if a legacy
-    # workload must rebase.
+    # Committed history: BENCH_2 (PR 2) through BENCH_5 (PR 5) rows are
+    # never rewritten by --update; edit by hand if a legacy workload must
+    # rebase.
     history: dict = {}
-    for path in (BASELINE_PATH, BASELINE_3_PATH, BASELINE_4_PATH):
+    for path in (
+        BASELINE_PATH, BASELINE_3_PATH, BASELINE_4_PATH, BASELINE_5_PATH
+    ):
         if path.exists():
             history.update(json.loads(path.read_text()).get("benchmarks", {}))
-    if args.update or not BASELINE_5_PATH.exists():
-        # Only the PR-5 file is a live baseline.
+    if args.update or not BASELINE_6_PATH.exists():
+        # Only the PR-6 file is a live baseline.
         doc = (
-            json.loads(BASELINE_5_PATH.read_text())
-            if BASELINE_5_PATH.exists()
+            json.loads(BASELINE_6_PATH.read_text())
+            if BASELINE_6_PATH.exists()
             else {}
         )
         doc["calibration_score"] = current["calibration_score"]
@@ -309,13 +352,13 @@ def main(argv=None) -> int:
         for name, row in current["benchmarks"].items():
             if name not in history:
                 doc["benchmarks"][name] = row
-        BASELINE_5_PATH.write_text(json.dumps(doc, indent=2) + "\n")
-        print(f"baseline written to {BASELINE_5_PATH}")
+        BASELINE_6_PATH.write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"baseline written to {BASELINE_6_PATH}")
         return 0
 
     baseline = {"benchmarks": dict(history)}
     baseline["benchmarks"].update(
-        json.loads(BASELINE_5_PATH.read_text()).get("benchmarks", {})
+        json.loads(BASELINE_6_PATH.read_text()).get("benchmarks", {})
     )
     ratios = {}
     print(f"{'benchmark':28s} {'base units':>12s} {'now units':>12s} {'ratio':>7s}")

@@ -59,7 +59,6 @@ from typing import Optional, Sequence
 
 from repro.api import (
     AnalysisConfig,
-    ArtifactKey,
     DetectStage,
     Pipeline,
     ProfileStage,

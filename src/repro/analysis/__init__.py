@@ -1,0 +1,54 @@
+"""Whole-program rank-symmetry analysis and the static MPI lint.
+
+This package is the static half of the paper's pairing that PR 5's
+per-call-site ``expr_is_static`` check only hinted at: an abstract
+interpretation over the MiniMPI AST (:mod:`repro.analysis.rankdep`)
+classifies every expression as rank-constant, rank-invariant, rank-affine
+or rank-dependent, a partitioning pass (:mod:`repro.analysis.symmetry`)
+groups ranks into behavioral equivalence classes, and a rule-based lint
+(:mod:`repro.analysis.lint`) flags communication bugs — unmatched
+sends/receives, tag and root mismatches, collective divergence, self-send
+and send-send deadlock hazards, wildcard hygiene — before any simulation
+runs.
+
+Two consumers:
+
+* the simulation engine shares op records *across ranks* for statements
+  the dataflow proves rank-constant (``RankAnalysis.const_stmts``, see
+  ``Interpreter`` and the ``sim_class_sharing`` knob), and
+* ``scalana lint`` / :meth:`repro.api.pipeline.Pipeline.lint` surface the
+  findings with source spans, optionally failing a pipeline fast via
+  ``AnalysisConfig(lint_fail_fast=True)``.
+"""
+
+from repro.analysis.lint import (
+    LintError,
+    LintFinding,
+    LintReport,
+    Severity,
+    run_lint,
+)
+from repro.analysis.rankdep import (
+    AbstractValue,
+    RankAnalysis,
+    Rankness,
+    analyze_program,
+    eval_term,
+)
+from repro.analysis.symmetry import RankClass, SymmetrySummary, partition_ranks
+
+__all__ = [
+    "AbstractValue",
+    "RankAnalysis",
+    "Rankness",
+    "analyze_program",
+    "eval_term",
+    "RankClass",
+    "SymmetrySummary",
+    "partition_ranks",
+    "LintError",
+    "LintFinding",
+    "LintReport",
+    "Severity",
+    "run_lint",
+]

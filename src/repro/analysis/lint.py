@@ -1,0 +1,921 @@
+"""Static MPI communication lint over abstract per-rank op streams.
+
+The lint runs **before any timed simulation**: it unrolls every rank's op
+stream with the ordinary per-rank interpreter (compute costs dropped,
+compilation shared across ranks, bounded by op/iteration budgets), then
+replays the streams through an untimed matching simulation that mirrors
+the engine's semantics — eager sends, FIFO-per-channel matching via the
+real :class:`~repro.simulator.matching.Mailbox`, collectives matched by
+per-rank call order.  Structural rules run over the same streams.
+
+Rule catalog (stable ids):
+
+=========================  ========  =============================================
+rule                       severity  fires when
+=========================  ========  =============================================
+``unmatched-recv``         error     a receive (or the wait/waitall observing an
+                                     irecv) can never complete
+``unmatched-send``         warning   a message is sent but no receive ever
+                                     consumes it
+``tag-mismatch``           error     a send and a starving receive agree on the
+                                     channel but disagree on the concrete tag
+``root-mismatch``          error     ranks reach the same collective instance
+                                     with different roots
+``collective-mismatch``    error     ranks reach the same collective instance
+                                     with different operations
+``collective-divergence``  error     some ranks wait at a collective other ranks
+                                     never reach (rank-dependent call counts)
+``self-send-deadlock``     error     a blocking send targets the sending rank
+                                     with no receive already posted
+``send-send-cycle``        warning   a cycle of ranks all issue blocking sends
+                                     before their first blocking operation
+                                     (deadlocks under rendezvous MPI)
+``wildcard-recv``          info      an ANY-source receive has at most one
+                                     possible sender (over-broad wildcard)
+``exec-error``             error     a rank's stream raises a runtime error
+                                     (bad rank/tag/workload arguments, ...)
+=========================  ========  =============================================
+
+Zero-false-positive stance: everything reported as a *deadlock* is either
+wildcard-free (where FIFO matching is deterministic, so the replay is
+ground truth) or backed by a counting proof (a maximum bipartite matching
+over the full streams shows some receive can never be satisfied under
+*any* wildcard resolution).  Wildcard-dependent stalls that some other
+matching could resolve are suppressed — the engine still catches them at
+simulation time if they are real.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional
+
+from repro.minilang import ast_nodes as ast
+from repro.minilang.ast_nodes import MpiOp
+from repro.minilang.errors import SourceLocation
+from repro.psg.graph import PSG
+from repro.simulator import ops
+from repro.simulator.errors import IterationLimitError, SimulationError
+from repro.simulator.interp import Interpreter
+from repro.simulator.matching import Mailbox, Message, PostedRecv
+
+from repro.analysis.symmetry import SymmetrySummary, partition_ranks
+
+__all__ = ["Severity", "LintFinding", "LintReport", "LintError", "run_lint"]
+
+
+class Severity(enum.Enum):
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def order(self) -> int:
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One structured lint result, anchored to a source span."""
+
+    rule: str
+    severity: Severity
+    message: str
+    #: primary source span (None only for execution errors whose location
+    #: could not be recovered)
+    location: Optional[SourceLocation]
+    #: other spans involved (the mismatched peer, the starving irecvs, ...)
+    related: tuple[SourceLocation, ...] = ()
+    #: ranks the finding applies to (empty = program-wide)
+    ranks: tuple[int, ...] = ()
+
+    def render(self) -> str:
+        where = str(self.location) if self.location is not None else "<program>"
+        who = ""
+        if self.ranks:
+            label = "rank" if len(self.ranks) == 1 else "ranks"
+            who = f" [{label} {','.join(map(str, self.ranks))}]"
+        out = f"{where}: {self.severity.value}: {self.rule}: {self.message}{who}"
+        for loc in self.related:
+            out += f"\n    see also: {loc}"
+        return out
+
+    def to_json_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+            "location": str(self.location) if self.location else None,
+            "line": self.location.line if self.location else None,
+            "column": self.location.column if self.location else None,
+            "related": [str(loc) for loc in self.related],
+            "ranks": list(self.ranks),
+        }
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    nprocs: int
+    findings: tuple[LintFinding, ...]
+    symmetry: SymmetrySummary
+    #: True when an op/iteration budget stopped the stream unroll — the
+    #: stream-based rules were then skipped (never guessed)
+    incomplete: bool = False
+
+    @property
+    def errors(self) -> tuple[LintFinding, ...]:
+        return tuple(f for f in self.findings if f.severity is Severity.ERROR)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def counts(self) -> dict[str, int]:
+        out = {"error": 0, "warning": 0, "info": 0}
+        for f in self.findings:
+            out[f.severity.value] += 1
+        return out
+
+    def render(self) -> str:
+        lines = [f.render() for f in self.findings]
+        counts = self.counts()
+        summary = (
+            f"{counts['error']} error(s), {counts['warning']} warning(s), "
+            f"{counts['info']} info at {self.nprocs} ranks "
+            f"({self.symmetry.n_classes} behavioral class(es)"
+            + (", degraded" if self.symmetry.degraded else "")
+            + (", incomplete" if self.incomplete else "")
+            + ")"
+        )
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "nprocs": self.nprocs,
+            "incomplete": self.incomplete,
+            "counts": self.counts(),
+            "symmetry": {
+                "n_classes": self.symmetry.n_classes,
+                "classes": [list(c.ranks) for c in self.symmetry.classes],
+                "degraded": self.symmetry.degraded,
+            },
+            "findings": [f.to_json_dict() for f in self.findings],
+        }
+
+
+class LintError(RuntimeError):
+    """Raised by fail-fast consumers when a lint run reports errors."""
+
+    def __init__(self, report: LintReport) -> None:
+        self.report = report
+        first = report.errors[0]
+        more = len(report.errors) - 1
+        suffix = f" (+{more} more)" if more else ""
+        super().__init__(f"static lint failed: {first.render()}{suffix}")
+
+
+# --------------------------------------------------------------------------
+# stream collection
+# --------------------------------------------------------------------------
+
+#: Op records the matching replay cares about.
+_P2P_TYPES = (ops.SendOp, ops.RecvOp, ops.WaitOp, ops.WaitAllOp,
+              ops.CollectiveOp)
+
+
+@dataclass
+class _Stream:
+    rank: int
+    events: list  # of ops
+    error: Optional[str] = None
+    error_location: Optional[SourceLocation] = None
+    truncated: bool = False
+
+
+def _collect_streams(
+    program: ast.Program,
+    psg: PSG,
+    nprocs: int,
+    params: Optional[Mapping[str, object]],
+    entry: str,
+    max_ops_per_rank: int,
+    max_iterations: int,
+) -> list[_Stream]:
+    expr_cache: dict = {}
+    streams: list[_Stream] = []
+    for rank in range(nprocs):
+        stream = _Stream(rank=rank, events=[])
+        interp = Interpreter(
+            program, psg, rank, nprocs, params,
+            max_iterations=max_iterations, entry=entry,
+            expr_cache=expr_cache,
+        )
+        last_loc: Optional[SourceLocation] = None
+        try:
+            for op in interp.run():
+                if isinstance(op, _P2P_TYPES):
+                    stream.events.append(op)
+                last_loc = op.location
+                if len(stream.events) > max_ops_per_rank:
+                    stream.truncated = True
+                    break
+        except IterationLimitError:
+            stream.truncated = True  # our budget, not the program's bug
+        except SimulationError as exc:
+            stream.error = str(exc)
+            stream.error_location = _location_of(str(exc)) or last_loc
+        streams.append(stream)
+    return streams
+
+
+def _location_of(message: str) -> Optional[SourceLocation]:
+    """Recover the ``file:line`` span simulator errors prefix onto their
+    message (op-argument failures raise before any op is yielded)."""
+    match = re.match(r"^(.+?):(\d+): ", message)
+    if match is None:
+        return None
+    return SourceLocation(filename=match.group(1), line=int(match.group(2)))
+
+
+# --------------------------------------------------------------------------
+# untimed matching replay
+# --------------------------------------------------------------------------
+
+_DONE, _RUN, _BLK_RECV, _BLK_WAIT, _BLK_COLL = range(5)
+
+
+class _Replay:
+    """Round-robin untimed replay of all per-rank streams against the
+    engine's matching semantics (eager sends, FIFO channels, call-order
+    collectives)."""
+
+    def __init__(self, streams: list[_Stream], nprocs: int) -> None:
+        self.streams = streams
+        self.nprocs = nprocs
+        self.pos = [0] * nprocs
+        self.state = [_RUN] * nprocs
+        self.mailboxes = [Mailbox(r) for r in range(nprocs)]
+        #: recv seq -> ("block", rank) | ("irecv", rank, request)
+        self.recv_purpose: dict[int, tuple] = {}
+        #: message seq -> (src rank, SendOp)
+        self.msg_info: dict[int, tuple[int, ops.SendOp]] = {}
+        #: rank -> request name -> outstanding (posted, unmatched) irecvs
+        self.outstanding: list[dict[Optional[str], int]] = [
+            {} for _ in range(nprocs)
+        ]
+        #: rank -> recv seq -> RecvOp, for still-unmatched irecv spans
+        self.open_irecvs: list[dict[int, ops.RecvOp]] = [
+            {} for _ in range(nprocs)
+        ]
+        self.block_resolved = [False] * nprocs
+        self.coll_count = [0] * nprocs
+        self.coll_instances: dict[int, dict[int, ops.CollectiveOp]] = {}
+        self.coll_released: set[int] = set()
+        self.posted_once: set[tuple[int, int]] = set()
+        self.saw_wildcard = False
+        self.self_send_hits: list[tuple[int, ops.SendOp]] = []
+        self.coll_findings: list[tuple[str, int, dict[int, ops.CollectiveOp]]] = []
+
+    # -- mechanics ------------------------------------------------------
+
+    def _on_match(self, match) -> None:
+        purpose = self.recv_purpose.pop(match.recv.seq)
+        if purpose[0] == "block":
+            self.block_resolved[purpose[1]] = True
+        else:
+            _, rank, request = purpose
+            self.outstanding[rank][request] -= 1
+            self.open_irecvs[rank].pop(match.recv.seq, None)
+        self.msg_info.pop(match.message.seq, None)
+
+    def _deliver(self, rank: int, op: ops.SendOp) -> None:
+        msg = Message(
+            src=rank, dest=op.dest, tag=op.tag, nbytes=op.nbytes,
+            send_time=0.0, arrival=0.0, send_vid=op.vid,
+        )
+        self.msg_info[msg.seq] = (rank, op)
+        match = self.mailboxes[op.dest].deliver(msg)
+        if match is not None:
+            self._on_match(match)
+        elif op.blocking and op.dest == rank:
+            # a blocking send to yourself with nothing posted: guaranteed
+            # deadlock under synchronous MPI (our eager engine survives it,
+            # real rendezvous protocols do not)
+            self.self_send_hits.append((rank, op))
+
+    def _post(self, rank: int, op: ops.RecvOp, purpose: tuple) -> bool:
+        """Post a receive; True when it matched immediately."""
+        if op.src is ops.ANY or op.tag is ops.ANY:
+            self.saw_wildcard = True
+        recv = PostedRecv(
+            rank=rank, src=op.src, tag=op.tag, post_time=0.0,
+            recv_vid=op.vid, request=op.request,
+        )
+        self.recv_purpose[recv.seq] = purpose
+        if purpose[0] == "irecv":
+            # account before posting: an immediate match decrements in
+            # _on_match, leaving the net at zero
+            self.outstanding[rank].setdefault(purpose[2], 0)
+            self.outstanding[rank][purpose[2]] += 1
+            self.open_irecvs[rank][recv.seq] = op
+        match = self.mailboxes[rank].post_recv(recv)
+        if match is not None:
+            self._on_match(match)
+            if purpose[0] == "block":
+                # consumed synchronously: the caller advances directly, so
+                # the resolved flag must not leak into a later block
+                self.block_resolved[rank] = False
+            return True
+        return False
+
+    def _arrive_collective(self, rank: int, op: ops.CollectiveOp) -> int:
+        instance = self.coll_count[rank]
+        self.coll_count[rank] += 1
+        arrivals = self.coll_instances.setdefault(instance, {})
+        arrivals[rank] = op
+        if len(arrivals) == self.nprocs:
+            self.coll_released.add(instance)
+            kinds = {o.mpi_op for o in arrivals.values()}
+            if len(kinds) > 1:
+                self.coll_findings.append(
+                    ("collective-mismatch", instance, dict(arrivals))
+                )
+            elif len({o.root for o in arrivals.values()}) > 1:
+                self.coll_findings.append(
+                    ("root-mismatch", instance, dict(arrivals))
+                )
+        return instance
+
+    # -- the drive loop -------------------------------------------------
+
+    def _advance(self, rank: int) -> bool:
+        progressed = False
+        events = self.streams[rank].events
+        while True:
+            state = self.state[rank]
+            if state == _DONE:
+                return progressed
+            if state == _BLK_RECV:
+                if not self.block_resolved[rank]:
+                    return progressed
+                self.block_resolved[rank] = False
+            elif state == _BLK_WAIT:
+                op = events[self.pos[rank]]
+                pending = self.outstanding[rank]
+                if isinstance(op, ops.WaitOp):
+                    if pending.get(op.request, 0) > 0:
+                        return progressed
+                elif any(v > 0 for v in pending.values()):
+                    return progressed
+            elif state == _BLK_COLL:
+                if self.coll_count[rank] - 1 not in self.coll_released:
+                    return progressed
+            if state != _RUN:
+                self.pos[rank] += 1
+                self.state[rank] = _RUN
+                progressed = True
+            if self.pos[rank] >= len(events):
+                self.state[rank] = _DONE
+                return True
+            op = events[self.pos[rank]]
+            if isinstance(op, ops.SendOp):
+                self._deliver(rank, op)
+                self.pos[rank] += 1
+            elif isinstance(op, ops.RecvOp):
+                if op.blocking:
+                    key = (rank, self.pos[rank])
+                    if key not in self.posted_once:
+                        self.posted_once.add(key)
+                        if self._post(rank, op, ("block", rank)):
+                            self.pos[rank] += 1
+                        else:
+                            self.state[rank] = _BLK_RECV
+                            return True
+                    else:  # already posted on an earlier visit
+                        self.state[rank] = _BLK_RECV
+                        return True
+                else:
+                    self._post(rank, op, ("irecv", rank, op.request))
+                    self.pos[rank] += 1
+            elif isinstance(op, (ops.WaitOp, ops.WaitAllOp)):
+                pending = self.outstanding[rank]
+                blocked = (
+                    pending.get(op.request, 0) > 0
+                    if isinstance(op, ops.WaitOp)
+                    else any(v > 0 for v in pending.values())
+                )
+                if blocked:
+                    self.state[rank] = _BLK_WAIT
+                    return True
+                self.pos[rank] += 1
+            elif isinstance(op, ops.CollectiveOp):
+                instance = self._arrive_collective(rank, op)
+                if instance in self.coll_released:
+                    self.pos[rank] += 1
+                else:
+                    self.state[rank] = _BLK_COLL
+                    return True
+            else:  # unreachable: streams are pre-filtered
+                self.pos[rank] += 1
+            progressed = True
+
+    def run(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            for rank in range(self.nprocs):
+                if self._advance(rank):
+                    progressed = True
+
+    # -- end-state introspection ----------------------------------------
+
+    def blocked_ranks(self) -> list[int]:
+        return [r for r in range(self.nprocs) if self.state[r] != _DONE]
+
+    def leftover_messages(self) -> list[tuple[int, ops.SendOp, int]]:
+        """(src rank, send op, dest rank) of every never-received message."""
+        out = []
+        for dest, mailbox in enumerate(self.mailboxes):
+            for msg in mailbox.pending_messages():
+                src, op = self.msg_info[msg.seq]
+                out.append((src, op, dest))
+        return out
+
+
+# --------------------------------------------------------------------------
+# counting proof for wildcard-involved stalls
+# --------------------------------------------------------------------------
+
+_MATCHING_WORK_CAP = 1_000_000  # |recvs| * |sends| beyond which we skip
+
+
+def _recv_accepts(recv: ops.RecvOp, src_rank: int, send: ops.SendOp) -> bool:
+    if recv.src is not ops.ANY and recv.src != src_rank:
+        return False
+    if recv.tag is not ops.ANY and recv.tag != send.tag:
+        return False
+    return True
+
+
+def _unsatisfiable_recvs(
+    dest: int, streams: list[_Stream]
+) -> Optional[int]:
+    """How many of rank ``dest``'s receives can never complete under *any*
+    message matching (full-stream bipartite maximum matching); None when
+    the instance is too large to decide."""
+    recvs = [
+        op for op in streams[dest].events
+        if isinstance(op, ops.RecvOp)
+    ]
+    sends = [
+        (s.rank, op)
+        for s in streams
+        for op in s.events
+        if isinstance(op, ops.SendOp) and op.dest == dest
+    ]
+    if len(recvs) * len(sends) > _MATCHING_WORK_CAP:
+        return None
+    matched_to: dict[int, int] = {}  # send index -> recv index
+
+    def augment(ri: int, visited: set[int]) -> bool:
+        for si, (src_rank, send) in enumerate(sends):
+            if si in visited or not _recv_accepts(recvs[ri], src_rank, send):
+                continue
+            visited.add(si)
+            if si not in matched_to or augment(matched_to[si], visited):
+                matched_to[si] = ri
+                return True
+        return False
+
+    matched = sum(1 for ri in range(len(recvs)) if augment(ri, set()))
+    return len(recvs) - matched
+
+
+# --------------------------------------------------------------------------
+# structural rules
+# --------------------------------------------------------------------------
+
+
+def _send_send_cycles(
+    streams: list[_Stream], nprocs: int
+) -> list[list[tuple[int, ops.SendOp]]]:
+    """Cycles of ranks whose stream prefixes (up to the first genuinely
+    blocking operation) contain blocking sends forming a dependency loop.
+    Under rendezvous MPI every send in such a cycle waits for a receive
+    that is only reachable after the cycle completes."""
+    first_send: dict[int, dict[int, ops.SendOp]] = {}
+    for stream in streams:
+        edges: dict[int, ops.SendOp] = {}
+        for op in stream.events:
+            if isinstance(op, ops.SendOp):
+                if (
+                    op.mpi_op is MpiOp.SEND
+                    and op.blocking
+                    and op.dest != stream.rank
+                    and op.dest not in edges
+                ):
+                    edges[op.dest] = op
+            elif isinstance(op, ops.RecvOp):
+                if op.blocking:
+                    break
+            elif isinstance(op, (ops.WaitOp, ops.WaitAllOp, ops.CollectiveOp)):
+                break
+        if edges:
+            first_send[stream.rank] = edges
+    # every rank has at most nprocs outgoing edges; find directed cycles
+    # among first-phase sends with a plain colored DFS
+    color: dict[int, int] = {}
+    stack: list[int] = []
+    cycles: list[list[tuple[int, ops.SendOp]]] = []
+    seen_cycles: set[tuple[int, ...]] = set()
+
+    def dfs(rank: int) -> None:
+        color[rank] = 1
+        stack.append(rank)
+        for dest in first_send.get(rank, ()):  # noqa: B007
+            if color.get(dest, 0) == 0 and dest in first_send:
+                dfs(dest)
+            elif color.get(dest) == 1:
+                start = stack.index(dest)
+                cycle_ranks = stack[start:]
+                canon = tuple(sorted(cycle_ranks))
+                if canon not in seen_cycles:
+                    seen_cycles.add(canon)
+                    cycle = []
+                    for i, r in enumerate(cycle_ranks):
+                        nxt = cycle_ranks[(i + 1) % len(cycle_ranks)]
+                        if nxt in first_send.get(r, {}):
+                            cycle.append((r, first_send[r][nxt]))
+                    if len(cycle) == len(cycle_ranks):
+                        cycles.append(cycle)
+        stack.pop()
+        color[rank] = 2
+
+    for rank in sorted(first_send):
+        if color.get(rank, 0) == 0:
+            dfs(rank)
+    return cycles
+
+
+def _wildcard_hygiene(
+    streams: list[_Stream],
+) -> list[tuple[int, ops.RecvOp, set[int]]]:
+    """ANY-source receives whose possible-sender set has at most one
+    element (the wildcard buys nothing and hides mismatches)."""
+    sends_by_dest: dict[int, list[tuple[int, ops.SendOp]]] = {}
+    for stream in streams:
+        for op in stream.events:
+            if isinstance(op, ops.SendOp):
+                sends_by_dest.setdefault(op.dest, []).append(
+                    (stream.rank, op)
+                )
+    out = []
+    seen: set[tuple[int, str]] = set()
+    for stream in streams:
+        for op in stream.events:
+            if not isinstance(op, ops.RecvOp) or op.src is not ops.ANY:
+                continue
+            key = (stream.rank, str(op.location))
+            if key in seen:
+                continue
+            seen.add(key)
+            senders = {
+                src
+                for src, send in sends_by_dest.get(stream.rank, ())
+                if op.tag is ops.ANY or send.tag == op.tag
+            }
+            if len(senders) <= 1:
+                out.append((stream.rank, op, senders))
+    return out
+
+
+# --------------------------------------------------------------------------
+# finding assembly
+# --------------------------------------------------------------------------
+
+
+class _Findings:
+    """Dedup + rank aggregation: one finding per (rule, span, message)."""
+
+    def __init__(self) -> None:
+        self._acc: dict[tuple, dict] = {}
+
+    def add(
+        self,
+        rule: str,
+        severity: Severity,
+        message: str,
+        location: Optional[SourceLocation],
+        *,
+        related: Iterable[SourceLocation] = (),
+        ranks: Iterable[int] = (),
+    ) -> None:
+        key = (rule, str(location) if location else None, message)
+        slot = self._acc.setdefault(
+            key,
+            {
+                "rule": rule,
+                "severity": severity,
+                "message": message,
+                "location": location,
+                "related": {},
+                "ranks": set(),
+            },
+        )
+        for loc in related:
+            slot["related"].setdefault(str(loc), loc)
+        slot["ranks"].update(ranks)
+
+    def build(self) -> tuple[LintFinding, ...]:
+        findings = [
+            LintFinding(
+                rule=slot["rule"],
+                severity=slot["severity"],
+                message=slot["message"],
+                location=slot["location"],
+                related=tuple(
+                    slot["related"][k] for k in sorted(slot["related"])
+                ),
+                ranks=tuple(sorted(slot["ranks"])),
+            )
+            for slot in self._acc.values()
+        ]
+        findings.sort(
+            key=lambda f: (
+                f.severity.order,
+                str(f.location) if f.location else "~",
+                f.location.line if f.location else 0,
+                f.rule,
+                f.message,
+            )
+        )
+        return tuple(findings)
+
+
+def _tag_mismatch_peers(
+    recv: ops.RecvOp,
+    rank: int,
+    leftovers: list[tuple[int, ops.SendOp, int]],
+) -> list[tuple[int, ops.SendOp]]:
+    """Leftover messages on the right channel with the wrong tag."""
+    if recv.src is ops.ANY or recv.tag is ops.ANY:
+        return []
+    return [
+        (src, op)
+        for src, op, dest in leftovers
+        if dest == rank and src == recv.src and op.tag != recv.tag
+    ]
+
+
+def run_lint(
+    program: ast.Program,
+    psg: PSG,
+    nprocs: int,
+    params: Optional[Mapping[str, object]] = None,
+    *,
+    entry: str = "main",
+    max_ops_per_rank: int = 100_000,
+    max_iterations: int = 2_000_000,
+) -> LintReport:
+    """Lint one program at one scale.  Never raises on analyzable input;
+    see :class:`LintReport` (and :class:`LintError` for fail-fast use)."""
+    symmetry = partition_ranks(program, nprocs, params, entry=entry)
+    streams = _collect_streams(
+        program, psg, nprocs, params, entry, max_ops_per_rank, max_iterations
+    )
+    findings = _Findings()
+
+    for stream in streams:
+        if stream.error is not None:
+            findings.add(
+                "exec-error", Severity.ERROR, stream.error,
+                stream.error_location, ranks=(stream.rank,),
+            )
+    incomplete = any(s.truncated for s in streams)
+    if incomplete or any(s.error is not None for s in streams):
+        # matching over partial/failed streams would fabricate mismatches
+        return LintReport(
+            nprocs=nprocs,
+            findings=findings.build(),
+            symmetry=symmetry,
+            incomplete=incomplete,
+        )
+
+    replay = _Replay(streams, nprocs)
+    replay.run()
+
+    for rank, op in replay.self_send_hits:
+        findings.add(
+            "self-send-deadlock", Severity.ERROR,
+            f"blocking send to own rank with no receive posted "
+            f"(dest = src = {rank}); guaranteed deadlock under "
+            "synchronous MPI",
+            op.location, ranks=(rank,),
+        )
+
+    for rule, instance, arrivals in replay.coll_findings:
+        by_shape: dict[tuple, list[int]] = {}
+        for rank, op in sorted(arrivals.items()):
+            shape = (op.mpi_op.name.lower(), op.root)
+            by_shape.setdefault(shape, []).append(rank)
+        desc = "; ".join(
+            f"{'root ' + str(shape[1]) if rule == 'root-mismatch' else shape[0]}"
+            f" on ranks {','.join(map(str, ranks))}"
+            for shape, ranks in sorted(by_shape.items(), key=lambda kv: kv[1])
+        )
+        head = (
+            "ranks reach collective instance "
+            f"#{instance} with different "
+            + ("roots" if rule == "root-mismatch" else "operations")
+            + f": {desc}"
+        )
+        primary = min(arrivals.items())[1]
+        related = {
+            str(op.location): op.location for _, op in sorted(arrivals.items())
+        }
+        related.pop(str(primary.location), None)
+        findings.add(
+            rule, Severity.ERROR, head, primary.location,
+            related=related.values(), ranks=sorted(arrivals),
+        )
+
+    blocked = replay.blocked_ranks()
+    leftovers = replay.leftover_messages()
+
+    if blocked:
+        _deadlock_findings(findings, replay, streams, blocked, leftovers)
+    else:
+        _completion_findings(findings, replay, streams, leftovers)
+
+    for rank, op, senders in _wildcard_hygiene(streams):
+        if senders:
+            why = f"only rank {next(iter(senders))} ever sends a matching message"
+        else:
+            why = "no rank ever sends a matching message"
+        findings.add(
+            "wildcard-recv", Severity.INFO,
+            f"receive from ANY source, but {why}; a concrete source would "
+            "catch mismatches",
+            op.location, ranks=(rank,),
+        )
+
+    for cycle in _send_send_cycles(streams, nprocs):
+        ranks = [r for r, _ in cycle]
+        path = " -> ".join(map(str, ranks + ranks[:1]))
+        first = cycle[0][1]
+        findings.add(
+            "send-send-cycle", Severity.WARNING,
+            f"blocking sends form a cycle ({path}) before any rank "
+            "receives; deadlocks under rendezvous MPI (use sendrecv, "
+            "isend, or reorder)",
+            first.location,
+            related=[op.location for _, op in cycle[1:]],
+            ranks=ranks,
+        )
+
+    return LintReport(
+        nprocs=nprocs,
+        findings=findings.build(),
+        symmetry=symmetry,
+        incomplete=False,
+    )
+
+
+def _deadlock_findings(
+    findings: _Findings,
+    replay: _Replay,
+    streams: list[_Stream],
+    blocked: list[int],
+    leftovers: list,
+) -> None:
+    """Report a quiesced-but-unfinished replay.  Wildcard-involved stalls
+    need a counting proof; wildcard-free FIFO matching is deterministic,
+    so the replay itself is the proof."""
+    p2p_blocked = [
+        r for r in blocked if replay.state[r] in (_BLK_RECV, _BLK_WAIT)
+    ]
+    coll_blocked = [r for r in blocked if replay.state[r] == _BLK_COLL]
+
+    proven: dict[int, bool] = {}
+
+    def stall_is_proven(dest: int) -> bool:
+        if not replay.saw_wildcard:
+            return True
+        if dest not in proven:
+            deficit = _unsatisfiable_recvs(dest, streams)
+            proven[dest] = deficit is not None and deficit > 0
+        return proven[dest]
+
+    for rank in p2p_blocked:
+        if not stall_is_proven(rank):
+            continue  # some other wildcard matching might complete: stay silent
+        op = streams[rank].events[replay.pos[rank]]
+        if replay.state[rank] == _BLK_RECV:
+            assert isinstance(op, ops.RecvOp)
+            peers = _tag_mismatch_peers(op, rank, leftovers)
+            src = "ANY" if op.src is ops.ANY else op.src
+            tag = "ANY" if op.tag is ops.ANY else op.tag
+            if peers:
+                psrc, pop = peers[0]
+                findings.add(
+                    "tag-mismatch", Severity.ERROR,
+                    f"receive waits for (src={src}, tag={tag}) but rank "
+                    f"{psrc} sends tag {pop.tag} on that channel",
+                    op.location,
+                    related=[pop.location for _, pop in peers],
+                    ranks=(rank,),
+                )
+            else:
+                findings.add(
+                    "unmatched-recv", Severity.ERROR,
+                    f"blocking receive (src={src}, tag={tag}) can never "
+                    "complete: no matching message is ever sent",
+                    op.location, ranks=(rank,),
+                )
+        else:  # blocked in wait/waitall on unmatched irecvs
+            open_recvs = list(replay.open_irecvs[rank].values())
+            reported = False
+            for recv in open_recvs:
+                peers = _tag_mismatch_peers(recv, rank, leftovers)
+                if peers:
+                    findings.add(
+                        "tag-mismatch", Severity.ERROR,
+                        f"irecv waits for (src={recv.src}, tag={recv.tag}) "
+                        f"but rank {peers[0][0]} sends tag "
+                        f"{peers[0][1].tag} on that channel",
+                        recv.location,
+                        related=[pop.location for _, pop in peers]
+                        + [op.location],
+                        ranks=(rank,),
+                    )
+                    reported = True
+            if not reported:
+                findings.add(
+                    "unmatched-recv", Severity.ERROR,
+                    f"{'wait' if isinstance(op, ops.WaitOp) else 'waitall'} "
+                    "blocks forever: posted irecv(s) never receive a "
+                    "matching message",
+                    op.location,
+                    related=[r.location for r in open_recvs],
+                    ranks=(rank,),
+                )
+
+    if coll_blocked and not p2p_blocked:
+        # a pure collective stall: some ranks arrived, the rest finished
+        # (or diverged) without ever calling it — rank-dependent collective
+        # call counts.  With p2p blocking present the collective starvation
+        # is a cascade of the p2p root cause; stay silent about it then.
+        by_op: dict[str, list[int]] = {}
+        locs: dict[str, SourceLocation] = {}
+        for rank in coll_blocked:
+            op = streams[rank].events[replay.pos[rank]]
+            name = op.mpi_op.name.lower()
+            by_op.setdefault(name, []).append(rank)
+            locs.setdefault(name, op.location)
+        absent = [r for r in range(replay.nprocs) if r not in coll_blocked]
+        for name, ranks in sorted(by_op.items()):
+            findings.add(
+                "collective-divergence", Severity.ERROR,
+                f"{name} waits forever: ranks "
+                f"{','.join(map(str, absent))} never reach this collective "
+                "(rank-dependent collective sequence)",
+                locs[name], ranks=ranks,
+            )
+
+
+def _completion_findings(
+    findings: _Findings,
+    replay: _Replay,
+    streams: list[_Stream],
+    leftovers: list,
+) -> None:
+    """The replay finished; leftover traffic is still worth flagging."""
+    claimed: set[int] = set()
+    for rank in range(replay.nprocs):
+        for recv in replay.open_irecvs[rank].values():
+            peers = _tag_mismatch_peers(recv, rank, leftovers)
+            if peers:
+                findings.add(
+                    "tag-mismatch", Severity.ERROR,
+                    f"irecv waits for (src={recv.src}, tag={recv.tag}) "
+                    f"but rank {peers[0][0]} sends tag {peers[0][1].tag} "
+                    "on that channel",
+                    recv.location,
+                    related=[pop.location for _, pop in peers],
+                    ranks=(rank,),
+                )
+                claimed.update(id(pop) for _, pop in peers)
+    for src, op, dest in leftovers:
+        if id(op) in claimed:
+            continue
+        findings.add(
+            "unmatched-send", Severity.WARNING,
+            f"message (dest={dest}, tag={op.tag}, {op.nbytes} bytes) is "
+            "sent but never received",
+            op.location, ranks=(src,),
+        )

@@ -24,7 +24,7 @@ import hashlib
 import json
 import math
 from dataclasses import dataclass, field, replace
-from typing import Any, Mapping, Sequence
+from typing import Any, Mapping
 
 from repro.detection.aggregation import AggregationStrategy
 from repro.psg import DEFAULT_MAX_LOOP_DEPTH
@@ -92,6 +92,18 @@ class AnalysisConfig:
     #: see :mod:`repro.simulator.schedq`).  Digest-neutral like
     #: ``sim_shards``: service order is exact for every scheduler.
     sim_scheduler: str = "auto"
+    #: Share op records across ranks for statements the whole-program
+    #: rank-dependence analysis proves constant (see
+    #: :mod:`repro.analysis`).  Digest-neutral like the other ``sim_*``
+    #: knobs: bit-identical results on or off.
+    sim_class_sharing: bool = True
+    #: Run the static MPI lint before the first simulation of a profile
+    #: and abort (raising :class:`repro.analysis.LintError`) on
+    #: error-severity findings.  **Digest-relevant**, unlike the execution
+    #: strategy knobs: it changes which runs are allowed to produce
+    #: artifacts, so fail-fast sessions do not share cache entries with
+    #: permissive ones.
+    lint_fail_fast: bool = False
 
     def __post_init__(self) -> None:
         # normalize mutable-looking inputs so the instance is deeply frozen
@@ -124,6 +136,10 @@ class AnalysisConfig:
             raise ValueError(
                 "sim_scheduler must be 'auto', 'heap' or 'calendar'"
             )
+        if not isinstance(self.sim_class_sharing, bool):
+            raise ValueError("sim_class_sharing must be a bool")
+        if not isinstance(self.lint_fail_fast, bool):
+            raise ValueError("lint_fail_fast must be a bool")
 
     # -- derivation ------------------------------------------------------
 
@@ -149,6 +165,11 @@ class AnalysisConfig:
             "sim_shards": self.sim_shards,
             "sim_executor": self.sim_executor,
             "sim_scheduler": self.sim_scheduler,
+            # non-default-only serialization keeps documents (and, for
+            # lint_fail_fast, digests) written before these knobs existed
+            # byte-identical to ones written today with the defaults
+            **({} if self.sim_class_sharing else {"sim_class_sharing": False}),
+            **({"lint_fail_fast": True} if self.lint_fail_fast else {}),
         }
 
     @classmethod
@@ -171,6 +192,8 @@ class AnalysisConfig:
             sim_shards=int(doc.get("sim_shards", 1)),
             sim_executor=str(doc.get("sim_executor", "auto")),
             sim_scheduler=str(doc.get("sim_scheduler", "auto")),
+            sim_class_sharing=bool(doc.get("sim_class_sharing", True)),
+            lint_fail_fast=bool(doc.get("lint_fail_fast", False)),
         )
 
     def to_json(self) -> str:
@@ -202,6 +225,11 @@ class AnalysisConfig:
         del doc["sim_shards"]
         del doc["sim_executor"]
         del doc["sim_scheduler"]
+        doc.pop("sim_class_sharing", None)
+        # lint_fail_fast stays: an analysis that refuses to profile
+        # lint-dirty programs is a different analysis, not a different
+        # execution strategy (the key is absent entirely when False, so
+        # pre-lint digests are unchanged)
         return digest_text(canonical_json(doc))
 
     # -- bridges to the execution layers ---------------------------------
@@ -220,6 +248,7 @@ class AnalysisConfig:
             sim_shards=self.sim_shards,
             sim_executor=self.sim_executor,
             sim_scheduler=self.sim_scheduler,
+            sim_class_sharing=self.sim_class_sharing,
         )
         kwargs.update(overrides)
         return SimulationConfig(**kwargs)

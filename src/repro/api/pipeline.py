@@ -58,7 +58,12 @@ __all__ = [
 
 
 class StaticStage:
-    """Step 1, ``ScalAna-static``: parse + build the contracted PSG."""
+    """Step 1, ``ScalAna-static``: parse + build the contracted PSG.
+
+    Also hosts the static MPI lint (:meth:`lint`): it consumes only the
+    static artifact plus a process count, needs no machine/network model,
+    and runs before any simulation — the natural "step 1.5".
+    """
 
     name = "static"
 
@@ -72,6 +77,22 @@ class StaticStage:
             filename=filename,
             source_digest=source_digest(source, filename),
             result=result,
+        )
+
+    def lint(
+        self, static: StaticArtifact, config: AnalysisConfig, nprocs: int
+    ):
+        """Static MPI communication lint at one scale.
+
+        Returns a :class:`repro.analysis.LintReport` — structured
+        findings (unmatched sends/receives, tag and root mismatches,
+        deadlock cycles, collective divergence, wildcard hygiene) with
+        source spans, plus the behavioral rank partition.
+        """
+        from repro.analysis import run_lint
+
+        return run_lint(
+            static.program, static.psg, nprocs, config.params
         )
 
 
@@ -94,6 +115,12 @@ class ProfileStage:
         nprocs: int,
         **sim_overrides,
     ) -> ProfiledRun:
+        if config.lint_fail_fast:
+            from repro.analysis import LintError
+
+            report = StaticStage().lint(static, config, nprocs)
+            if report.errors:
+                raise LintError(report)
         sim_config = config.simulation_config(nprocs, **sim_overrides)
         if config.repetitions > 1:
             from repro.runtime import profile_run_averaged
@@ -274,6 +301,10 @@ class Pipeline:
     @property
     def psg(self):
         return self.static().psg
+
+    def lint(self, nprocs: int):
+        """Static MPI lint at one scale (a :class:`repro.analysis.LintReport`)."""
+        return self.static_stage.lint(self.static(), self.config, nprocs)
 
     # -- stage 2 ---------------------------------------------------------
 

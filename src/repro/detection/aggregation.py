@@ -63,7 +63,7 @@ def cluster_processes(values: Sequence[float], k: int = 2) -> list[int]:
                 centroids[j] = members.mean()
     order = np.argsort(centroids)
     relabel = {int(old): rank for rank, old in enumerate(order)}
-    return [relabel[int(l)] for l in labels]
+    return [relabel[int(lab)] for lab in labels]
 
 
 def aggregate(

@@ -137,7 +137,7 @@ class DetectionReport:
                 f"     symptom: {rc.symptom_label} at {rc.symptom_location}"
             )
             lines.append(
-                f"     path: "
+                "     path: "
                 + " <- ".join(_dedup_consecutive(rc.path_locations))
                 + f"  (ranks {list(rc.path_ranks)})"
             )

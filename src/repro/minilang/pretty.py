@@ -65,7 +65,13 @@ def _mpi_to_str(stmt: ast.MpiStmt) -> str:
         parts.append(f"tag = {expr_to_str(stmt.tag)}")
         parts.append(f"bytes = {expr_to_str(stmt.bytes_expr)}")
         parts.append(f"src = {expr_to_str(stmt.recv_src)}")
-        if stmt.recv_tag is not None and stmt.recv_tag is not stmt.tag:
+        # compare textually, not by identity: the parser aliases a
+        # defaulted recv_tag to the tag expression object, but reparsing
+        # (or copying) the AST breaks the aliasing while the meaning is
+        # unchanged — the round-trip must stay a fixpoint either way
+        if stmt.recv_tag is not None and (
+            stmt.tag is None or expr_to_str(stmt.recv_tag) != expr_to_str(stmt.tag)
+        ):
             parts.append(f"recv_tag = {expr_to_str(stmt.recv_tag)}")
     else:
         if stmt.dest is not None:

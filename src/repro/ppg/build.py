@@ -27,7 +27,7 @@ import networkx as nx
 
 from repro.minilang.ast_nodes import COLLECTIVE_OPS
 from repro.psg.graph import PSG, VertexType
-from repro.runtime.interposition import CommDependence, CommEdge
+from repro.runtime.interposition import CommDependence
 from repro.runtime.perfdata import PerformanceVector
 from repro.runtime.sampling import SamplingProfile
 

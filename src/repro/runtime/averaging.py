@@ -11,7 +11,6 @@ identical across repetitions; only timings vary).
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Optional
 
 from repro.minilang import ast_nodes as ast
 from repro.psg.graph import PSG

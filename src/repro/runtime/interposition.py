@@ -36,7 +36,6 @@ workloads).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 import numpy as np
 
@@ -272,7 +271,6 @@ def _collect_collectives(dep: CommDependence, result: SimulationResult,
     part_rank = cols["part_rank"]
     part_vid = cols["part_vid"]
     part_arrival = cols["part_arrival"]
-    index_l = cols["index"].tolist()
     op_l = cols["op"].tolist()
     root_l = cols["root"].tolist()
     nbytes_l = cols["nbytes"].tolist()

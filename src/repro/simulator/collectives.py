@@ -10,7 +10,6 @@ raises :class:`CollectiveMismatchError` with both call sites.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.minilang.ast_nodes import MpiOp
 from repro.minilang.errors import SourceLocation

@@ -20,7 +20,7 @@ across ranks and scales, not on cycle accuracy:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.minilang.ast_nodes import MpiOp
 from repro.util.rng import RngStream

@@ -151,6 +151,13 @@ class SimulationConfig:
     #: Execution strategy like ``sim_shards``: service order and results
     #: are bit-identical for every value (see :mod:`repro.simulator.schedq`).
     sim_scheduler: str = "auto"
+    #: Share op records *across ranks* for statements the whole-program
+    #: rank-dependence analysis proves constant (see
+    #: :mod:`repro.analysis.rankdep`) — lifts PR 5's per-rank memoization
+    #: to one instance per engine.  Execution strategy like the two knobs
+    #: above: results are bit-identical on or off (gated by
+    #: tests/test_class_sharing_identity.py).
+    sim_class_sharing: bool = True
 
     def __post_init__(self) -> None:
         if self.nprocs < 1:
@@ -165,6 +172,8 @@ class SimulationConfig:
             raise ValueError(
                 "sim_scheduler must be 'auto', 'heap' or 'calendar'"
             )
+        if not isinstance(self.sim_class_sharing, bool):
+            raise ValueError("sim_class_sharing must be a bool")
 
 
 @dataclass(frozen=True)
@@ -383,6 +392,26 @@ class Engine:
         # One compiled-expression cache shared by every rank: the AST is
         # rank-independent, so each expression compiles exactly once.
         expr_cache: dict = {}
+        # Statements the whole-program dataflow proves rank-constant share
+        # one op record per *engine* instead of one per rank.  The
+        # analysis is an auxiliary optimizer: any failure degrades to the
+        # per-rank path (correctness is carried by the interpreter either
+        # way and gated by the sharing identity sweep).
+        const_stmts = None
+        shared_ops: Optional[dict] = None
+        if cfg.sim_class_sharing and len(self.local_ranks) > 1:
+            from repro.analysis.rankdep import analyze_program
+
+            try:
+                const_stmts = analyze_program(
+                    self.program, cfg.nprocs, cfg.params, entry=cfg.entry
+                ).const_stmts
+            except Exception:
+                const_stmts = None
+            if const_stmts:
+                shared_ops = {}
+            else:
+                const_stmts = None
         for pid in self.local_ranks:
             interp = Interpreter(
                 self.program,
@@ -393,6 +422,8 @@ class Engine:
                 max_iterations=cfg.max_iterations,
                 entry=cfg.entry,
                 expr_cache=expr_cache,
+                const_stmts=const_stmts,
+                shared_op_cache=shared_ops,
             )
             proc = _Proc(pid, interp.run())
             self.procs[pid] = proc

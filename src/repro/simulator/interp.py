@@ -25,11 +25,9 @@ from repro.simulator import ops
 from repro.simulator.costmodel import Workload
 from repro.simulator.errors import IterationLimitError, MpiUsageError, SimulationError
 from repro.simulator.exprcompile import (
-    BUILTIN_IMPL as _BUILTIN_IMPL,  # re-exported for compatibility
     compile_expr,
     expr_is_static,
     frame_names_for,
-    hashrand as _hashrand,
     truthy as _truthy_impl,
 )
 
@@ -72,6 +70,31 @@ def _reused(build, stmt_id: int):
         if op is None:
             op = build(frame, ctx, ip)
             ctx._op_cache[key] = op
+        return op
+
+    return fn
+
+
+def _shared(build, stmt_id: int):
+    """Memoize a statement's op record per (engine, inline path).
+
+    The cross-rank big sibling of :func:`_reused`: sound only when the
+    whole-program rank-dependence analysis proved every captured argument
+    CONST — the same value on *every rank and every execution* (see
+    ``RankAnalysis.const_stmts``) — so all ranks of one engine return the
+    one instance the first builder produced.  The vid is rank-independent
+    by construction (``_vid_of`` derives it from the static PSG) and the
+    engine never mutates ops, so sharing is observationally identical to
+    per-rank construction (gated by tests/test_class_sharing_identity.py).
+    """
+
+    def fn(frame, ctx, ip):
+        key = (stmt_id, ip)
+        cache = ctx._shared_op_cache
+        op = cache.get(key)
+        if op is None:
+            op = build(frame, ctx, ip)
+            cache[key] = op
         return op
 
     return fn
@@ -186,6 +209,8 @@ class Interpreter:
         max_iterations: int = 10_000_000,
         entry: str = "main",
         expr_cache: Optional[dict] = None,
+        const_stmts: Optional[frozenset] = None,
+        shared_op_cache: Optional[dict] = None,
     ) -> None:
         if not (0 <= rank < nprocs):
             raise ValueError(f"rank {rank} out of range for {nprocs} processes")
@@ -210,6 +235,19 @@ class Interpreter:
         #: (stmt_id, inline_path) -> reusable op record, for statements
         #: whose arguments are all rank-static (see :func:`_reused`)
         self._op_cache: dict[tuple[int, tuple[int, ...]], object] = {}
+        #: statement ids the whole-program analysis proved rank-constant;
+        #: their ops live in the engine-wide ``shared_op_cache`` instead
+        #: (see :func:`_shared`).  Must be identical for every interpreter
+        #: sharing one ``expr_cache`` — the wrap decision is made by
+        #: whichever rank compiles the statement first.
+        self._const_stmts: frozenset = (
+            const_stmts if const_stmts is not None else frozenset()
+        )
+        #: engine-level op store for const statements; defaults to the
+        #: per-rank cache so a lone interpreter degrades to _reused
+        self._shared_op_cache: dict = (
+            shared_op_cache if shared_op_cache is not None else self._op_cache
+        )
 
     def _compile_expr(self, expr: ast.Expr):
         """Compile through the shared cache with rank-static analysis on."""
@@ -221,6 +259,18 @@ class Interpreter:
         return all(
             expr_is_static(e, self._expr_cache, self._fnames) for e in exprs
         )
+
+    def _memoize_op(self, fn, stmt: ast.Stmt, exprs: tuple) -> object:
+        """Wrap an op builder with the strongest sound memoization tier:
+        engine-wide (:func:`_shared`) when the whole-program analysis
+        proved every captured argument rank-constant, per-rank
+        (:func:`_reused`) when PR 5's per-call-site check proves them
+        rank-static, bare otherwise."""
+        if stmt.stmt_id in self._const_stmts:
+            return _shared(fn, stmt.stmt_id)
+        if self._static_args(*exprs):
+            return _reused(fn, stmt.stmt_id)
+        return fn
 
     # ------------------------------------------------------------------
     # driver
@@ -449,8 +499,7 @@ class Interpreter:
                     tag(frame, ctx), nbytes(frame, ctx), op, blocking, request,
                 )
 
-            if self._static_args(stmt.dest, stmt.tag, stmt.bytes_expr):
-                fn = _reused(fn, stmt.stmt_id)
+            fn = self._memoize_op(fn, stmt, (stmt.dest, stmt.tag, stmt.bytes_expr))
             return _YIELD_ONE, fn
         if op in (MpiOp.RECV, MpiOp.IRECV):
             src = _rank_or_any_arg(self._compile_expr(stmt.src), loc, "src")
@@ -464,8 +513,7 @@ class Interpreter:
                     tag(frame, ctx), op, blocking, request,
                 )
 
-            if self._static_args(stmt.src, stmt.tag):
-                fn = _reused(fn, stmt.stmt_id)
+            fn = self._memoize_op(fn, stmt, (stmt.src, stmt.tag))
             return _YIELD_ONE, fn
         if op is MpiOp.SENDRECV:
             dest = _rank_arg(self._compile_expr(stmt.dest), loc, "dest")
@@ -488,11 +536,12 @@ class Interpreter:
                 )
                 return send, recv
 
-            if self._static_args(
-                stmt.dest, stmt.tag, stmt.bytes_expr,
-                stmt.recv_src, stmt.recv_tag,
-            ):
-                fn = _reused(fn, stmt.stmt_id)  # caches the (send, recv) pair
+            # caches the (send, recv) pair
+            fn = self._memoize_op(
+                fn, stmt,
+                (stmt.dest, stmt.tag, stmt.bytes_expr,
+                 stmt.recv_src, stmt.recv_tag),
+            )
             return _YIELD_PAIR, fn
         if op is MpiOp.WAIT:
             assert stmt.request is not None
@@ -503,13 +552,13 @@ class Interpreter:
                     vid=ctx._vid_of(stmt, ip), location=loc, request=request
                 )
 
-            return _YIELD_ONE, _reused(fn, stmt.stmt_id)
+            return _YIELD_ONE, self._memoize_op(fn, stmt, ())
         if op is MpiOp.WAITALL:
 
             def fn(frame, ctx, ip):
                 return ops.WaitAllOp(vid=ctx._vid_of(stmt, ip), location=loc)
 
-            return _YIELD_ONE, _reused(fn, stmt.stmt_id)
+            return _YIELD_ONE, self._memoize_op(fn, stmt, ())
         # collectives
         root = (
             _rank_arg(self._compile_expr(stmt.root), loc, "root")
@@ -527,8 +576,7 @@ class Interpreter:
                 nbytes=nbytes(frame, ctx),
             )
 
-        if self._static_args(stmt.root, stmt.bytes_expr):
-            fn = _reused(fn, stmt.stmt_id)
+        fn = self._memoize_op(fn, stmt, (stmt.root, stmt.bytes_expr))
         return _YIELD_ONE, fn
 
     def _compile_compute(self, stmt: ast.ComputeStmt):
@@ -577,11 +625,9 @@ class Interpreter:
                 vid=ctx._vid_of(stmt, ip), location=loc, workload=workload
             )
 
-        if self._static_args(
-            stmt.flops, stmt.mem_bytes, stmt.locality, stmt.threads
-        ):
-            fn = _reused(fn, stmt_id)
-        return fn
+        return self._memoize_op(
+            fn, stmt, (stmt.flops, stmt.mem_bytes, stmt.locality, stmt.threads)
+        )
 
     def _vid_of(self, stmt: ast.Stmt, inline_path: tuple[int, ...]) -> int:
         key = (inline_path, stmt.stmt_id)

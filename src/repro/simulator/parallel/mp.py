@@ -18,7 +18,6 @@ objects cross the pipe.
 from __future__ import annotations
 
 import multiprocessing
-from typing import Optional
 
 from repro.minilang import ast_nodes as ast
 from repro.psg.graph import PSG

@@ -1,9 +1,10 @@
-"""The ``scalana`` command line: static / prof / detect / view / run / sweep.
+"""The ``scalana`` command line: static / lint / prof / detect / run / sweep.
 
 Mirrors the paper's four end-user steps (§V), all driven by the
 :class:`repro.api.Pipeline`::
 
     scalana static --app cg
+    scalana lint   --app cg --nprocs 8 --json            # static MPI lint
     scalana prof   --app cg --scales 4,8,16 --out profdir/ --jobs 3
     scalana detect --profiles profdir/ --json
     scalana run    --app zeusmp --scales 8,16,32          # all steps in one go
@@ -117,6 +118,19 @@ def cmd_static(args) -> int:
     print(table.render())
     print(f"reduction: {static.contracted.reduction * 100:.1f}%")
     return 0
+
+
+def cmd_lint(args) -> int:
+    """Static MPI lint at one scale; exit 1 on error-severity findings."""
+    import json as _json
+
+    pipe = _pipeline_from_args(args)
+    report = pipe.lint(int(args.nprocs))
+    if args.json:
+        print(_json.dumps(report.to_json_dict(), indent=2))
+    else:
+        print(report.render())
+    return 1 if report.errors else 0
 
 
 def cmd_prof(args) -> int:
@@ -359,6 +373,16 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("static", help="run static analysis, print PSG stats")
     common(p)
     p.set_defaults(func=cmd_static)
+
+    p = sub.add_parser(
+        "lint",
+        help="static MPI communication lint (deadlocks, mismatches, "
+             "wildcard hygiene) at one scale",
+    )
+    common(p)
+    p.add_argument("--nprocs", default="8")
+    p.add_argument("--json", action="store_true", help="machine-readable findings")
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("prof", help="profile at several scales, save to disk")
     common(p)

@@ -3,7 +3,7 @@ contract, invalidation on config change, persistence, and sweeps."""
 
 import pytest
 
-from repro.api import AnalysisConfig, Session, run_fingerprint
+from repro.api import Session, run_fingerprint
 from repro.apps import get_app
 from repro.simulator import simulation_call_count
 

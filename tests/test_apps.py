@@ -1,6 +1,5 @@
 """Application registry tests: every app parses, analyzes, runs, scales."""
 
-import math
 
 import pytest
 

@@ -5,7 +5,6 @@ import pytest
 from repro.detection import (
     backtrack_from,
     backtrack_root_causes,
-    build_report,
     detect_abnormal,
     detect_non_scalable,
     detect_scaling_loss,
@@ -55,7 +54,7 @@ class TestBacktrackWalk:
         # rank 1 waits for busy rank 0
         path = backtrack_from(ppg, (1, waitall.vid))
         labels = [psg.vertices[vid].label for _r, vid in path.nodes]
-        assert any("boundary" in l or "Loop" in l for l in labels)
+        assert any("boundary" in lab or "Loop" in lab for lab in labels)
         # the walk crossed to the sender's rank
         assert len(set(path.ranks())) > 1
 

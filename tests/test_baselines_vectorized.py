@@ -11,7 +11,6 @@ order — over randomized workloads, serial and sharded.
 from collections import defaultdict
 from typing import Optional
 
-import numpy as np
 import pytest
 
 from repro.baselines import TracerTool, classify_wait_states

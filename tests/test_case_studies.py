@@ -61,7 +61,7 @@ class TestZeusMP:
         psg = tool.psg
         flagged = {psg.vertices[v.vid].label for v in report.non_scalable}
         flagged |= {psg.vertices[v.vid].label for v in report.abnormal}
-        assert any(l.startswith("MPI_") for l in flagged)
+        assert any(lab.startswith("MPI_") for lab in flagged)
 
     def test_fix_improves_every_scale(self):
         base_spec = get_app("zeusmp")
@@ -150,7 +150,7 @@ class TestNekbone:
         psg = tool.psg
         flagged = {psg.vertices[v.vid].label for v in report.non_scalable}
         flagged |= {psg.vertices[v.vid].label for v in report.abnormal}
-        assert any("Wait" in l or "Allreduce" in l for l in flagged)
+        assert any("Wait" in lab or "Allreduce" in lab for lab in flagged)
 
     def test_fix_reduces_lst_ins_and_variance(self):
         """Fig. 16: TOT_LST_INS -89.78%, time variance -94.03%."""

@@ -1,6 +1,5 @@
 """CFG construction tests."""
 
-import pytest
 
 from repro.ir.cfg import build_cfg
 from repro.minilang import ast_nodes as ast

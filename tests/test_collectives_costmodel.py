@@ -1,6 +1,5 @@
 """Collective tracker and cost-model tests."""
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Dominator analysis and natural-loop detection tests."""
 
-import pytest
 
 from repro.ir.cfg import build_cfg
 from repro.ir.dominators import (

@@ -5,7 +5,7 @@ import math
 import pytest
 
 from repro.minilang.ast_nodes import MpiOp
-from repro.simulator import DeadlockError, SegmentKind, SimulationConfig
+from repro.simulator import DeadlockError, SegmentKind
 from repro.simulator.collectives import CollectiveMismatchError
 from tests.conftest import run_source
 

@@ -12,9 +12,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.minilang.ast_nodes import MpiOp
-from repro.simulator import NetworkModel, SimulationConfig, simulate
-from repro.minilang.parser import parse_program
-from repro.psg import build_psg
+from repro.simulator import NetworkModel
 from tests.conftest import run_source
 
 
@@ -99,7 +97,6 @@ class TestEngineProperties:
     @given(spmd_programs(), st.integers(min_value=1, max_value=6))
     def test_per_rank_segments_monotone(self, source, nprocs):
         res, _, _ = run_source(source, nprocs=nprocs)
-        last_end = [0.0] * nprocs
         by_rank = {}
         for seg in res.segments:
             by_rank.setdefault(seg.rank, []).append(seg)

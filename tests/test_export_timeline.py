@@ -95,7 +95,7 @@ class TestTimeline:
         res, _, _ = run_source(PIPELINE, 4)
         text = render_timeline(res, width=80)
         # downstream ranks wait for the pipeline fill
-        rank3 = [l for l in text.splitlines() if l.startswith("rank   3")][0]
+        rank3 = [ln for ln in text.splitlines() if ln.startswith("rank   3")][0]
         assert "w" in rank3
         assert "#" in rank3
 

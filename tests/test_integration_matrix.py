@@ -6,7 +6,6 @@ and check the Scalasca-comparison claim (the tracer's wait-state analysis,
 given complete information, agrees with ScalAna about the case studies).
 """
 
-import math
 
 import pytest
 

@@ -1,0 +1,498 @@
+"""Static MPI lint: every rule's trigger + near-miss, spans, severities.
+
+Acceptance shape (ISSUE 6): the lint statically flags a corpus of known
+deadlocks/mismatches with correct source spans and produces **zero
+findings on every bundled application** at valid scales — the
+no-false-positive gate.  Also covers the JSON export, the CLI exit
+codes, and the ``lint_fail_fast`` pipeline knob.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import LintError, Severity, run_lint
+from repro.api import AnalysisConfig, Pipeline
+from repro.apps import APPS, get_app
+from repro.minilang import parse_program
+from repro.psg import build_psg
+
+
+def lint(source, nprocs=4, params=None):
+    program = parse_program(source, "t.mm")
+    psg = build_psg(program).psg
+    return run_lint(program, psg, nprocs, params)
+
+
+def only(report, rule):
+    """The single finding a trigger program is expected to produce."""
+    assert [f.rule for f in report.findings] == [rule], report.render()
+    return report.findings[0]
+
+
+class TestTriggers:
+    def test_unmatched_recv(self):
+        f = only(
+            lint(
+                """
+                def main() {
+                    if (rank == 0) {
+                        recv(src = 1, tag = 5);
+                    }
+                }
+                """
+            ),
+            "unmatched-recv",
+        )
+        assert f.severity is Severity.ERROR
+        assert (f.location.line, f.location.column) == (4, 0) or f.location.line == 4
+        assert f.ranks == (0,)
+        assert "never" in f.message
+
+    def test_tag_mismatch_points_at_both_sides(self):
+        f = only(
+            lint(
+                """
+                def main() {
+                    if (rank == 0) {
+                        recv(src = 1, tag = 5);
+                    }
+                    if (rank == 1) {
+                        send(dest = 0, tag = 6, bytes = 8);
+                    }
+                }
+                """
+            ),
+            "tag-mismatch",
+        )
+        assert f.severity is Severity.ERROR
+        assert f.location.line == 4
+        assert [loc.line for loc in f.related] == [7]
+
+    def test_collective_mismatch(self):
+        f = only(
+            lint(
+                """
+                def main() {
+                    if (rank == 0) {
+                        barrier();
+                    } else {
+                        allreduce(bytes = 8);
+                    }
+                }
+                """
+            ),
+            "collective-mismatch",
+        )
+        assert f.severity is Severity.ERROR
+        assert f.ranks == (0, 1, 2, 3)
+
+    def test_root_mismatch(self):
+        f = only(
+            lint("def main() {\n    bcast(root = rank % 2, bytes = 8);\n}\n"),
+            "root-mismatch",
+        )
+        assert f.severity is Severity.ERROR
+        assert f.location.line == 2
+
+    def test_collective_divergence(self):
+        f = only(
+            lint(
+                """
+                def main() {
+                    if (rank < 2) {
+                        barrier();
+                    }
+                }
+                """
+            ),
+            "collective-divergence",
+        )
+        assert f.severity is Severity.ERROR
+        assert f.ranks == (0, 1)  # the waiting ranks, not the departed ones
+
+    def test_self_send_deadlock(self):
+        f = only(
+            lint(
+                """
+                def main() {
+                    if (rank == 0) {
+                        send(dest = 0, tag = 1, bytes = 8);
+                        recv(src = 0, tag = 1);
+                    }
+                }
+                """
+            ),
+            "self-send-deadlock",
+        )
+        assert f.severity is Severity.ERROR
+        assert f.location.line == 4
+
+    def test_send_send_cycle(self):
+        f = only(
+            lint(
+                """
+                def main() {
+                    send(dest = (rank + 1) % nprocs, tag = 1, bytes = 1048576);
+                    recv(src = (rank - 1 + nprocs) % nprocs, tag = 1);
+                }
+                """
+            ),
+            "send-send-cycle",
+        )
+        assert f.severity is Severity.WARNING
+        assert f.ranks == (0, 1, 2, 3)
+        assert "0 -> 1 -> 2 -> 3 -> 0" in f.message
+
+    def test_wildcard_recv_single_sender(self):
+        f = only(
+            lint(
+                """
+                def main() {
+                    if (rank == 0) {
+                        recv(src = ANY, tag = 1);
+                    }
+                    if (rank == 1) {
+                        send(dest = 0, tag = 1, bytes = 8);
+                    }
+                }
+                """
+            ),
+            "wildcard-recv",
+        )
+        assert f.severity is Severity.INFO
+
+    def test_unmatched_send(self):
+        f = only(
+            lint(
+                """
+                def main() {
+                    if (rank == 1) {
+                        send(dest = 0, tag = 3, bytes = 8);
+                    }
+                    barrier();
+                }
+                """
+            ),
+            "unmatched-send",
+        )
+        assert f.severity is Severity.WARNING
+        assert f.ranks == (1,)
+
+    def test_exec_error_recovers_span_from_message(self):
+        f = only(
+            lint("def main() {\n    send(dest = nprocs, tag = 1, bytes = 8);\n}\n"),
+            "exec-error",
+        )
+        assert f.severity is Severity.ERROR
+        assert "out of range" in f.message
+
+    def test_wildcard_counting_deficit_is_proven(self):
+        # 4 wildcard receives, only 3 senders: no matching can ever
+        # satisfy them all — the bipartite counting proof must fire even
+        # though each individual receive could match
+        report = lint(
+            """
+            def main() {
+                if (rank == 0) {
+                    for (var i = 0; i < nprocs; i = i + 1) {
+                        recv(src = ANY, tag = 2);
+                    }
+                } else {
+                    send(dest = 0, tag = 2, bytes = 8);
+                }
+            }
+            """
+        )
+        assert any(f.rule == "unmatched-recv" for f in report.findings)
+        assert not report.ok
+
+
+class TestNearMisses:
+    """Correct variants of each trigger must stay silent (no false
+    positives)."""
+
+    CLEAN = {
+        "ring": """
+            def main() {
+                sendrecv(dest = (rank + 1) % nprocs, tag = 1, bytes = 64,
+                         src = (rank - 1 + nprocs) % nprocs);
+                allreduce(bytes = 8);
+            }
+        """,
+        # matched tags: the tag-mismatch near-miss
+        "matched_pair": """
+            def main() {
+                if (rank == 0) {
+                    recv(src = 1, tag = 5);
+                }
+                if (rank == 1) {
+                    send(dest = 0, tag = 5, bytes = 8);
+                }
+            }
+        """,
+        # same collective, same root on all ranks
+        "uniform_bcast": """
+            def main() {
+                bcast(root = 0, bytes = 8);
+            }
+        """,
+        # all ranks reach the barrier (collective-divergence near-miss)
+        "both_arms_barrier": """
+            def main() {
+                if (rank < 2) {
+                    barrier();
+                } else {
+                    barrier();
+                }
+            }
+        """,
+        # isend to self is fine: nonblocking breaks the self-send rule
+        "isend_self": """
+            def main() {
+                isend(dest = rank, tag = 1, bytes = 8, req = s);
+                irecv(src = rank, tag = 1, req = r);
+                waitall();
+            }
+        """,
+        # ring via sendrecv: the send-send-cycle near-miss
+        "sendrecv_ring": """
+            def main() {
+                sendrecv(dest = (rank + 1) % nprocs, tag = 1, bytes = 1048576,
+                         src = (rank - 1 + nprocs) % nprocs);
+            }
+        """,
+        # enough senders for every wildcard receive (fan-in, nprocs - 1)
+        "wildcard_fan_in": """
+            def main() {
+                if (rank == 0) {
+                    for (var i = 1; i < nprocs; i = i + 1) {
+                        recv(src = ANY, tag = 2);
+                    }
+                } else {
+                    send(dest = 0, tag = 2, bytes = 8);
+                }
+            }
+        """,
+    }
+
+    @pytest.mark.parametrize("name", sorted(CLEAN))
+    def test_clean(self, name):
+        report = lint(self.CLEAN[name])
+        assert report.findings == (), report.render()
+        assert report.ok
+
+
+class TestNoFalsePositivesOnApps:
+    """Zero findings on every bundled application at two valid scales."""
+
+    @pytest.mark.parametrize("name", sorted(APPS))
+    def test_app_is_clean(self, name):
+        app = get_app(name)
+        scales = [n for n in (4, 8, 9, 16) if app.nprocs_valid(n)][:2]
+        assert scales, f"no valid scale for {name}"
+        for nprocs in scales:
+            report = run_lint(app.program, app.psg, nprocs, app.params)
+            assert report.findings == (), (name, nprocs, report.render())
+            assert not report.incomplete
+
+
+class TestPrettyRoundTrip:
+    """Lint findings must point at pretty-printed-then-reparsed programs
+    identically: normalizing a corpus program through the pretty-printer
+    is a fixpoint and leaves every finding (rule, severity, span, ranks)
+    unchanged."""
+
+    TRIGGERS = {
+        "deadlock": (
+            "def main() {\n"
+            "    if (rank == 0) {\n"
+            "        recv(src = 1, tag = 7);\n"
+            "    }\n"
+            "    barrier();\n"
+            "}\n"
+        ),
+        "tag_mismatch": """
+            def main() {
+                if (rank == 0) {
+                    recv(src = 1, tag = 5);
+                }
+                if (rank == 1) {
+                    send(dest = 0, tag = 6, bytes = 8);
+                }
+            }
+        """,
+        "send_send_cycle": """
+            def main() {
+                send(dest = (rank + 1) % nprocs, tag = 1, bytes = 1048576);
+                recv(src = (rank - 1 + nprocs) % nprocs, tag = 1);
+            }
+        """,
+        "sendrecv_distinct_tags": """
+            def main() {
+                if (rank == 0) {
+                    recv(src = 1, tag = 5);
+                }
+                if (rank == 1) {
+                    sendrecv(dest = 0, tag = 5, bytes = 8, src = 0,
+                             recv_tag = 9);
+                }
+            }
+        """,
+    }
+
+    @staticmethod
+    def _sig(report):
+        return [
+            (f.rule, f.severity, f.location.line, f.location.column, f.ranks)
+            for f in report.findings
+        ]
+
+    @pytest.mark.parametrize(
+        "name", sorted(TRIGGERS) + sorted(TestNearMisses.CLEAN)
+    )
+    def test_findings_stable_under_pretty_roundtrip(self, name):
+        from repro.minilang.pretty import pretty_print
+
+        source = self.TRIGGERS.get(name) or TestNearMisses.CLEAN[name]
+        normal = pretty_print(parse_program(source, "t.mm"))
+        first = parse_program(normal, "t.mm")
+        again = parse_program(pretty_print(first), "t.mm")
+        assert pretty_print(first) == normal  # normal form is a fixpoint
+        assert self._sig(lint(pretty_print(first))) == self._sig(lint(normal))
+        assert self._sig(
+            run_lint(again, build_psg(again).psg, 4, None)
+        ) == self._sig(run_lint(first, build_psg(first).psg, 4, None))
+
+
+class TestReportSurface:
+    def test_json_export_shape(self):
+        report = lint(
+            """
+            def main() {
+                if (rank == 0) {
+                    recv(src = 1, tag = 5);
+                }
+            }
+            """
+        )
+        doc = report.to_json_dict()
+        json.dumps(doc)  # must be serializable as-is
+        assert doc["nprocs"] == 4
+        assert doc["counts"]["error"] == 1
+        assert doc["symmetry"]["n_classes"] == 2
+        (finding,) = doc["findings"]
+        assert finding["rule"] == "unmatched-recv"
+        assert finding["severity"] == "error"
+        assert finding["line"] == 4
+        assert finding["ranks"] == [0]
+
+    def test_findings_sort_most_severe_first(self):
+        report = lint(
+            """
+            def main() {
+                if (rank == 0) {
+                    recv(src = ANY, tag = 9);
+                }
+                if (rank == 1) {
+                    send(dest = 0, tag = 9, bytes = 8);
+                    send(dest = 2, tag = 3, bytes = 8);
+                }
+                if (rank == 2) {
+                    recv(src = 1, tag = 3);
+                    recv(src = 1, tag = 4);
+                }
+            }
+            """
+        )
+        orders = [f.severity.order for f in report.findings]
+        assert orders == sorted(orders)
+        assert report.findings[0].severity is Severity.ERROR
+
+    def test_render_mentions_rule_and_span(self):
+        report = lint("def main() {\n    bcast(root = rank % 2, bytes = 8);\n}\n")
+        text = report.render()
+        assert "t.mm:2" in text
+        assert "root-mismatch" in text
+
+
+class TestPipelineIntegration:
+    DEADLOCK = """
+def main() {
+    if (rank == 0) {
+        recv(src = 1, tag = 7);
+    }
+    barrier();
+}
+"""
+
+    def test_pipeline_lint(self):
+        pipe = Pipeline(self.DEADLOCK, "dl.mm")
+        report = pipe.lint(4)
+        assert not report.ok
+        assert report.errors[0].rule == "unmatched-recv"
+
+    def test_fail_fast_blocks_profiling(self):
+        pipe = Pipeline(
+            self.DEADLOCK, "dl.mm", AnalysisConfig(lint_fail_fast=True)
+        )
+        with pytest.raises(LintError) as exc:
+            pipe.profile(4)
+        assert exc.value.report.errors
+        assert "unmatched-recv" in str(exc.value)
+
+    def test_fail_fast_passes_clean_programs(self):
+        pipe = Pipeline.for_app(get_app("cg"), lint_fail_fast=True)
+        artifact = pipe.profile(8)
+        assert artifact.run.nprocs == 8
+
+    def test_fail_fast_is_digest_relevant_but_default_preserving(self):
+        base = AnalysisConfig()
+        strict = AnalysisConfig(lint_fail_fast=True)
+        assert base.digest() != strict.digest()
+        # default documents carry no trace of the knob: digests (and
+        # serialized configs) from before it existed still round-trip
+        assert "lint_fail_fast" not in base.to_dict()
+        assert AnalysisConfig.from_json(strict.to_json()) == strict
+        with pytest.raises(ValueError):
+            AnalysisConfig(lint_fail_fast="yes")
+
+
+class TestCLI:
+    DEADLOCK = (
+        "def main() {\n"
+        "    if (rank == 0) {\n"
+        "        recv(src = 1, tag = 7);\n"
+        "    }\n"
+        "    barrier();\n"
+        "}\n"
+    )
+
+    def _write(self, tmp_path, text):
+        path = tmp_path / "prog.mm"
+        path.write_text(text)
+        return str(path)
+
+    def test_lint_exit_one_on_errors(self, tmp_path, capsys):
+        from repro.tools.cli import main
+
+        src = self._write(tmp_path, self.DEADLOCK)
+        assert main(["lint", "--source", src, "--nprocs", "4"]) == 1
+        out = capsys.readouterr().out
+        assert "unmatched-recv" in out
+        assert "prog.mm:3" in out
+
+    def test_lint_exit_zero_on_clean_app(self, capsys):
+        from repro.tools.cli import main
+
+        assert main(["lint", "--app", "cg", "--nprocs", "8"]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_lint_json(self, tmp_path, capsys):
+        from repro.tools.cli import main
+
+        src = self._write(tmp_path, self.DEADLOCK)
+        assert main(["lint", "--source", src, "--nprocs", "4", "--json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["counts"]["error"] == 1
+        assert doc["findings"][0]["rule"] == "unmatched-recv"

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.ppg import build_ppg
-from repro.psg.graph import VertexType
 from tests.conftest import profile_source
 
 CHAIN = """def main() {

@@ -6,7 +6,6 @@ exercises the lexer, parser and printer together.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -46,6 +45,32 @@ class TestFixedPrograms:
             "def main() { sendrecv(dest = 1, tag = 2, bytes = 8,"
             " src = 0, recv_tag = 4); }"
         )
+
+    def test_sendrecv_recv_tag_survives_ast_copy(self):
+        # the parser aliases a defaulted recv_tag to the very tag
+        # expression object; printing must not depend on that aliasing
+        # (deepcopy breaks identity but not meaning)
+        import copy
+
+        source = (
+            "def main() { sendrecv(dest = (rank + 1) % nprocs, tag = 1,"
+            " bytes = 64, src = (rank - 1 + nprocs) % nprocs); }"
+        )
+        program = parse_program(source)
+        assert pretty_print(copy.deepcopy(program)) == pretty_print(program)
+        assert "recv_tag" not in pretty_print(program)
+
+    def test_sendrecv_explicit_equal_recv_tag_is_elided(self):
+        # recv_tag textually equal to tag carries no information; the
+        # normal form drops it so print -> parse -> print is a fixpoint
+        explicit = parse_program(
+            "def main() { sendrecv(dest = 1, tag = 3, bytes = 8,"
+            " src = 0, recv_tag = 3); }"
+        )
+        defaulted = parse_program(
+            "def main() { sendrecv(dest = 1, tag = 3, bytes = 8, src = 0); }"
+        )
+        assert pretty_print(explicit) == pretty_print(defaulted)
 
     def test_any_wildcards(self):
         assert_roundtrip("def main() { recv(src = ANY, tag = ANY); }")

@@ -11,7 +11,6 @@ from repro.psg import (
     refine_indirect_calls,
 )
 from repro.psg.graph import VertexType
-from repro.psg.intraproc import StructureMismatchError
 
 
 def local_psg(body: str, name: str = "f"):
@@ -51,7 +50,7 @@ class TestIntraproc:
             (v for v in psg.vertices.values() if v.vtype is VertexType.LOOP),
             key=lambda v: v.loop_depth,
         )
-        assert [l.loop_depth for l in loops] == [1, 2]
+        assert [lp.loop_depth for lp in loops] == [1, 2]
 
     def test_branch_arms_tagged(self):
         psg = local_psg(

@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.minilang.parser import parse_program
-from repro.psg import build_complete_psg, build_psg, contract_psg
+from repro.psg import build_complete_psg, contract_psg
 from repro.psg.graph import VertexType
 
 FIG3 = """\

@@ -1,19 +1,16 @@
 """Runtime layer tests: sampling profiler, interposition, accounting."""
 
-import math
 
 import pytest
 
 from repro.runtime import (
     collect_comm_dependence,
     exact_profile,
-    profile_run,
     profiler_costs,
     sample_result,
     scalana_costs,
     tracer_costs,
 )
-from repro.simulator import SimulationConfig
 from tests.conftest import profile_source, run_source
 
 LONG_COMPUTE = """def main() {

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.minilang.parser import parse_program
-from repro.psg import build_psg
 from repro.simulator import MachineModel, SimulationConfig, Workload, simulate
 from repro.simulator.costmodel import CostModel
 from repro.simulator.errors import MpiUsageError

@@ -4,12 +4,11 @@ import numpy as np
 import pytest
 
 from repro.minilang.ast_nodes import MpiOp
-from repro.simulator import SegmentKind, SimulationConfig
+from repro.simulator import SegmentKind
 from repro.simulator.events import Segment
 from repro.simulator.trace import (
     CHUNK_EVENTS,
     MPI_OP_CODES,
-    SegmentsView,
     TraceBuffer,
     mpi_op_code,
 )

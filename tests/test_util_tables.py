@@ -52,7 +52,7 @@ class TestTable:
         t = Table("T", ["col"])
         t.add_row("longer-cell")
         lines = t.render().splitlines()
-        header = [l for l in lines if l.startswith("col")][0]
+        header = [ln for ln in lines if ln.startswith("col")][0]
         assert len(header) == len("longer-cell")
 
     def test_wrong_cell_count_raises(self):

@@ -29,16 +29,16 @@ class TestRankBars:
     def test_abnormal_rank_marked(self, skewed_ppg):
         ppg, vid = skewed_ppg
         text = render_rank_bars(ppg, vid)
-        rank0 = [l for l in text.splitlines() if "rank    0" in l][0]
-        rank3 = [l for l in text.splitlines() if "rank    3" in l][0]
+        rank0 = [ln for ln in text.splitlines() if "rank    0" in ln][0]
+        rank3 = [ln for ln in text.splitlines() if "rank    3" in ln][0]
         assert "<--" in rank0
         assert "<--" not in rank3
 
     def test_bars_proportional(self, skewed_ppg):
         ppg, vid = skewed_ppg
         text = render_rank_bars(ppg, vid, width=20)
-        rank0 = [l for l in text.splitlines() if "rank    0" in l][0]
-        rank1 = [l for l in text.splitlines() if "rank    1" in l][0]
+        rank0 = [ln for ln in text.splitlines() if "rank    0" in ln][0]
+        rank1 = [ln for ln in text.splitlines() if "rank    1" in ln][0]
         assert rank0.count("#") > 3 * rank1.count("#")
 
     def test_max_ranks_folding(self, skewed_ppg):
