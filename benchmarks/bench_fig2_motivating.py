@@ -24,7 +24,7 @@ def build() -> str:
     )
     clean = ScalAna.for_app(spec, seed=1)
 
-    lines = ["Fig. 2: injected delay on rank 4 of CG (matvec at cg.mm:%d)" % line, ""]
+    lines = [f"Fig. 2: injected delay on rank 4 of CG (matvec at cg.mm:{line})", ""]
     lines.append("scaling with the injected delay (vs clean):")
     runs = []
     for p in (8, 16, 32):

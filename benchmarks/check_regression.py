@@ -9,9 +9,17 @@ comm-dependence collection + fingerprint) in ``benchmarks/BENCH_4.json``,
 the PR-5 rows (≥1024-rank engine, schedulers serial and sharded, plus
 the baselines' vectorized collective loops) in ``benchmarks/BENCH_5.json``,
 and the PR-6 rows (PSG contraction over the bundled apps, whole-program
-rank-dependence analysis + static MPI lint) in ``benchmarks/BENCH_6.json``.
+rank-dependence analysis + static MPI lint) in ``benchmarks/BENCH_6.json``,
+and the PR-7 rows (cross-scale symbolic lint over the affine apps,
+comm-graph partition planning at 1024-4096 ranks) in
+``benchmarks/BENCH_7.json``.
 The gate fails (exit 1) when any workload's throughput drops more than
 ``--tolerance`` (default 20%) below its baseline.
+
+The PR-7 gate also checks an *absolute* property, not just drift: proving
+the whole scale range with ``run_lint_scales`` must stay at least 10x
+cheaper than one concrete lint at P=4096 on the affine apps (the
+symbolic driver's reason to exist — its witness window is O(1) in P).
 
 Machines differ, so raw seconds do not transfer: both the baseline and the
 current run are normalized by a calibration score — a fixed pure-Python +
@@ -25,8 +33,8 @@ Usage::
     PYTHONPATH=src python benchmarks/check_regression.py            # gate
     PYTHONPATH=src python benchmarks/check_regression.py --update   # rebase
 
-``--update`` only (re)writes BENCH_6.json rows — the committed PR-2
-through PR-5 baselines are history, not a moving target.
+``--update`` only (re)writes BENCH_7.json rows — the committed PR-2
+through PR-6 baselines are history, not a moving target.
 """
 
 from __future__ import annotations
@@ -49,6 +57,7 @@ BASELINE_3_PATH = Path(__file__).resolve().parent / "BENCH_3.json"
 BASELINE_4_PATH = Path(__file__).resolve().parent / "BENCH_4.json"
 BASELINE_5_PATH = Path(__file__).resolve().parent / "BENCH_5.json"
 BASELINE_6_PATH = Path(__file__).resolve().parent / "BENCH_6.json"
+BASELINE_7_PATH = Path(__file__).resolve().parent / "BENCH_7.json"
 
 RING = """def main() {
     for (var it = 0; it < 50; it = it + 1) {
@@ -267,6 +276,40 @@ def build_workloads():
             for nprocs in scales:
                 run_lint(prog, psg, nprocs, params)
 
+    # PR-7 rows (baselined in BENCH_7.json): the symbolic-P driver over
+    # affine apps (one witness window proves the whole range), and the
+    # comm-graph shard partitioner at production rank counts (graph
+    # instantiation + cut-cost minimization; the graphs are prebuilt so
+    # only planning is timed).
+    from repro.analysis import build_comm_graph, run_lint_scales
+    from repro.simulator.parallel.plan import ShardPlan
+
+    scale_lint_inputs = []
+    for name in ("lu", "ep", "ft"):
+        spec = get_app(name)
+        prog = parse_program(spec.source, spec.filename)
+        psg = build_psg(prog).psg
+        scale_lint_inputs.append(
+            (prog, psg, dict(spec.params), spec.nprocs_valid)
+        )
+
+    def scale_lint_symbolic():
+        for prog, psg, params, valid in scale_lint_inputs:
+            run_lint_scales(prog, psg, "all", params, valid=valid)
+
+    partition_inputs = []
+    for name, nprocs in (("lu", 1024), ("zeusmp", 1024), ("ep", 4096)):
+        spec = get_app(name)
+        prog = parse_program(spec.source, spec.filename)
+        partition_inputs.append(
+            (build_comm_graph(prog, dict(spec.params)), nprocs)
+        )
+
+    def comm_graph_partition():
+        for graph, nprocs in partition_inputs:
+            for nshards in (2, 4, 8):
+                ShardPlan.from_comm_graph(graph, nprocs, nshards)
+
     return {
         "ring_p32": sim(ring_prog, ring_psg, 32, False),
         "collectives_p32": sim(coll_prog, coll_psg, 32, False),
@@ -299,7 +342,48 @@ def build_workloads():
         # PR-6 rows (baselined in BENCH_6.json):
         "psg_contraction_apps": psg_contraction,
         "rank_analysis_lint_apps": rank_analysis_lint,
+        # PR-7 rows (baselined in BENCH_7.json):
+        "scale_lint_symbolic_apps": scale_lint_symbolic,
+        "comm_graph_partition_plan": comm_graph_partition,
     }
+
+
+def check_symbolic_speedup(min_speedup: float = 10.0, repeats: int = 3) -> bool:
+    """The absolute PR-7 gate: the symbolic cross-scale lint must beat one
+    concrete lint at P=4096 by ``min_speedup`` on affine apps.
+
+    ``lu`` is excluded deliberately — its concrete lint at 4096 ranks
+    takes ~1 minute, which is exactly the cost the symbolic driver
+    amortizes away; burning it on every CI push to prove the point once
+    more would be self-parody.  ``ep`` and ``ft`` are affine (status
+    "proven") and decide in milliseconds either way.
+    """
+    from repro.analysis import run_lint, run_lint_scales
+    from repro.apps import get_app
+
+    ok = True
+    for name in ("ep", "ft"):
+        spec = get_app(name)
+        prog = parse_program(spec.source, spec.filename)
+        psg = build_psg(prog).psg
+        params = dict(spec.params)
+
+        def symbolic(prog=prog, psg=psg, params=params, valid=spec.nprocs_valid):
+            run_lint_scales(prog, psg, "all", params, valid=valid)
+
+        def concrete(prog=prog, psg=psg, params=params):
+            run_lint(prog, psg, 4096, params)
+
+        t_sym = _best_of(symbolic, repeats)
+        t_conc = _best_of(concrete, repeats)
+        speedup = t_conc / t_sym
+        flag = "" if speedup >= min_speedup else "  BELOW GATE"
+        print(f"symbolic-lint speedup {name:8s} {speedup:7.1f}x "
+              f"(proved range in {t_sym * 1e3:.1f} ms vs {t_conc * 1e3:.1f} ms "
+              f"for one concrete P=4096 lint){flag}")
+        if speedup < min_speedup:
+            ok = False
+    return ok
 
 
 def measure(repeats: int = 3) -> dict:
@@ -321,7 +405,7 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--update", action="store_true",
-        help="rewrite the measured baselines in BENCH_6.json (BENCH_2-5"
+        help="rewrite the measured baselines in BENCH_7.json (BENCH_2-6"
              ".json rows are committed history and never rewritten; edit "
              "by hand if a legacy workload must be rebased)",
     )
@@ -331,20 +415,21 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     current = measure(args.repeats)
-    # Committed history: BENCH_2 (PR 2) through BENCH_5 (PR 5) rows are
+    # Committed history: BENCH_2 (PR 2) through BENCH_6 (PR 6) rows are
     # never rewritten by --update; edit by hand if a legacy workload must
     # rebase.
     history: dict = {}
     for path in (
-        BASELINE_PATH, BASELINE_3_PATH, BASELINE_4_PATH, BASELINE_5_PATH
+        BASELINE_PATH, BASELINE_3_PATH, BASELINE_4_PATH, BASELINE_5_PATH,
+        BASELINE_6_PATH,
     ):
         if path.exists():
             history.update(json.loads(path.read_text()).get("benchmarks", {}))
-    if args.update or not BASELINE_6_PATH.exists():
-        # Only the PR-6 file is a live baseline.
+    if args.update or not BASELINE_7_PATH.exists():
+        # Only the PR-7 file is a live baseline.
         doc = (
-            json.loads(BASELINE_6_PATH.read_text())
-            if BASELINE_6_PATH.exists()
+            json.loads(BASELINE_7_PATH.read_text())
+            if BASELINE_7_PATH.exists()
             else {}
         )
         doc["calibration_score"] = current["calibration_score"]
@@ -352,13 +437,13 @@ def main(argv=None) -> int:
         for name, row in current["benchmarks"].items():
             if name not in history:
                 doc["benchmarks"][name] = row
-        BASELINE_6_PATH.write_text(json.dumps(doc, indent=2) + "\n")
-        print(f"baseline written to {BASELINE_6_PATH}")
+        BASELINE_7_PATH.write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"baseline written to {BASELINE_7_PATH}")
         return 0
 
     baseline = {"benchmarks": dict(history)}
     baseline["benchmarks"].update(
-        json.loads(BASELINE_6_PATH.read_text()).get("benchmarks", {})
+        json.loads(BASELINE_7_PATH.read_text()).get("benchmarks", {})
     )
     ratios = {}
     print(f"{'benchmark':28s} {'base units':>12s} {'now units':>12s} {'ratio':>7s}")
@@ -405,6 +490,17 @@ def main(argv=None) -> int:
         print(f"\nFAIL: throughput regression beyond "
               f"{args.tolerance * 100:.0f}%: {drops}", file=sys.stderr)
         return 1
+
+    print()
+    if not check_symbolic_speedup(repeats=args.repeats):
+        # timing-based absolute gate: a loaded host can sink one window,
+        # a real regression reproduces on the retry
+        print("re-measuring symbolic-lint speedup once:")
+        if not check_symbolic_speedup(repeats=args.repeats):
+            print("\nFAIL: symbolic cross-scale lint no longer >= 10x "
+                  "cheaper than a concrete P=4096 lint on affine apps",
+                  file=sys.stderr)
+            return 1
     print("\nOK: no benchmark regressed beyond tolerance")
     return 0
 

@@ -55,7 +55,7 @@ exposes partially.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from repro.api import (
     AnalysisConfig,
@@ -142,7 +142,10 @@ class ScalAna:
     #: Engine event-queue implementation ("auto" | "heap" | "calendar" —
     #: bit-identical, see :mod:`repro.simulator.schedq`).
     sim_scheduler: str = "auto"
-    _static: Optional[StaticAnalysisResult] = field(default=None, repr=False)
+    #: Shard-boundary placement ("contiguous" | "commgraph" — bit-identical,
+    #: see :meth:`repro.simulator.parallel.ShardPlan.from_comm_graph`).
+    sim_partition: str = "contiguous"
+    _static: StaticAnalysisResult | None = field(default=None, repr=False)
 
     # ------------------------------------------------------------------
 
@@ -178,6 +181,7 @@ class ScalAna:
             sim_shards=self.sim_shards,
             sim_executor=self.sim_executor,
             sim_scheduler=self.sim_scheduler,
+            sim_partition=self.sim_partition,
         )
         kwargs.update(overrides)
         return AnalysisConfig(**kwargs)
@@ -256,9 +260,9 @@ def analyze_program(
     scales: Sequence[int],
     *,
     filename: str = "<string>",
-    params: Optional[dict] = None,
+    params: dict | None = None,
     jobs: int = 1,
-    session: Optional[Session] = None,
+    session: Session | None = None,
     **config_kwargs,
 ) -> DetectionReport:
     """One-shot pipeline: static analysis + profiling at ``scales`` + detection.

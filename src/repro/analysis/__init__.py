@@ -19,14 +19,40 @@ Two consumers:
 * ``scalana lint`` / :meth:`repro.api.pipeline.Pipeline.lint` surface the
   findings with source spans, optionally failing a pipeline fast via
   ``AnalysisConfig(lint_fail_fast=True)``.
+
+PR 7 lifts the whole stack from one concrete scale to a *symbolic*
+``nprocs``: :mod:`repro.analysis.scaleparam` classifies endpoint terms as
+affine in (rank, P) and drives the cross-scale lint
+(:func:`run_lint_scales` — one verdict over a whole range of P), and
+:mod:`repro.analysis.commgraph` extracts the parametric communication
+graph — symbolic (src, dst, tag, count) edge families instantiable at any
+P in O(edges) — which feeds the comm-aware shard partitioner
+(``sim_partition="commgraph"``) and the static scaling skeleton.
 """
 
+from repro.analysis.commgraph import (
+    CommFamily,
+    CommGraph,
+    CommInstance,
+    ScalingSkeleton,
+    build_comm_graph,
+    extract_concrete,
+)
 from repro.analysis.lint import (
     LintError,
     LintFinding,
     LintReport,
     Severity,
     run_lint,
+)
+from repro.analysis.scaleparam import (
+    ScaleAnalysis,
+    ScaleLintReport,
+    analyze_scale_parametric,
+    exceeds_severity,
+    parse_scales_spec,
+    run_lint_scales,
+    select_witnesses,
 )
 from repro.analysis.rankdep import (
     AbstractValue,
@@ -51,4 +77,17 @@ __all__ = [
     "LintReport",
     "Severity",
     "run_lint",
+    "CommFamily",
+    "CommGraph",
+    "CommInstance",
+    "ScalingSkeleton",
+    "build_comm_graph",
+    "extract_concrete",
+    "ScaleAnalysis",
+    "ScaleLintReport",
+    "analyze_scale_parametric",
+    "exceeds_severity",
+    "parse_scales_spec",
+    "run_lint_scales",
+    "select_witnesses",
 ]

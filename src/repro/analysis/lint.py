@@ -32,6 +32,11 @@ rule                       severity  fires when
                                      (deadlocks under rendezvous MPI)
 ``wildcard-recv``          info      an ANY-source receive has at most one
                                      possible sender (over-broad wildcard)
+``request-leak``           warning   an isend/irecv request is never completed
+                                     by a ``wait``/``waitall``
+``double-wait``            error     a ``wait`` names a request with nothing
+                                     outstanding (never posted, or already
+                                     completed); the engine raises at run time
 ``exec-error``             error     a rank's stream raises a runtime error
                                      (bad rank/tag/workload arguments, ...)
 =========================  ========  =============================================
@@ -50,7 +55,7 @@ from __future__ import annotations
 import enum
 import re
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Optional
+from collections.abc import Iterable, Mapping
 
 from repro.minilang import ast_nodes as ast
 from repro.minilang.ast_nodes import MpiOp
@@ -85,7 +90,7 @@ class LintFinding:
     message: str
     #: primary source span (None only for execution errors whose location
     #: could not be recovered)
-    location: Optional[SourceLocation]
+    location: SourceLocation | None
     #: other spans involved (the mismatched peer, the starving irecvs, ...)
     related: tuple[SourceLocation, ...] = ()
     #: ranks the finding applies to (empty = program-wide)
@@ -192,8 +197,8 @@ _P2P_TYPES = (ops.SendOp, ops.RecvOp, ops.WaitOp, ops.WaitAllOp,
 class _Stream:
     rank: int
     events: list  # of ops
-    error: Optional[str] = None
-    error_location: Optional[SourceLocation] = None
+    error: str | None = None
+    error_location: SourceLocation | None = None
     truncated: bool = False
 
 
@@ -201,7 +206,7 @@ def _collect_streams(
     program: ast.Program,
     psg: PSG,
     nprocs: int,
-    params: Optional[Mapping[str, object]],
+    params: Mapping[str, object] | None,
     entry: str,
     max_ops_per_rank: int,
     max_iterations: int,
@@ -215,7 +220,7 @@ def _collect_streams(
             max_iterations=max_iterations, entry=entry,
             expr_cache=expr_cache,
         )
-        last_loc: Optional[SourceLocation] = None
+        last_loc: SourceLocation | None = None
         try:
             for op in interp.run():
                 if isinstance(op, _P2P_TYPES):
@@ -233,7 +238,7 @@ def _collect_streams(
     return streams
 
 
-def _location_of(message: str) -> Optional[SourceLocation]:
+def _location_of(message: str) -> SourceLocation | None:
     """Recover the ``file:line`` span simulator errors prefix onto their
     message (op-argument failures raise before any op is yielded)."""
     match = re.match(r"^(.+?):(\d+): ", message)
@@ -265,7 +270,7 @@ class _Replay:
         #: message seq -> (src rank, SendOp)
         self.msg_info: dict[int, tuple[int, ops.SendOp]] = {}
         #: rank -> request name -> outstanding (posted, unmatched) irecvs
-        self.outstanding: list[dict[Optional[str], int]] = [
+        self.outstanding: list[dict[str | None, int]] = [
             {} for _ in range(nprocs)
         ]
         #: rank -> recv seq -> RecvOp, for still-unmatched irecv spans
@@ -464,7 +469,7 @@ def _recv_accepts(recv: ops.RecvOp, src_rank: int, send: ops.SendOp) -> bool:
 
 def _unsatisfiable_recvs(
     dest: int, streams: list[_Stream]
-) -> Optional[int]:
+) -> int | None:
     """How many of rank ``dest``'s receives can never complete under *any*
     message matching (full-stream bipartite maximum matching); None when
     the instance is too large to decide."""
@@ -594,6 +599,46 @@ def _wildcard_hygiene(
     return out
 
 
+def _request_hygiene(
+    streams: list[_Stream],
+) -> tuple[
+    list[tuple[int, ops.SendOp | ops.RecvOp]],
+    list[tuple[int, ops.WaitOp, ops.WaitOp | None]],
+]:
+    """Per-rank nonblocking-request bookkeeping, mirroring the engine's
+    per-name FIFO exactly: isend/irecv append to their request's queue,
+    ``wait`` pops the oldest entry of its name, ``waitall`` completes
+    everything.  Returns ``(leaks, double_waits)``: nonblocking ops whose
+    request survives to the end of the stream, and waits that found their
+    queue empty (the engine raises ``MpiUsageError`` for those)."""
+    leaks: list[tuple[int, ops.SendOp | ops.RecvOp]] = []
+    double_waits: list[tuple[int, ops.WaitOp, ops.WaitOp | None]] = []
+    for stream in streams:
+        queues: dict[str, list] = {}
+        completed_by: dict[str, ops.WaitOp] = {}
+        for op in stream.events:
+            if isinstance(op, (ops.SendOp, ops.RecvOp)):
+                if not op.blocking and op.request is not None:
+                    queues.setdefault(op.request, []).append(op)
+            elif isinstance(op, ops.WaitOp):
+                queue = queues.get(op.request)
+                if queue:
+                    queue.pop(0)
+                    if not queue:
+                        del queues[op.request]
+                    completed_by[op.request] = op
+                else:
+                    double_waits.append(
+                        (stream.rank, op, completed_by.get(op.request))
+                    )
+            elif isinstance(op, ops.WaitAllOp):
+                queues.clear()
+        for queue in queues.values():
+            for pending in queue:
+                leaks.append((stream.rank, pending))
+    return leaks, double_waits
+
+
 # --------------------------------------------------------------------------
 # finding assembly
 # --------------------------------------------------------------------------
@@ -610,7 +655,7 @@ class _Findings:
         rule: str,
         severity: Severity,
         message: str,
-        location: Optional[SourceLocation],
+        location: SourceLocation | None,
         *,
         related: Iterable[SourceLocation] = (),
         ranks: Iterable[int] = (),
@@ -676,7 +721,7 @@ def run_lint(
     program: ast.Program,
     psg: PSG,
     nprocs: int,
-    params: Optional[Mapping[str, object]] = None,
+    params: Mapping[str, object] | None = None,
     *,
     entry: str = "main",
     max_ops_per_rank: int = 100_000,
@@ -763,6 +808,33 @@ def run_lint(
             "catch mismatches",
             op.location, ranks=(rank,),
         )
+
+    leaks, double_waits = _request_hygiene(streams)
+    for rank, op in leaks:
+        kind = "isend" if isinstance(op, ops.SendOp) else "irecv"
+        findings.add(
+            "request-leak", Severity.WARNING,
+            f"nonblocking {kind} (request {op.request!r}) is never "
+            "completed by wait/waitall; its completion is never observed",
+            op.location, ranks=(rank,),
+        )
+    for rank, op, prior in double_waits:
+        if prior is not None:
+            findings.add(
+                "double-wait", Severity.ERROR,
+                f"wait on request {op.request!r} has nothing outstanding: "
+                "the request was already completed by an earlier wait "
+                "(the engine raises MpiUsageError here)",
+                op.location, related=(prior.location,), ranks=(rank,),
+            )
+        else:
+            findings.add(
+                "double-wait", Severity.ERROR,
+                f"wait on request {op.request!r} has nothing outstanding: "
+                "no isend/irecv ever posts it "
+                "(the engine raises MpiUsageError here)",
+                op.location, ranks=(rank,),
+            )
 
     for cycle in _send_send_cycles(streams, nprocs):
         ranks = [r for r, _ in cycle]

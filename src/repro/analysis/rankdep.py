@@ -45,7 +45,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import IntEnum
-from typing import Iterator, Mapping, Optional
+from collections.abc import Iterator, Mapping
 
 from repro.minilang import ast_nodes as ast
 from repro.psg.callgraph import build_call_graph
@@ -95,8 +95,8 @@ class AbstractValue:
 
     kind: Rankness
     value: object = None
-    term: Optional[tuple] = None
-    affine: Optional[tuple] = None
+    term: tuple | None = None
+    affine: tuple | None = None
 
 
 _INV = AbstractValue(Rankness.INVARIANT)
@@ -104,6 +104,11 @@ _DEP = AbstractValue(Rankness.DEPENDENT)
 _RANK = AbstractValue(
     Rankness.AFFINE, term=("rank",), affine=(1, 0, None)
 )
+#: ``nprocs`` in symbolic mode (``analyze_program(nprocs=None)``): an
+#: unknown-but-rank-invariant value carrying the ``("P",)`` term, so every
+#: verdict stays a closed function of (rank, P) —
+#: :mod:`repro.analysis.scaleparam` instantiates them at any scale.
+_P = AbstractValue(Rankness.INVARIANT, term=("P",))
 
 
 def const_av(value: object) -> AbstractValue:
@@ -119,7 +124,7 @@ def _same_const(a: object, b: object) -> bool:
     return type(a) is type(b) and a == b
 
 
-def _terms_equal(a: Optional[tuple], b: Optional[tuple]) -> bool:
+def _terms_equal(a: tuple | None, b: tuple | None) -> bool:
     if a is None or b is None:
         return False
     if a is b:
@@ -138,7 +143,7 @@ def _term_size(term: tuple) -> int:
     return 1 + sum(_term_size(t) for t in term[1:] if isinstance(t, tuple))
 
 
-def _capped(term: Optional[tuple]) -> Optional[tuple]:
+def _capped(term: tuple | None) -> tuple | None:
     if term is not None and _term_size(term) > _MAX_TERM_SIZE:
         return None
     return term
@@ -156,7 +161,7 @@ def av_equal(x: AbstractValue, y: AbstractValue) -> bool:
     return _terms_equal(x.term, y.term)
 
 
-def join(x: Optional[AbstractValue], y: Optional[AbstractValue]) -> AbstractValue:
+def join(x: AbstractValue | None, y: AbstractValue | None) -> AbstractValue:
     """Least upper bound of two *path-equivalent* values.
 
     Only valid when both paths are taken identically on every rank (loop
@@ -267,46 +272,66 @@ def _trip_count(cmp: str, delta: int, start: object, bound: object) -> int:
     raise SimulationError(f"uncountable loop comparison {cmp!r}")
 
 
-def eval_term(term: tuple, rank: int) -> object:
+def eval_term(
+    term: tuple,
+    rank: int,
+    nprocs: int | None = None,
+    env: Mapping[str, object] | None = None,
+) -> object:
     """Evaluate a symbolic rank function for one concrete rank.
 
+    ``nprocs`` binds the symbolic ``("P",)`` scale parameter produced by
+    :func:`analyze_program` in symbolic mode; ``env`` binds ``("var", name)``
+    iteration variables used by :mod:`repro.analysis.commgraph` families.
     Raises :class:`SimulationError` exactly where the interpreter would
-    (division by zero, type errors) — callers degrade on failure.
+    (division by zero, type errors, an unbound symbol) — callers degrade
+    on failure.
     """
     tag = term[0]
     if tag == "const":
         return term[1]
     if tag == "rank":
         return rank
+    if tag == "P":
+        if nprocs is None:
+            raise SimulationError("term uses symbolic nprocs with no scale bound")
+        return nprocs
+    if tag == "var":
+        if env is None or term[1] not in env:
+            raise SimulationError(f"term uses unbound variable {term[1]!r}")
+        return env[term[1]]
     if tag == "bin":
         op = term[1]
         # short-circuit like the interpreter: the right operand of a
         # decided &&/|| is never evaluated (and so may never raise)
         if op == "&&":
-            if not truthy(eval_term(term[2], rank)):
+            if not truthy(eval_term(term[2], rank, nprocs, env)):
                 return False
-            return truthy(eval_term(term[3], rank))
+            return truthy(eval_term(term[3], rank, nprocs, env))
         if op == "||":
-            if truthy(eval_term(term[2], rank)):
+            if truthy(eval_term(term[2], rank, nprocs, env)):
                 return True
-            return truthy(eval_term(term[3], rank))
+            return truthy(eval_term(term[3], rank, nprocs, env))
         return _apply_binop(
-            op, eval_term(term[2], rank), eval_term(term[3], rank)
+            op,
+            eval_term(term[2], rank, nprocs, env),
+            eval_term(term[3], rank, nprocs, env),
         )
     if tag == "un":
-        return _apply_unop(term[1], eval_term(term[2], rank))
+        return _apply_unop(term[1], eval_term(term[2], rank, nprocs, env))
     if tag == "call":
         return _apply_call(
-            term[1], [eval_term(t, rank) for t in term[2:]]
+            term[1], [eval_term(t, rank, nprocs, env) for t in term[2:]]
         )
     if tag == "sel":
-        if truthy(eval_term(term[1], rank)):
-            return eval_term(term[2], rank)
-        return eval_term(term[3], rank)
+        if truthy(eval_term(term[1], rank, nprocs, env)):
+            return eval_term(term[2], rank, nprocs, env)
+        return eval_term(term[3], rank, nprocs, env)
     if tag == "trip":
         return _trip_count(
             term[1], term[2],
-            eval_term(term[3], rank), eval_term(term[4], rank),
+            eval_term(term[3], rank, nprocs, env),
+            eval_term(term[4], rank, nprocs, env),
         )
     raise SimulationError(f"unknown term tag {tag!r}")
 
@@ -316,7 +341,7 @@ def eval_term(term: tuple, rank: int) -> object:
 # --------------------------------------------------------------------------
 
 
-def _affine_form(av: AbstractValue) -> Optional[tuple]:
+def _affine_form(av: AbstractValue) -> tuple | None:
     """The value as (a, b, mod) over ints, or None."""
     if av.affine is not None:
         return av.affine
@@ -326,7 +351,7 @@ def _affine_form(av: AbstractValue) -> Optional[tuple]:
     return None
 
 
-def _affine_binop(op: str, left: AbstractValue, right: AbstractValue) -> Optional[tuple]:
+def _affine_binop(op: str, left: AbstractValue, right: AbstractValue) -> tuple | None:
     la, ra = _affine_form(left), _affine_form(right)
     if la is None or ra is None:
         return None
@@ -344,7 +369,7 @@ def _affine_binop(op: str, left: AbstractValue, right: AbstractValue) -> Optiona
     return None
 
 
-def _affine_result(form: tuple, term: Optional[tuple]) -> AbstractValue:
+def _affine_result(form: tuple, term: tuple | None) -> AbstractValue:
     a, b, mod = form
     if a == 0:
         return const_av(b if mod is None else b % mod)
@@ -377,10 +402,16 @@ class Decider:
 
 @dataclass
 class RankAnalysis:
-    """Everything one whole-program dataflow run produced."""
+    """Everything one whole-program dataflow run produced.
+
+    ``nprocs`` is ``None`` for a *symbolic* run (``analyze_program`` with
+    ``nprocs=None``): verdicts and terms are then closed over the extra
+    ``("P",)`` symbol and hold for every scale — see
+    :mod:`repro.analysis.scaleparam`.
+    """
 
     program: ast.Program
-    nprocs: int
+    nprocs: int | None
     params: dict
     entry: str
     #: id(expr node) -> joined verdict (the program object pins the ids)
@@ -397,16 +428,16 @@ class RankAnalysis:
     degraded_reasons: tuple[str, ...]
 
     @property
-    def degraded(self) -> Optional[str]:
+    def degraded(self) -> str | None:
         """First reason the rank partition cannot be trusted (None = ok)."""
         return self.degraded_reasons[0] if self.degraded_reasons else None
 
-    def verdict_of(self, expr: ast.Expr) -> Optional[AbstractValue]:
+    def verdict_of(self, expr: ast.Expr) -> AbstractValue | None:
         """The joined abstract value of one expression node (None when the
         expression was never reached from the entry)."""
         return self.expr_verdicts.get(id(expr))
 
-    def classify_stmt(self, stmt_id: int) -> Optional[Rankness]:
+    def classify_stmt(self, stmt_id: int) -> Rankness | None:
         """Worst-case rankness over a statement's captured arguments."""
         avs = self.stmt_args.get(stmt_id)
         if avs is None:
@@ -414,7 +445,7 @@ class RankAnalysis:
         return max((av.kind for av in avs), default=Rankness.CONST)
 
 
-def mpi_arg_exprs(stmt: ast.MpiStmt) -> tuple[Optional[ast.Expr], ...]:
+def mpi_arg_exprs(stmt: ast.MpiStmt) -> tuple[ast.Expr | None, ...]:
     """The expressions an MpiStmt's op record captures, in capture order
     (mirrors ``Interpreter._compile_mpi``)."""
     op = stmt.op
@@ -430,7 +461,7 @@ def mpi_arg_exprs(stmt: ast.MpiStmt) -> tuple[Optional[ast.Expr], ...]:
     return (stmt.root, stmt.bytes_expr)
 
 
-def _compute_arg_exprs(stmt: ast.ComputeStmt) -> tuple[Optional[ast.Expr], ...]:
+def _compute_arg_exprs(stmt: ast.ComputeStmt) -> tuple[ast.Expr | None, ...]:
     return (stmt.flops, stmt.mem_bytes, stmt.locality, stmt.threads)
 
 
@@ -515,7 +546,7 @@ class _Analyzer:
     def __init__(
         self,
         program: ast.Program,
-        nprocs: int,
+        nprocs: int | None,
         params: Mapping[str, object],
         entry: str,
     ) -> None:
@@ -566,7 +597,7 @@ class _Analyzer:
 
     # -- observability -------------------------------------------------
 
-    def _func_emits(self, name: str, _active: Optional[set] = None) -> bool:
+    def _func_emits(self, name: str, _active: set | None = None) -> bool:
         memo = self._emits_func
         if name in memo:
             return memo[name]
@@ -582,7 +613,7 @@ class _Analyzer:
         memo[name] = result
         return result
 
-    def _block_emits(self, block: ast.Block, active: Optional[set] = None) -> bool:
+    def _block_emits(self, block: ast.Block, active: set | None = None) -> bool:
         memo = self._emits_block
         key = id(block)
         if active is None and key in memo:
@@ -621,7 +652,9 @@ class _Analyzer:
         if name == "rank":
             return _RANK
         if name == "nprocs":
-            return const_av(self.nprocs)
+            # symbolic mode: keep the scale a closed symbol instead of a
+            # constant, so terms stay evaluable at *any* P
+            return const_av(self.nprocs) if self.nprocs is not None else _P
         return _DEP  # undefined at runtime: the interpreter raises
 
     def _eval(self, expr: ast.Expr, env: dict) -> AbstractValue:
@@ -657,7 +690,9 @@ class _Analyzer:
                         (-form[0], -form[1], None), term
                     )
             if v.kind <= Rankness.INVARIANT:
-                return _INV
+                # keep the symbolic term: in symbolic-P mode INVARIANT
+                # values (functions of P/params) no longer fold to CONST
+                return AbstractValue(Rankness.INVARIANT, term=term)
             return AbstractValue(Rankness.DEPENDENT, term=term)
         if isinstance(expr, ast.BinaryExpr):
             return self._eval_binary(expr, env)
@@ -676,7 +711,7 @@ class _Analyzer:
                     ("call", expr.func) + tuple(a.term for a in avs)
                 )
             if all(a.kind <= Rankness.INVARIANT for a in avs):
-                return _INV
+                return AbstractValue(Rankness.INVARIANT, term=term)
             return AbstractValue(Rankness.DEPENDENT, term=term)
         return _DEP  # unknown node type: the interpreter raises on it
 
@@ -704,7 +739,7 @@ class _Analyzer:
             if right.term is not None:
                 term = _capped(("bin", op, left.term, right.term))
             if right.kind <= Rankness.INVARIANT:
-                return _INV
+                return AbstractValue(Rankness.INVARIANT, term=term)
             return AbstractValue(Rankness.DEPENDENT, term=term)
         right = self._eval(expr.right, env)
         if left.kind is Rankness.CONST and right.kind is Rankness.CONST:
@@ -720,7 +755,7 @@ class _Analyzer:
             if form is not None:
                 return _affine_result(form, term)
         if left.kind <= Rankness.INVARIANT and right.kind <= Rankness.INVARIANT:
-            return _INV
+            return AbstractValue(Rankness.INVARIANT, term=term)
         return AbstractValue(Rankness.DEPENDENT, term=term)
 
     # -- environment merging -------------------------------------------
@@ -856,7 +891,7 @@ class _Analyzer:
         step) into a given environment and returns that iteration's
         condition AV (None for condition-less loops).
         """
-        cond_joined: Optional[AbstractValue] = None
+        cond_joined: AbstractValue | None = None
         state = dict(env)
         for _ in range(_MAX_LOOP_ITERS):
             body_env = dict(state)
@@ -930,7 +965,7 @@ class _Analyzer:
             except Exception:
                 return
 
-        def run_body(body_env: dict) -> Optional[AbstractValue]:
+        def run_body(body_env: dict) -> AbstractValue | None:
             self._analyze_block(stmt.body, body_env)
             if stmt.step is not None:
                 self._analyze_stmt(stmt.step, body_env)
@@ -960,7 +995,7 @@ class _Analyzer:
 
     def _countable_trip(
         self, stmt: ast.ForStmt, entry_env: dict
-    ) -> Optional[tuple]:
+    ) -> tuple | None:
         """A ('trip', cmp, delta, init, bound) term for the classic
         ``for (x = e0; x cmp e1; x = x +/- c)`` shape, else None."""
         init, cond, step = stmt.init, stmt.cond, stmt.step
@@ -1015,7 +1050,7 @@ class _Analyzer:
     def _analyze_call(self, stmt: ast.CallStmt, env: dict) -> None:
         arg_avs = [self._eval(a, env) for a in stmt.args]
         callee = stmt.callee
-        target: Optional[str] = None
+        target: str | None = None
         if isinstance(callee, ast.VarRef) \
                 and callee.name in self.program.functions:
             target = callee.name
@@ -1104,12 +1139,20 @@ class _Analyzer:
 
 def analyze_program(
     program: ast.Program,
-    nprocs: int,
-    params: Optional[Mapping[str, object]] = None,
+    nprocs: int | None,
+    params: Mapping[str, object] | None = None,
     *,
     entry: str = "main",
 ) -> RankAnalysis:
     """Run the whole-program rank-dependence dataflow at one scale.
+
+    ``nprocs=None`` runs the *symbolic* variant: ``nprocs`` stays an
+    opaque rank-invariant symbol (term ``("P",)``) instead of a folded
+    constant, so one dataflow run produces terms valid at every scale —
+    pass them to :func:`eval_term` with a concrete ``nprocs``.  Precision
+    only ever shrinks versus a concrete run (branches on ``nprocs`` are
+    joined instead of decided), so every symbolic verdict is sound at
+    every concrete scale.
 
     Total: never raises on valid ASTs.  When the internal step budget is
     exhausted (pathological programs) the result is fully degraded — an

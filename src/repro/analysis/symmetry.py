@@ -26,7 +26,7 @@ separately.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Optional
+from collections.abc import Mapping
 
 from repro.minilang import ast_nodes as ast
 from repro.simulator.errors import SimulationError
@@ -70,7 +70,7 @@ class SymmetrySummary:
     #: rank -> index into ``classes``
     class_of: tuple[int, ...]
     #: why the partition fell back to singletons (None when trusted)
-    degraded: Optional[str]
+    degraded: str | None
     analysis: RankAnalysis
 
     @property
@@ -108,15 +108,17 @@ def _singletons(
 def partition_ranks(
     program: ast.Program,
     nprocs: int,
-    params: Optional[Mapping[str, object]] = None,
+    params: Mapping[str, object] | None = None,
     *,
     entry: str = "main",
-    analysis: Optional[RankAnalysis] = None,
+    analysis: RankAnalysis | None = None,
 ) -> SymmetrySummary:
     """Partition ``range(nprocs)`` into behavioral equivalence classes.
 
     Pass a precomputed ``analysis`` to reuse one dataflow run across
-    consumers; it must match ``(program, nprocs, params, entry)``.
+    consumers; it must match ``(program, nprocs, params, entry)`` — or be
+    a *symbolic* analysis (``analysis.nprocs is None``) of the same
+    program/params/entry, which is valid at every concrete scale.
     """
     if analysis is None:
         analysis = analyze_program(program, nprocs, params, entry=entry)
@@ -138,7 +140,10 @@ def partition_ranks(
         sig = []
         for decider in deciders:
             try:
-                value = eval_term(decider.av.term, rank)
+                # threading nprocs binds the ("P",) symbol of a *symbolic*
+                # analysis (rankdep nprocs=None), letting one dataflow run
+                # partition the ranks at any concrete scale
+                value = eval_term(decider.av.term, rank, nprocs)
                 if decider.kind == "branch":
                     value = bool(truthy(value))
             except SimulationError as exc:

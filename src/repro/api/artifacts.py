@@ -21,7 +21,6 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Union
 
 import numpy as np
 
@@ -42,7 +41,7 @@ __all__ = [
 
 #: Detection accepts freshly profiled runs and cache-loaded ones alike:
 #: both expose ``nprocs`` / ``profile`` / ``comm`` / ``overhead`` / ``app_time``.
-AnyProfile = Union[ProfiledRun, LoadedProfile]
+AnyProfile = ProfiledRun | LoadedProfile
 
 
 @dataclass(frozen=True)

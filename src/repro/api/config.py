@@ -24,7 +24,8 @@ import hashlib
 import json
 import math
 from dataclasses import dataclass, field, replace
-from typing import Any, Mapping
+from collections.abc import Mapping
+from typing import Any
 
 from repro.detection.aggregation import AggregationStrategy
 from repro.psg import DEFAULT_MAX_LOOP_DEPTH
@@ -92,6 +93,11 @@ class AnalysisConfig:
     #: see :mod:`repro.simulator.schedq`).  Digest-neutral like
     #: ``sim_shards``: service order is exact for every scheduler.
     sim_scheduler: str = "auto"
+    #: Shard partition strategy ("contiguous" | "commgraph" — see
+    #: :meth:`repro.simulator.parallel.plan.ShardPlan.from_comm_graph`).
+    #: Digest-neutral like ``sim_shards``: the plan changes which engine
+    #: hosts each rank, never what any rank computes.
+    sim_partition: str = "contiguous"
     #: Share op records across ranks for statements the whole-program
     #: rank-dependence analysis proves constant (see
     #: :mod:`repro.analysis`).  Digest-neutral like the other ``sim_*``
@@ -136,6 +142,10 @@ class AnalysisConfig:
             raise ValueError(
                 "sim_scheduler must be 'auto', 'heap' or 'calendar'"
             )
+        if self.sim_partition not in ("contiguous", "commgraph"):
+            raise ValueError(
+                "sim_partition must be 'contiguous' or 'commgraph'"
+            )
         if not isinstance(self.sim_class_sharing, bool):
             raise ValueError("sim_class_sharing must be a bool")
         if not isinstance(self.lint_fail_fast, bool):
@@ -168,6 +178,11 @@ class AnalysisConfig:
             # non-default-only serialization keeps documents (and, for
             # lint_fail_fast, digests) written before these knobs existed
             # byte-identical to ones written today with the defaults
+            **(
+                {}
+                if self.sim_partition == "contiguous"
+                else {"sim_partition": self.sim_partition}
+            ),
             **({} if self.sim_class_sharing else {"sim_class_sharing": False}),
             **({"lint_fail_fast": True} if self.lint_fail_fast else {}),
         }
@@ -192,6 +207,7 @@ class AnalysisConfig:
             sim_shards=int(doc.get("sim_shards", 1)),
             sim_executor=str(doc.get("sim_executor", "auto")),
             sim_scheduler=str(doc.get("sim_scheduler", "auto")),
+            sim_partition=str(doc.get("sim_partition", "contiguous")),
             sim_class_sharing=bool(doc.get("sim_class_sharing", True)),
             lint_fail_fast=bool(doc.get("lint_fail_fast", False)),
         )
@@ -225,6 +241,7 @@ class AnalysisConfig:
         del doc["sim_shards"]
         del doc["sim_executor"]
         del doc["sim_scheduler"]
+        doc.pop("sim_partition", None)
         doc.pop("sim_class_sharing", None)
         # lint_fail_fast stays: an analysis that refuses to profile
         # lint-dirty programs is a different analysis, not a different
@@ -248,6 +265,7 @@ class AnalysisConfig:
             sim_shards=self.sim_shards,
             sim_executor=self.sim_executor,
             sim_scheduler=self.sim_scheduler,
+            sim_partition=self.sim_partition,
             sim_class_sharing=self.sim_class_sharing,
         )
         kwargs.update(overrides)

@@ -22,7 +22,8 @@ executed concurrently from multiple threads.
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from typing import TYPE_CHECKING, Optional, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from repro.api.artifacts import (
     AnyProfile,
@@ -86,13 +87,43 @@ class StaticStage:
 
         Returns a :class:`repro.analysis.LintReport` — structured
         findings (unmatched sends/receives, tag and root mismatches,
-        deadlock cycles, collective divergence, wildcard hygiene) with
-        source spans, plus the behavioral rank partition.
+        deadlock cycles, collective divergence, wildcard hygiene,
+        nonblocking-request hygiene) with source spans, plus the
+        behavioral rank partition.
         """
         from repro.analysis import run_lint
 
         return run_lint(
             static.program, static.psg, nprocs, config.params
+        )
+
+    def lint_scales(
+        self,
+        static: StaticArtifact,
+        config: AnalysisConfig,
+        scales="all",
+        *,
+        valid=None,
+    ):
+        """Cross-scale lint: one verdict over a whole range of P.
+
+        ``scales`` is ``"all"`` (every P >= 2), ``"LO..HI"``, a comma
+        list / sequence of concrete scales, or an ``(lo, hi)`` tuple.
+        Returns a :class:`repro.analysis.ScaleLintReport`: when every
+        endpoint stays affine in (rank, P) the verdict is *proven* over
+        the range from a finite witness window; otherwise it degrades to
+        sampled witnesses with the reasons documented.  Each witness is
+        the unmodified concrete :func:`repro.analysis.run_lint`, so
+        per-scale results are bit-identical to :meth:`lint`.
+        """
+        from repro.analysis import run_lint_scales
+
+        return run_lint_scales(
+            static.program,
+            static.psg,
+            scales,
+            config.params,
+            valid=valid,
         )
 
 
@@ -190,7 +221,7 @@ class ReportStage:
     def run(
         self,
         report: DetectionReport,
-        static: Optional[StaticArtifact] = None,
+        static: StaticArtifact | None = None,
         *,
         with_source: bool = False,
         context: int = 2,
@@ -226,9 +257,9 @@ class Pipeline:
         self,
         source: str,
         filename: str = "<string>",
-        config: Optional[AnalysisConfig] = None,
+        config: AnalysisConfig | None = None,
         *,
-        session: Optional["Session"] = None,
+        session: "Session" | None = None,
     ) -> None:
         self.source = source
         self.filename = filename
@@ -238,15 +269,15 @@ class Pipeline:
         self.profile_stage = ProfileStage()
         self.detect_stage = DetectStage()
         self.report_stage = ReportStage()
-        self._static: Optional[StaticArtifact] = None
+        self._static: StaticArtifact | None = None
 
     @classmethod
     def for_app(
         cls,
         app: "AppSpec",
-        config: Optional[AnalysisConfig] = None,
+        config: AnalysisConfig | None = None,
         *,
-        session: Optional["Session"] = None,
+        session: "Session" | None = None,
         **config_overrides,
     ) -> "Pipeline":
         """A pipeline for a registry application, config from its defaults."""
@@ -302,8 +333,25 @@ class Pipeline:
     def psg(self):
         return self.static().psg
 
-    def lint(self, nprocs: int):
-        """Static MPI lint at one scale (a :class:`repro.analysis.LintReport`)."""
+    def lint(self, nprocs: int | None = None, *, scales=None, valid=None):
+        """Static MPI lint — one scale, or a whole range of scales.
+
+        ``lint(8)`` returns the concrete
+        :class:`repro.analysis.LintReport` at P=8.  ``lint(scales="all")``
+        (or ``"4..64"``, ``[4, 8, 16]``, ``(lo, hi)``) returns the
+        cross-scale :class:`repro.analysis.ScaleLintReport` — proven over
+        the range when endpoints stay affine in (rank, P), sampled
+        witnesses otherwise.  ``valid`` optionally restricts which P are
+        legal for the program (e.g. perfect squares).
+        """
+        if scales is not None:
+            if nprocs is not None:
+                raise ValueError("pass either nprocs or scales, not both")
+            return self.static_stage.lint_scales(
+                self.static(), self.config, scales, valid=valid
+            )
+        if nprocs is None:
+            raise ValueError("lint needs nprocs or scales")
         return self.static_stage.lint(self.static(), self.config, nprocs)
 
     # -- stage 2 ---------------------------------------------------------

@@ -33,7 +33,8 @@ import shutil
 import threading
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Optional, Sequence, Union
+from collections.abc import Sequence
+from typing import Any
 
 from repro.api.artifacts import AnyProfile, ArtifactKey, DetectArtifact
 from repro.api.config import AnalysisConfig
@@ -71,7 +72,7 @@ class Session:
     within the process); a path makes them survive across processes.
     """
 
-    cache_dir: Optional[Path] = None
+    cache_dir: Path | None = None
     stats: CacheStats = field(default_factory=CacheStats)
 
     def __post_init__(self) -> None:
@@ -85,8 +86,8 @@ class Session:
 
     def pipeline(
         self,
-        source_or_app: Union[str, AppSpec],
-        config: Optional[AnalysisConfig] = None,
+        source_or_app: str | AppSpec,
+        config: AnalysisConfig | None = None,
         *,
         filename: str = "<string>",
         **config_overrides: Any,
@@ -106,12 +107,12 @@ class Session:
 
     # -- the artifact store ----------------------------------------------
 
-    def _disk_path(self, key: ArtifactKey) -> Optional[Path]:
+    def _disk_path(self, key: ArtifactKey) -> Path | None:
         if self.cache_dir is None:
             return None
         return self.cache_dir / key.relative_path()
 
-    def fetch(self, key: ArtifactKey) -> Optional[AnyProfile]:
+    def fetch(self, key: ArtifactKey) -> AnyProfile | None:
         """The cached run for ``key``, or None (counts a hit or a miss).
 
         A corrupt or unreadable artifact is a miss, not an error: the bad
@@ -151,8 +152,8 @@ class Session:
     def invalidate(
         self,
         *,
-        source_digest: Optional[str] = None,
-        config_digest: Optional[str] = None,
+        source_digest: str | None = None,
+        config_digest: str | None = None,
     ) -> int:
         """Drop cached artifacts matching the given digests (None = any).
 
@@ -183,9 +184,9 @@ class Session:
 
     def analyze(
         self,
-        source_or_app: Union[str, AppSpec],
+        source_or_app: str | AppSpec,
         scales: Sequence[int],
-        config: Optional[AnalysisConfig] = None,
+        config: AnalysisConfig | None = None,
         *,
         jobs: int = 1,
         filename: str = "<string>",

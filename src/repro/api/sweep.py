@@ -14,7 +14,8 @@ from __future__ import annotations
 import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Iterable, Optional, Sequence, Union
+from collections.abc import Iterable, Sequence
+from typing import Any
 
 from repro.api.artifacts import ProfileArtifact, StaticArtifact
 from repro.api.config import AnalysisConfig
@@ -56,7 +57,7 @@ class SweepResult:
         return self.report.cause_locations()
 
 
-def _resolve_app(app: Union[str, AppSpec]) -> AppSpec:
+def _resolve_app(app: str | AppSpec) -> AppSpec:
     if isinstance(app, AppSpec):
         return app
     from repro.apps import get_app
@@ -65,13 +66,13 @@ def _resolve_app(app: Union[str, AppSpec]) -> AppSpec:
 
 
 def sweep(
-    apps: Iterable[Union[str, AppSpec]],
+    apps: Iterable[str | AppSpec],
     scales: Sequence[int],
     *,
     seeds: Sequence[int] = (0,),
-    session: Optional[Session] = None,
+    session: Session | None = None,
     jobs: int = 1,
-    config: Optional[AnalysisConfig] = None,
+    config: AnalysisConfig | None = None,
     **config_overrides: Any,
 ) -> list[SweepResult]:
     """Analyze every (app, seed) cell at ``scales``, ``jobs`` tasks at a time.

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Union
+from collections.abc import Iterable
 
 from repro.apps.nekbone import NEKBONE, NEKBONE_FIXED
 from repro.apps.npb import NPB_APPS
@@ -50,7 +50,7 @@ def app_names() -> list[str]:
     return sorted(APPS)
 
 
-def resolve_apps(names: Union[str, Iterable[str]]) -> list[AppSpec]:
+def resolve_apps(names: str | Iterable[str]) -> list[AppSpec]:
     """Expand an app selection into specs.
 
     Accepts a comma-separated string (``"cg,ep"``), the keywords ``"all"``

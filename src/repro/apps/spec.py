@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Callable, Optional
+from collections.abc import Callable
 
 from repro.minilang import ast_nodes as ast
 from repro.minilang.parser import parse_program
@@ -25,8 +25,8 @@ class AppSpec:
     #: default problem parameters (overridable per run)
     params: dict = field(default_factory=dict)
     #: machine override (e.g. Nekbone's per-core memory-speed variance)
-    machine: Optional[MachineModel] = None
-    network: Optional[NetworkModel] = None
+    machine: MachineModel | None = None
+    network: NetworkModel | None = None
     #: returns True when nprocs is valid for this app (e.g. BT needs squares)
     nprocs_valid: Callable[[int], bool] = lambda p: p >= 1
     #: human description of the constraint, for error messages
@@ -52,7 +52,7 @@ class AppSpec:
                 f"{self.name} cannot run on {nprocs} processes ({self.nprocs_note})"
             )
 
-    def merged_params(self, overrides: Optional[dict] = None) -> dict:
+    def merged_params(self, overrides: dict | None = None) -> dict:
         merged = dict(self.params)
         if overrides:
             merged.update(overrides)

@@ -20,7 +20,7 @@ process (no backtracking equivalent exists here by construction).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.ppg.build import PPG
 from repro.util.stats import LogLogFit, loglog_fit

@@ -14,7 +14,6 @@ runs over the trace (a simplified Bohme-style backward replay [64]).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 import numpy as np
 
@@ -71,7 +70,7 @@ class TraceAnalysis:
     def top_wait_vertices(self, k: int = 5) -> list[tuple[int, float]]:
         return sorted(self.wait_by_vertex.items(), key=lambda kv: -kv[1])[:k]
 
-    def main_cause_of(self, vid: int) -> Optional[int]:
+    def main_cause_of(self, vid: int) -> int | None:
         causes = self.wait_causes.get(vid)
         if not causes:
             return None
@@ -174,7 +173,7 @@ class TracerTool:
                     cstarts[lo:hi], cvids[lo:hi]
                 )
 
-        def cause_at(rank: int, t: float) -> Optional[int]:
+        def cause_at(rank: int, t: float) -> int | None:
             """Vertex rank was computing at (or last before) time t."""
             table = cause_tables.get(rank)
             if table is None:
@@ -210,7 +209,7 @@ class TracerTool:
             laggard_arrival = wc["laggard_arrival"]
             part_vid = cols["part_vid"]
             waiting = np.nonzero(wait > 0.0)[0]
-            cause_of_row: dict[int, Optional[int]] = {
+            cause_of_row: dict[int, int | None] = {
                 i: cause_at(int(laggard[i]), float(laggard_arrival[i]))
                 for i in np.unique(row[waiting]).tolist()
             }

@@ -9,7 +9,7 @@ ranked report.
 from __future__ import annotations
 
 import time as _time
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.detection.abnormal import (
     DEFAULT_ABNORM_THD,
@@ -62,9 +62,9 @@ __all__ = [
 def detect_scaling_loss(
     runs: Sequence[ProfiledRun],
     *,
-    nonscalable_config: NonScalableConfig = NonScalableConfig(),
-    abnormal_config: AbnormalConfig = AbnormalConfig(),
-    backtrack_config: BacktrackConfig = BacktrackConfig(),
+    nonscalable_config: NonScalableConfig | None = None,
+    abnormal_config: AbnormalConfig | None = None,
+    backtrack_config: BacktrackConfig | None = None,
     psg=None,
 ) -> DetectionReport:
     """Run the full offline detection pipeline over profiled runs.
@@ -77,6 +77,9 @@ def detect_scaling_loss(
         raise ValueError("no profiled runs given")
     if psg is None:
         raise ValueError("detect_scaling_loss needs the program's PSG")
+    nonscalable_config = nonscalable_config or NonScalableConfig()
+    abnormal_config = abnormal_config or AbnormalConfig()
+    backtrack_config = backtrack_config or BacktrackConfig()
     t0 = _time.perf_counter()
     runs = sorted(runs, key=lambda r: r.nprocs)
     ppgs = [

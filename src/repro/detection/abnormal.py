@@ -47,9 +47,10 @@ class AbnormalVertex:
 
 
 def detect_abnormal(
-    ppg: PPG, config: AbnormalConfig = AbnormalConfig()
+    ppg: PPG, config: AbnormalConfig | None = None
 ) -> list[AbnormalVertex]:
     """Find vertices with significantly imbalanced time across ranks."""
+    config = config or AbnormalConfig()
     if config.abnorm_thd <= 1.0:
         raise ValueError("AbnormThd must be > 1.0")
     total_mean_time = (

@@ -14,7 +14,7 @@ All of them are implemented here and ablated in
 from __future__ import annotations
 
 from enum import Enum
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

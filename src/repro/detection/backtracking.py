@@ -24,7 +24,7 @@ each path's *root cause* is its deepest computation/loop vertex.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from repro.detection.abnormal import AbnormalVertex
 from repro.detection.nonscalable import NonScalableVertex
@@ -99,9 +99,10 @@ class RootCausePath:
 
 
 def backtrack_from(
-    ppg: PPG, start: PPGNode, config: BacktrackConfig = BacktrackConfig()
+    ppg: PPG, start: PPGNode, config: BacktrackConfig | None = None
 ) -> RootCausePath:
     """Run one backward walk (the ``Backtracking`` function of Algorithm 1)."""
+    config = config or BacktrackConfig()
     path = RootCausePath(start=start, nodes=[start])
     in_path: set[PPGNode] = {start}
     descended: set[PPGNode] = set()
@@ -134,7 +135,7 @@ def backtrack_from(
 
 def _backward_step(
     ppg: PPG, v: PPGNode, descended: set[PPGNode], *, is_start: bool
-) -> Optional[PPGNode]:
+) -> PPGNode | None:
     vertex = ppg.psg.vertices[v[1]]
     if vertex.vtype is VertexType.MPI:
         if ppg.is_collective(v):
@@ -159,7 +160,7 @@ def backtrack_root_causes(
     ppg: PPG,
     non_scalable: Sequence[NonScalableVertex],
     abnormal: Sequence[AbnormalVertex],
-    config: BacktrackConfig = BacktrackConfig(),
+    config: BacktrackConfig | None = None,
 ) -> list[RootCausePath]:
     """The ``Main`` function of Algorithm 1.
 

@@ -21,7 +21,7 @@ contended vertices have slopes near or above 0.  A vertex is flagged when
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -61,7 +61,7 @@ class NonScalableVertex:
 
 def detect_non_scalable(
     ppgs: Sequence[PPG],
-    config: NonScalableConfig = NonScalableConfig(),
+    config: NonScalableConfig | None = None,
 ) -> list[NonScalableVertex]:
     """Detect non-scalable vertices from runs at multiple scales.
 
@@ -69,6 +69,7 @@ def detect_non_scalable(
     counts (the location-aware premise: "the per-process PSG does not change
     with the problem size or job scale").
     """
+    config = config or NonScalableConfig()
     if len(ppgs) < 2:
         raise ValueError("need runs at >= 2 scales to fit scaling slopes")
     psg = ppgs[0].psg

@@ -22,7 +22,6 @@ what :mod:`repro.ir.loops` verifies.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.minilang import ast_nodes as ast
 
@@ -37,7 +36,7 @@ class BasicBlock:
     #: Simple statements executed in order.
     statements: list[ast.Stmt] = field(default_factory=list)
     #: The control statement whose condition terminates this block, if any.
-    terminator: Optional[ast.Stmt] = None
+    terminator: ast.Stmt | None = None
     successors: list[int] = field(default_factory=list)
     predecessors: list[int] = field(default_factory=list)
     #: Human-readable role tag: "entry", "exit", "loop_header", "body", ...
@@ -117,8 +116,8 @@ class _CfgBuilder:
         return self.cfg
 
     def _lower_block(
-        self, block: ast.Block, current: Optional[BasicBlock]
-    ) -> Optional[BasicBlock]:
+        self, block: ast.Block, current: BasicBlock | None
+    ) -> BasicBlock | None:
         """Lower statements into ``current``; returns the open trailing block
         (``None`` when control definitely left, e.g. after ``return``)."""
         for stmt in block.statements:

@@ -11,7 +11,6 @@ the AST view that the PSG builder uses.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.ir.cfg import ControlFlowGraph
 from repro.ir.dominators import compute_dominators, dominates
@@ -28,9 +27,9 @@ class Loop:
     blocks: set[int] = field(default_factory=set)
     back_edges: list[tuple[int, int]] = field(default_factory=list)
     #: The ``for``/``while`` statement whose condition lives in the header.
-    statement: Optional[ast.Stmt] = None
+    statement: ast.Stmt | None = None
     #: Filled by nesting analysis: None for top-level loops.
-    parent_header: Optional[int] = None
+    parent_header: int | None = None
     depth: int = 1
 
     def __contains__(self, block_id: int) -> bool:
@@ -82,7 +81,7 @@ def _fill_nesting(loops: list[Loop]) -> None:
     parent is the smallest enclosing loop.
     """
     for inner in loops:
-        best: Optional[Loop] = None
+        best: Loop | None = None
         for outer in loops:
             if outer is inner:
                 continue

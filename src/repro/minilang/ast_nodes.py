@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Iterator, Optional
+from collections.abc import Iterator
 
 from repro.minilang.errors import SourceLocation
 
@@ -162,7 +162,7 @@ class Block(Node):
 @dataclass
 class VarDecl(Stmt):
     name: str
-    init: Optional[Expr] = None
+    init: Expr | None = None
 
 
 @dataclass
@@ -175,9 +175,9 @@ class Assign(Stmt):
 class ForStmt(Stmt):
     """``for (init; cond; step) body`` — init/step are optional assignments."""
 
-    init: Optional[Stmt]
-    cond: Optional[Expr]
-    step: Optional[Stmt]
+    init: Stmt | None
+    cond: Expr | None
+    step: Stmt | None
     body: Block = None  # type: ignore[assignment]
 
 
@@ -191,7 +191,7 @@ class WhileStmt(Stmt):
 class IfStmt(Stmt):
     cond: Expr
     then_body: Block = None  # type: ignore[assignment]
-    else_body: Optional[Block] = None
+    else_body: Block | None = None
 
 
 @dataclass
@@ -211,7 +211,7 @@ class CallStmt(Stmt):
 
 @dataclass
 class ReturnStmt(Stmt):
-    value: Optional[Expr] = None
+    value: Expr | None = None
 
 
 @dataclass
@@ -228,9 +228,9 @@ class ComputeStmt(Stmt):
     """
 
     flops: Expr = None  # type: ignore[assignment]
-    mem_bytes: Optional[Expr] = None
-    locality: Optional[Expr] = None
-    threads: Optional[Expr] = None
+    mem_bytes: Expr | None = None
+    locality: Expr | None = None
+    threads: Expr | None = None
     name: str = ""
 
 
@@ -309,14 +309,14 @@ class MpiStmt(Stmt):
     """
 
     op: MpiOp = None  # type: ignore[assignment]
-    dest: Optional[Expr] = None
-    src: Optional[Expr] = None
-    tag: Optional[Expr] = None
-    bytes_expr: Optional[Expr] = None
-    root: Optional[Expr] = None
-    request: Optional[str] = None
-    recv_src: Optional[Expr] = None
-    recv_tag: Optional[Expr] = None
+    dest: Expr | None = None
+    src: Expr | None = None
+    tag: Expr | None = None
+    bytes_expr: Expr | None = None
+    root: Expr | None = None
+    request: str | None = None
+    recv_src: Expr | None = None
+    recv_tag: Expr | None = None
 
 
 # --------------------------------------------------------------------------

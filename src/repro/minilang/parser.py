@@ -33,7 +33,6 @@ self-documenting in app sources and lets each op validate its own surface.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.minilang import ast_nodes as ast
 from repro.minilang.errors import ParseError, SourceLocation
@@ -89,16 +88,16 @@ class Parser:
             self.pos += 1
         return tok
 
-    def _check(self, kind: TokenKind, text: Optional[str] = None) -> bool:
+    def _check(self, kind: TokenKind, text: str | None = None) -> bool:
         tok = self._peek()
         return tok.kind is kind and (text is None or tok.text == text)
 
-    def _match(self, kind: TokenKind, text: Optional[str] = None) -> Optional[Token]:
+    def _match(self, kind: TokenKind, text: str | None = None) -> Token | None:
         if self._check(kind, text):
             return self._advance()
         return None
 
-    def _expect(self, kind: TokenKind, text: Optional[str] = None) -> Token:
+    def _expect(self, kind: TokenKind, text: str | None = None) -> Token:
         tok = self._peek()
         if not self._check(kind, text):
             want = text if text is not None else kind.value
@@ -196,7 +195,7 @@ class Parser:
             self._expect(TokenKind.SEMI)
         return ast.Assign(location=name_tok.location, name=name_tok.text, value=value)
 
-    def _parse_simple_for_clause(self) -> Optional[ast.Stmt]:
+    def _parse_simple_for_clause(self) -> ast.Stmt | None:
         """An assignment or var-decl without trailing semicolon (for-header)."""
         if self._check(TokenKind.KEYWORD, "var"):
             start = self._advance()
@@ -318,7 +317,7 @@ class Parser:
                     f"{op.value}() missing required argument {key!r}", start.location
                 )
 
-        def get(key: str) -> Optional[ast.Expr]:
+        def get(key: str) -> ast.Expr | None:
             return kwargs[key][0] if key in kwargs else None
 
         request = None

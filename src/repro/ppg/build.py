@@ -21,7 +21,6 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Optional
 
 import networkx as nx
 
@@ -97,7 +96,7 @@ class PPG:
                     count=count,
                 )
             )
-        for node, edges in self._in_edges.items():
+        for edges in self._in_edges.values():
             # Total order over every field: the ranking is a pure function
             # of the edge set, independent of the (serial-vs-sharded)
             # discovery order the edges dict was populated in.
@@ -156,13 +155,13 @@ class PPG:
             VertexType.BRANCH,
         )
 
-    def data_dep_pred(self, node: PPGNode) -> Optional[PPGNode]:
+    def data_dep_pred(self, node: PPGNode) -> PPGNode | None:
         prev = self.psg.prev_in_order(node[1])
         if prev is None:
             return None
         return (node[0], prev)
 
-    def control_dep_pred(self, node: PPGNode) -> Optional[PPGNode]:
+    def control_dep_pred(self, node: PPGNode) -> PPGNode | None:
         last = self.psg.last_body_vertex(node[1])
         if last is None:
             return None
@@ -171,7 +170,7 @@ class PPG:
     def comm_in_edges(self, node: PPGNode) -> list[_InEdge]:
         return self._in_edges.get(node, [])
 
-    def comm_pred(self, node: PPGNode) -> Optional[PPGNode]:
+    def comm_pred(self, node: PPGNode) -> PPGNode | None:
         """Strongest (longest-waiting) incoming communication dependence."""
         edges = self.comm_in_edges(node)
         if not edges:
@@ -179,10 +178,10 @@ class PPG:
         best = edges[0]
         return (best.send_rank, best.send_vid)
 
-    def collective_laggard(self, vid: int) -> Optional[int]:
+    def collective_laggard(self, vid: int) -> int | None:
         """The rank the other ranks waited for in the worst instance of the
         collective at PSG vertex ``vid`` (None if never waited / unknown)."""
-        best: Optional[tuple[float, int]] = None
+        best: tuple[float, int] | None = None
         for key, group in self.comm.groups.items():
             if not any(v == vid for _r, v in group.vids):
                 continue

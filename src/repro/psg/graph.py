@@ -33,7 +33,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Iterator, Optional
+from collections.abc import Iterator
 
 import networkx as nx
 
@@ -68,16 +68,16 @@ class PSGVertex:
     inline_path: InlinePath = ()
     #: Name of the function the underlying statement(s) came from.
     function: str = ""
-    parent: Optional[int] = None
+    parent: int | None = None
     children: list[int] = field(default_factory=list)
     #: For children of a Branch: which arm ("then"/"else"); else "".
     arm: str = ""
     #: For MPI vertices: which operation.
-    mpi_op: Optional[MpiOp] = None
+    mpi_op: MpiOp | None = None
     #: For Call vertices: True when the callee is a function pointer.
     indirect: bool = False
     #: For recursive Call vertices: vid of the already-inlined instance.
-    recursion_target: Optional[int] = None
+    recursion_target: int | None = None
     #: Loop nesting depth (Loop vertices only; 1 = outermost).
     loop_depth: int = 0
 
@@ -101,7 +101,7 @@ class PSG:
         self.name = name
         self.vertices: dict[int, PSGVertex] = {}
         self._next_id = 0
-        self.root_id: Optional[int] = None
+        self.root_id: int | None = None
         #: (inline_path, stmt_id) -> vid; how runtime samples find vertices.
         self.stmt_index: dict[tuple[InlinePath, int], int] = {}
 
@@ -115,12 +115,12 @@ class PSG:
         name: str,
         location: SourceLocation,
         *,
-        stmt_ids: Optional[list[int]] = None,
+        stmt_ids: list[int] | None = None,
         inline_path: InlinePath = (),
         function: str = "",
-        parent: Optional[int] = None,
+        parent: int | None = None,
         arm: str = "",
-        mpi_op: Optional[MpiOp] = None,
+        mpi_op: MpiOp | None = None,
         indirect: bool = False,
         loop_depth: int = 0,
     ) -> PSGVertex:
@@ -169,7 +169,7 @@ class PSG:
     # traversal
     # ------------------------------------------------------------------
 
-    def iter_preorder(self, start: Optional[int] = None) -> Iterator[PSGVertex]:
+    def iter_preorder(self, start: int | None = None) -> Iterator[PSGVertex]:
         """Depth-first pre-order over the structural tree."""
         start_id = self.root_id if start is None else start
         if start_id is None:
@@ -184,7 +184,7 @@ class PSG:
     def subtree_ids(self, vid: int) -> list[int]:
         return [v.vid for v in self.iter_preorder(vid)]
 
-    def prev_in_order(self, vid: int) -> Optional[int]:
+    def prev_in_order(self, vid: int) -> int | None:
         """Backward data-dependence step: previous sibling, else parent."""
         v = self.vertices[vid]
         if v.parent is None:
@@ -195,7 +195,7 @@ class PSG:
             return siblings[idx - 1]
         return v.parent
 
-    def last_body_vertex(self, vid: int) -> Optional[int]:
+    def last_body_vertex(self, vid: int) -> int | None:
         """Backward control-dependence step for a Loop/Branch: the last
         vertex of its body (``None`` for an empty body)."""
         children = self.vertices[vid].children
@@ -260,7 +260,7 @@ class PSG:
         path.reverse()
         return path
 
-    def lookup_stmt(self, inline_path: InlinePath, stmt_id: int) -> Optional[int]:
+    def lookup_stmt(self, inline_path: InlinePath, stmt_id: int) -> int | None:
         """Resolve a runtime (call-path, statement) to a PSG vertex id.
 
         Falls back to progressively shorter inline paths so that samples in

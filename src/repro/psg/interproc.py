@@ -15,7 +15,7 @@ vertex, as Fig. 4(b) shows).  Three special cases follow the paper exactly:
 
 from __future__ import annotations
 
-from typing import Mapping
+from collections.abc import Mapping
 
 from repro.minilang import ast_nodes as ast
 from repro.psg.graph import PSG, InlinePath, PSGVertex, VertexType

@@ -34,7 +34,7 @@ import itertools
 import threading
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Iterator, Optional
+from collections.abc import Iterator
 
 from repro.minilang import ast_nodes as ast
 from repro.minilang.ast_nodes import MpiOp
@@ -151,6 +151,14 @@ class SimulationConfig:
     #: Execution strategy like ``sim_shards``: service order and results
     #: are bit-identical for every value (see :mod:`repro.simulator.schedq`).
     sim_scheduler: str = "auto"
+    #: How ranks are assigned to shard engines: "contiguous" (balanced
+    #: equal ranges) or "commgraph" (cut positions chosen from the
+    #: parametric communication graph to minimize cross-shard traffic —
+    #: see :meth:`repro.simulator.parallel.plan.ShardPlan.from_comm_graph`;
+    #: falls back to contiguous when the graph degrades).  Execution
+    #: strategy like ``sim_shards``: results are bit-identical for every
+    #: value, only cross-shard routing volume changes.
+    sim_partition: str = "contiguous"
     #: Share op records *across ranks* for statements the whole-program
     #: rank-dependence analysis proves constant (see
     #: :mod:`repro.analysis.rankdep`) — lifts PR 5's per-rank memoization
@@ -171,6 +179,10 @@ class SimulationConfig:
         if self.sim_scheduler not in ("auto", "heap", "calendar"):
             raise ValueError(
                 "sim_scheduler must be 'auto', 'heap' or 'calendar'"
+            )
+        if self.sim_partition not in ("contiguous", "commgraph"):
+            raise ValueError(
+                "sim_partition must be 'contiguous' or 'commgraph'"
             )
         if not isinstance(self.sim_class_sharing, bool):
             raise ValueError("sim_class_sharing must be a bool")
@@ -207,7 +219,7 @@ class SimulationResult:
     mpi_call_count: int
     compute_count: int
     #: Set when the run was produced by the sharded parallel executor.
-    parallel_stats: Optional[ParallelRunStats] = None
+    parallel_stats: ParallelRunStats | None = None
 
     @property
     def segments(self) -> SegmentsView:
@@ -273,7 +285,7 @@ class _Request:
     post_time: float
     vid: int
     #: For recv requests: earliest completion time once matched.
-    ready_time: Optional[float] = None
+    ready_time: float | None = None
     #: Row of this request's message in the run's P2PTable (-1 until
     #: matched); the wait that completes the request fills the row's
     #: completion columns in place.
@@ -296,7 +308,7 @@ class _Proc:
         self.clock = 0.0
         self.status = _Status.READY
         self.token = -1
-        self.blocked_on: Optional[tuple] = None
+        self.blocked_on: tuple | None = None
         self.block_start = 0.0
         #: request name -> FIFO of outstanding requests
         self.requests: dict[str, list[_Request]] = {}
@@ -326,7 +338,7 @@ class Engine:
         psg: PSG,
         config: SimulationConfig,
         *,
-        local_ranks: Optional[range] = None,
+        local_ranks: range | None = None,
     ) -> None:
         self.program = program
         self.psg = psg
@@ -340,7 +352,7 @@ class Engine:
             r: Mailbox(r) for r in self.local_ranks
         }
         #: pid -> _Proc (None for ranks owned by another shard)
-        self.procs: list[Optional[_Proc]] = [None] * config.nprocs
+        self.procs: list[_Proc | None] = [None] * config.nprocs
         #: resolved event-queue implementation ("auto" picks by how many
         #: ranks feed this engine — a shard counts only its local ranks)
         self.scheduler = resolve_scheduler(
@@ -398,7 +410,7 @@ class Engine:
         # per-rank path (correctness is carried by the interpreter either
         # way and gated by the sharing identity sweep).
         const_stmts = None
-        shared_ops: Optional[dict] = None
+        shared_ops: dict | None = None
         if cfg.sim_class_sharing and len(self.local_ranks) > 1:
             from repro.analysis.rankdep import analyze_program
 
@@ -429,7 +441,7 @@ class Engine:
             self.procs[pid] = proc
             self._push(proc)
 
-    def drain(self, horizon: Optional[float] = None) -> None:
+    def drain(self, horizon: float | None = None) -> None:
         """Run runnable ranks in virtual-time order.
 
         Without a horizon this is the serial main loop: it returns when no
@@ -528,7 +540,7 @@ class Engine:
     # stepping one process
     # ------------------------------------------------------------------
 
-    def _step(self, proc: _Proc, horizon: Optional[float] = None) -> Optional[tuple]:
+    def _step(self, proc: _Proc, horizon: float | None = None) -> tuple | None:
         """Run ``proc`` op-by-op while it stays the globally minimal clock
         (and, in windowed mode, below the horizon); returns the queue entry
         of the next rank to serve (None when the drain is over)."""
@@ -861,7 +873,7 @@ class Engine:
         return False
 
     def _apply_collective(
-        self, record: CollectiveRecord, cost: float, arriving: Optional[_Proc]
+        self, record: CollectiveRecord, cost: float, arriving: _Proc | None
     ) -> None:
         """Record the per-rank collective rows and release the local ranks.
 

@@ -26,7 +26,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import IntEnum
-from typing import Optional
 
 from repro.minilang.ast_nodes import MpiOp
 
@@ -49,7 +48,7 @@ class Segment:
     end: float
     #: Portion of the span spent waiting on other ranks (MPI only).
     wait: float = 0.0
-    mpi_op: Optional[MpiOp] = None
+    mpi_op: MpiOp | None = None
 
     @property
     def duration(self) -> float:
@@ -76,8 +75,8 @@ class P2PRecord:
     wait_time: float = 0.0
     #: Source/tag as *declared* at the receive; None means a wildcard
     #: (MPI_ANY_SOURCE / MPI_ANY_TAG) that must be resolved from status.
-    declared_src: Optional[int] = None
-    declared_tag: Optional[int] = None
+    declared_src: int | None = None
+    declared_tag: int | None = None
 
     @property
     def had_wait(self) -> bool:
@@ -102,7 +101,7 @@ class CollectiveRecord:
     completions: dict[int, float]
     #: Lazily cached :attr:`op_cost` (``compare=False``: equality between
     #: records must not depend on whether a wait was ever queried).
-    cached_op_cost: Optional[float] = field(
+    cached_op_cost: float | None = field(
         default=None, init=False, repr=False, compare=False
     )
 

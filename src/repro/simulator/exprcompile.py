@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import hashlib
 import math
-from typing import Callable, Optional
+from collections.abc import Callable
 
 from repro.minilang import ast_nodes as ast
 from repro.simulator import ops
@@ -147,7 +147,7 @@ def truthy(value: object) -> bool:
 
 
 def compile_expr(
-    expr: ast.Expr, cache: dict, fnames: Optional[frozenset[str]] = None
+    expr: ast.Expr, cache: dict, fnames: frozenset[str] | None = None
 ) -> CompiledExpr:
     """Compile ``expr`` (memoized in ``cache`` by node identity).
 
@@ -168,7 +168,7 @@ def compile_expr(
 
 
 def expr_is_static(
-    expr: Optional[ast.Expr], cache: dict, fnames: Optional[frozenset[str]] = None
+    expr: ast.Expr | None, cache: dict, fnames: frozenset[str] | None = None
 ) -> bool:
     """Is ``expr``'s value fixed per interpreter context (or absent)?
 
@@ -222,7 +222,7 @@ def _wrap_child(fn: CompiledExpr, kind: int, expr: ast.Expr, parent_kind: int):
     return fn
 
 
-def _compile(expr: ast.Expr, fnames: Optional[frozenset[str]]) -> tuple[CompiledExpr, int]:
+def _compile(expr: ast.Expr, fnames: frozenset[str] | None) -> tuple[CompiledExpr, int]:
     if isinstance(expr, (ast.IntLit, ast.FloatLit, ast.StringLit, ast.BoolLit)):
         return _const(expr.value)
     if isinstance(expr, ast.AnyLit):
@@ -278,7 +278,7 @@ def _compile_varref(expr: ast.VarRef) -> CompiledExpr:
 
 
 def _compile_unary(
-    expr: ast.UnaryExpr, fnames: Optional[frozenset[str]]
+    expr: ast.UnaryExpr, fnames: frozenset[str] | None
 ) -> tuple[CompiledExpr, int]:
     ofn, okind = _compile(expr.operand, fnames)
     kind = _combine(okind)
@@ -303,7 +303,7 @@ def _compile_unary(
 
 
 def _compile_binary(
-    expr: ast.BinaryExpr, fnames: Optional[frozenset[str]]
+    expr: ast.BinaryExpr, fnames: frozenset[str] | None
 ) -> tuple[CompiledExpr, int]:
     op, loc = expr.op, expr.location
     lfn, lkind = _compile(expr.left, fnames)
@@ -400,7 +400,7 @@ _NUMERIC_OPS = {
 
 
 def _compile_call(
-    expr: ast.CallExpr, fnames: Optional[frozenset[str]]
+    expr: ast.CallExpr, fnames: frozenset[str] | None
 ) -> tuple[CompiledExpr, int]:
     compiled = [_compile(a, fnames) for a in expr.args]
     kind = _combine(*(k for _fn, k in compiled))

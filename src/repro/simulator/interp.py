@@ -16,7 +16,7 @@ vertex via ``psg.lookup_stmt`` — this is the runtime half of the paper's
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Mapping, Optional
+from collections.abc import Iterator, Mapping
 
 from repro.minilang import ast_nodes as ast
 from repro.minilang.ast_nodes import MpiOp
@@ -204,13 +204,13 @@ class Interpreter:
         psg: PSG,
         rank: int,
         nprocs: int,
-        params: Optional[Mapping[str, object]] = None,
+        params: Mapping[str, object] | None = None,
         *,
         max_iterations: int = 10_000_000,
         entry: str = "main",
-        expr_cache: Optional[dict] = None,
-        const_stmts: Optional[frozenset] = None,
-        shared_op_cache: Optional[dict] = None,
+        expr_cache: dict | None = None,
+        const_stmts: frozenset | None = None,
+        shared_op_cache: dict | None = None,
     ) -> None:
         if not (0 <= rank < nprocs):
             raise ValueError(f"rank {rank} out of range for {nprocs} processes")
@@ -253,7 +253,7 @@ class Interpreter:
         """Compile through the shared cache with rank-static analysis on."""
         return compile_expr(expr, self._expr_cache, self._fnames)
 
-    def _static_args(self, *exprs: Optional[ast.Expr]) -> bool:
+    def _static_args(self, *exprs: ast.Expr | None) -> bool:
         """True when every given expression (None = defaulted) is
         rank-static — the op built from them is then reusable."""
         return all(

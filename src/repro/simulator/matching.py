@@ -37,7 +37,7 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, Optional
+from collections.abc import Callable, Iterator
 
 from repro.simulator.ops import ANY
 
@@ -76,7 +76,7 @@ class PostedRecv:
     post_time: float
     recv_vid: int
     #: None for a blocking recv; request name for irecv.
-    request: Optional[str] = None
+    request: str | None = None
     seq: int = field(default_factory=lambda: next(_recv_counter))
 
     def accepts(self, msg: Message) -> bool:
@@ -116,7 +116,7 @@ class Mailbox:
 
     # -- the two entry points -------------------------------------------
 
-    def deliver(self, msg: Message) -> Optional[Match]:
+    def deliver(self, msg: Message) -> Match | None:
         """A send was posted toward this rank.  Returns a match if some
         already-posted receive accepts it (earliest-posted wins)."""
         if msg.dest != self.rank:
@@ -153,7 +153,7 @@ class Mailbox:
         self._pending_count += 1
         return None
 
-    def post_recv(self, recv: PostedRecv) -> Optional[Match]:
+    def post_recv(self, recv: PostedRecv) -> Match | None:
         """A receive was posted.  Returns a match against the earliest
         eligible pending message, if any."""
         if recv.rank != self.rank:
@@ -188,8 +188,8 @@ class Mailbox:
         self,
         recv: PostedRecv,
         key: Callable[[Message], tuple],
-        bound: Optional[tuple] = None,
-    ) -> Optional[Match]:
+        bound: tuple | None = None,
+    ) -> Match | None:
         """Match ``recv`` against the eligible pending message minimizing
         ``key(message)`` (instead of insertion order).
 
@@ -239,8 +239,8 @@ class Mailbox:
         self._posted_count += 1
 
     def _min_pending(
-        self, recv: PostedRecv, rank_fn, bound: Optional[tuple] = None
-    ) -> Optional[Message]:
+        self, recv: PostedRecv, rank_fn, bound: tuple | None = None
+    ) -> Message | None:
         """Pop and return the eligible pending message minimizing
         ``rank_fn((stamp, msg))``, or None.  Only bucket heads can win:
         buckets are FIFO and a recv is either eligible for a whole

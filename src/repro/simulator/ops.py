@@ -18,7 +18,6 @@ in its own records, never on the op.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.minilang.ast_nodes import MpiOp
 from repro.minilang.errors import SourceLocation
@@ -58,7 +57,7 @@ class SendOp(Op):
     nbytes: int
     mpi_op: MpiOp = MpiOp.SEND
     blocking: bool = True
-    request: Optional[str] = None  # isend
+    request: str | None = None  # isend
 
 
 @dataclass(slots=True)
@@ -67,7 +66,7 @@ class RecvOp(Op):
     tag: object  # int or ANY
     mpi_op: MpiOp = MpiOp.RECV
     blocking: bool = True
-    request: Optional[str] = None  # irecv
+    request: str | None = None  # irecv
 
 
 @dataclass(slots=True)

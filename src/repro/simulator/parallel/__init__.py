@@ -39,6 +39,7 @@ routes here through :func:`repro.simulator.simulate`, or call
 
 from repro.simulator.parallel.coordinator import (
     LocalShardHandle,
+    plan_for,
     run_coordinated,
     simulate_sharded,
 )
@@ -61,6 +62,7 @@ __all__ = [
     "ShardEngine",
     "ShardFinal",
     "ShardPlan",
+    "plan_for",
     "run_coordinated",
     "simulate_sharded",
 ]

@@ -38,7 +38,7 @@ engine.
 
 from __future__ import annotations
 
-from typing import Optional, Protocol
+from typing import Protocol
 
 from repro.minilang import ast_nodes as ast
 from repro.psg.graph import PSG
@@ -65,7 +65,13 @@ from repro.simulator.parallel.plan import ShardPlan
 from repro.simulator.parallel.shard import ShardEngine
 from repro.simulator.trace import CollectiveTable, TraceBuffer
 
-__all__ = ["ShardHandle", "LocalShardHandle", "run_coordinated", "simulate_sharded"]
+__all__ = [
+    "ShardHandle",
+    "LocalShardHandle",
+    "plan_for",
+    "run_coordinated",
+    "simulate_sharded",
+]
 
 _INF = float("inf")
 
@@ -86,7 +92,7 @@ class LocalShardHandle:
     def __init__(self, engine: ShardEngine) -> None:
         self.engine = engine
         engine.start()
-        self._pending: Optional[RoundOutput] = None
+        self._pending: RoundOutput | None = None
 
     def begin_round(self, rinput: RoundInput) -> None:
         self._pending = self.engine.run_round(rinput)
@@ -141,7 +147,7 @@ def run_coordinated(
         b_times += [t for t in next_events if t != _INF]
         b = min(b_times) if b_times else _INF
         b_key: CanonicalKey = (b, -1, -1)
-        resolve: Optional[CanonicalKey] = None
+        resolve: CanonicalKey | None = None
         if holds:
             smallest = min(holds)
             if smallest < b_key:
@@ -250,13 +256,39 @@ def _merge(
     )
 
 
+def plan_for(program: ast.Program, config: SimulationConfig) -> ShardPlan:
+    """The shard plan for one run, honouring ``config.sim_partition``.
+
+    ``"commgraph"`` builds the parametric communication graph and places
+    cuts to minimize cross-shard traffic; any degradation (no exact
+    graph, instantiation failure) falls back to the contiguous plan —
+    the partition is an execution strategy, so it must never be the
+    reason a run fails.
+    """
+    if config.sim_shards > 1 and config.sim_partition == "commgraph":
+        from repro.analysis.commgraph import build_comm_graph
+        from repro.simulator.errors import SimulationError
+
+        graph = build_comm_graph(
+            program, config.params, entry=config.entry
+        )
+        if graph.exact:
+            try:
+                return ShardPlan.from_comm_graph(
+                    graph, config.nprocs, config.sim_shards
+                )
+            except SimulationError:
+                pass
+    return ShardPlan.contiguous(config.nprocs, config.sim_shards)
+
+
 def simulate_sharded(
     program: ast.Program,
     psg: PSG,
     config: SimulationConfig,
     *,
-    plan: Optional[ShardPlan] = None,
-    executor: Optional[str] = None,
+    plan: ShardPlan | None = None,
+    executor: str | None = None,
     bounded_windows: bool = False,
 ) -> SimulationResult:
     """Run one simulation over multiple shard engines.
@@ -268,7 +300,7 @@ def simulate_sharded(
     """
     add_simulation_calls(1)
     if plan is None:
-        plan = ShardPlan.contiguous(config.nprocs, config.sim_shards)
+        plan = plan_for(program, config)
     if plan.nshards <= 1:
         return Engine(program, psg, config).run()
     executor = executor or config.sim_executor

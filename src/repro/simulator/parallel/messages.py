@@ -10,8 +10,6 @@ results.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
-
 from repro.minilang.ast_nodes import MpiOp
 from repro.minilang.errors import SourceLocation
 from repro.simulator.events import CollectiveRecord
@@ -38,7 +36,7 @@ __all__ = [
 #: real MPI leaves nondeterministic anyway; sharded mode resolves it
 #: canonically (lowest rank first, deterministic across shard counts and
 #: executors).
-CanonicalKey = Tuple[float, int, int]
+CanonicalKey = tuple[float, int, int]
 
 
 @dataclass(slots=True)
@@ -77,11 +75,11 @@ class RoundInput:
     gate_bound: CanonicalKey = (0.0, -1, -1)
     #: The one held wildcard receive allowed to resolve this round (the
     #: globally minimal hold), or None.
-    resolve: Optional[CanonicalKey] = None
+    resolve: CanonicalKey | None = None
     #: Optional window horizon: with a value, the shard only advances
     #: ranks whose clock stays below it (bounded-window mode); None lets
     #: the shard run to local quiescence (maximal conservative window).
-    horizon: Optional[float] = None
+    horizon: float | None = None
 
 
 @dataclass(slots=True)

@@ -37,7 +37,6 @@ deliveries match in canonical order.
 from __future__ import annotations
 
 import itertools
-from typing import Optional
 
 from repro.minilang import ast_nodes as ast
 from repro.psg.graph import PSG
@@ -90,7 +89,7 @@ class _Gate:
     def push(self, key: CanonicalKey, kind: str, payload) -> None:
         self.entries.push(key + (next(self._tie), kind, payload))
 
-    def min_hold(self) -> Optional[CanonicalKey]:
+    def min_hold(self) -> CanonicalKey | None:
         """Key of this gate's earliest queued wildcard receive, if any."""
         best = None
         for entry in self.entries:
@@ -244,7 +243,7 @@ class ShardEngine(Engine):
                 gate.push(_message_key(msg), "deliver", msg)
 
     def _gate_process(
-        self, gate: _Gate, resolve: Optional[CanonicalKey] = None
+        self, gate: _Gate, resolve: CanonicalKey | None = None
     ) -> None:
         """Replay queued mailbox operations in canonical order, strictly
         below the safety bound; stop at a wildcard receive unless it is

@@ -42,7 +42,7 @@ from __future__ import annotations
 
 import heapq
 from bisect import insort
-from typing import Callable, Iterator, Optional
+from collections.abc import Callable, Iterator
 
 __all__ = [
     "EventQueue",
@@ -81,7 +81,7 @@ class EventQueue:
     def push(self, entry: tuple) -> None:
         raise NotImplementedError
 
-    def pop(self, horizon: Optional[float] = None) -> Optional[tuple]:
+    def pop(self, horizon: float | None = None) -> tuple | None:
         """Remove and return the minimal live entry.
 
         Returns None when no live entry exists, or when the minimal live
@@ -90,7 +90,7 @@ class EventQueue:
         """
         raise NotImplementedError
 
-    def peek(self) -> Optional[tuple]:
+    def peek(self) -> tuple | None:
         """The minimal live entry without removing it (None when empty)."""
         raise NotImplementedError
 
@@ -115,14 +115,14 @@ class BinaryHeapQueue(EventQueue):
 
     __slots__ = ("_heap", "_live")
 
-    def __init__(self, live: Optional[Callable[[tuple], bool]] = None) -> None:
+    def __init__(self, live: Callable[[tuple], bool] | None = None) -> None:
         self._heap: list[tuple] = []
         self._live = live
 
     def push(self, entry: tuple) -> None:
         heapq.heappush(self._heap, entry)
 
-    def pop(self, horizon: Optional[float] = None) -> Optional[tuple]:
+    def pop(self, horizon: float | None = None) -> tuple | None:
         heap = self._heap
         live = self._live
         while heap:
@@ -136,7 +136,7 @@ class BinaryHeapQueue(EventQueue):
             return entry
         return None
 
-    def peek(self) -> Optional[tuple]:
+    def peek(self) -> tuple | None:
         heap = self._heap
         live = self._live
         while heap:
@@ -183,7 +183,7 @@ class CalendarQueue(EventQueue):
 
     def __init__(
         self,
-        live: Optional[Callable[[tuple], bool]] = None,
+        live: Callable[[tuple], bool] | None = None,
         *,
         width: float = 1e-6,
     ) -> None:
@@ -215,7 +215,7 @@ class CalendarQueue(EventQueue):
 
     # -- read path -------------------------------------------------------
 
-    def _find_min(self) -> Optional[list[tuple]]:
+    def _find_min(self) -> list[tuple] | None:
         """Advance the cursor to the minimal live entry's day and return its
         bucket (the entry is ``bucket[0]``); prunes stale entries met on
         the way.  None when no live entry remains.
@@ -261,7 +261,7 @@ class CalendarQueue(EventQueue):
                 day = int(head[0] / width)
                 scanned = 0
 
-    def pop(self, horizon: Optional[float] = None) -> Optional[tuple]:
+    def pop(self, horizon: float | None = None) -> tuple | None:
         bucket = self._find_min()
         if bucket is None:
             return None
@@ -273,7 +273,7 @@ class CalendarQueue(EventQueue):
         self._maybe_shrink()
         return entry
 
-    def peek(self) -> Optional[tuple]:
+    def peek(self) -> tuple | None:
         bucket = self._find_min()
         return None if bucket is None else bucket[0]
 
@@ -337,7 +337,7 @@ def resolve_scheduler(name: str, nranks: int) -> str:
 def make_queue(
     name: str,
     nranks: int = 1,
-    live: Optional[Callable[[tuple], bool]] = None,
+    live: Callable[[tuple], bool] | None = None,
 ) -> EventQueue:
     """An :class:`EventQueue` for ``sim_scheduler=name`` ("auto" resolves
     by ``nranks``, the number of ranks feeding this queue)."""

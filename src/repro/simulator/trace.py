@@ -69,7 +69,7 @@ persisted through the Session artifact cache.
 from __future__ import annotations
 
 import base64
-from typing import Iterator, Optional
+from collections.abc import Iterator
 
 import numpy as np
 
@@ -110,12 +110,12 @@ _EVENT_STRIDE = 7
 _COUNTER_STRIDE = 6
 
 
-def mpi_op_code(op: Optional[MpiOp]) -> int:
+def mpi_op_code(op: MpiOp | None) -> int:
     """The integer code stored in the ``op`` column (-1 for None)."""
     return -1 if op is None else MPI_OP_CODES[op]
 
 
-def _op_from_code(code: int) -> Optional[MpiOp]:
+def _op_from_code(code: int) -> MpiOp | None:
     return None if code < 0 else _CODE_TO_OP[code]
 
 
@@ -289,7 +289,7 @@ class P2PTable:
         self._chunk_rows: list[int] = []
         self._sealed_rows = 0
         self._count = 0
-        self._cols: Optional[dict[str, np.ndarray]] = None
+        self._cols: dict[str, np.ndarray] | None = None
         self._cols_count = -1
 
     # -- write path (engine hot loop) -----------------------------------
@@ -486,7 +486,7 @@ class CollectiveTable:
         self._sealed_rows = 0
         self._sealed_parts = 0
         self._count = 0
-        self._cols: Optional[dict[str, np.ndarray]] = None
+        self._cols: dict[str, np.ndarray] | None = None
         self._cols_count = -1
 
     # -- write path ------------------------------------------------------
@@ -716,13 +716,13 @@ class TraceBuffer:
         self._fold_visits: dict[tuple[int, int], int] = {}
         self._fold_counters: dict[tuple[int, int], PerfCounters] = {}
         # lazy caches (invalidated by event count when appends continue)
-        self._columns: Optional[dict[str, np.ndarray]] = None
+        self._columns: dict[str, np.ndarray] | None = None
         self._columns_count = -1
-        self._ccolumns: Optional[dict[str, np.ndarray]] = None
+        self._ccolumns: dict[str, np.ndarray] | None = None
         self._ccolumns_count = -1
-        self._aggregates: Optional[tuple[dict, dict, dict]] = None
+        self._aggregates: tuple[dict, dict, dict] | None = None
         self._agg_count = -1
-        self._counter_agg: Optional[dict[tuple[int, int], PerfCounters]] = None
+        self._counter_agg: dict[tuple[int, int], PerfCounters] | None = None
         self._cagg_count = -1
 
     # ------------------------------------------------------------------

@@ -41,6 +41,8 @@ def _sim_args(args) -> dict:
         out["sim_executor"] = args.sim_executor
     if getattr(args, "sim_scheduler", "auto") != "auto":
         out["sim_scheduler"] = args.sim_scheduler
+    if getattr(args, "sim_partition", "contiguous") != "contiguous":
+        out["sim_partition"] = args.sim_partition
     return out
 
 
@@ -77,7 +79,7 @@ def _parse_scales(text: str) -> list[int]:
     try:
         scales = [int(x) for x in text.split(",") if x]
     except ValueError:
-        raise SystemExit(f"bad --scales value {text!r}; expected e.g. 4,8,16")
+        raise SystemExit(f"bad --scales value {text!r}; expected e.g. 4,8,16") from None
     if len(scales) < 1:
         raise SystemExit("need at least one scale")
     return scales
@@ -87,7 +89,7 @@ def _parse_seeds(text: str) -> list[int]:
     try:
         seeds = [int(x) for x in text.split(",") if x]
     except ValueError:
-        raise SystemExit(f"bad --seeds value {text!r}; expected e.g. 0,1,2")
+        raise SystemExit(f"bad --seeds value {text!r}; expected e.g. 0,1,2") from None
     return seeds or [0]
 
 
@@ -121,16 +123,31 @@ def cmd_static(args) -> int:
 
 
 def cmd_lint(args) -> int:
-    """Static MPI lint at one scale; exit 1 on error-severity findings."""
+    """Static MPI lint; exit 1 on findings at/above the --fail-on severity.
+
+    ``--nprocs N`` lints one concrete scale; ``--scales all`` (or
+    ``4..64``, ``4,8,16``) runs the cross-scale driver — proven over the
+    whole range when every endpoint is affine in (rank, P), witness
+    sampling otherwise.
+    """
     import json as _json
 
+    from repro.analysis import Severity, exceeds_severity
+
     pipe = _pipeline_from_args(args)
-    report = pipe.lint(int(args.nprocs))
+    threshold = Severity(args.fail_on)
+    if args.scales:
+        valid = get_app(args.app).nprocs_valid if args.app else None
+        report = pipe.lint(scales=args.scales, valid=valid)
+        findings = [f for _p, f in report.findings]
+    else:
+        report = pipe.lint(int(args.nprocs))
+        findings = list(report.findings)
     if args.json:
         print(_json.dumps(report.to_json_dict(), indent=2))
     else:
         print(report.render())
-    return 1 if report.errors else 0
+    return 1 if exceeds_severity(findings, threshold) else 0
 
 
 def cmd_prof(args) -> int:
@@ -289,7 +306,7 @@ def cmd_sweep(args) -> int:
     try:
         specs = resolve_apps(args.apps)
     except ValueError as exc:
-        raise SystemExit(str(exc))
+        raise SystemExit(str(exc)) from None
     scales = _parse_scales(args.scales)
     if len(scales) < 2:
         raise SystemExit("sweep needs >= 2 scales to fit scaling trends")
@@ -300,7 +317,7 @@ def cmd_sweep(args) -> int:
             **_sim_args(args),
         )
     except ValueError as exc:
-        raise SystemExit(str(exc))
+        raise SystemExit(str(exc)) from None
     if args.json:
         print(_json.dumps(
             [
@@ -366,6 +383,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="engine event-queue implementation (bit-identical "
                  "results; auto = calendar queue at 64k+ ranks per engine)",
         )
+        p.add_argument(
+            "--sim-partition", default="contiguous",
+            choices=("contiguous", "commgraph"),
+            help="rank-to-shard assignment (bit-identical results; "
+                 "commgraph cuts along the parametric communication "
+                 "graph to minimize cross-shard traffic)",
+        )
 
     p = sub.add_parser("apps", help="list registry applications")
     p.set_defaults(func=cmd_apps)
@@ -377,10 +401,22 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "lint",
         help="static MPI communication lint (deadlocks, mismatches, "
-             "wildcard hygiene) at one scale",
+             "wildcard and request hygiene) at one scale or across "
+             "all scales (--scales)",
     )
     common(p)
     p.add_argument("--nprocs", default="8")
+    p.add_argument(
+        "--scales", metavar="SPEC",
+        help="cross-scale lint instead of one concrete P: 'all', "
+             "'LO..HI', or a comma list like 4,8,16",
+    )
+    p.add_argument(
+        "--fail-on", default="error",
+        choices=("error", "warning", "info"),
+        help="exit 1 when any finding is at least this severe "
+             "(default: error)",
+    )
     p.add_argument("--json", action="store_true", help="machine-readable findings")
     p.set_defaults(func=cmd_lint)
 

@@ -15,7 +15,7 @@ created from a root seed plus a sequence of string keys, so that e.g.
 from __future__ import annotations
 
 import hashlib
-from typing import Iterable
+from collections.abc import Iterable
 
 import numpy as np
 

@@ -7,7 +7,7 @@ EXPERIMENTS.md can embed harness output verbatim.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 __all__ = ["Table", "format_bytes", "format_seconds"]
 

@@ -9,7 +9,6 @@ order — over randomized workloads, serial and sharded.
 """
 
 from collections import defaultdict
-from typing import Optional
 
 import pytest
 
@@ -92,7 +91,7 @@ def reference_analyze(result) -> TraceAnalysis:
     for segs in compute_by_rank.values():
         segs.sort(key=lambda s: s.start)
 
-    def cause_at(rank: int, t: float) -> Optional[int]:
+    def cause_at(rank: int, t: float) -> int | None:
         segs = compute_by_rank.get(rank)
         if not segs:
             return None

@@ -100,7 +100,7 @@ class TestEngineProperties:
         by_rank = {}
         for seg in res.segments:
             by_rank.setdefault(seg.rank, []).append(seg)
-        for rank, segs in by_rank.items():
+        for segs in by_rank.values():
             segs.sort(key=lambda s: (s.start, s.end))
             t = 0.0
             for seg in segs:
@@ -131,7 +131,7 @@ class TestEngineProperties:
     def test_collective_cost_matches_model(self, nprocs, nbytes):
         """A single allreduce on idle ranks costs exactly the network
         model's collective term."""
-        src = "def main() { allreduce(bytes = %d); }" % nbytes
+        src = f"def main() {{ allreduce(bytes = {nbytes}); }}"
         res, _, _ = run_source(src, nprocs=nprocs)
         expected = NetworkModel().collective_cost(MpiOp.ALLREDUCE, nprocs, nbytes)
         assert res.total_time == pytest.approx(expected, rel=1e-9)

@@ -207,6 +207,93 @@ class TestTriggers:
         assert any(f.rule == "unmatched-recv" for f in report.findings)
         assert not report.ok
 
+    def test_request_leak_isend(self):
+        f = only(
+            lint(
+                """
+                def main() {
+                    if (rank == 0) {
+                        isend(dest = 1, tag = 1, bytes = 8, req = s);
+                    }
+                    if (rank == 1) {
+                        recv(src = 0, tag = 1);
+                    }
+                }
+                """
+            ),
+            "request-leak",
+        )
+        assert f.severity is Severity.WARNING
+        assert f.location.line == 4
+        assert f.ranks == (0,)
+        assert "isend" in f.message and "'s'" in f.message
+
+    def test_request_leak_irecv(self):
+        # the irecv matches (so no unmatched-recv) but its request is
+        # never observed by any wait/waitall
+        f = only(
+            lint(
+                """
+                def main() {
+                    if (rank == 0) {
+                        irecv(src = 1, tag = 1, req = r);
+                    }
+                    if (rank == 1) {
+                        send(dest = 0, tag = 1, bytes = 8);
+                    }
+                    barrier();
+                }
+                """
+            ),
+            "request-leak",
+        )
+        assert f.severity is Severity.WARNING
+        assert f.location.line == 4
+        assert "irecv" in f.message
+
+    def test_double_wait_same_request(self):
+        f = only(
+            lint(
+                """
+                def main() {
+                    if (rank == 0) {
+                        isend(dest = 1, tag = 1, bytes = 8, req = s);
+                        wait(req = s);
+                        wait(req = s);
+                    }
+                    if (rank == 1) {
+                        recv(src = 0, tag = 1);
+                    }
+                }
+                """
+            ),
+            "double-wait",
+        )
+        assert f.severity is Severity.ERROR
+        assert f.location.line == 6
+        assert f.ranks == (0,)
+        assert "already completed" in f.message
+        # the related span points at the wait that consumed the request
+        assert [loc.line for loc in f.related] == [5]
+
+    def test_double_wait_never_posted(self):
+        f = only(
+            lint(
+                """
+                def main() {
+                    if (rank == 0) {
+                        wait(req = zz);
+                    }
+                }
+                """
+            ),
+            "double-wait",
+        )
+        assert f.severity is Severity.ERROR
+        assert f.location.line == 4
+        assert "no isend/irecv" in f.message
+        assert f.related == ()
+
 
 class TestNearMisses:
     """Correct variants of each trigger must stay silent (no false
@@ -260,6 +347,28 @@ class TestNearMisses:
             def main() {
                 sendrecv(dest = (rank + 1) % nprocs, tag = 1, bytes = 1048576,
                          src = (rank - 1 + nprocs) % nprocs);
+            }
+        """,
+        # every request waited exactly once: request-leak/double-wait
+        # near-miss (per-name FIFO: two irecvs under one name, two waits)
+        "request_fifo": """
+            def main() {
+                isend(dest = (rank + 1) % nprocs, tag = 1, bytes = 8, req = s);
+                irecv(src = (rank - 1 + nprocs) % nprocs, tag = 1, req = r);
+                irecv(src = (rank - 1 + nprocs) % nprocs, tag = 2, req = r);
+                isend(dest = (rank + 1) % nprocs, tag = 2, bytes = 8, req = s2);
+                wait(req = r);
+                wait(req = r);
+                wait(req = s);
+                wait(req = s2);
+            }
+        """,
+        # waitall completes every outstanding request (leak near-miss)
+        "waitall_completes_all": """
+            def main() {
+                isend(dest = (rank + 1) % nprocs, tag = 1, bytes = 8, req = s);
+                irecv(src = (rank - 1 + nprocs) % nprocs, tag = 1, req = r);
+                waitall();
             }
         """,
         # enough senders for every wildcard receive (fan-in, nprocs - 1)
@@ -496,3 +605,86 @@ class TestCLI:
         doc = json.loads(capsys.readouterr().out)
         assert doc["counts"]["error"] == 1
         assert doc["findings"][0]["rule"] == "unmatched-recv"
+
+    UNMATCHED_SEND = (
+        "def main() {\n"
+        "    if (rank == 1) {\n"
+        "        send(dest = 0, tag = 3, bytes = 8);\n"
+        "    }\n"
+        "    barrier();\n"
+        "}\n"
+    )
+
+    def test_fail_on_threshold(self, tmp_path, capsys):
+        """--fail-on widens the exit-1 gate from errors to warnings/info."""
+        from repro.tools.cli import main
+
+        src = self._write(tmp_path, self.UNMATCHED_SEND)
+        # the program has one warning, zero errors
+        assert main(["lint", "--source", src, "--nprocs", "4"]) == 0
+        assert main(
+            ["lint", "--source", src, "--nprocs", "4", "--fail-on", "warning"]
+        ) == 1
+        assert main(
+            ["lint", "--source", src, "--nprocs", "4", "--fail-on", "info"]
+        ) == 1
+        capsys.readouterr()
+
+    def test_fail_on_info_gates_info_findings(self, tmp_path, capsys):
+        from repro.tools.cli import main
+
+        wildcard = (
+            "def main() {\n"
+            "    if (rank == 0) {\n"
+            "        recv(src = ANY, tag = 2);\n"
+            "    }\n"
+            "    if (rank == 1) {\n"
+            "        send(dest = 0, tag = 2, bytes = 8);\n"
+            "    }\n"
+            "}\n"
+        )
+        src = self._write(tmp_path, wildcard)
+        assert main(
+            ["lint", "--source", src, "--nprocs", "4", "--fail-on", "warning"]
+        ) == 0
+        assert main(
+            ["lint", "--source", src, "--nprocs", "4", "--fail-on", "info"]
+        ) == 1
+        capsys.readouterr()
+
+    def test_lint_scales_clean_app(self, capsys):
+        from repro.tools.cli import main
+
+        assert main(["lint", "--app", "lu", "--scales", "all"]) == 0
+        out = capsys.readouterr().out
+        assert "cross-scale lint" in out
+        assert "PROVEN" in out
+
+    def test_lint_scales_square_app_samples(self, capsys):
+        from repro.tools.cli import main
+
+        assert main(["lint", "--app", "bt", "--scales", "all"]) == 0
+        out = capsys.readouterr().out
+        # bt's grid arithmetic is not affine: honest degradation to
+        # sampled square witnesses
+        assert "SAMPLED" in out
+
+    def test_lint_scales_exit_one_on_range_errors(self, tmp_path, capsys):
+        from repro.tools.cli import main
+
+        src = self._write(tmp_path, self.DEADLOCK)
+        assert main(["lint", "--source", src, "--scales", "2..16"]) == 1
+        out = capsys.readouterr().out
+        assert "unmatched-recv" in out
+
+    def test_lint_scales_json(self, tmp_path, capsys):
+        from repro.tools.cli import main
+
+        src = self._write(tmp_path, self.DEADLOCK)
+        assert main(
+            ["lint", "--source", src, "--scales", "4,8", "--json"]
+        ) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["scales"] == [4, 8]
+        assert doc["counts"]["error"] >= 1
+        assert doc["reports"]["4"]["findings"][0]["rule"] == "unmatched-recv"

@@ -545,3 +545,130 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "2 shards" in out
         assert "events" in out
+
+
+class TestCommGraphPartition:
+    """The PR 7 ``sim_partition="commgraph"`` knob: comm-aware cuts join
+    the bit-identity sweeps, and the planner itself is sane."""
+
+    @pytest.mark.parametrize("workload", sorted(WORKLOADS))
+    @pytest.mark.parametrize("shards", [2, 3, 4])
+    def test_fingerprint_matches_serial(self, workload, shards):
+        source = WORKLOADS[workload]
+        serial = _fingerprint(source, workload, 9)
+        sharded = _fingerprint(
+            source, workload, 9,
+            sim_shards=shards, sim_executor="inprocess",
+            sim_partition="commgraph",
+        )
+        assert sharded == serial
+
+    def test_process_executor_matches_serial(self):
+        serial = _fingerprint(RING, "ring", 8)
+        sharded = _fingerprint(
+            RING, "ring", 8,
+            sim_shards=2, sim_executor="process",
+            sim_partition="commgraph",
+        )
+        assert sharded == serial
+
+    def test_canonical_report_bit_identical(self):
+        """The ISSUE 7 acceptance criterion: commgraph partitioning
+        reproduces the serial detection report byte-for-byte."""
+        serial_cfg = AnalysisConfig(seed=0)
+        part_cfg = AnalysisConfig(
+            seed=0, sim_shards=4, sim_executor="inprocess",
+            sim_partition="commgraph",
+        )
+        scales = [4, 8, 16]
+        serial = Pipeline(
+            source=IMBALANCED_SOURCE, filename="imbalanced.mm",
+            config=serial_cfg,
+        ).run(scales)
+        sharded = Pipeline(
+            source=IMBALANCED_SOURCE, filename="imbalanced.mm",
+            config=part_cfg,
+        ).run(scales)
+        a = serial.report.to_json_dict()
+        b = sharded.report.to_json_dict()
+        a["detection_seconds"] = b["detection_seconds"] = 0.0
+        assert canonical_json(a) == canonical_json(b)
+
+    def test_scheduler_sweep_matches_serial(self):
+        """commgraph partitioning composes with both event schedulers."""
+        serial = _fingerprint(RING, "ring", 9)
+        for scheduler in ("heap", "calendar"):
+            sharded = _fingerprint(
+                RING, "ring", 9,
+                sim_shards=3, sim_executor="inprocess",
+                sim_partition="commgraph", sim_scheduler=scheduler,
+            )
+            assert sharded == serial
+
+    def test_plan_tiles_and_respects_ring_locality(self):
+        """from_comm_graph produces a valid contiguous tiling whose cut
+        cost never exceeds the balanced contiguous plan's."""
+        from repro.analysis import build_comm_graph
+
+        def cut_cost(graph, plan, nprocs):
+            weights = graph.edge_weights(nprocs)
+            owner = plan.owner_table()
+            return sum(
+                w for (lo, hi), w in weights.items()
+                if owner[lo] != owner[hi]
+            )
+
+        program, _psg = _compiled(RING, "ring")
+        graph = build_comm_graph(program)
+        assert graph.exact, graph.reason
+        for nprocs, nshards in ((16, 4), (9, 2), (7, 3), (12, 5)):
+            plan = ShardPlan.from_comm_graph(graph, nprocs, nshards)
+            assert plan.nshards == nshards
+            assert plan.bounds[0][0] == 0
+            assert plan.bounds[-1][1] == nprocs
+            contiguous = ShardPlan.contiguous(nprocs, nshards)
+            assert cut_cost(graph, plan, nprocs) <= cut_cost(
+                graph, contiguous, nprocs
+            )
+
+    def test_degraded_graph_falls_back_to_contiguous(self):
+        """A program whose comm graph cannot be built exactly (data-
+        dependent while loop around communication) silently gets the
+        contiguous plan — the knob must never break a run."""
+        from repro.simulator.parallel import plan_for
+
+        source = """\
+def main() {
+    var s = 1;
+    while (s < nprocs) {
+        sendrecv(dest = (rank + s) % nprocs, tag = 1, bytes = 64,
+                 src = (rank - s + nprocs) % nprocs);
+        s = s * 2;
+    }
+}
+"""
+        program, psg = _compiled(source, "hypercube")
+        config = SimulationConfig(
+            nprocs=8, sim_shards=2, sim_executor="inprocess",
+            sim_partition="commgraph",
+        )
+        plan = plan_for(program, config)
+        assert plan.bounds == ShardPlan.contiguous(8, 2).bounds
+        serial = simulate(program, psg, SimulationConfig(nprocs=8))
+        sharded = simulate_sharded(program, psg, config)
+        assert sharded.finish_times == serial.finish_times
+
+    def test_partition_knob_is_digest_neutral(self):
+        base = AnalysisConfig(seed=0)
+        part = AnalysisConfig(seed=0, sim_partition="commgraph")
+        assert base.digest() == part.digest()
+        assert AnalysisConfig.from_json(part.to_json()) == part
+        # pre-PR-7 documents (no sim_partition key) load with the default
+        assert "sim_partition" not in json.loads(base.to_json())
+        assert AnalysisConfig.from_json(base.to_json()).sim_partition == (
+            "contiguous"
+        )
+        with pytest.raises(ValueError):
+            AnalysisConfig(sim_partition="random")
+        with pytest.raises(ValueError):
+            SimulationConfig(nprocs=4, sim_partition="metis")

@@ -1,0 +1,283 @@
+"""Scale-parametric analysis: symbolic-P classification and the
+cross-scale lint driver.
+
+Acceptance criteria under test (ISSUE 7):
+
+* cross-scale lint verdicts are **bit-identical** to the concrete
+  per-scale lint at every sampled P for all bundled applications;
+* scale-generic programs get a *proven* verdict from a finite witness
+  window; non-affine ones degrade honestly to *sampled* with reasons;
+* the affine classifier and witness selection behave predictably on the
+  documented term fragment.
+"""
+
+import pytest
+
+from repro.analysis import (
+    analyze_scale_parametric,
+    exceeds_severity,
+    parse_scales_spec,
+    run_lint,
+    run_lint_scales,
+    select_witnesses,
+    Severity,
+)
+from repro.analysis.scaleparam import AffineRP, describe_term
+from repro.api import AnalysisConfig, Pipeline
+from repro.api.config import canonical_json
+from repro.apps import APPS, get_app
+from repro.minilang import parse_program
+from repro.psg import build_psg
+
+
+def _compiled(source, name="t.mm"):
+    program = parse_program(source, name)
+    return program, build_psg(program).psg
+
+
+RING = """\
+def main() {
+    sendrecv(dest = (rank + 1) % nprocs, tag = 1, bytes = 64,
+             src = (rank - 1 + nprocs) % nprocs);
+    allreduce(bytes = 8);
+}
+"""
+
+PIPELINE = """\
+def main() {
+    if (rank > 0) {
+        recv(src = rank - 1, tag = 2);
+    }
+    if (rank < nprocs - 1) {
+        send(dest = rank + 1, tag = 2, bytes = 8);
+    }
+}
+"""
+
+HYPERCUBE = """\
+def main() {
+    var s = 1;
+    while (s < nprocs) {
+        sendrecv(dest = (rank + s) % nprocs, tag = 1, bytes = 64,
+                 src = (rank - s + nprocs) % nprocs);
+        s = s * 2;
+    }
+}
+"""
+
+BROKEN_AT_EVERY_SCALE = """\
+def main() {
+    if (rank == 0) {
+        recv(src = 1, tag = 5);
+    }
+}
+"""
+
+
+class TestAffineClassifier:
+    def _term_of(self, source, arg_index=0):
+        """The symbolic term of the first MPI statement's argument."""
+        program, _psg = _compiled(source)
+        sa = analyze_scale_parametric(program)
+        return sa
+
+    def test_ring_is_generic_with_mod_p(self):
+        program, _psg = _compiled(RING)
+        sa = analyze_scale_parametric(program)
+        assert sa.generic, sa.reasons
+        assert sa.mod_p  # (rank + 1) % nprocs neighbor wrap
+        assert sa.reasons == ()
+
+    def test_pipeline_guards_are_generic(self):
+        program, _psg = _compiled(PIPELINE)
+        sa = analyze_scale_parametric(program)
+        assert sa.generic, sa.reasons
+        assert not sa.mod_p
+
+    def test_hypercube_is_not_generic(self):
+        program, _psg = _compiled(HYPERCUBE)
+        sa = analyze_scale_parametric(program)
+        assert not sa.generic
+        assert sa.reasons  # documented degradation
+
+    def test_describe_term_affine_forms(self):
+        info = describe_term(("bin", "+", ("rank",), ("const", 1)))
+        assert info.tame and info.affine == AffineRP(1, 0, 1)
+        info = describe_term(
+            ("bin", "%", ("bin", "+", ("rank",), ("const", 1)), ("P",))
+        )
+        assert info.tame and info.mod_p
+        assert info.affine == AffineRP(1, 0, 1, "P")
+        info = describe_term(("bin", "%", ("rank",), ("const", 4)))
+        assert info.tame and 4 in info.moduli
+
+    def test_describe_term_untame_forms(self):
+        assert not describe_term(None).tame
+        # rank * rank is nonlinear
+        info = describe_term(("bin", "*", ("rank",), ("rank",)))
+        assert not info.tame
+        # builtin calls leave the fragment
+        info = describe_term(("call", "floor", ("rank",)))
+        assert not info.tame
+        # division by a non-constant
+        info = describe_term(("bin", "/", ("rank",), ("P",)))
+        assert not info.tame
+
+    def test_scale_analysis_partition_reuse(self):
+        """One symbolic dataflow partitions ranks at any concrete P."""
+        program, _psg = _compiled(PIPELINE)
+        sa = analyze_scale_parametric(program)
+        for nprocs in (3, 5, 8):
+            summary = sa.partition_at(nprocs)
+            assert summary.nprocs == nprocs
+            assert summary.degraded is None
+
+
+class TestWitnessSelection:
+    def test_generic_program_is_proven(self):
+        program, _psg = _compiled(RING)
+        sa = analyze_scale_parametric(program)
+        status, witnesses = select_witnesses(sa, 2, None)
+        assert status == "proven"
+        assert witnesses[0] == 2
+        assert len(witnesses) >= 3
+
+    def test_finite_range_inside_window_is_exhaustive(self):
+        program, _psg = _compiled(RING)
+        sa = analyze_scale_parametric(program)
+        status, witnesses = select_witnesses(sa, 2, 6)
+        assert status == "exhaustive"
+        assert list(witnesses) == [2, 3, 4, 5, 6]
+
+    def test_non_generic_program_samples_geometrically(self):
+        program, _psg = _compiled(HYPERCUBE)
+        sa = analyze_scale_parametric(program)
+        status, witnesses = select_witnesses(sa, 2, None)
+        assert status == "sampled"
+        assert all(
+            witnesses[i] < witnesses[i + 1]
+            for i in range(len(witnesses) - 1)
+        )
+
+    def test_validity_predicate_filters_witnesses(self):
+        app = get_app("bt")
+        program = parse_program(app.source, "bt")
+        sa = analyze_scale_parametric(program, dict(app.params))
+        status, witnesses = select_witnesses(
+            sa, 2, None, valid=app.nprocs_valid
+        )
+        assert all(app.nprocs_valid(p) for p in witnesses)
+
+    def test_parse_scales_spec(self):
+        assert parse_scales_spec("all") == (2, None, None)
+        assert parse_scales_spec("4..64") == (4, 64, None)
+        assert parse_scales_spec("4,8,16") == (4, 16, [4, 8, 16])
+        assert parse_scales_spec((8, 128)) == (8, 128, None)
+        assert parse_scales_spec([4, 8]) == (4, 8, [4, 8])
+        with pytest.raises(ValueError):
+            parse_scales_spec("nonsense")
+        with pytest.raises(ValueError):
+            parse_scales_spec("16..4")
+
+
+class TestCrossScaleBitIdentity:
+    """The acceptance gate: every witness report equals the concrete lint
+    at that scale, for every bundled app."""
+
+    @pytest.mark.parametrize("name", sorted(APPS))
+    def test_app_witnesses_match_concrete_lint(self, name):
+        app = get_app(name)
+        program = parse_program(app.source, name)
+        psg = build_psg(program).psg
+        rep = run_lint_scales(
+            program, psg, "all", dict(app.params),
+            valid=app.nprocs_valid,
+        )
+        assert rep.scales, name
+        for p in rep.scales:
+            concrete = run_lint(program, psg, p, dict(app.params))
+            assert canonical_json(rep.reports[p].to_json_dict()) == (
+                canonical_json(concrete.to_json_dict())
+            ), (name, p)
+        # the no-false-positive gate extends across scales
+        assert rep.ok, (name, rep.render())
+
+    @pytest.mark.parametrize(
+        "name", ["lu", "ep", "ft", "is", "nekbone", "sst"]
+    )
+    def test_affine_apps_prove_the_whole_range(self, name):
+        app = get_app(name)
+        program = parse_program(app.source, name)
+        psg = build_psg(program).psg
+        rep = run_lint_scales(
+            program, psg, "all", dict(app.params),
+            valid=app.nprocs_valid,
+        )
+        assert rep.status == "proven", (name, rep.reasons)
+        assert rep.hi is None  # the claim covers every P >= lo
+
+    def test_dirty_program_flagged_at_every_witness(self):
+        program, psg = _compiled(BROKEN_AT_EVERY_SCALE)
+        rep = run_lint_scales(program, psg, (2, 32))
+        assert not rep.ok
+        assert rep.status in ("proven", "exhaustive")
+        for p in rep.scales:
+            assert rep.reports[p].counts()["error"] == 1
+
+    def test_skeleton_self_check_runs(self):
+        app = get_app("lu")
+        program = parse_program(app.source, "lu")
+        psg = build_psg(program).psg
+        rep = run_lint_scales(program, psg, "all", dict(app.params))
+        assert rep.skeleton is not None
+        p, ok = rep.skeleton_checked
+        assert ok and p == rep.scales[0]
+
+    def test_json_export_shape(self):
+        program, psg = _compiled(RING)
+        rep = run_lint_scales(program, psg, "2..10")
+        doc = rep.to_json_dict()
+        assert doc["status"] in ("proven", "exhaustive")
+        assert doc["generic"] is True
+        assert doc["counts"] == {"error": 0, "warning": 0, "info": 0}
+        assert all(str(p) in doc["reports"] for p in doc["scales"])
+        assert doc["endpoint_forms"]
+
+
+class TestSeverityGate:
+    def test_exceeds_severity_thresholds(self):
+        program, psg = _compiled(
+            "def main() {\n"
+            "    if (rank == 1) {\n"
+            "        send(dest = 0, tag = 3, bytes = 8);\n"
+            "    }\n"
+            "    barrier();\n"
+            "}\n"
+        )
+        findings = run_lint(program, psg, 4).findings
+        assert [f.severity for f in findings] == [Severity.WARNING]
+        assert not exceeds_severity(findings, Severity.ERROR)
+        assert exceeds_severity(findings, Severity.WARNING)
+        assert exceeds_severity(findings, Severity.INFO)
+        assert not exceeds_severity((), Severity.INFO)
+
+
+class TestPipelineIntegration:
+    def test_pipeline_lint_scales(self):
+        pipe = Pipeline(RING, "ring.mm", AnalysisConfig())
+        rep = pipe.lint(scales="all")
+        assert rep.status == "proven"
+        assert rep.ok
+        # the single-scale form still works, and the two are exclusive
+        concrete = pipe.lint(8)
+        assert concrete.ok
+        with pytest.raises(ValueError):
+            pipe.lint(8, scales="all")
+        with pytest.raises(ValueError):
+            pipe.lint()
+
+    def test_pipeline_lint_scales_respects_validity(self):
+        app = get_app("bt")
+        pipe = Pipeline.for_app(app)
+        rep = pipe.lint(scales="all", valid=app.nprocs_valid)
+        assert all(app.nprocs_valid(p) for p in rep.scales)
