@@ -12,9 +12,16 @@ and the PR-6 rows (PSG contraction over the bundled apps, whole-program
 rank-dependence analysis + static MPI lint) in ``benchmarks/BENCH_6.json``,
 and the PR-7 rows (cross-scale symbolic lint over the affine apps,
 comm-graph partition planning at 1024-4096 ranks) in
-``benchmarks/BENCH_7.json``.
+``benchmarks/BENCH_7.json``, and the PR-8 rows (observability layer:
+metrics-registry snapshot/merge at sharded fan-in shape, span recording +
+Chrome-trace export) in ``benchmarks/BENCH_8.json``.
 The gate fails (exit 1) when any workload's throughput drops more than
 ``--tolerance`` (default 20%) below its baseline.
+
+``BENCH_8.json`` also records an execution-metrics snapshot
+(``scalana-metrics-v1``) of a representative 256-rank run: event counts
+as provenance, so a future cost movement can be attributed to "more
+events" vs "slower per event" at review time.
 
 The PR-7 gate also checks an *absolute* property, not just drift: proving
 the whole scale range with ``run_lint_scales`` must stay at least 10x
@@ -33,8 +40,8 @@ Usage::
     PYTHONPATH=src python benchmarks/check_regression.py            # gate
     PYTHONPATH=src python benchmarks/check_regression.py --update   # rebase
 
-``--update`` only (re)writes BENCH_7.json rows — the committed PR-2
-through PR-6 baselines are history, not a moving target.
+``--update`` only (re)writes BENCH_8.json rows — the committed PR-2
+through PR-7 baselines are history, not a moving target.
 """
 
 from __future__ import annotations
@@ -58,6 +65,7 @@ BASELINE_4_PATH = Path(__file__).resolve().parent / "BENCH_4.json"
 BASELINE_5_PATH = Path(__file__).resolve().parent / "BENCH_5.json"
 BASELINE_6_PATH = Path(__file__).resolve().parent / "BENCH_6.json"
 BASELINE_7_PATH = Path(__file__).resolve().parent / "BENCH_7.json"
+BASELINE_8_PATH = Path(__file__).resolve().parent / "BENCH_8.json"
 
 RING = """def main() {
     for (var it = 0; it < 50; it = it + 1) {
@@ -310,6 +318,40 @@ def build_workloads():
             for nshards in (2, 4, 8):
                 ShardPlan.from_comm_graph(graph, nprocs, nshards)
 
+    # PR-8 rows (baselined in BENCH_8.json): the observability layer.
+    # Registry snapshot/merge at sharded fan-in shape (32 worker
+    # registries with the engine's series, merged to one RunMetrics —
+    # the ShardFinal path), and span recording + Chrome-trace export at
+    # the volume a fully traced multi-scale run produces.  The engine's
+    # own instrumentation needs no new row: metrics are filled from
+    # existing aggregates once per run, so its cost is already inside
+    # every simulate-based row above.
+    from repro.obs import MetricsRegistry, RunMetrics, SpanRecorder
+
+    def obs_registry_merge():
+        parts = []
+        for shard in range(32):
+            reg = MetricsRegistry()
+            for name in (
+                "engine.runs", "engine.mpi_calls", "engine.compute_ops",
+                "engine.trace_events", "engine.p2p_matches",
+            ):
+                reg.counter(name, shard=shard % 4).inc(shard + 1)
+            hist = reg.histogram("engine.rank_finish_seconds")
+            for i in range(64):
+                hist.observe(i * 0.01)
+            parts.append(reg.snapshot())
+        for _ in range(100):
+            RunMetrics.merge(parts)
+
+    def obs_span_recording():
+        rec = SpanRecorder()
+        with rec.enabled_scope():
+            for i in range(5000):
+                with rec.span("engine.run", nprocs=i & 255):
+                    pass
+        rec.to_chrome_trace()
+
     return {
         "ring_p32": sim(ring_prog, ring_psg, 32, False),
         "collectives_p32": sim(coll_prog, coll_psg, 32, False),
@@ -345,7 +387,23 @@ def build_workloads():
         # PR-7 rows (baselined in BENCH_7.json):
         "scale_lint_symbolic_apps": scale_lint_symbolic,
         "comm_graph_partition_plan": comm_graph_partition,
+        # PR-8 rows (baselined in BENCH_8.json):
+        "obs_registry_merge_32shards": obs_registry_merge,
+        "obs_span_recording_5k": obs_span_recording,
     }
+
+
+def metrics_provenance() -> dict:
+    """Execution-metrics snapshot of the 256-rank ring workload.
+
+    Recorded under ``"metrics"`` in BENCH_8.json by ``--update``:
+    machine-independent event counts (MPI calls, matches, trace events)
+    that explain *why* a row's cost moved when it does.
+    """
+    prog = parse_program(RING, "ring.mm")
+    psg = build_psg(prog).psg
+    res = simulate(prog, psg, SimulationConfig(nprocs=256))
+    return res.metrics.to_json_dict()
 
 
 def check_symbolic_speedup(min_speedup: float = 10.0, repeats: int = 3) -> bool:
@@ -405,7 +463,7 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--update", action="store_true",
-        help="rewrite the measured baselines in BENCH_7.json (BENCH_2-6"
+        help="rewrite the measured baselines in BENCH_8.json (BENCH_2-7"
              ".json rows are committed history and never rewritten; edit "
              "by hand if a legacy workload must be rebased)",
     )
@@ -415,35 +473,36 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     current = measure(args.repeats)
-    # Committed history: BENCH_2 (PR 2) through BENCH_6 (PR 6) rows are
+    # Committed history: BENCH_2 (PR 2) through BENCH_7 (PR 7) rows are
     # never rewritten by --update; edit by hand if a legacy workload must
     # rebase.
     history: dict = {}
     for path in (
         BASELINE_PATH, BASELINE_3_PATH, BASELINE_4_PATH, BASELINE_5_PATH,
-        BASELINE_6_PATH,
+        BASELINE_6_PATH, BASELINE_7_PATH,
     ):
         if path.exists():
             history.update(json.loads(path.read_text()).get("benchmarks", {}))
-    if args.update or not BASELINE_7_PATH.exists():
-        # Only the PR-7 file is a live baseline.
+    if args.update or not BASELINE_8_PATH.exists():
+        # Only the PR-8 file is a live baseline.
         doc = (
-            json.loads(BASELINE_7_PATH.read_text())
-            if BASELINE_7_PATH.exists()
+            json.loads(BASELINE_8_PATH.read_text())
+            if BASELINE_8_PATH.exists()
             else {}
         )
         doc["calibration_score"] = current["calibration_score"]
+        doc["metrics"] = metrics_provenance()
         doc.setdefault("benchmarks", {})
         for name, row in current["benchmarks"].items():
             if name not in history:
                 doc["benchmarks"][name] = row
-        BASELINE_7_PATH.write_text(json.dumps(doc, indent=2) + "\n")
-        print(f"baseline written to {BASELINE_7_PATH}")
+        BASELINE_8_PATH.write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"baseline written to {BASELINE_8_PATH}")
         return 0
 
     baseline = {"benchmarks": dict(history)}
     baseline["benchmarks"].update(
-        json.loads(BASELINE_7_PATH.read_text()).get("benchmarks", {})
+        json.loads(BASELINE_8_PATH.read_text()).get("benchmarks", {})
     )
     ratios = {}
     print(f"{'benchmark':28s} {'base units':>12s} {'now units':>12s} {'ratio':>7s}")

@@ -41,6 +41,7 @@ import math
 from dataclasses import dataclass
 from collections.abc import Callable, Iterable, Mapping, Sequence
 
+from repro import obs
 from repro.minilang import ast_nodes as ast
 from repro.psg.graph import PSG
 from repro.simulator import ops
@@ -931,37 +932,54 @@ def run_lint_scales(
     at the same scale because each witness **is** that call.
     """
     lo, hi, explicit = parse_scales_spec(scales)
-    sa = analyze_scale_parametric(program, params, entry=entry)
-    if explicit is not None:
-        status, witnesses = "enumerated", list(explicit)
-    else:
-        status, witnesses = select_witnesses(sa, lo, hi, valid=valid)
-
-    reports = {}
-    for p in witnesses:
-        reports[p] = run_lint(
-            program, psg, p, params, entry=entry,
-            max_ops_per_rank=max_ops_per_rank,
-            max_iterations=max_iterations,
+    with obs.span("lint.scales", lo=lo, hi=hi):
+        sa = analyze_scale_parametric(program, params, entry=entry)
+        if explicit is not None:
+            status, witnesses = "enumerated", list(explicit)
+        else:
+            status, witnesses = select_witnesses(sa, lo, hi, valid=valid)
+        obs.emit(
+            "lint_scales_started",
+            lo=lo, hi=hi, status=status, witnesses=list(witnesses),
         )
 
-    skeleton = None
-    checked = None
-    from repro.analysis.commgraph import build_comm_graph, extract_concrete
-
-    graph = build_comm_graph(program, params, entry=entry)
-    if graph.exact:
-        skeleton = graph.skeleton()
-        check_at = witnesses[0]
-        try:
-            checked = (
-                check_at,
-                graph.instantiate(check_at)
-                == extract_concrete(program, psg, check_at, params, entry=entry),
+        reports = {}
+        for p in witnesses:
+            with obs.span("lint.witness", nprocs=p):
+                reports[p] = run_lint(
+                    program, psg, p, params, entry=entry,
+                    max_ops_per_rank=max_ops_per_rank,
+                    max_iterations=max_iterations,
+                )
+            obs.emit(
+                "lint_witness_finished",
+                nprocs=p, findings=len(reports[p].findings),
             )
-        except Exception:
-            checked = (check_at, False)
 
+        skeleton = None
+        checked = None
+        from repro.analysis.commgraph import build_comm_graph, extract_concrete
+
+        graph = build_comm_graph(program, params, entry=entry)
+        if graph.exact:
+            skeleton = graph.skeleton()
+            check_at = witnesses[0]
+            try:
+                checked = (
+                    check_at,
+                    graph.instantiate(check_at)
+                    == extract_concrete(
+                        program, psg, check_at, params, entry=entry
+                    ),
+                )
+            except Exception:
+                checked = (check_at, False)
+
+    obs.emit(
+        "lint_scales_finished",
+        lo=lo, hi=hi, status=status,
+        findings=sum(len(r.findings) for r in reports.values()),
+    )
     return ScaleLintReport(
         lo=lo,
         hi=hi,

@@ -23,6 +23,7 @@ from repro.api.artifacts import (
     ProfileArtifact,
     ReportArtifact,
     StaticArtifact,
+    canonical_report_sha,
     run_fingerprint,
 )
 from repro.api.config import AnalysisConfig, source_digest
@@ -46,6 +47,7 @@ __all__ = [
     "ReportArtifact",
     "AnyProfile",
     "run_fingerprint",
+    "canonical_report_sha",
     "StaticStage",
     "ProfileStage",
     "DetectStage",

@@ -37,6 +37,7 @@ __all__ = [
     "ReportArtifact",
     "AnyProfile",
     "run_fingerprint",
+    "canonical_report_sha",
 ]
 
 #: Detection accepts freshly profiled runs and cache-loaded ones alike:
@@ -93,6 +94,12 @@ class ProfileArtifact:
     run: AnyProfile
     #: True when the run was loaded from the session cache (no simulation)
     cached: bool = False
+    #: Execution metrics of the simulation behind this profile (a
+    #: :class:`repro.obs.RunMetrics` snapshot), attached by
+    #: ``Pipeline.profile`` when ``AnalysisConfig.obs_metrics`` is set and
+    #: the run is fresh (cache-loaded artifacts carry no execution
+    #: provenance).  Never part of the content address or fingerprint.
+    metrics: object | None = None
 
     @property
     def nprocs(self) -> int:
@@ -188,3 +195,23 @@ def run_fingerprint(run: AnyProfile) -> str:
             f"I{key!r}:{sorted(run.comm.indirect_targets[key])!r};".encode()
         )
     return h.hexdigest()[:16]
+
+
+def canonical_report_sha(report: DetectionReport) -> str:
+    """Content hash of a detection report's *analytical* payload.
+
+    Hashes the canonical JSON form with the two provenance fields
+    removed: ``detection_seconds`` (wall clock) and ``metrics`` (execution
+    metrics, present only under ``obs_metrics``).  Two analyses of the
+    same inputs hash equal regardless of execution strategy or
+    observability settings — this is the report-level half of the
+    bit-identity gate (``run_fingerprint`` is the profile-level half).
+    """
+    import hashlib as _hashlib
+    import json as _json
+
+    doc = report.to_json_dict()
+    doc.pop("detection_seconds", None)
+    doc.pop("metrics", None)
+    text = _json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return _hashlib.sha256(text.encode()).hexdigest()[:16]

@@ -110,6 +110,17 @@ class AnalysisConfig:
     #: artifacts, so fail-fast sessions do not share cache entries with
     #: permissive ones.
     lint_fail_fast: bool = False
+    #: Attach a :class:`repro.obs.RunMetrics` snapshot to profile
+    #: artifacts and detection reports (the report's ``to_json_dict``
+    #: gains a ``metrics`` section).  Digest-NEUTRAL like the ``sim_*``
+    #: strategy knobs: metrics describe how a run was executed and
+    #: observed, never what it computed — fingerprints and canonical
+    #: report shas are bit-identical on or off (test-gated).
+    obs_metrics: bool = False
+    #: Record tracing spans (Chrome-trace timeline) through the pipeline
+    #: stages, engine and coordinator while this config's pipelines run.
+    #: Digest-NEUTRAL, same contract as ``obs_metrics``.
+    obs_spans: bool = False
 
     def __post_init__(self) -> None:
         # normalize mutable-looking inputs so the instance is deeply frozen
@@ -150,6 +161,10 @@ class AnalysisConfig:
             raise ValueError("sim_class_sharing must be a bool")
         if not isinstance(self.lint_fail_fast, bool):
             raise ValueError("lint_fail_fast must be a bool")
+        if not isinstance(self.obs_metrics, bool):
+            raise ValueError("obs_metrics must be a bool")
+        if not isinstance(self.obs_spans, bool):
+            raise ValueError("obs_spans must be a bool")
 
     # -- derivation ------------------------------------------------------
 
@@ -185,6 +200,8 @@ class AnalysisConfig:
             ),
             **({} if self.sim_class_sharing else {"sim_class_sharing": False}),
             **({"lint_fail_fast": True} if self.lint_fail_fast else {}),
+            **({"obs_metrics": True} if self.obs_metrics else {}),
+            **({"obs_spans": True} if self.obs_spans else {}),
         }
 
     @classmethod
@@ -210,6 +227,8 @@ class AnalysisConfig:
             sim_partition=str(doc.get("sim_partition", "contiguous")),
             sim_class_sharing=bool(doc.get("sim_class_sharing", True)),
             lint_fail_fast=bool(doc.get("lint_fail_fast", False)),
+            obs_metrics=bool(doc.get("obs_metrics", False)),
+            obs_spans=bool(doc.get("obs_spans", False)),
         )
 
     def to_json(self) -> str:
@@ -243,6 +262,11 @@ class AnalysisConfig:
         del doc["sim_scheduler"]
         doc.pop("sim_partition", None)
         doc.pop("sim_class_sharing", None)
+        # observability knobs are digest-neutral: attaching metrics or
+        # recording spans never changes what a run computes, so obs-on
+        # requests share cache entries with obs-off ones
+        doc.pop("obs_metrics", None)
+        doc.pop("obs_spans", None)
         # lint_fail_fast stays: an analysis that refuses to profile
         # lint-dirty programs is a different analysis, not a different
         # execution strategy (the key is absent entirely when False, so

@@ -21,10 +21,13 @@ executed concurrently from multiple threads.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
 from collections.abc import Sequence
 from typing import TYPE_CHECKING
 
+from repro import obs
 from repro.api.artifacts import (
     AnyProfile,
     ArtifactKey,
@@ -71,8 +74,9 @@ class StaticStage:
     def run(
         self, source: str, filename: str, config: AnalysisConfig
     ) -> StaticArtifact:
-        program = parse_program(source, filename)
-        result = build_psg(program, max_loop_depth=config.max_loop_depth)
+        with obs.span("pipeline.static", filename=filename):
+            program = parse_program(source, filename)
+            result = build_psg(program, max_loop_depth=config.max_loop_depth)
         return StaticArtifact(
             source=source,
             filename=filename,
@@ -146,26 +150,38 @@ class ProfileStage:
         nprocs: int,
         **sim_overrides,
     ) -> ProfiledRun:
-        if config.lint_fail_fast:
-            from repro.analysis import LintError
+        obs.emit("scale_started", nprocs=nprocs)
+        t0 = time.perf_counter()
+        with obs.span("pipeline.profile", nprocs=nprocs):
+            if config.lint_fail_fast:
+                from repro.analysis import LintError
 
-            report = StaticStage().lint(static, config, nprocs)
-            if report.errors:
-                raise LintError(report)
-        sim_config = config.simulation_config(nprocs, **sim_overrides)
-        if config.repetitions > 1:
-            from repro.runtime import profile_run_averaged
+                report = StaticStage().lint(static, config, nprocs)
+                if report.errors:
+                    raise LintError(report)
+            sim_config = config.simulation_config(nprocs, **sim_overrides)
+            if config.repetitions > 1:
+                from repro.runtime import profile_run_averaged
 
-            return profile_run_averaged(
-                static.program,
-                static.psg,
-                sim_config,
-                repetitions=config.repetitions,
-                freq_hz=config.freq_hz,
-            )
-        return profile_run(
-            static.program, static.psg, sim_config, freq_hz=config.freq_hz
+                run = profile_run_averaged(
+                    static.program,
+                    static.psg,
+                    sim_config,
+                    repetitions=config.repetitions,
+                    freq_hz=config.freq_hz,
+                )
+            else:
+                run = profile_run(
+                    static.program, static.psg, sim_config,
+                    freq_hz=config.freq_hz,
+                )
+        obs.emit(
+            "scale_finished",
+            nprocs=nprocs,
+            cached=False,
+            seconds=time.perf_counter() - t0,
         )
+        return run
 
     def run_scales(
         self,
@@ -204,13 +220,14 @@ class DetectStage:
         config: AnalysisConfig,
         runs: Sequence[AnyProfile],
     ) -> DetectionReport:
-        return detect_scaling_loss(
-            runs,
-            psg=static.psg,
-            nonscalable_config=NonScalableConfig(strategy=config.aggregation),
-            abnormal_config=AbnormalConfig(abnorm_thd=config.abnorm_thd),
-            backtrack_config=BacktrackConfig(),
-        )
+        with obs.span("pipeline.detect", runs=len(runs)):
+            return detect_scaling_loss(
+                runs,
+                psg=static.psg,
+                nonscalable_config=NonScalableConfig(strategy=config.aggregation),
+                abnormal_config=AbnormalConfig(abnorm_thd=config.abnorm_thd),
+                backtrack_config=BacktrackConfig(),
+            )
 
 
 class ReportStage:
@@ -226,16 +243,17 @@ class ReportStage:
         with_source: bool = False,
         context: int = 2,
     ) -> ReportArtifact:
-        if with_source:
-            if static is None:
-                raise ValueError("with_source=True needs the StaticArtifact")
-            from repro.tools.viewer import render_report_with_source
+        with obs.span("pipeline.report", with_source=with_source):
+            if with_source:
+                if static is None:
+                    raise ValueError("with_source=True needs the StaticArtifact")
+                from repro.tools.viewer import render_report_with_source
 
-            text = render_report_with_source(
-                report, static.source, context=context
-            )
-        else:
-            text = report.render()
+                text = render_report_with_source(
+                    report, static.source, context=context
+                )
+            else:
+                text = report.render()
         return ReportArtifact(text=text, with_source=with_source)
 
 
@@ -292,6 +310,29 @@ class Pipeline:
             session=session,
         )
 
+    # -- observability ----------------------------------------------------
+
+    def _span_scope(self):
+        """Tracer enablement for one entry-point call.
+
+        Recording is scoped, not global: spans accumulate only while a
+        pipeline whose config asks for them (``obs_spans=True``) is
+        actually running.  The scope nests, so a traced ``run`` calling
+        traced ``profile_scales`` composes; with the knob off this is a
+        shared ``nullcontext`` and the stage spans degrade to the
+        recorder's null-singleton fast path.
+        """
+        if self.config.obs_spans:
+            return obs.tracer.enabled_scope()
+        return nullcontext()
+
+    def _run_metrics(self, run) -> "obs.RunMetrics | None":
+        """The simulation metrics behind a fresh run, if asked for."""
+        if not self.config.obs_metrics:
+            return None
+        result = getattr(run, "result", None)
+        return getattr(result, "metrics", None)
+
     # -- content addressing ----------------------------------------------
 
     @property
@@ -347,26 +388,36 @@ class Pipeline:
         if scales is not None:
             if nprocs is not None:
                 raise ValueError("pass either nprocs or scales, not both")
-            return self.static_stage.lint_scales(
-                self.static(), self.config, scales, valid=valid
-            )
+            with self._span_scope():
+                return self.static_stage.lint_scales(
+                    self.static(), self.config, scales, valid=valid
+                )
         if nprocs is None:
             raise ValueError("lint needs nprocs or scales")
-        return self.static_stage.lint(self.static(), self.config, nprocs)
+        with self._span_scope():
+            return self.static_stage.lint(self.static(), self.config, nprocs)
 
     # -- stage 2 ---------------------------------------------------------
 
     def profile(self, nprocs: int) -> ProfileArtifact:
         """Profile one scale, through the session cache when bound."""
         key = self.artifact_key(nprocs)
-        if self.session is not None:
-            cached = self.session.fetch(key)
-            if cached is not None:
-                return ProfileArtifact(key=key, run=cached, cached=True)
-        run = self.profile_stage.run(self.static(), self.config, nprocs)
-        if self.session is not None:
-            self.session.store(key, run)
-        return ProfileArtifact(key=key, run=run, cached=False)
+        with self._span_scope():
+            if self.session is not None:
+                with obs.span("session.fetch", nprocs=nprocs):
+                    cached = self.session.fetch(key)
+                if cached is not None:
+                    obs.emit(
+                        "scale_finished", nprocs=nprocs, cached=True,
+                        seconds=0.0,
+                    )
+                    return ProfileArtifact(key=key, run=cached, cached=True)
+            run = self.profile_stage.run(self.static(), self.config, nprocs)
+            if self.session is not None:
+                self.session.store(key, run)
+        return ProfileArtifact(
+            key=key, run=run, cached=False, metrics=self._run_metrics(run)
+        )
 
     def profile_scales(
         self, scales: Sequence[int], *, jobs: int = 1
@@ -375,26 +426,37 @@ class Pipeline:
         scales = list(scales)
         artifacts: dict[int, ProfileArtifact] = {}
         missing: list[int] = []
-        if self.session is not None:
-            for p in scales:
-                key = self.artifact_key(p)
-                cached = self.session.fetch(key)
-                if cached is not None:
-                    artifacts[p] = ProfileArtifact(key=key, run=cached, cached=True)
-                else:
-                    missing.append(p)
-        else:
-            missing = scales
-        if missing:
-            static = self.static()  # materialize once, outside the pool
-            runs = self.profile_stage.run_scales(
-                static, self.config, missing, jobs=jobs
-            )
-            for p, run in zip(missing, runs):
-                key = self.artifact_key(p)
-                if self.session is not None:
-                    self.session.store(key, run)
-                artifacts[p] = ProfileArtifact(key=key, run=run, cached=False)
+        with self._span_scope():
+            if self.session is not None:
+                for p in scales:
+                    key = self.artifact_key(p)
+                    with obs.span("session.fetch", nprocs=p):
+                        cached = self.session.fetch(key)
+                    if cached is not None:
+                        obs.emit(
+                            "scale_finished", nprocs=p, cached=True,
+                            seconds=0.0,
+                        )
+                        artifacts[p] = ProfileArtifact(
+                            key=key, run=cached, cached=True
+                        )
+                    else:
+                        missing.append(p)
+            else:
+                missing = scales
+            if missing:
+                static = self.static()  # materialize once, outside the pool
+                runs = self.profile_stage.run_scales(
+                    static, self.config, missing, jobs=jobs
+                )
+                for p, run in zip(missing, runs):
+                    key = self.artifact_key(p)
+                    if self.session is not None:
+                        self.session.store(key, run)
+                    artifacts[p] = ProfileArtifact(
+                        key=key, run=run, cached=False,
+                        metrics=self._run_metrics(run),
+                    )
         return [artifacts[p] for p in scales]
 
     # -- stage 3 ---------------------------------------------------------
@@ -402,9 +464,23 @@ class Pipeline:
     def detect(
         self, runs: Sequence[ProfileArtifact | AnyProfile]
     ) -> DetectionReport:
-        """Detect over profile artifacts (or raw runs, for compatibility)."""
+        """Detect over profile artifacts (or raw runs, for compatibility).
+
+        With ``obs_metrics`` set, the report carries a merged
+        :class:`repro.obs.RunMetrics` over the input artifacts' simulation
+        metrics — the ``metrics`` section of ``report.to_json_dict()``.
+        Session cache counters are deliberately *not* folded in: they are
+        session-global (``session.stats``), and one session serves many
+        reports, so per-report inclusion would double-count on merge.
+        """
         plain = [r.run if isinstance(r, ProfileArtifact) else r for r in runs]
-        return self.detect_stage.run(self.static(), self.config, plain)
+        with self._span_scope():
+            report = self.detect_stage.run(self.static(), self.config, plain)
+        if self.config.obs_metrics:
+            report.metrics = obs.RunMetrics.merge(
+                [r.metrics for r in runs if isinstance(r, ProfileArtifact)]
+            )
+        return report
 
     # -- stage 4 ---------------------------------------------------------
 
@@ -427,8 +503,19 @@ class Pipeline:
         """static -> profile (parallel) -> detect, returning the artifact."""
         if not scales:
             raise ValueError("need at least one scale")
-        artifacts = self.profile_scales(scales, jobs=jobs)
-        report = self.detect(artifacts)
+        obs.emit(
+            "run_started", digest=self.source_digest, scales=list(scales)
+        )
+        t0 = time.perf_counter()
+        with self._span_scope():
+            artifacts = self.profile_scales(scales, jobs=jobs)
+            report = self.detect(artifacts)
+        obs.emit(
+            "run_finished",
+            digest=self.source_digest,
+            scales=list(scales),
+            seconds=time.perf_counter() - t0,
+        )
         return DetectArtifact(
             report=report,
             scales=tuple(sorted(scales)),

@@ -36,6 +36,7 @@ from pathlib import Path
 from collections.abc import Sequence
 from typing import Any
 
+from repro import obs
 from repro.api.artifacts import AnyProfile, ArtifactKey, DetectArtifact
 from repro.api.config import AnalysisConfig
 from repro.api.pipeline import Pipeline
@@ -46,14 +47,52 @@ from repro.tools.storage import load_profile, save_profile
 __all__ = ["CacheStats", "Session"]
 
 
-@dataclass
 class CacheStats:
-    """Hit/miss accounting for one session."""
+    """Hit/miss accounting for one session.
 
-    hits: int = 0
-    misses: int = 0
-    stores: int = 0
-    bytes_written: int = 0
+    A live view over a :class:`repro.obs.MetricsRegistry` (series
+    ``cache.hits`` / ``cache.misses`` / ``cache.stores`` /
+    ``cache.bytes_written``) — the public read surface (``hits``,
+    ``misses``, ``stores``, ``bytes_written``, ``lookups``, ``hit_rate``)
+    is unchanged, but the numbers now also travel in any
+    :class:`~repro.obs.RunMetrics` snapshot that folds the session's
+    registry in (``Pipeline.detect`` does, when ``obs_metrics`` is set).
+    """
+
+    __slots__ = ("registry", "_hits", "_misses", "_stores", "_bytes")
+
+    def __init__(self, registry: obs.MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else obs.MetricsRegistry()
+        self._hits = self.registry.counter("cache.hits")
+        self._misses = self.registry.counter("cache.misses")
+        self._stores = self.registry.counter("cache.stores")
+        self._bytes = self.registry.counter("cache.bytes_written")
+
+    def record_hit(self) -> None:
+        self._hits.inc()
+
+    def record_miss(self) -> None:
+        self._misses.inc()
+
+    def record_store(self, nbytes: int) -> None:
+        self._stores.inc()
+        self._bytes.inc(nbytes)
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def stores(self) -> int:
+        return self._stores.value
+
+    @property
+    def bytes_written(self) -> int:
+        return self._bytes.value
 
     @property
     def lookups(self) -> int:
@@ -62,6 +101,12 @@ class CacheStats:
     @property
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, "
+            f"stores={self.stores}, bytes_written={self.bytes_written})"
+        )
 
 
 @dataclass
@@ -130,11 +175,20 @@ class Session:
                 else:
                     with self._lock:
                         self._memory[key] = run
-        with self._lock:
-            if run is None:
-                self.stats.misses += 1
-            else:
-                self.stats.hits += 1
+        # Counter updates are internally locked; the progress event is
+        # emitted outside the session lock so a slow subscriber can never
+        # serialize concurrent lookups.
+        if run is None:
+            self.stats.record_miss()
+        else:
+            self.stats.record_hit()
+        obs.emit(
+            "cache_hit" if run is not None else "cache_miss",
+            digest=key.source_digest,
+            nprocs=key.nprocs,
+            hits=self.stats.hits,
+            misses=self.stats.misses,
+        )
         return run
 
     def store(self, key: ArtifactKey, run: ProfiledRun) -> None:
@@ -146,8 +200,7 @@ class Session:
             nbytes = save_profile(run, path)
         with self._lock:
             self._memory[key] = run
-            self.stats.stores += 1
-            self.stats.bytes_written += nbytes
+        self.stats.record_store(nbytes)
 
     def invalidate(
         self,

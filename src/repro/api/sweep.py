@@ -11,12 +11,14 @@ re-sweeping only simulates the cells that changed.
 
 from __future__ import annotations
 
+import time
 import warnings
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor, as_completed
 from dataclasses import dataclass
 from collections.abc import Iterable, Sequence
 from typing import Any
 
+from repro import obs
 from repro.api.artifacts import ProfileArtifact, StaticArtifact
 from repro.api.config import AnalysisConfig
 from repro.api.pipeline import Pipeline
@@ -119,16 +121,48 @@ def sweep(
         (i, p) for i, (_spec, _seed, _pipe, cell_scales) in enumerate(cells)
         for p in cell_scales
     ]
+    obs.emit(
+        "sweep_started",
+        apps=[spec.name for spec, _s, _p, _cs in cells],
+        scales=list(scales),
+        cells=len(cells),
+    )
+    t0 = time.perf_counter()
+    done = 0
     if jobs > 1 and len(tasks) > 1:
         with ThreadPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
             futures = {
                 pool.submit(cells[i][2].profile, p): (i, p) for i, p in tasks
             }
-            for fut, (i, p) in futures.items():
+            # Consume in *completion* order: progress subscribers (the
+            # CLI --progress renderer, a job server) see every job as it
+            # lands — with its cache_hit/cache_miss already emitted by
+            # Session.fetch — instead of only at submission-order joins,
+            # so long cached sweeps show live hit ratios.
+            for fut in as_completed(futures):
+                i, p = futures[fut]
                 profiles[(i, p)] = fut.result()
+                done += 1
+                obs.emit(
+                    "cell_finished",
+                    app=cells[i][0].name,
+                    nprocs=p,
+                    cached=profiles[(i, p)].cached,
+                    done=done,
+                    total=len(tasks),
+                )
     else:
         for i, p in tasks:
             profiles[(i, p)] = cells[i][2].profile(p)
+            done += 1
+            obs.emit(
+                "cell_finished",
+                app=cells[i][0].name,
+                nprocs=p,
+                cached=profiles[(i, p)].cached,
+                done=done,
+                total=len(tasks),
+            )
 
     results: list[SweepResult] = []
     for i, (spec, seed, pipe, cell_scales) in enumerate(cells):
@@ -143,4 +177,10 @@ def sweep(
                 cache_hits=sum(a.cached for a in artifacts),
             )
         )
+    obs.emit(
+        "sweep_finished",
+        cells=len(results),
+        cache_hits=sum(r.cache_hits for r in results),
+        seconds=time.perf_counter() - t0,
+    )
     return results

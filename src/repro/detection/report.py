@@ -50,6 +50,13 @@ class DetectionReport:
     paths: list[RootCausePath] = field(default_factory=list)
     root_causes: list[RootCause] = field(default_factory=list)
     detection_seconds: float = 0.0
+    #: Execution metrics of the runs behind this report (attached by
+    #: ``Pipeline.detect`` when ``AnalysisConfig.obs_metrics`` is set;
+    #: None otherwise).  Provenance only — excluded from canonical report
+    #: comparisons (see :func:`repro.api.artifacts.canonical_report_sha`),
+    #: and the ``metrics`` JSON section appears only when present, so
+    #: metrics-off documents are byte-identical to pre-obs ones.
+    metrics: object | None = None
 
     def cause_locations(self) -> list[str]:
         return [rc.location for rc in self.root_causes]
@@ -114,6 +121,11 @@ class DetectionReport:
                 }
                 for i, rc in enumerate(self.root_causes, 1)
             ],
+            **(
+                {"metrics": self.metrics.to_json_dict()}
+                if self.metrics is not None
+                else {}
+            ),
         }
 
     def render(self, max_causes: int = 10) -> str:

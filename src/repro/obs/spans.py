@@ -1,0 +1,168 @@
+"""Tracing spans with Chrome-trace export.
+
+A span is a named, timed region with optional key/value args:
+
+    with obs.span("profile.simulate", nprocs=64):
+        ...
+
+The recorder is **off by default** and the disabled path is structurally
+free: :func:`SpanRecorder.span` returns one shared, pre-built null
+context manager — no allocation, no clock read, no string work.  Tests
+assert the singleton identity (``recorder.span("x") is NULL_SPAN``), which
+is the strongest "no per-call overhead" statement Python lets us make.
+
+Enabled spans record Chrome-trace *complete* events (``"ph": "X"`` with
+microsecond ``ts``/``dur``), loadable in ``chrome://tracing`` / Perfetto.
+Timestamps are relative to the recorder's epoch so traces start at 0.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["SpanRecorder", "NULL_SPAN", "null_span"]
+
+
+#: The shared disabled-path context manager.  ``@contextmanager`` builds a
+#: fresh generator per ``with``, so we use a tiny class instead: one object,
+#: reusable, reentrant, nothing per use.
+class _NullSpan:
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+def null_span() -> _NullSpan:
+    return NULL_SPAN
+
+
+class _LiveSpan:
+    """One recorded region; appends a complete event on exit."""
+
+    __slots__ = ("_rec", "_name", "_args", "_t0")
+
+    def __init__(self, rec: "SpanRecorder", name: str, args: dict) -> None:
+        self._rec = rec
+        self._name = name
+        self._args = args
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_LiveSpan":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        t1 = time.perf_counter()
+        self._rec._record(self._name, self._args, self._t0, t1)
+        return False
+
+
+class SpanRecorder:
+    """Collects spans while enabled; exports Chrome trace-event JSON.
+
+    Enablement is a depth counter so nested ``enabled_scope()`` uses
+    (e.g. a Pipeline run inside an already-tracing sweep) compose: the
+    recorder stays on until the outermost scope exits.
+    """
+
+    def __init__(self) -> None:
+        self._depth = 0
+        self._epoch = time.perf_counter()
+        self._events: list[dict] = []
+        self._lock = threading.Lock()
+
+    # -- enablement ------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self._depth > 0
+
+    @contextmanager
+    def enabled_scope(self) -> Iterator["SpanRecorder"]:
+        with self._lock:
+            self._depth += 1
+            if self._depth == 1 and not self._events:
+                self._epoch = time.perf_counter()
+        try:
+            yield self
+        finally:
+            with self._lock:
+                self._depth -= 1
+
+    # -- recording -------------------------------------------------------
+
+    def span(self, name: str, **args: object):
+        """A context manager timing the region; NULL_SPAN when disabled."""
+        if self._depth == 0:
+            return NULL_SPAN
+        return _LiveSpan(self, name, args)
+
+    def _record(self, name: str, args: dict, t0: float, t1: float) -> None:
+        ev = {
+            "name": name,
+            "ph": "X",
+            "ts": (t0 - self._epoch) * 1e6,
+            "dur": (t1 - t0) * 1e6,
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+        }
+        if args:
+            ev["args"] = {k: _jsonable(v) for k, v in args.items()}
+        with self._lock:
+            self._events.append(ev)
+
+    def instant(self, name: str, **args: object) -> None:
+        """Record a zero-duration instant event (``"ph": "i"``)."""
+        if self._depth == 0:
+            return
+        ev = {
+            "name": name,
+            "ph": "i",
+            "s": "t",
+            "ts": (time.perf_counter() - self._epoch) * 1e6,
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+        }
+        if args:
+            ev["args"] = {k: _jsonable(v) for k, v in args.items()}
+        with self._lock:
+            self._events.append(ev)
+
+    # -- export ----------------------------------------------------------
+
+    @property
+    def event_count(self) -> int:
+        return len(self._events)
+
+    def to_chrome_trace(self) -> dict:
+        """The Chrome trace-event container (``{"traceEvents": [...]}``)."""
+        with self._lock:
+            events = sorted(self._events, key=lambda e: e["ts"])
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def dump(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_chrome_trace(), fh, indent=1)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+            self._epoch = time.perf_counter()
+
+
+def _jsonable(v: object) -> object:
+    if isinstance(v, (bool, int, float, str)) or v is None:
+        return v
+    return str(v)

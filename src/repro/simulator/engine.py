@@ -31,11 +31,11 @@ reports a per-rank stuck-at diagnostic.
 from __future__ import annotations
 
 import itertools
-import threading
 from dataclasses import dataclass, field
 from enum import Enum
 from collections.abc import Iterator
 
+from repro import obs
 from repro.minilang import ast_nodes as ast
 from repro.minilang.ast_nodes import MpiOp
 from repro.psg.graph import PSG
@@ -80,12 +80,13 @@ __all__ = [
     "collective_completions",
 ]
 
-#: Process-wide count of started simulations.  The artifact cache's
+#: Process-wide count of started simulations, backed by the global
+#: metrics registry (series ``sim.engine_runs``).  The artifact cache's
 #: contract is "a cache hit performs zero new simulations" — this counter
 #: is how that contract is asserted (and how batch drivers report work
-#: actually done vs. served from cache).
-_sim_call_lock = threading.Lock()
-_sim_call_count = 0
+#: actually done vs. served from cache).  ``simulation_call_count`` /
+#: ``add_simulation_calls`` remain as thin compatibility views.
+_sim_runs = obs.registry.counter("sim.engine_runs")
 
 
 def simulation_call_count() -> int:
@@ -98,7 +99,7 @@ def simulation_call_count() -> int:
     holding under multiprocess execution.  Per-shard engine runs are
     reported separately in ``SimulationResult.parallel_stats``.
     """
-    return _sim_call_count
+    return _sim_runs.value
 
 
 def add_simulation_calls(n: int = 1) -> None:
@@ -108,9 +109,7 @@ def add_simulation_calls(n: int = 1) -> None:
     the normal :func:`simulate` path (the sharded coordinator counts its
     run through this; :func:`simulate` itself does too).
     """
-    global _sim_call_count
-    with _sim_call_lock:
-        _sim_call_count += n
+    _sim_runs.inc(n)
 
 
 @dataclass(frozen=True)
@@ -220,6 +219,12 @@ class SimulationResult:
     compute_count: int
     #: Set when the run was produced by the sharded parallel executor.
     parallel_stats: ParallelRunStats | None = None
+    #: Execution metrics of this run (engine.* counters, per-rank finish
+    #: histogram; parallel.* series for sharded runs).  Built once at
+    #: finish/finalize time from aggregates the engine keeps anyway —
+    #: never from per-event hot-loop work — and digest-neutral: nothing
+    #: here feeds fingerprints or report shas.
+    metrics: obs.RunMetrics | None = None
 
     @property
     def segments(self) -> SegmentsView:
@@ -394,9 +399,15 @@ class Engine:
     # ------------------------------------------------------------------
 
     def run(self) -> SimulationResult:
-        self.start()
-        self.drain()
-        return self.finish()
+        with obs.span(
+            "engine.run",
+            nprocs=self.config.nprocs,
+            ranks=len(self.local_ranks),
+            scheduler=self.scheduler,
+        ):
+            self.start()
+            self.drain()
+            return self.finish()
 
     def start(self) -> None:
         """Create the interpreters and make every local rank runnable."""
@@ -500,7 +511,36 @@ class Engine:
             indirect_notes=self.indirect_notes,
             mpi_call_count=self.mpi_call_count,
             compute_count=self.compute_count,
+            metrics=self.metrics_snapshot(),
         )
+
+    def fill_metrics(self, reg: obs.MetricsRegistry) -> None:
+        """Fold this engine's run aggregates into ``reg``.
+
+        Called exactly once per run, at finish/finalize time — every value
+        comes from an aggregate the engine maintains anyway (op counters,
+        columnar table row counts, per-rank clocks), so the hot loop pays
+        nothing for observability, on or off.
+        """
+        reg.counter("engine.runs").inc()
+        reg.counter("engine.mpi_calls").inc(self.mpi_call_count)
+        reg.counter("engine.compute_ops").inc(self.compute_count)
+        reg.counter("engine.trace_events").inc(self.trace.event_count)
+        reg.counter("engine.p2p_matches").inc(self.trace.p2p.row_count)
+        reg.counter("engine.collectives").inc(
+            self.trace.collectives.row_count
+        )
+        hist = reg.histogram("engine.rank_finish_seconds")
+        for pid in self.local_ranks:
+            proc = self.procs[pid]
+            if proc is not None:
+                hist.observe(proc.clock)
+
+    def metrics_snapshot(self) -> obs.RunMetrics:
+        """This run's execution metrics as a frozen, picklable snapshot."""
+        reg = obs.MetricsRegistry()
+        self.fill_metrics(reg)
+        return reg.snapshot()
 
     def _push(self, proc: _Proc) -> None:
         proc.status = _Status.READY

@@ -40,6 +40,7 @@ from __future__ import annotations
 
 from typing import Protocol
 
+from repro import obs
 from repro.minilang import ast_nodes as ast
 from repro.psg.graph import PSG
 from repro.simulator.collectives import CollectiveTracker
@@ -134,11 +135,19 @@ def run_coordinated(
     completions: list[CompletedCollective] = []
     holds: list[CanonicalKey] = []
     next_events: list[float] = [0.0] * nshards
-    rounds = 0
-    messages_routed = 0
+    # Run-local registry: the coordinator's own series (parallel.*) merge
+    # with the shard snapshots at finalize time (satellite of the obs
+    # layer — ParallelRunStats is now a view over these counters).
+    reg = obs.MetricsRegistry()
+    rounds_c = reg.counter("parallel.rounds")
+    routed_c = reg.counter("parallel.messages_routed")
+    round_hist = reg.histogram("parallel.round_messages", bounds=(
+        0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0,
+        1024.0, 4096.0,
+    ))
 
     while True:
-        rounds += 1
+        rounds_c.inc()
         # -- the safety bound (step 2 of the module docstring) ----------
         b_times = [m.arrival for batch in deliveries for m in batch]
         b_times += [
@@ -157,20 +166,25 @@ def run_coordinated(
         if bounded_windows and b != _INF:
             horizon = b + lookahead
 
-        for s, handle in enumerate(handles):
-            handle.begin_round(
-                RoundInput(
-                    deliveries=deliveries[s],
-                    completions=completions,
-                    gate_bound=gate_bound,
-                    resolve=resolve,
-                    horizon=horizon,
+        with obs.span(
+            "parallel.round", round=rounds_c.value, shards=nshards
+        ):
+            for s, handle in enumerate(handles):
+                handle.begin_round(
+                    RoundInput(
+                        deliveries=deliveries[s],
+                        completions=completions,
+                        gate_bound=gate_bound,
+                        resolve=resolve,
+                        horizon=horizon,
+                    )
                 )
-            )
-        outputs = [handle.end_round() for handle in handles]
+            outputs = [handle.end_round() for handle in handles]
 
         routed_something = any(deliveries) or bool(completions)
-        messages_routed += sum(len(batch) for batch in deliveries)
+        routed_this_round = sum(len(batch) for batch in deliveries)
+        routed_c.inc(routed_this_round)
+        round_hist.observe(float(routed_this_round))
         deliveries = [[] for _ in range(nshards)]
         completions = []
         holds = []
@@ -194,6 +208,12 @@ def run_coordinated(
             holds.extend(out.holds)
             next_events.append(out.next_event)
 
+        obs.emit(
+            "round_completed",
+            round=rounds_c.value,
+            messages=routed_this_round,
+            in_flight=sum(len(batch) for batch in deliveries),
+        )
         if all(out.done for out in outputs):
             break
         if (
@@ -216,16 +236,14 @@ def run_coordinated(
             )
 
     finals = [handle.finalize() for handle in handles]
-    return _merge(finals, collective_records, config, rounds,
-                  messages_routed, executor, plan)
+    return _merge(finals, collective_records, config, reg, executor, plan)
 
 
 def _merge(
     finals: list[ShardFinal],
     collective_records: CollectiveTable,
     config: SimulationConfig,
-    rounds: int,
-    messages_routed: int,
+    reg: obs.MetricsRegistry,
     executor: str,
     plan: ShardPlan,
 ) -> SimulationResult:
@@ -238,6 +256,13 @@ def _merge(
     # its TraceBuffer); the collective table was built coordinator-side.
     trace = TraceBuffer.merge([f.trace for f in finals])
     trace.collectives = collective_records
+    # Collective records exist only here (shards see arrivals, not
+    # instances), so the coordinator contributes the count the serial
+    # engine would have reported — merged metrics match serial exactly.
+    reg.counter("engine.collectives").inc(collective_records.row_count)
+    metrics = obs.RunMetrics.merge(
+        [f.metrics for f in finals] + [reg.snapshot()]
+    )
     return SimulationResult(
         nprocs=config.nprocs,
         config=config,
@@ -249,10 +274,11 @@ def _merge(
         parallel_stats=ParallelRunStats(
             shards=plan.nshards,
             executor=executor,
-            rounds=rounds,
-            messages_routed=messages_routed,
-            engine_runs=sum(f.engine_runs for f in finals),
+            rounds=int(metrics.counter("parallel.rounds")),
+            messages_routed=int(metrics.counter("parallel.messages_routed")),
+            engine_runs=int(metrics.counter("engine.runs")),
         ),
+        metrics=metrics,
     )
 
 
@@ -319,14 +345,22 @@ def simulate_sharded(
     if executor == "process":
         from repro.simulator.parallel.mp import run_multiprocess
 
-        return run_multiprocess(
-            program, psg, config, plan, bounded_windows=bounded_windows
-        )
+        with obs.span(
+            "engine.run_sharded", nprocs=config.nprocs,
+            shards=plan.nshards, executor="process",
+        ):
+            return run_multiprocess(
+                program, psg, config, plan, bounded_windows=bounded_windows
+            )
     handles = [
         LocalShardHandle(ShardEngine(program, psg, config, plan, s))
         for s in range(plan.nshards)
     ]
-    return run_coordinated(
-        handles, plan, config,
-        executor="inprocess", bounded_windows=bounded_windows,
-    )
+    with obs.span(
+        "engine.run_sharded", nprocs=config.nprocs,
+        shards=plan.nshards, executor="inprocess",
+    ):
+        return run_coordinated(
+            handles, plan, config,
+            executor="inprocess", bounded_windows=bounded_windows,
+        )

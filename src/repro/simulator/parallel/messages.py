@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from repro.minilang.ast_nodes import MpiOp
 from repro.minilang.errors import SourceLocation
+from repro.obs import RunMetrics
 from repro.simulator.events import CollectiveRecord
 from repro.simulator.matching import Message
 
@@ -127,3 +128,9 @@ class ShardFinal:
     #: incremented once per *logical* run by ``simulate_sharded``, never
     #: by workers.
     engine_runs: int = 1
+    #: This shard's metrics registry snapshot (engine.* series), shipped
+    #: back like the trace and merged coordinator-side via
+    #: :meth:`repro.obs.RunMetrics.merge` — counters and histogram buckets
+    #: sum exactly, so a multiprocessing run's merged metrics match the
+    #: serial engine's count for count.
+    metrics: RunMetrics | None = None

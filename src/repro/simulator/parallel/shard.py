@@ -372,6 +372,10 @@ class ShardEngine(Engine):
     def describe_blocked(self) -> list[str]:
         return [self._describe_block(p) for p in self.blocked_procs()]
 
+    def fill_metrics(self, reg) -> None:
+        super().fill_metrics(reg)
+        reg.counter("engine.gate_replays").inc(self._gate_pops)
+
     def finalize(self) -> ShardFinal:
         # Seal every pending flat list first: a multiprocessing transport
         # then pickles packed column arrays, not per-record Python lists.
@@ -385,4 +389,5 @@ class ShardEngine(Engine):
             },
             mpi_call_count=self.mpi_call_count,
             compute_count=self.compute_count,
+            metrics=self.metrics_snapshot(),
         )

@@ -14,6 +14,14 @@ Mirrors the paper's four end-user steps (§V), all driven by the
 ``--jobs N`` profiles scales in parallel; ``--json`` prints the
 machine-readable :class:`DetectionReport`; ``sweep --cache DIR`` reuses
 content-addressed profile artifacts across invocations.
+
+Observability (see :mod:`repro.obs`): ``--metrics`` collects execution
+metrics and appends them to the output, ``--progress`` streams live
+progress events to stderr, ``--trace-out FILE`` records tracing spans
+and writes Chrome-trace JSON (open in ``chrome://tracing`` / Perfetto);
+``metrics-dump`` prints just the metrics document.  None of these change
+analysis results — config digests and report hashes are identical with
+observability on or off.
 """
 
 from __future__ import annotations
@@ -22,7 +30,7 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro import Pipeline, ScalAna, Session
+from repro import Pipeline, ScalAna, Session, obs
 from repro.api.config import AnalysisConfig
 from repro.apps import app_names, get_app, resolve_apps
 from repro.tools.export import report_to_json
@@ -43,7 +51,77 @@ def _sim_args(args) -> dict:
         out["sim_scheduler"] = args.sim_scheduler
     if getattr(args, "sim_partition", "contiguous") != "contiguous":
         out["sim_partition"] = args.sim_partition
+    # observability knobs ride along (digest-neutral: they never change
+    # analysis results or cache keys)
+    if getattr(args, "metrics", False):
+        out["obs_metrics"] = True
+    if getattr(args, "trace_out", None):
+        out["obs_spans"] = True
     return out
+
+
+class ProgressRenderer:
+    """Render :mod:`repro.obs` progress events as lines on a stream.
+
+    Subscribed to the process event bus for the duration of a command
+    when ``--progress`` is given.  Tracks the live cache hit ratio from
+    ``cache_hit`` / ``cache_miss`` events (emitted by ``Session.fetch``
+    per lookup) and folds it into each per-job line, so long cached
+    sweeps show hit rates as they happen rather than at the end.
+    """
+
+    def __init__(self, stream=None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.hits = 0
+        self.misses = 0
+
+    def _line(self, text: str) -> None:
+        print(f"[progress] {text}", file=self.stream, flush=True)
+
+    def _ratio(self) -> str:
+        total = self.hits + self.misses
+        return f"cache {self.hits}/{total}" if total else "cache -"
+
+    def __call__(self, event: obs.Event) -> None:
+        kind, d = event.kind, event.data
+        if kind == "cache_hit":
+            self.hits += 1
+        elif kind == "cache_miss":
+            self.misses += 1
+        elif kind == "run_started":
+            self._line(f"run {d['digest']} scales={d['scales']}")
+        elif kind == "scale_started":
+            self._line(f"p={d['nprocs']} profiling...")
+        elif kind == "scale_finished":
+            how = "cached" if d["cached"] else f"{d['seconds']:.2f}s"
+            self._line(f"p={d['nprocs']} done ({how})")
+        elif kind == "run_finished":
+            self._line(f"run finished in {d['seconds']:.2f}s")
+        elif kind == "sweep_started":
+            self._line(
+                f"sweep {d['cells']} cells over {len(d['apps'])} apps "
+                f"scales={d['scales']}"
+            )
+        elif kind == "cell_finished":
+            how = "cached" if d["cached"] else "fresh"
+            self._line(
+                f"[{d['done']}/{d['total']}] {d['app']} p={d['nprocs']} "
+                f"({how}, {self._ratio()})"
+            )
+        elif kind == "sweep_finished":
+            self._line(
+                f"sweep finished: {d['cells']} cells, "
+                f"{d['cache_hits']} cache hits, {d['seconds']:.2f}s"
+            )
+        elif kind == "lint_scales_started":
+            self._line(
+                f"lint scales {d['lo']}..{d['hi']} ({d['status']}, "
+                f"witnesses {d['witnesses']})"
+            )
+        elif kind == "lint_witness_finished":
+            self._line(f"lint p={d['nprocs']}: {d['findings']} finding(s)")
+        elif kind == "lint_scales_finished":
+            self._line(f"lint finished: {d['findings']} finding(s) total")
 
 
 def _tool_from_args(args) -> ScalAna:
@@ -266,6 +344,30 @@ def cmd_run(args) -> int:
         )
     print()
     print(pipe.report(report, with_source=args.show_source).text)
+    if getattr(args, "metrics", False) and report.metrics is not None:
+        print()
+        print(report.metrics.render())
+    return 0
+
+
+def cmd_metrics_dump(args) -> int:
+    """Run the full analysis with metrics on; print ONLY the metrics JSON.
+
+    The machine-readable counterpart of ``run --metrics``: the document
+    is a ``scalana-metrics-v1`` :class:`repro.obs.RunMetrics` snapshot
+    (counters summed, gauges maxed, histogram buckets summed exactly
+    across every simulation behind the report, serial or sharded).
+    """
+    import json as _json
+
+    pipe = _pipeline_from_args(args)
+    scales = _parse_scales(args.scales)
+    if len(scales) < 2:
+        raise SystemExit("metrics-dump needs >= 2 scales (it runs detection)")
+    artifacts = pipe.profile_scales(scales, jobs=args.jobs)
+    report = pipe.detect(artifacts)
+    assert report.metrics is not None
+    print(_json.dumps(report.metrics.to_json_dict(), indent=2, sort_keys=True))
     return 0
 
 
@@ -345,6 +447,12 @@ def cmd_sweep(args) -> int:
             len(r.report.root_causes), top, f"{r.cache_hits}/{len(r.scales)}",
         )
     print(table.render())
+    if getattr(args, "metrics", False):
+        merged = obs.RunMetrics.merge(
+            [r.report.metrics for r in results] + [session.stats.registry.snapshot()]
+        )
+        print()
+        print(merged.render())
     return 0
 
 
@@ -364,6 +472,23 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--jobs", type=int, default=1,
             help="profile scales in parallel with N workers",
+        )
+
+    def obs_args(p: argparse.ArgumentParser, metrics: bool = True) -> None:
+        if metrics:
+            p.add_argument(
+                "--metrics", action="store_true",
+                help="collect execution metrics and append them to the "
+                     "output (digest-neutral: results are unchanged)",
+            )
+        p.add_argument(
+            "--progress", action="store_true",
+            help="stream live progress events to stderr",
+        )
+        p.add_argument(
+            "--trace-out", metavar="FILE",
+            help="record tracing spans and write Chrome-trace JSON to "
+                 "FILE (open in chrome://tracing or Perfetto)",
         )
 
     def shards_arg(p: argparse.ArgumentParser) -> None:
@@ -418,6 +543,7 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: error)",
     )
     p.add_argument("--json", action="store_true", help="machine-readable findings")
+    obs_args(p, metrics=False)
     p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("prof", help="profile at several scales, save to disk")
@@ -426,6 +552,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="scalana_profiles")
     jobs_arg(p)
     shards_arg(p)
+    obs_args(p, metrics=False)
     p.set_defaults(func=cmd_prof)
 
     p = sub.add_parser("detect", help="detect root causes from saved profiles")
@@ -442,7 +569,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true", help="machine-readable report")
     jobs_arg(p)
     shards_arg(p)
+    obs_args(p)
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "metrics-dump",
+        help="run profile + detect with metrics on, print only the "
+             "metrics JSON (scalana-metrics-v1)",
+    )
+    common(p)
+    p.add_argument("--scales", required=True, help="comma list, e.g. 4,8,16")
+    jobs_arg(p)
+    shards_arg(p)
+    obs_args(p, metrics=False)
+    p.set_defaults(func=cmd_metrics_dump, metrics=True)
 
     p = sub.add_parser(
         "sweep", help="batch-analyze apps x scales x seeds through one session"
@@ -459,6 +599,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true", help="machine-readable reports")
     jobs_arg(p)
     shards_arg(p)
+    obs_args(p)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser(
@@ -495,8 +636,21 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    unsub = (
+        obs.subscribe(ProgressRenderer())
+        if getattr(args, "progress", False)
+        else None
+    )
     try:
-        return args.func(args)
+        rc = args.func(args)
+        trace_out = getattr(args, "trace_out", None)
+        if trace_out:
+            obs.tracer.dump(Path(trace_out))
+            print(
+                f"wrote {trace_out} ({obs.tracer.event_count} trace events)",
+                file=sys.stderr,
+            )
+        return rc
     except BrokenPipeError:
         # output piped into e.g. `head`; exit quietly like other CLIs
         import os
@@ -506,6 +660,9 @@ def main(argv: list[str] | None = None) -> int:
         except Exception:
             pass
         os._exit(0)
+    finally:
+        if unsub is not None:
+            unsub()
 
 
 if __name__ == "__main__":
