@@ -103,6 +103,13 @@ class AnalysisConfig:
     #: :mod:`repro.analysis`).  Digest-neutral like the other ``sim_*``
     #: knobs: bit-identical results on or off.
     sim_class_sharing: bool = True
+    #: Interpret one representative rank per behavioral equivalence class
+    #: and fan its op stream out to the members by substituting the
+    #: rank-dependent argument values (see
+    #: :mod:`repro.simulator.classbatch`).  Digest-neutral like the other
+    #: ``sim_*`` knobs: bit-identical results on or off, any degraded
+    #: class falls back to per-rank interpretation silently.
+    sim_class_batching: bool = True
     #: Run the static MPI lint before the first simulation of a profile
     #: and abort (raising :class:`repro.analysis.LintError`) on
     #: error-severity findings.  **Digest-relevant**, unlike the execution
@@ -159,6 +166,8 @@ class AnalysisConfig:
             )
         if not isinstance(self.sim_class_sharing, bool):
             raise ValueError("sim_class_sharing must be a bool")
+        if not isinstance(self.sim_class_batching, bool):
+            raise ValueError("sim_class_batching must be a bool")
         if not isinstance(self.lint_fail_fast, bool):
             raise ValueError("lint_fail_fast must be a bool")
         if not isinstance(self.obs_metrics, bool):
@@ -199,6 +208,11 @@ class AnalysisConfig:
                 else {"sim_partition": self.sim_partition}
             ),
             **({} if self.sim_class_sharing else {"sim_class_sharing": False}),
+            **(
+                {}
+                if self.sim_class_batching
+                else {"sim_class_batching": False}
+            ),
             **({"lint_fail_fast": True} if self.lint_fail_fast else {}),
             **({"obs_metrics": True} if self.obs_metrics else {}),
             **({"obs_spans": True} if self.obs_spans else {}),
@@ -226,6 +240,7 @@ class AnalysisConfig:
             sim_scheduler=str(doc.get("sim_scheduler", "auto")),
             sim_partition=str(doc.get("sim_partition", "contiguous")),
             sim_class_sharing=bool(doc.get("sim_class_sharing", True)),
+            sim_class_batching=bool(doc.get("sim_class_batching", True)),
             lint_fail_fast=bool(doc.get("lint_fail_fast", False)),
             obs_metrics=bool(doc.get("obs_metrics", False)),
             obs_spans=bool(doc.get("obs_spans", False)),
@@ -262,6 +277,7 @@ class AnalysisConfig:
         del doc["sim_scheduler"]
         doc.pop("sim_partition", None)
         doc.pop("sim_class_sharing", None)
+        doc.pop("sim_class_batching", None)
         # observability knobs are digest-neutral: attaching metrics or
         # recording spans never changes what a run computes, so obs-on
         # requests share cache entries with obs-off ones
@@ -291,6 +307,7 @@ class AnalysisConfig:
             sim_scheduler=self.sim_scheduler,
             sim_partition=self.sim_partition,
             sim_class_sharing=self.sim_class_sharing,
+            sim_class_batching=self.sim_class_batching,
         )
         kwargs.update(overrides)
         return SimulationConfig(**kwargs)

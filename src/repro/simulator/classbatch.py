@@ -1,0 +1,436 @@
+"""Class-batched interpretation: one representative run per rank class.
+
+``partition_ranks`` (PR 6) proves sets of ranks that execute the identical
+statement sequence; ``sim_class_sharing`` (PR 5) already shares op
+*records* across ranks.  This module takes the remaining step: interpret
+only the **representative** of each class, record its op stream, and fan
+the stream out to every member by substituting the rank-dependent
+argument values that :mod:`repro.analysis.rankdep` classified — instead
+of running a generator chain per rank.
+
+Soundness rests on three independent guards, any of which degrades a
+class (never the run) to per-rank interpretation:
+
+1. **Eligibility** — every op in the representative stream must come from
+   a statement whose captured arguments are copyable or carry a closed
+   rank function (:func:`repro.analysis.batching.stmt_template`);
+   wildcard receives and indirect-call notes are conservatively
+   ineligible.
+2. **Witness** — every derived value is recomputed for the representative
+   and compared (type-strict) against the value the representative
+   actually produced; a mismatch means the analysis and the interpreter
+   disagree, so the template is discarded.
+3. **Error-order fidelity** — if materializing the representative raises
+   (runtime error, iteration limit), the class falls back so the error
+   surfaces at the same simulated moment the per-rank oracle would
+   surface it, not eagerly at engine start.
+
+The builder never touches the engine: it returns plain per-rank op lists
+(class members whose stream needs no substitution share one list — each
+rank consumes its own ``iter``), and the engine feeds them through the
+same handler loop as generator-backed ranks.  Bit-identity with the
+per-rank oracle is gated by ``tests/test_class_batching_identity.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.analysis.batching import (
+    IneligibleStmt,
+    StmtTemplate,
+    op_stmt_index,
+    stmt_template,
+)
+from repro.analysis.rankdep import RankAnalysis, eval_term
+from repro.analysis.symmetry import SymmetrySummary
+from repro.minilang.ast_nodes import MpiOp
+from repro.simulator import ops
+from repro.simulator.trace import MPI_OP_CODES
+from repro.simulator.costmodel import CostModel, Workload
+from repro.simulator.errors import SimulationError
+from repro.simulator.interp import Interpreter
+
+__all__ = ["BatchResult", "build_batched_streams"]
+
+#: Hard sizing caps: fan-out trades memory for speed, so refuse templates
+#: whose materialized footprint would dwarf the win (fallback is free).
+_MAX_TOTAL_STREAM_OPS = 16_000_000
+_MAX_VARYING_INSTANCES = 1_000_000
+_MAX_RECORDED_REASONS = 8
+
+#: Fields of the recv half of a sendrecv, as named by the analysis-side
+#: capture layout -> the RecvOp attribute they set.
+_RECV_HALF = {"recv_src": "src", "recv_tag": "tag"}
+
+
+class _Fallback(Exception):
+    """Degrade one class to per-rank interpretation (with a reason)."""
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one engine's template build.
+
+    ``streams`` maps every successfully batched rank (representatives
+    included) to its complete op list; ranks absent from it run the
+    normal per-rank interpreter.
+    """
+
+    streams: dict[int, list]
+    classes_batched: int = 0
+    ranks_batched: int = 0
+    fallbacks: int = 0
+    fallback_reasons: tuple[str, ...] = ()
+
+
+def build_batched_streams(
+    *,
+    program,
+    psg,
+    nprocs: int,
+    params,
+    entry: str,
+    max_iterations: int,
+    analysis: RankAnalysis,
+    summary: SymmetrySummary,
+    local_ranks,
+    expr_cache: dict,
+    const_stmts,
+    cost: CostModel,
+    precost_compute: bool,
+) -> BatchResult:
+    """Materialize per-rank op streams for every batchable class.
+
+    ``precost_compute`` must only be True when ``cost.compute_cost`` is
+    rank-independent (no per-execution noise, no per-rank speed spread) —
+    the engine checks the machine model before enabling it.
+    """
+    local = set(local_ranks)
+    loc_index = op_stmt_index(program)
+    template_cache: dict[int, StmtTemplate | IneligibleStmt] = {}
+    result = BatchResult(streams={})
+    reasons: list[str] = []
+
+    for cls in summary.classes:
+        members = [r for r in cls.ranks if r in local]
+        if len(members) < 2:
+            continue  # nothing to batch (also: class not local to this shard)
+        rep = members[0]
+        try:
+            rep_stream = _materialize(
+                program, psg, rep, nprocs, params, entry, max_iterations,
+                expr_cache, const_stmts,
+            )
+        except Exception as exc:  # surfaces at the right time per-rank
+            _note(result, reasons, f"representative rank {rep} raised: {exc}")
+            continue
+        if len(rep_stream) * len(members) > _MAX_TOTAL_STREAM_OPS:
+            _note(result, reasons, "materialized stream would exceed size cap")
+            continue
+        try:
+            base, patches = _build_template(
+                rep_stream, members, analysis, loc_index, template_cache,
+                nprocs, cost, precost_compute,
+            )
+        except _Fallback as exc:
+            _note(result, reasons, str(exc))
+            continue
+        _fan_out(result.streams, base, patches, members)
+        result.classes_batched += 1
+        result.ranks_batched += len(members)
+
+    result.fallback_reasons = tuple(reasons)
+    return result
+
+
+def _note(result: BatchResult, reasons: list[str], reason: str) -> None:
+    result.fallbacks += 1
+    if reason not in reasons and len(reasons) < _MAX_RECORDED_REASONS:
+        reasons.append(reason)
+
+
+def _materialize(
+    program, psg, rank, nprocs, params, entry, max_iterations,
+    expr_cache, const_stmts,
+) -> list:
+    interp = Interpreter(
+        program, psg, rank, nprocs, params,
+        max_iterations=max_iterations, entry=entry,
+        expr_cache=expr_cache, const_stmts=const_stmts,
+    )
+    return list(interp.run())
+
+
+def _build_template(
+    rep_stream: list,
+    members: list[int],
+    analysis: RankAnalysis,
+    loc_index: dict,
+    template_cache: dict,
+    nprocs: int,
+    cost: CostModel,
+    precost_compute: bool,
+):
+    """One pass over the representative stream -> (base, patches).
+
+    ``base`` is the representative's stream with compute ops swapped for
+    their precosted twins; ``patches`` lists ``(position, per_member)``
+    substitutions for rank-varying ops, where ``per_member[i]`` is the op
+    instance for ``members[i]``.  Distinct op instances build their
+    per-member fan-out exactly once (memoized streams repeat instances).
+    """
+    base: list = []
+    patches: list[tuple[int, list]] = []
+    inst_cache: dict[int, tuple] = {}  # id(op) -> ("share", op) | ("vary", per_member)
+    value_cache: dict = {}  # (stmt_id, field) -> per-member coerced values
+    precost_cache: dict[int, tuple] = {}  # id(workload) -> baked cost row
+    varying_budget = _MAX_VARYING_INSTANCES
+
+    for pos, op in enumerate(rep_stream):
+        entry = inst_cache.get(id(op))
+        if entry is None:
+            entry = _classify_op(
+                op, members, analysis, loc_index, template_cache,
+                value_cache, nprocs, cost, precost_compute, precost_cache,
+            )
+            inst_cache[id(op)] = entry
+            if entry[0] == "vary":
+                varying_budget -= len(members)
+                if varying_budget < 0:
+                    raise _Fallback("rank-varying instances exceed size cap")
+        if entry[0] == "share":
+            base.append(entry[1])
+        else:
+            base.append(op)  # the representative's own instance is correct
+            patches.append((pos, entry[1]))
+    return base, patches
+
+
+def _classify_op(
+    op,
+    members: list[int],
+    analysis: RankAnalysis,
+    loc_index: dict,
+    template_cache: dict,
+    value_cache: dict,
+    nprocs: int,
+    cost: CostModel,
+    precost_compute: bool,
+    precost_cache: dict,
+) -> tuple:
+    op_type = type(op)
+    if op_type is ops.IndirectCallNote:
+        raise _Fallback(f"{op.location}: indirect call in batched stream")
+    if op_type is ops.RecvOp and (op.src is ops.ANY or op.tag is ops.ANY):
+        raise _Fallback(f"{op.location}: wildcard receive in batched stream")
+
+    loc = op.location
+    stmt = loc_index.get((loc.filename, loc.line, loc.column))
+    if stmt is None:
+        raise _Fallback(f"{loc}: op not attributable to a unique statement")
+
+    template = template_cache.get(stmt.stmt_id)
+    if template is None:
+        try:
+            template = stmt_template(analysis, stmt)
+        except IneligibleStmt as exc:
+            template = exc
+        template_cache[stmt.stmt_id] = template
+    if isinstance(template, IneligibleStmt):
+        raise _Fallback(str(template))
+
+    rules = _rules_for(op, op_type, template)
+    if not rules:
+        if precost_compute and op_type is ops.ComputeOp:
+            return ("share", _precosted(op, op.workload, cost, precost_cache))
+        if op_type is ops.SendOp:
+            return ("share", _precosted_send(op, op.nbytes, cost))
+        return ("share", op)
+
+    # Rank-varying: derive the per-member value columns (witness-checked
+    # against the representative at index 0), then build one instance per
+    # member with the varying fields substituted.
+    columns = []
+    for rule, attr in rules:
+        key = (stmt.stmt_id, rule.field)
+        values = value_cache.get(key)
+        if values is None:
+            values = _member_values(rule, members, nprocs)
+            value_cache[key] = values
+        observed = _observed(op, attr)
+        derived = values[0]
+        if type(derived) is not type(observed) or derived != observed:
+            raise _Fallback(
+                f"{loc}: witness mismatch on {rule.field} "
+                f"(derived {derived!r}, observed {observed!r})"
+            )
+        columns.append((attr, values))
+
+    if op_type is ops.ComputeOp:
+        per_member = _vary_compute(
+            op, members, columns, cost, precost_compute, precost_cache
+        )
+    elif op_type is ops.SendOp:
+        per_member = []
+        for i in range(len(members)):
+            fields = {attr: vals[i] for attr, vals in columns}
+            inst = replace(op, **fields)
+            per_member.append(_precosted_send(inst, inst.nbytes, cost))
+    else:
+        per_member = [
+            replace(op, **{attr: vals[i] for attr, vals in columns})
+            for i in range(len(members))
+        ]
+    return ("vary", per_member)
+
+
+def _rules_for(op, op_type, template: StmtTemplate):
+    """The (FieldRule, op attribute) pairs relevant to this op instance —
+    a sendrecv statement splits its rules between its two ops."""
+    if not template.varying:
+        return ()
+    out = []
+    sendrecv = getattr(op, "mpi_op", None) is MpiOp.SENDRECV
+    for rule in template.varying:
+        if sendrecv:
+            if op_type is ops.SendOp:
+                if rule.field in _RECV_HALF:
+                    continue
+                out.append((rule, rule.field))
+            else:
+                attr = _RECV_HALF.get(rule.field)
+                if attr is not None:
+                    out.append((rule, attr))
+        else:
+            out.append((rule, rule.field))
+    return out
+
+
+def _observed(op, attr: str):
+    if isinstance(op, ops.ComputeOp):
+        return getattr(op.workload, attr)
+    return getattr(op, attr)
+
+
+def _member_values(rule, members: list[int], nprocs: int) -> list:
+    """One coerced value per member rank for one rank-varying field.
+
+    Evaluation and coercion mirror the interpreter's argument validators
+    exactly (``_rank_arg``/``_tag_arg``/``_bytes_arg``/``_number_arg``);
+    any value the validators would reject mid-run raises ``_Fallback`` so
+    the per-rank path reproduces the error at the right simulated moment.
+    """
+    affine = rule.affine
+    if affine is not None:
+        a, b, mod = affine
+        if mod is None:
+            raw = [a * r + b for r in members]
+        else:
+            raw = [(a * r + b) % mod for r in members]
+    else:
+        try:
+            raw = [eval_term(rule.term, r, nprocs) for r in members]
+        except SimulationError as exc:
+            raise _Fallback(f"term evaluation failed: {exc}") from exc
+
+    coerce = rule.coerce
+    out = []
+    for v in raw:
+        if coerce == "rank":
+            if isinstance(v, bool) or not isinstance(v, int) \
+                    or not 0 <= v < nprocs:
+                raise _Fallback(f"derived {rule.field}={v!r} is not a valid rank")
+        elif coerce == "tag":
+            if isinstance(v, bool) or not isinstance(v, int) or v < 0:
+                raise _Fallback(f"derived {rule.field}={v!r} is not a valid tag")
+        elif coerce == "bytes":
+            if isinstance(v, bool) or not isinstance(v, (int, float)) or v < 0:
+                raise _Fallback(f"derived {rule.field}={v!r} is not a byte count")
+            v = int(v)
+        else:  # "number" (compute fields; range-checked at Workload build)
+            if isinstance(v, bool) or not isinstance(v, (int, float)):
+                raise _Fallback(f"derived {rule.field}={v!r} is not a number")
+            v = float(v)
+        out.append(v)
+    return out
+
+
+def _vary_compute(
+    op, members, columns, cost, precost_compute, precost_cache
+) -> list:
+    """Per-member ComputeOps with substituted Workload fields, mirroring
+    ``Interpreter._compile_compute``'s validation order."""
+    w = op.workload
+    fields = {
+        "flops": w.flops, "mem_bytes": w.mem_bytes,
+        "locality": w.locality, "threads": w.threads,
+    }
+    per_member = []
+    for i in range(len(members)):
+        f = dict(fields)
+        for attr, vals in columns:
+            f[attr] = vals[i]
+        if f["flops"] < 0 or f["mem_bytes"] < 0:
+            raise _Fallback(f"{op.location}: negative derived workload")
+        if f["threads"] < 1:
+            raise _Fallback(f"{op.location}: derived threads < 1")
+        try:
+            workload = Workload(**f)
+        except ValueError as exc:
+            raise _Fallback(f"{op.location}: derived workload invalid: {exc}")
+        if precost_compute:
+            per_member.append(
+                _precosted(op, workload, cost, precost_cache)
+            )
+        else:
+            per_member.append(replace(op, workload=workload))
+    return per_member
+
+
+def _precosted_send(op, nbytes: int, cost: CostModel):
+    """The precosted twin of one send op: the network model is fixed and
+    noise-free, so both per-event cost queries are pure in ``nbytes``."""
+    return ops.PrecostedSendOp(
+        vid=op.vid, location=op.location, dest=op.dest, tag=op.tag,
+        nbytes=nbytes, mpi_op=op.mpi_op, blocking=op.blocking,
+        request=op.request,
+        overhead=cost.send_overhead(), transfer=cost.p2p_transfer(nbytes),
+        op_code=MPI_OP_CODES[op.mpi_op],
+    )
+
+
+def _precosted(op, workload, cost: CostModel, precost_cache: dict):
+    """The precosted twin of one compute op (cost queried once per
+    distinct workload — rank-independent by the caller's machine check)."""
+    baked = precost_cache.get(id(workload))
+    if baked is None:
+        duration, counters = cost.compute_cost(0, workload)
+        baked = (
+            duration, counters.tot_ins, counters.tot_cyc,
+            counters.tot_lst_ins, counters.l2_dcm,
+        )
+        precost_cache[id(workload)] = baked
+    duration, ins, cyc, lst, dcm = baked
+    return ops.PrecostedComputeOp(
+        vid=op.vid, location=op.location, workload=workload,
+        duration=duration, ins=ins, cyc=cyc, lst=lst, dcm=dcm,
+    )
+
+
+def _fan_out(streams: dict, base: list, patches: list, members: list[int]) -> None:
+    """Per-member streams from the template.  With no rank-varying slots
+    every member shares the *same list* (each rank gets its own iterator);
+    otherwise members get a patched copy."""
+    if not patches:
+        for r in members:
+            streams[r] = base
+        return
+    streams[members[0]] = base
+    for i, r in enumerate(members):
+        if i == 0:
+            continue
+        s = base.copy()
+        for pos, per_member in patches:
+            s[pos] = per_member[i]
+        streams[r] = s

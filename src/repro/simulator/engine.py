@@ -165,6 +165,16 @@ class SimulationConfig:
     #: above: results are bit-identical on or off (gated by
     #: tests/test_class_sharing_identity.py).
     sim_class_sharing: bool = True
+    #: Interpret one *representative* rank per behavioral equivalence
+    #: class (see :mod:`repro.analysis.symmetry`) and fan the recorded op
+    #: stream out to every member by substituting the rank-dependent
+    #: argument values — skipping per-rank generator chains entirely for
+    #: rank-symmetric programs (see :mod:`repro.simulator.classbatch`).
+    #: Execution strategy like the knobs above: bit-identical on or off
+    #: (gated by tests/test_class_batching_identity.py); any class whose
+    #: template derivation degrades falls back to per-rank interpretation
+    #: silently.
+    sim_class_batching: bool = True
 
     def __post_init__(self) -> None:
         if self.nprocs < 1:
@@ -185,6 +195,8 @@ class SimulationConfig:
             )
         if not isinstance(self.sim_class_sharing, bool):
             raise ValueError("sim_class_sharing must be a bool")
+        if not isinstance(self.sim_class_batching, bool):
+            raise ValueError("sim_class_batching must be a bool")
 
 
 @dataclass(frozen=True)
@@ -352,6 +364,10 @@ class Engine:
             range(config.nprocs) if local_ranks is None else local_ranks
         )
         self.cost = CostModel(config.machine, config.network, seed=config.seed)
+        #: hoisted per-call MPI overheads — constants of the network model
+        #: (pure ``call_overhead`` reads), queried once instead of per event
+        self._send_ovh = self.cost.send_overhead()
+        self._recv_ovh = self.cost.recv_overhead()
         self.tracker = CollectiveTracker(config.nprocs)
         self.mailboxes: dict[int, Mailbox] = {
             r: Mailbox(r) for r in self.local_ranks
@@ -393,6 +409,11 @@ class Engine:
         for d in config.injected_delays:
             key = (d.rank, d.filename, d.line)
             self._delays[key] = self._delays.get(key, 0.0) + d.extra_seconds
+        #: class-batching outcome (filled by start; zeros when off/unused)
+        self.class_batch_stats: dict[str, int] = {
+            "classes": 0, "ranks_batched": 0, "fallbacks": 0,
+        }
+        self.class_batch_reasons: tuple[str, ...] = ()
 
     # ------------------------------------------------------------------
     # main loop
@@ -419,38 +440,104 @@ class Engine:
         # one op record per *engine* instead of one per rank.  The
         # analysis is an auxiliary optimizer: any failure degrades to the
         # per-rank path (correctness is carried by the interpreter either
-        # way and gated by the sharing identity sweep).
+        # way and gated by the sharing identity sweep).  One dataflow run
+        # feeds both class sharing and class batching.
         const_stmts = None
-        shared_ops: dict | None = None
-        if cfg.sim_class_sharing and len(self.local_ranks) > 1:
+        analysis = None
+        if (cfg.sim_class_sharing or cfg.sim_class_batching) \
+                and len(self.local_ranks) > 1:
             from repro.analysis.rankdep import analyze_program
 
             try:
-                const_stmts = analyze_program(
+                analysis = analyze_program(
                     self.program, cfg.nprocs, cfg.params, entry=cfg.entry
-                ).const_stmts
+                )
             except Exception:
-                const_stmts = None
-            if const_stmts:
-                shared_ops = {}
-            else:
-                const_stmts = None
+                analysis = None
+        if cfg.sim_class_sharing and analysis is not None \
+                and analysis.const_stmts:
+            const_stmts = analysis.const_stmts
+        batched = self._build_batched_streams(
+            analysis, expr_cache, const_stmts
+        )
         for pid in self.local_ranks:
-            interp = Interpreter(
-                self.program,
-                self.psg,
-                pid,
-                cfg.nprocs,
-                cfg.params,
-                max_iterations=cfg.max_iterations,
-                entry=cfg.entry,
-                expr_cache=expr_cache,
-                const_stmts=const_stmts,
-                shared_op_cache=shared_ops,
-            )
-            proc = _Proc(pid, interp.run())
+            stream = batched.get(pid)
+            if stream is not None:
+                # Class-batched rank: its whole op stream was derived from
+                # the class representative — consume it through a plain
+                # list iterator instead of a generator chain.
+                gen = iter(stream)
+            else:
+                interp = Interpreter(
+                    self.program,
+                    self.psg,
+                    pid,
+                    cfg.nprocs,
+                    cfg.params,
+                    max_iterations=cfg.max_iterations,
+                    entry=cfg.entry,
+                    expr_cache=expr_cache,
+                    const_stmts=const_stmts,
+                )
+                gen = interp.run()
+            proc = _Proc(pid, gen)
             self.procs[pid] = proc
             self._push(proc)
+
+    def _build_batched_streams(
+        self, analysis, expr_cache: dict, const_stmts
+    ) -> dict:
+        """Per-rank op streams for every batchable equivalence class (see
+        :mod:`repro.simulator.classbatch`); empty dict = everything runs
+        per-rank.  Purely an optimizer: any failure degrades silently and
+        the identity sweep plus the batch counters keep it honest."""
+        cfg = self.config
+        if (
+            not cfg.sim_class_batching
+            or analysis is None
+            or len(self.local_ranks) < 2
+        ):
+            return {}
+        from repro.analysis.symmetry import partition_ranks
+        from repro.simulator.classbatch import build_batched_streams
+
+        try:
+            summary = partition_ranks(
+                self.program, cfg.nprocs, cfg.params,
+                entry=cfg.entry, analysis=analysis,
+            )
+            if summary.degraded is not None:
+                return {}
+            machine = cfg.machine
+            result = build_batched_streams(
+                program=self.program,
+                psg=self.psg,
+                nprocs=cfg.nprocs,
+                params=cfg.params,
+                entry=cfg.entry,
+                max_iterations=cfg.max_iterations,
+                analysis=analysis,
+                summary=summary,
+                local_ranks=self.local_ranks,
+                expr_cache=expr_cache,
+                const_stmts=const_stmts,
+                cost=self.cost,
+                # Baked compute costs are only sound when the cost model
+                # is rank- and execution-independent.
+                precost_compute=(
+                    machine.noise_sigma <= 0.0
+                    and machine.core_speed_sigma <= 0.0
+                    and machine.mem_speed_sigma <= 0.0
+                ),
+            )
+        except Exception:
+            return {}
+        stats = self.class_batch_stats
+        stats["classes"] = result.classes_batched
+        stats["ranks_batched"] = result.ranks_batched
+        stats["fallbacks"] = result.fallbacks
+        self.class_batch_reasons = result.fallback_reasons
+        return result.streams
 
     def drain(self, horizon: float | None = None) -> None:
         """Run runnable ranks in virtual-time order.
@@ -530,6 +617,12 @@ class Engine:
         reg.counter("engine.collectives").inc(
             self.trace.collectives.row_count
         )
+        stats = self.class_batch_stats
+        reg.counter("sim.class_batch.classes").inc(stats["classes"])
+        reg.counter("sim.class_batch.ranks_batched").inc(
+            stats["ranks_batched"]
+        )
+        reg.counter("sim.class_batch.fallbacks").inc(stats["fallbacks"])
         hist = reg.histogram("engine.rank_finish_seconds")
         for pid in self.local_ranks:
             proc = self.procs[pid]
@@ -624,6 +717,53 @@ class Engine:
         self._handle_send(proc, op)
         return False
 
+    def _handle_precosted_send_op(
+        self, proc: _Proc, op: ops.PrecostedSendOp
+    ) -> bool:
+        """Send with baked network costs (see
+        :mod:`repro.simulator.classbatch`) — same message and trace row as
+        :meth:`_handle_send`, minus the two cost-model calls per event."""
+        self.mpi_call_count += 1
+        start = proc.clock
+        proc.clock = start + op.overhead
+        proc.op_index += 1
+        msg = Message(
+            proc.pid, op.dest, op.tag, op.nbytes,
+            start, start + op.transfer, op.vid,
+        )
+        msg.src_seq = proc.op_index
+        if op.request is not None:  # isend: completes locally right away
+            proc.requests.setdefault(op.request, []).append(
+                _Request(name=op.request, kind="send", post_time=start, vid=op.vid)
+            )
+        self._trace_append(
+            proc.pid, op.vid, 1, start, proc.clock, 0.0, op.op_code
+        )
+        self._route_send(msg)
+        return False
+
+    def _handle_precosted_compute_op(
+        self, proc: _Proc, op: ops.PrecostedComputeOp
+    ) -> bool:
+        """Compute whose cost-model query was baked at fan-out build time
+        (see :mod:`repro.simulator.classbatch`) — same clock arithmetic and
+        trace rows as :meth:`_handle_compute`, minus the per-event cache
+        probe."""
+        pid = proc.pid
+        duration = op.duration
+        if self._delays:
+            extra = self._delays.get(
+                (pid, op.location.filename, op.location.line)
+            )
+            if extra:
+                duration += extra
+        start = proc.clock
+        proc.clock = start + duration
+        self.compute_count += 1
+        self._trace_append(pid, op.vid, 0, start, proc.clock, 0.0, -1)
+        self.trace.append_counters(pid, op.vid, op.ins, op.cyc, op.lst, op.dcm)
+        return False
+
     def _handle_indirect_note(self, proc: _Proc, op: ops.IndirectCallNote) -> bool:
         self.indirect_notes.append(
             IndirectNote(
@@ -673,7 +813,7 @@ class Engine:
     def _handle_send(self, proc: _Proc, op: ops.SendOp) -> None:
         self.mpi_call_count += 1
         start = proc.clock
-        proc.clock = start + self.cost.send_overhead()
+        proc.clock = start + self._send_ovh
         proc.op_index += 1
         # positional: this constructor runs once per message sent
         msg = Message(
@@ -721,7 +861,7 @@ class Engine:
             if match is not None:
                 self._complete_match(match)
             start = proc.clock
-            proc.clock = start + self.cost.recv_overhead()
+            proc.clock = start + self._recv_ovh
             self._trace_append(
                 proc.pid, op.vid, 1, start, proc.clock, 0.0,
                 MPI_OP_CODES[op.mpi_op],
@@ -737,15 +877,19 @@ class Engine:
         return True
 
     def _finish_blocking_recv(self, proc: _Proc, op: ops.RecvOp, match) -> None:
+        msg, recv = match.message, match.recv
         start = proc.clock
-        ready = match.ready_time
-        completion = max(start, ready) + self.cost.recv_overhead()
-        wait = max(0.0, match.message.arrival - start)
+        # inlined Match.ready_time: max(message arrival, recv post time)
+        arrival = msg.arrival
+        ready = arrival if arrival >= recv.post_time else recv.post_time
+        completion = max(start, ready) + self._recv_ovh
+        wait = arrival - start
+        if wait < 0.0:
+            wait = 0.0
         proc.clock = completion
         self._trace_append(
             proc.pid, op.vid, 1, start, completion, wait, MPI_OP_CODES[op.mpi_op]
         )
-        msg, recv = match.message, match.recv
         # one P2PTable row per matched message (flat-list append, no object)
         self._p2p_append(
             msg.src, msg.send_vid, proc.pid, op.vid, op.vid,
@@ -833,14 +977,14 @@ class Engine:
             # after the *send-side* software overhead (this used to charge
             # the receive overhead — wrong side of the protocol stack).
             start = block_start
-            proc.clock = start + self.cost.send_overhead()
+            proc.clock = start + self._send_ovh
             self._trace_append(
                 proc.pid, op.vid, 1, start, proc.clock, 0.0, _WAIT_CODE
             )
             return
         assert req.ready_time is not None
         start = block_start
-        completion = max(start, req.ready_time) + self.cost.recv_overhead()
+        completion = max(start, req.ready_time) + self._recv_ovh
         wait = max(0.0, req.ready_time - start)
         proc.clock = completion
         if req.row >= 0:
@@ -876,7 +1020,7 @@ class Engine:
             if req.kind == "recv":
                 assert req.ready_time is not None
                 ready_times.append(req.ready_time)
-        completion = max(ready_times) + self.cost.recv_overhead()
+        completion = max(ready_times) + self._recv_ovh
         wait = max(0.0, max(ready_times) - block_start)
         proc.clock = completion
         set_wait = self.trace.p2p.set_wait
@@ -949,6 +1093,8 @@ class Engine:
 #: honoured automatically).
 _HANDLER_NAMES = {
     ops.ComputeOp: "_handle_compute_op",
+    ops.PrecostedComputeOp: "_handle_precosted_compute_op",
+    ops.PrecostedSendOp: "_handle_precosted_send_op",
     ops.SendOp: "_handle_send_op",
     ops.RecvOp: "_handle_recv",
     ops.WaitOp: "_handle_wait",

@@ -230,9 +230,8 @@ def _compile(expr: ast.Expr, fnames: frozenset[str] | None) -> tuple[CompiledExp
     if isinstance(expr, ast.FuncRef):
         return _compile_funcref(expr), _STATIC
     if isinstance(expr, ast.VarRef):
-        fn = _compile_varref(expr)
         static = fnames is not None and expr.name not in fnames
-        return fn, (_STATIC if static else _DYN)
+        return _compile_varref(expr, static), (_STATIC if static else _DYN)
     if isinstance(expr, ast.UnaryExpr):
         return _compile_unary(expr, fnames)
     if isinstance(expr, ast.BinaryExpr):
@@ -258,8 +257,24 @@ def _compile_funcref(expr: ast.FuncRef) -> CompiledExpr:
     return fn
 
 
-def _compile_varref(expr: ast.VarRef) -> CompiledExpr:
+def _compile_varref(expr: ast.VarRef, static: bool) -> CompiledExpr:
     name, loc = expr.name, expr.location
+
+    if static:
+        # Proven never frame-resident (collect_frame_names): the frame
+        # probe cannot hit, so resolution starts at the params — same
+        # shadowing order as the general closure, one dict probe shorter.
+        def fn(frame, ctx):
+            value = ctx.params.get(name, _MISSING)
+            if value is not _MISSING:
+                return value
+            if name == "rank":
+                return ctx.rank
+            if name == "nprocs":
+                return ctx.nprocs
+            raise SimulationError(f"{loc}: undefined variable {name!r}")
+
+        return fn
 
     def fn(frame, ctx):
         value = frame.get(name, _MISSING)

@@ -15,6 +15,7 @@ vertex via ``psg.lookup_stmt`` — this is the runtime half of the paper's
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from collections.abc import Iterator, Mapping
 
@@ -49,7 +50,9 @@ class _Return(Exception):
 
 
 #: Compiled-statement kinds (how a statement closure emits ops).
-_ACTION, _YIELD_ONE, _YIELD_PAIR, _SUBGEN = 0, 1, 2, 3
+#: _YIELD_MANY is a trace-scheduled run: the closure returns a whole op
+#: tuple (see :func:`_compile_run`).
+_ACTION, _YIELD_ONE, _YIELD_PAIR, _SUBGEN, _YIELD_MANY = 0, 1, 2, 3, 4
 
 
 def _reused(build, stmt_id: int):
@@ -62,16 +65,23 @@ def _reused(build, stmt_id: int):
     yields of one call site, so the slotted instance is freely reusable —
     loop-invariant MPI/compute statements then construct their op exactly
     once per rank instead of once per execution.
+
+    The per-rank store is a per-statement inner dict keyed by inline path
+    (``ctx._op_cache[stmt_id][ip]``) so the hot path never allocates a
+    ``(stmt_id, ip)`` key tuple per yield.
     """
 
     def fn(frame, ctx, ip):
-        key = (stmt_id, ip)
-        op = ctx._op_cache.get(key)
+        per_stmt = ctx._op_cache.get(stmt_id)
+        if per_stmt is None:
+            per_stmt = ctx._op_cache[stmt_id] = {}
+        op = per_stmt.get(ip)
         if op is None:
             op = build(frame, ctx, ip)
-            ctx._op_cache[key] = op
+            per_stmt[ip] = op
         return op
 
+    fn._memoized_op = True
     return fn
 
 
@@ -86,17 +96,22 @@ def _shared(build, stmt_id: int):
     by construction (``_vid_of`` derives it from the static PSG) and the
     engine never mutates ops, so sharing is observationally identical to
     per-rank construction (gated by tests/test_class_sharing_identity.py).
+
+    The store lives in the closure, keyed by inline path alone: statement
+    closures compile once per expression cache — one engine, or one lone
+    interpreter — which is exactly the sharing scope the old engine-level
+    ``(stmt_id, ip)`` dict provided, minus the per-yield key tuple.
     """
+    cache: dict = {}
 
     def fn(frame, ctx, ip):
-        key = (stmt_id, ip)
-        cache = ctx._shared_op_cache
-        op = cache.get(key)
+        op = cache.get(ip)
         if op is None:
             op = build(frame, ctx, ip)
-            cache[key] = op
+            cache[ip] = op
         return op
 
+    fn._memoized_op = True
     return fn
 
 
@@ -107,12 +122,73 @@ def _run_entry(entry, frame, ctx, ip):
         fn(frame, ctx, ip)
     elif kind == _YIELD_ONE:
         yield fn(frame, ctx, ip)
-    elif kind == _SUBGEN:
+    elif kind in (_SUBGEN, _YIELD_MANY):
         yield from fn(frame, ctx, ip)
     else:
         first, second = fn(frame, ctx, ip)
         yield first
         yield second
+
+
+#: Distinct key space for trace-scheduled runs in ``ctx._run_cache``.
+_RUN_IDS = itertools.count()
+
+
+def _compile_run(entries: tuple):
+    """Trace scheduling: one closure for a straight-line run of memoized
+    yield statements.
+
+    Every entry is a ``_YIELD_ONE``/``_YIELD_PAIR`` whose builder is memo
+    tier :func:`_reused` or :func:`_shared` — its op is fixed per
+    ``(interpreter, inline path)`` — so the run's whole op sequence is a
+    constant tuple per ``(interpreter, inline path)``.  Build it once,
+    cache it in ``ctx._run_cache``, and let the block yield it with one
+    C-level tuple iteration instead of per-statement dispatch.
+    """
+    run_id = next(_RUN_IDS)
+
+    def fn(frame, ctx, ip):
+        key = (run_id, ip)
+        run = ctx._run_cache.get(key)
+        if run is None:
+            acc = []
+            for kind, build in entries:
+                if kind == _YIELD_ONE:
+                    acc.append(build(frame, ctx, ip))
+                else:
+                    first, second = build(frame, ctx, ip)
+                    acc.append(first)
+                    acc.append(second)
+            run = tuple(acc)
+            ctx._run_cache[key] = run
+        return run
+
+    return fn
+
+
+def _coalesce_runs(plan: tuple) -> tuple:
+    """Collapse maximal runs (length >= 2) of consecutive memoized yield
+    statements into single ``_YIELD_MANY`` entries."""
+
+    def _memoized_yield(entry) -> bool:
+        return entry[0] in (_YIELD_ONE, _YIELD_PAIR) and getattr(
+            entry[1], "_memoized_op", False
+        )
+
+    out = []
+    i, n = 0, len(plan)
+    while i < n:
+        if _memoized_yield(plan[i]):
+            j = i + 1
+            while j < n and _memoized_yield(plan[j]):
+                j += 1
+            if j - i >= 2:
+                out.append((_YIELD_MANY, _compile_run(plan[i:j])))
+                i = j
+                continue
+        out.append(plan[i])
+        i += 1
+    return tuple(out)
 
 
 # -- typed argument validators (compiled form of the old _eval_* helpers) --
@@ -210,7 +286,6 @@ class Interpreter:
         entry: str = "main",
         expr_cache: dict | None = None,
         const_stmts: frozenset | None = None,
-        shared_op_cache: dict | None = None,
     ) -> None:
         if not (0 <= rank < nprocs):
             raise ValueError(f"rank {rank} out of range for {nprocs} processes")
@@ -232,21 +307,20 @@ class Interpreter:
         self._static_cache: dict = {}
         #: per-statement memo of the last Workload built (usually invariant)
         self._workload_cache: dict[int, tuple[tuple, Workload]] = {}
-        #: (stmt_id, inline_path) -> reusable op record, for statements
+        #: stmt_id -> {inline_path -> reusable op record}, for statements
         #: whose arguments are all rank-static (see :func:`_reused`)
-        self._op_cache: dict[tuple[int, tuple[int, ...]], object] = {}
+        self._op_cache: dict[int, dict[tuple[int, ...], object]] = {}
+        #: (run_id, inline_path) -> op tuple for trace-scheduled runs of
+        #: memoized yield statements (see :func:`_compile_run`)
+        self._run_cache: dict[tuple[int, tuple[int, ...]], tuple] = {}
         #: statement ids the whole-program analysis proved rank-constant;
-        #: their ops live in the engine-wide ``shared_op_cache`` instead
-        #: (see :func:`_shared`).  Must be identical for every interpreter
-        #: sharing one ``expr_cache`` — the wrap decision is made by
-        #: whichever rank compiles the statement first.
+        #: their ops live inside the compiled closure (see :func:`_shared`),
+        #: which is scoped by ``expr_cache`` — engine-wide when the engine
+        #: shares one cache across ranks.  Must be identical for every
+        #: interpreter sharing one ``expr_cache`` — the wrap decision is
+        #: made by whichever rank compiles the statement first.
         self._const_stmts: frozenset = (
             const_stmts if const_stmts is not None else frozenset()
-        )
-        #: engine-level op store for const statements; defaults to the
-        #: per-rank cache so a lone interpreter degrades to _reused
-        self._shared_op_cache: dict = (
-            shared_op_cache if shared_op_cache is not None else self._op_cache
         )
 
     def _compile_expr(self, expr: ast.Expr):
@@ -297,6 +371,8 @@ class Interpreter:
     #   _YIELD_ONE   returns exactly one op (compute, most MPI)
     #   _YIELD_PAIR  returns an op 2-tuple (sendrecv)
     #   _SUBGEN      is a generator (if/for/while/call)
+    #   _YIELD_MANY  returns the whole op tuple of a trace-scheduled run
+    #                of consecutive memoized yields (see _coalesce_runs)
     # ------------------------------------------------------------------
 
     def _call_function(
@@ -318,9 +394,18 @@ class Interpreter:
             return
 
     def _compile_block(self, block: ast.Block):
-        plan = tuple(self._compile_stmt(s) for s in block.statements)
-        if len(plan) == 1 and plan[0][0] == _SUBGEN:
-            return plan[0][1]
+        plan = _coalesce_runs(
+            tuple(self._compile_stmt(s) for s in block.statements)
+        )
+        if len(plan) == 1 and plan[0][0] in (_SUBGEN, _YIELD_MANY):
+            if plan[0][0] == _SUBGEN:
+                return plan[0][1]
+            run = plan[0][1]
+
+            def run_only(frame, ctx, ip, _run=run):
+                yield from _run(frame, ctx, ip)
+
+            return run_only
 
         def run_block(frame, ctx, ip, _plan=plan):
             for kind, fn in _plan:
@@ -329,6 +414,8 @@ class Interpreter:
                 elif kind == _YIELD_ONE:
                     yield fn(frame, ctx, ip)
                 elif kind == _SUBGEN:
+                    yield from fn(frame, ctx, ip)
+                elif kind == _YIELD_MANY:
                     yield from fn(frame, ctx, ip)
                 else:
                     first, second = fn(frame, ctx, ip)

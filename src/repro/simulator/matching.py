@@ -58,7 +58,7 @@ class Message:
     send_time: float
     arrival: float
     send_vid: int
-    seq: int = field(default_factory=lambda: next(_msg_counter))
+    seq: int = field(default_factory=_msg_counter.__next__)
     #: Sender-local op index at send time (deterministic across executions,
     #: unlike ``seq`` which is a process-global counter).  Set by the
     #: engine; the parallel subsystem orders cross-shard traffic by the
@@ -77,7 +77,7 @@ class PostedRecv:
     recv_vid: int
     #: None for a blocking recv; request name for irecv.
     request: str | None = None
-    seq: int = field(default_factory=lambda: next(_recv_counter))
+    seq: int = field(default_factory=_recv_counter.__next__)
 
     def accepts(self, msg: Message) -> bool:
         if self.src is not ANY and self.src != msg.src:
@@ -102,7 +102,7 @@ class Mailbox:
     """Pending messages and posted receives of one destination rank."""
 
     __slots__ = ("rank", "_pending", "_posted", "_stamp", "_pending_count",
-                 "_posted_count")
+                 "_posted_count", "_wild_posted")
 
     def __init__(self, rank: int) -> None:
         self.rank = rank
@@ -113,6 +113,9 @@ class Mailbox:
         self._stamp = 0
         self._pending_count = 0
         self._posted_count = 0
+        #: posted receives whose key has a wildcard src or tag — while
+        #: zero (the common case) deliver() probes one bucket, not four
+        self._wild_posted = 0
 
     # -- the two entry points -------------------------------------------
 
@@ -123,27 +126,41 @@ class Mailbox:
             raise ValueError(f"message for rank {msg.dest} delivered to {self.rank}")
         if self._posted_count:
             posted = self._posted
-            best_key = None
-            best_stamp = -1
-            # A message can only match these four declared-recv buckets.
-            for key in (
-                (msg.src, msg.tag),
-                (msg.src, ANY),
-                (ANY, msg.tag),
-                (ANY, ANY),
-            ):
+            if not self._wild_posted:
+                # No wildcard receives posted: only the fully-addressed
+                # bucket can match — one probe instead of a four-key scan.
+                key = (msg.src, msg.tag)
                 bucket = posted.get(key)
                 if bucket:
-                    stamp = bucket[0][0]
-                    if best_key is None or stamp < best_stamp:
-                        best_key, best_stamp = key, stamp
-            if best_key is not None:
-                bucket = posted[best_key]
-                _, recv = bucket.popleft()
-                if not bucket:
-                    del posted[best_key]
-                self._posted_count -= 1
-                return Match(message=msg, recv=recv)
+                    _, recv = bucket.popleft()
+                    if not bucket:
+                        del posted[key]
+                    self._posted_count -= 1
+                    return Match(message=msg, recv=recv)
+            else:
+                best_key = None
+                best_stamp = -1
+                # A message can only match these four declared-recv buckets.
+                for key in (
+                    (msg.src, msg.tag),
+                    (msg.src, ANY),
+                    (ANY, msg.tag),
+                    (ANY, ANY),
+                ):
+                    bucket = posted.get(key)
+                    if bucket:
+                        stamp = bucket[0][0]
+                        if best_key is None or stamp < best_stamp:
+                            best_key, best_stamp = key, stamp
+                if best_key is not None:
+                    bucket = posted[best_key]
+                    _, recv = bucket.popleft()
+                    if not bucket:
+                        del posted[best_key]
+                    self._posted_count -= 1
+                    if best_key[0] is ANY or best_key[1] is ANY:
+                        self._wild_posted -= 1
+                    return Match(message=msg, recv=recv)
         pkey = (msg.src, msg.tag)
         bucket = self._pending.get(pkey)
         if bucket is None:
@@ -180,6 +197,8 @@ class Mailbox:
         self._stamp = stamp = self._stamp + 1
         bucket.append((stamp, recv))
         self._posted_count += 1
+        if src is ANY or tag is ANY:
+            self._wild_posted += 1
         return None
 
     # -- canonical selection (parallel shards) ----------------------------
@@ -237,6 +256,8 @@ class Mailbox:
             bucket = self._posted[key] = deque()
         bucket.append((self._next_stamp(), recv))
         self._posted_count += 1
+        if key[0] is ANY or key[1] is ANY:
+            self._wild_posted += 1
 
     def _min_pending(
         self, recv: PostedRecv, rank_fn, bound: tuple | None = None

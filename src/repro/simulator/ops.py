@@ -26,7 +26,9 @@ from repro.simulator.costmodel import Workload
 __all__ = [
     "Op",
     "ComputeOp",
+    "PrecostedComputeOp",
     "SendOp",
+    "PrecostedSendOp",
     "RecvOp",
     "WaitOp",
     "WaitAllOp",
@@ -51,6 +53,26 @@ class ComputeOp(Op):
 
 
 @dataclass(slots=True)
+class PrecostedComputeOp(ComputeOp):
+    """A compute op whose cost-model query was hoisted to build time.
+
+    Class-batched fan-out (``repro.simulator.classbatch``) evaluates
+    ``CostModel.compute_cost`` once per distinct workload per class — the
+    cost is rank-independent whenever per-execution noise is off, which
+    the builder checks — and bakes the result in, so the engine's compute
+    handler skips the per-event ``(pid, workload)`` cache probe entirely.
+    Bit-identical to handling the plain :class:`ComputeOp` (gated by the
+    class-batching identity sweep).
+    """
+
+    duration: float = 0.0
+    ins: float = 0.0
+    cyc: float = 0.0
+    lst: float = 0.0
+    dcm: float = 0.0
+
+
+@dataclass(slots=True)
 class SendOp(Op):
     dest: int
     tag: int
@@ -58,6 +80,22 @@ class SendOp(Op):
     mpi_op: MpiOp = MpiOp.SEND
     blocking: bool = True
     request: str | None = None  # isend
+
+
+@dataclass(slots=True)
+class PrecostedSendOp(SendOp):
+    """A send whose network-cost queries were hoisted to build time.
+
+    ``overhead`` and ``transfer`` are pure functions of the (fixed)
+    network model and the byte count, so class-batched fan-out
+    (``repro.simulator.classbatch``) bakes them per instance and the
+    engine's send handler skips both cost-model calls per event.
+    Bit-identical to handling the plain :class:`SendOp`.
+    """
+
+    overhead: float = 0.0
+    transfer: float = 0.0
+    op_code: int = -1  # baked MPI_OP_CODES[mpi_op] for the trace row
 
 
 @dataclass(slots=True)

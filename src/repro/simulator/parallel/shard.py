@@ -187,7 +187,7 @@ class ShardEngine(Engine):
             self._attach_request(proc.pid, recv, req)
             self._gate_process(gate)
             start = proc.clock
-            proc.clock = start + self.cost.recv_overhead()
+            proc.clock = start + self._recv_ovh
             self._trace_append(
                 proc.pid, op.vid, 1, start, proc.clock, 0.0,
                 MPI_OP_CODES[op.mpi_op],

@@ -787,35 +787,62 @@ class TraceBuffer:
             self._fold_counter_chunk(chunk)
 
     def _fold_event_chunk(self, chunk: np.ndarray) -> None:
-        # Ring mode: accumulate the chunk into the running aggregates in
-        # event order (identical float association to the one-shot path for
-        # runs that fit one chunk) and let the chunk go.
+        # Ring mode: fold the sealed chunk into the running aggregates
+        # with the same bincount kernel the one-shot path uses (a left
+        # fold in occurrence order within the chunk — identical float
+        # association to the one-shot path for runs that fit one chunk;
+        # across chunks each key joins via one add of the chunk partial)
+        # and let the chunk go.
+        rank_col, vid_col = chunk[:, 0], chunk[:, 1]
+        inv, order, keys = self._grouped(rank_col, vid_col)
+        n = len(keys)
+        wait_col = chunk[:, 5]
+        time_sums = np.bincount(
+            inv, weights=chunk[:, 4] - chunk[:, 3], minlength=n
+        )
+        wait_sums = np.bincount(inv, weights=wait_col, minlength=n)
+        waited_counts = np.bincount(
+            inv, weights=(wait_col != 0.0), minlength=n
+        )
+        visit_counts = np.bincount(inv, minlength=n)
         time = self._fold_time
         wait_d = self._fold_wait
         waited = self._fold_waited
         visits = self._fold_visits
-        for rank, vid, _kind, start, end, wait, _op in chunk.tolist():
-            key = (int(rank), int(vid))
-            time[key] = time.get(key, 0.0) + (end - start)
-            if wait:
+        for g in order:
+            key = keys[g]
+            time[key] = time.get(key, 0.0) + float(time_sums[g])
+            if waited_counts[g]:
                 waited.add(key)
-            wait_d[key] = wait_d.get(key, 0.0) + wait
-            visits[key] = visits.get(key, 0) + 1
+            wait_d[key] = wait_d.get(key, 0.0) + float(wait_sums[g])
+            visits[key] = visits.get(key, 0) + int(visit_counts[g])
 
     def _fold_counter_chunk(self, chunk: np.ndarray) -> None:
+        # Same bincount fold as _fold_event_chunk, over the four PMU
+        # counter columns.
+        rank_col, vid_col = chunk[:, 0], chunk[:, 1]
+        inv, order, keys = self._grouped(rank_col, vid_col)
+        n = len(keys)
+        sums = [
+            np.bincount(inv, weights=chunk[:, c], minlength=n)
+            for c in (2, 3, 4, 5)
+        ]
         counters = self._fold_counters
-        for rank, vid, ins, cyc, lst, dcm in chunk.tolist():
-            key = (int(rank), int(vid))
+        for g in order:
+            key = keys[g]
             agg = counters.get(key)
             if agg is None:
                 counters[key] = PerfCounters(
-                    tot_ins=ins, tot_cyc=cyc, tot_lst_ins=lst, l2_dcm=dcm
+                    tot_ins=float(sums[0][g]),
+                    tot_cyc=float(sums[1][g]),
+                    tot_lst_ins=float(sums[2][g]),
+                    l2_dcm=float(sums[3][g]),
                 )
             else:
-                agg.tot_ins += ins
-                agg.tot_cyc += cyc
-                agg.tot_lst_ins += lst
-                agg.l2_dcm += dcm
+                agg.tot_ins += float(sums[0][g])
+                agg.tot_cyc += float(sums[1][g])
+                agg.tot_lst_ins += float(sums[2][g])
+                agg.l2_dcm += float(sums[3][g])
 
     # ------------------------------------------------------------------
     # read path (post-run views)

@@ -1,0 +1,204 @@
+"""Class-batched simulation is bit-identical to per-rank interpretation.
+
+The per-rank interpreter is the bit-identity oracle: with
+``sim_class_batching`` on, every rank of a proven behavioral equivalence
+class consumes an op stream fanned out from its class representative —
+and nothing observable may change.  Mirrors the class-sharing identity
+gate: same randomized workloads, fingerprints plus canonical detection
+reports, serial and sharded, both executors, both schedulers.  The
+adversarial section additionally pins the *fallback* behavior: workloads
+engineered to defeat batching (wildcard receives inside a symmetric
+phase, a single rank diverging late) must take the per-rank path — the
+fallback counter says so — and still match the oracle exactly.
+"""
+
+import random
+
+import pytest
+
+from repro.api import AnalysisConfig, Pipeline
+from repro.api.config import canonical_json
+from repro.simulator import SimulationConfig, simulate
+from tests.conftest import IMBALANCED_SOURCE
+from tests.test_scheduler_identity import _compiled, _fingerprint, make_workload
+
+
+def _batch_counters(result) -> dict:
+    return {
+        k.rsplit(".", 1)[1]: v
+        for k, v in result.metrics.counters.items()
+        if k.startswith("sim.class_batch.")
+    }
+
+
+class TestRandomizedWorkloads:
+    @pytest.mark.parametrize("seed", range(1, 100, 4))
+    def test_batching_matches_per_rank_oracle(self, seed):
+        source = make_workload(seed)
+        rng = random.Random(30_000 + seed)
+        nprocs = rng.randint(5, 9)
+        program, psg = _compiled(source, f"batch{seed}")
+        oracle = _fingerprint(program, psg, nprocs, sim_class_batching=False)
+        batched = _fingerprint(program, psg, nprocs, sim_class_batching=True)
+        assert batched == oracle, f"serial divergence on seed {seed}"
+        sharded = _fingerprint(
+            program, psg, nprocs,
+            sim_class_batching=True,
+            sim_shards=rng.randint(2, 4), sim_executor="inprocess",
+        )
+        assert sharded == oracle, f"sharded divergence on seed {seed}"
+
+    @pytest.mark.parametrize("seed", [5, 41, 77])
+    def test_process_executor_and_both_schedulers(self, seed):
+        source = make_workload(seed)
+        program, psg = _compiled(source, f"batchmp{seed}")
+        oracle = _fingerprint(program, psg, 6, sim_class_batching=False)
+        for scheduler in ("heap", "calendar"):
+            for extra in (
+                dict(),
+                dict(sim_shards=2, sim_executor="process"),
+            ):
+                fp = _fingerprint(
+                    program, psg, 6,
+                    sim_class_batching=True, sim_scheduler=scheduler, **extra,
+                )
+                assert fp == oracle, (seed, scheduler, extra)
+
+
+#: Fully symmetric ring exchange: one equivalence class, every field of
+#: every op either invariant or affine in rank — the canonical batch hit.
+SYMMETRIC_RING = """\
+def main() {
+    for (var it = 0; it < 4; it = it + 1) {
+        compute(flops = 40000 + 1000 * it);
+        sendrecv(dest = (rank + 1) % nprocs, tag = 1, bytes = 512,
+                 src = (rank - 1 + nprocs) % nprocs);
+    }
+    allreduce(bytes = 8);
+}
+"""
+
+#: A wildcard receive inside a perfectly symmetric phase: every rank runs
+#: the identical statement sequence (one equivalence class), but ANY-src
+#: matching is arrival-order dependent, so the template check must refuse
+#: the whole class — batching a wildcard would bake in one arrival order.
+WILDCARD_IN_SYMMETRIC_PHASE = """\
+def main() {
+    for (var it = 0; it < 3; it = it + 1) {
+        compute(flops = 10000);
+        send(dest = (rank + 1) % nprocs, tag = 3, bytes = 64);
+        recv(src = ANY, tag = 3);
+    }
+    barrier();
+}
+"""
+
+#: Every rank runs the same symmetric loop, then exactly one rank takes a
+#: divergent late branch — the symmetry partition must split it out (or
+#: degrade), never batch it with the others.
+ONE_RANK_DIVERGES_LATE = """\
+def main() {
+    for (var it = 0; it < 3; it = it + 1) {
+        compute(flops = 30000);
+        sendrecv(dest = (rank + 1) % nprocs, tag = 2, bytes = 256,
+                 src = (rank - 1 + nprocs) % nprocs);
+    }
+    if (rank == nprocs - 1) {
+        compute(flops = 999999);
+        compute(flops = hashrand(rank, 7) * 1000 + 1000);
+    }
+    barrier();
+}
+"""
+
+
+class TestBatchingEngages:
+    def test_symmetric_ring_batches_every_rank(self):
+        """Meta-check: the identity gate is not vacuous — a symmetric app
+        really takes the batched path for all ranks."""
+        program, psg = _compiled(SYMMETRIC_RING, "symring")
+        res = simulate(program, psg, SimulationConfig(nprocs=16))
+        stats = _batch_counters(res)
+        assert stats["classes"] >= 1
+        assert stats["ranks_batched"] == 16
+        assert stats["fallbacks"] == 0
+
+    def test_oracle_run_reports_zero_batching(self):
+        program, psg = _compiled(SYMMETRIC_RING, "symring_off")
+        res = simulate(
+            program, psg,
+            SimulationConfig(nprocs=16, sim_class_batching=False),
+        )
+        stats = _batch_counters(res)
+        assert stats["classes"] == 0
+        assert stats["ranks_batched"] == 0
+
+    def test_knob_validation(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(nprocs=2, sim_class_batching="on")
+        with pytest.raises(ValueError):
+            AnalysisConfig(sim_class_batching=1)
+
+
+class TestAdversarialFallback:
+    def test_wildcard_recv_in_symmetric_phase_falls_back(self):
+        program, psg = _compiled(WILDCARD_IN_SYMMETRIC_PHASE, "wildsym")
+        oracle = _fingerprint(program, psg, 8, sim_class_batching=False)
+        assert _fingerprint(program, psg, 8) == oracle
+        res = simulate(program, psg, SimulationConfig(nprocs=8))
+        stats = _batch_counters(res)
+        # The class containing the wildcard must fall back wholesale —
+        # a wildcard receive never rides a template.
+        assert stats["fallbacks"] >= 1
+        assert stats["ranks_batched"] == 0
+
+    def test_one_rank_diverging_late_is_never_batched_in(self):
+        program, psg = _compiled(ONE_RANK_DIVERGES_LATE, "lonediv")
+        oracle = _fingerprint(program, psg, 8, sim_class_batching=False)
+        assert _fingerprint(program, psg, 8) == oracle
+        res = simulate(program, psg, SimulationConfig(nprocs=8))
+        stats = _batch_counters(res)
+        # rank nprocs-1 executes extra statements (one with a value the
+        # analysis cannot close over rank) — it must stay per-rank.
+        assert stats["ranks_batched"] < 8
+
+    def test_fallback_reasons_surface_on_engine(self):
+        """The engine records why classes degraded (bounded, deduplicated)
+        so bench and debug tooling can explain a batch miss."""
+        from repro.psg import build_psg
+        from repro.minilang.parser import parse_program
+        from repro.simulator.engine import Engine
+
+        program = parse_program(WILDCARD_IN_SYMMETRIC_PHASE, "wildsym.mm")
+        psg = build_psg(program).psg
+        engine = Engine(program, psg, SimulationConfig(nprocs=8))
+        engine.run()
+        assert engine.class_batch_stats["fallbacks"] >= 1
+        assert engine.class_batch_reasons
+        assert all(isinstance(r, str) for r in engine.class_batch_reasons)
+
+
+class TestCanonicalReport:
+    def test_report_sha_identical_with_and_without_batching(self):
+        reports = {}
+        for flag in (False, True):
+            pipeline = Pipeline(
+                source=IMBALANCED_SOURCE, filename="imbalanced.mm",
+                config=AnalysisConfig(seed=0, sim_class_batching=flag),
+            )
+            doc = pipeline.run([4, 8, 16]).report.to_json_dict()
+            doc["detection_seconds"] = 0.0
+            reports[flag] = canonical_json(doc)
+        assert reports[True] == reports[False]
+
+    def test_batching_is_digest_neutral(self):
+        base = AnalysisConfig(seed=0)
+        off = AnalysisConfig(seed=0, sim_class_batching=False)
+        assert base.digest() == off.digest()
+        assert AnalysisConfig.from_json(off.to_json()) == off
+        # pre-knob documents load with the default
+        import json
+
+        doc = json.loads(base.to_json())
+        doc.pop("sim_class_batching", None)
+        assert AnalysisConfig.from_dict(doc).sim_class_batching is True
