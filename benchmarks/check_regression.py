@@ -23,11 +23,14 @@ statement dispatch) in ``benchmarks/BENCH_9.json``.  PR 9 also
 BENCH_9.json: the engine's per-event cost dropped (hoisted overheads,
 single-bucket match fast path, vectorized ring-mode folds), and keeping
 the stale slower BENCH_5 numbers would let a future regression hide
-inside the earned headroom.
+inside the earned headroom.  The PR-10 rows (match-order analysis
+throughput over wildcard fixtures, and a wildcard-heavy 1024-rank ring
+measured through the devirtualized class-batched path vs the refused
+per-rank path) live in ``benchmarks/BENCH_10.json``.
 The gate fails (exit 1) when any workload's throughput drops more than
 ``--tolerance`` (default 20%) below its baseline.
 
-``BENCH_9.json`` also records an execution-metrics snapshot
+``BENCH_10.json`` also records an execution-metrics snapshot
 (``scalana-metrics-v1``) of a representative 256-rank run: event counts
 as provenance, so a future cost movement can be attributed to "more
 events" vs "slower per event" at review time.
@@ -42,6 +45,15 @@ Two *absolute* gates run after the drift table, not just relative drift:
   least 3x on a rank-symmetric workload at 4096 ranks, with every rank
   actually riding a template (the counters say so).
 
+A third, counter-based (not timing-based) engagement gate follows them:
+wildcard devirtualization must actually fire on the 1024-rank wildcard
+ring — every receive devirtualized, all 1024 ranks class-batched, zero
+fallbacks — while the knob-off run must refuse batching with zero
+devirtualizations.  Identity between the two paths is gated by
+``tests/test_wildcard_devirt_identity.py``; this gate pins the *other*
+half of the contract (the pass engages, the payoff rows above measure
+what that buys).
+
 Machines differ, so raw seconds do not transfer: both the baseline and the
 current run are normalized by a calibration score — a fixed pure-Python +
 numpy workload timed on the same machine in the same process.  The
@@ -54,9 +66,8 @@ Usage::
     PYTHONPATH=src python benchmarks/check_regression.py            # gate
     PYTHONPATH=src python benchmarks/check_regression.py --update   # rebase
 
-``--update`` only (re)writes BENCH_9.json rows — the committed PR-2
-through PR-8 baselines are history, not a moving target (with the two
-deliberate PR-9 rebases above as the only exception).
+``--update`` only (re)writes BENCH_10.json rows — the committed PR-2
+through PR-9 baselines are history, not a moving target.
 """
 
 from __future__ import annotations
@@ -82,9 +93,11 @@ BASELINE_6_PATH = Path(__file__).resolve().parent / "BENCH_6.json"
 BASELINE_7_PATH = Path(__file__).resolve().parent / "BENCH_7.json"
 BASELINE_8_PATH = Path(__file__).resolve().parent / "BENCH_8.json"
 BASELINE_9_PATH = Path(__file__).resolve().parent / "BENCH_9.json"
+BASELINE_10_PATH = Path(__file__).resolve().parent / "BENCH_10.json"
 
 #: Historical rows deliberately re-baselined into BENCH_9.json (PR 9 cut
 #: the engine's per-event cost; their BENCH_5 numbers are stale-slow).
+#: BENCH_9 is loaded after BENCH_5 so these shadow the stale copies.
 REBASED_IN_9 = frozenset({"ring_p1024", "ring_p1024_calendar"})
 
 RING = """def main() {
@@ -202,6 +215,39 @@ def main() {
     barrier();
 }
 """
+
+#: The PR-10 wildcard workload: a rank-symmetric ring whose ANY-source
+#: receive the match-order analysis proves deterministic (unique feasible
+#: sender per receiver; the unconditional barrier is the sure separator
+#: between iterations).  With ``sim_wildcard_devirt`` on, the receive is
+#: rewritten to a concrete source at compile time, which lifts the PR-9
+#: class-batching wildcard refusal — one representative interprets for
+#: all 1024 ranks.  With the knob off, the wildcard forces per-rank
+#: interpretation; the two rows measure that gap.
+WILDCARD_RING = """def main() {
+    for (var it = 0; it < 10; it = it + 1) {
+        compute(flops = 100000);
+        send(dest = (rank + 1) % nprocs, tag = 1, bytes = 1024);
+        recv(src = ANY, tag = 1);
+        barrier();
+    }
+}"""
+
+#: Guarded two-phase wildcard traffic for the match-order analysis
+#: throughput row: one proven-deterministic receive (epoch-separated by
+#: the barrier) and one racy fan-in, so the analysis exercises both the
+#: proof path and the refutation path.
+MATCHORDER_TWO_PHASE = """def main() {
+    if (rank == 1) { send(dest = 0, tag = 1, bytes = 64); }
+    if (rank == 0) { recv(src = ANY, tag = 1); }
+    barrier();
+    if (rank > 0) { send(dest = 0, tag = 2, bytes = 64); }
+    if (rank == 0) {
+        for (var i = 1; i < nprocs; i = i + 1) {
+            recv(src = ANY, tag = 2);
+        }
+    }
+}"""
 
 #: Imbalanced p2p + collectives at 1024 ranks: the baselines' vectorized
 #: collective loops (the O(P^2) wait_of fix) run over its record tables.
@@ -459,6 +505,23 @@ def build_workloads():
     gendepth_prog = parse_program(GENERATOR_DEPTH, "gendepth.mm")
     gendepth_psg = build_psg(gendepth_prog).psg
 
+    # PR-10 rows (baselined in BENCH_10.json): match-order analysis
+    # throughput (proof + refutation paths over wildcard fixtures at
+    # several scales), and the 1024-rank wildcard ring through the
+    # devirtualized class-batched path vs the refused per-rank path.
+    from repro.analysis.matchorder import analyze_match_order
+
+    wild_prog = parse_program(WILDCARD_RING, "wildring.mm")
+    wild_psg = build_psg(wild_prog).psg
+    two_phase_prog = parse_program(MATCHORDER_TWO_PHASE, "twophase.mm")
+
+    def matchorder_analysis():
+        # one analysis is a few ms: several programs x several scales
+        # keeps the row above the noise floor of a loaded CI runner
+        for prog in (wild_prog, two_phase_prog):
+            for nprocs in (64, 256, 1024):
+                analyze_match_order(prog, nprocs, {})
+
     return {
         "ring_p32": sim(ring_prog, ring_psg, 32, False),
         "collectives_p32": sim(coll_prog, coll_psg, 32, False),
@@ -510,13 +573,19 @@ def build_workloads():
             gendepth_prog, gendepth_psg, 8, False,
             sim_class_batching=False,
         ),
+        # PR-10 rows (baselined in BENCH_10.json):
+        "matchorder_analysis_fixtures": matchorder_analysis,
+        "wildcard_p1024_devirt": sim(wild_prog, wild_psg, 1024, False),
+        "wildcard_p1024_refused": sim(
+            wild_prog, wild_psg, 1024, False, sim_wildcard_devirt=False,
+        ),
     }
 
 
 def metrics_provenance() -> dict:
     """Execution-metrics snapshot of the 256-rank ring workload.
 
-    Recorded under ``"metrics"`` in BENCH_9.json by ``--update``:
+    Recorded under ``"metrics"`` in BENCH_10.json by ``--update``:
     machine-independent event counts (MPI calls, matches, trace events)
     that explain *why* a row's cost moved when it does.
     """
@@ -611,6 +680,60 @@ def check_classbatch_speedup(min_speedup: float = 3.0, repeats: int = 2) -> bool
     return speedup >= min_speedup
 
 
+def check_wildcard_devirt_engagement() -> bool:
+    """The counter-based PR-10 gate: wildcard devirtualization must fire
+    on the 1024-rank wildcard ring, and only when the knob says so.
+
+    Bit-identity on == off is gated by the 100-seed sweeps in
+    ``tests/test_wildcard_devirt_identity.py``; this gate asserts the
+    pass *engages* — every ANY-source receive rewritten to its proven
+    source, the class-batching refusal lifted (all 1024 ranks batched,
+    zero fallbacks) — and that the knob-off run really is the refused
+    per-rank path the ``wildcard_p1024_refused`` row measures.  Counters,
+    not timings: engagement is deterministic, so no retry discipline.
+    """
+    prog = parse_program(WILDCARD_RING, "wildring.mm")
+    psg = build_psg(prog).psg
+    on = simulate(
+        prog, psg, SimulationConfig(nprocs=1024, record_segments=False)
+    ).metrics.counters
+    off = simulate(
+        prog, psg,
+        SimulationConfig(
+            nprocs=1024, record_segments=False, sim_wildcard_devirt=False
+        ),
+    ).metrics.counters
+
+    # 10 iterations x 1024 ranks, one wildcard receive each
+    checks = [
+        ("on: every receive devirtualized",
+         on.get("sim.wildcard.devirt", 0) == 10240),
+        ("on: class batching lifted for all ranks",
+         on.get("sim.class_batch.ranks_batched", 0) == 1024),
+        ("on: zero batching fallbacks",
+         on.get("sim.class_batch.fallbacks", 0) == 0),
+        ("off: zero devirtualizations",
+         off.get("sim.wildcard.devirt", 0) == 0),
+        ("off: wildcard still refuses batching",
+         off.get("sim.class_batch.fallbacks", 0) >= 1
+         and off.get("sim.class_batch.ranks_batched", 0) == 0),
+    ]
+    ok = all(passed for _, passed in checks)
+    if ok:
+        print(
+            f"wildcard-devirt engagement p1024: "
+            f"{on.get('sim.wildcard.devirt', 0)} receives devirtualized, "
+            f"{on.get('sim.class_batch.ranks_batched', 0)} ranks batched, "
+            f"knob-off falls back per-rank"
+        )
+    else:
+        for label, passed in checks:
+            if not passed:
+                print(f"wildcard-devirt gate FAILED: {label}",
+                      file=sys.stderr)
+    return ok
+
+
 def measure(repeats: int = 3) -> dict:
     # calibrate before *and* after the workloads and keep the faster score:
     # transient load during one calibration window then cannot skew every
@@ -630,7 +753,7 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--update", action="store_true",
-        help="rewrite the measured baselines in BENCH_9.json (BENCH_2-8"
+        help="rewrite the measured baselines in BENCH_10.json (BENCH_2-9"
              ".json rows are committed history and never rewritten; edit "
              "by hand if a legacy workload must be rebased)",
     )
@@ -640,45 +763,44 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     current = measure(args.repeats)
-    # Committed history: BENCH_2 (PR 2) through BENCH_8 (PR 8) rows are
+    # Committed history: BENCH_2 (PR 2) through BENCH_9 (PR 9) rows are
     # never rewritten by --update; edit by hand if a legacy workload must
-    # rebase.  The REBASED_IN_9 rows are the deliberate exception:
-    # --update re-measures them into BENCH_9, and at gate time the
-    # BENCH_9 copy shadows the stale BENCH_5 one.
+    # rebase.  Load order matters: BENCH_9 comes after BENCH_5, so the
+    # deliberately rebased REBASED_IN_9 rows shadow their stale copies.
     history: dict = {}
     for path in (
         BASELINE_PATH, BASELINE_3_PATH, BASELINE_4_PATH, BASELINE_5_PATH,
-        BASELINE_6_PATH, BASELINE_7_PATH, BASELINE_8_PATH,
+        BASELINE_6_PATH, BASELINE_7_PATH, BASELINE_8_PATH, BASELINE_9_PATH,
     ):
         if path.exists():
             history.update(json.loads(path.read_text()).get("benchmarks", {}))
-    if args.update or not BASELINE_9_PATH.exists():
-        # Only the PR-9 file is a live baseline.
+    if args.update or not BASELINE_10_PATH.exists():
+        # Only the PR-10 file is a live baseline.
         doc = (
-            json.loads(BASELINE_9_PATH.read_text())
-            if BASELINE_9_PATH.exists()
+            json.loads(BASELINE_10_PATH.read_text())
+            if BASELINE_10_PATH.exists()
             else {}
         )
         doc["calibration_score"] = current["calibration_score"]
         doc["metrics"] = metrics_provenance()
         doc.setdefault("benchmarks", {})
         for name, row in current["benchmarks"].items():
-            if name not in history or name in REBASED_IN_9:
+            if name not in history:
                 doc["benchmarks"][name] = row
-        BASELINE_9_PATH.write_text(json.dumps(doc, indent=2) + "\n")
-        print(f"baseline written to {BASELINE_9_PATH}")
+        BASELINE_10_PATH.write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"baseline written to {BASELINE_10_PATH}")
         return 0
 
     baseline = {"benchmarks": dict(history)}
     baseline["benchmarks"].update(
-        json.loads(BASELINE_9_PATH.read_text()).get("benchmarks", {})
+        json.loads(BASELINE_10_PATH.read_text()).get("benchmarks", {})
     )
     # Surface the normalization: committed numbers are calibration units,
     # and this factor is what converted this host's raw seconds into them.
     print(f"calibration factor applied: "
           f"{current['calibration_score']:.3f} units/s "
           f"(baseline recorded at "
-          f"{json.loads(BASELINE_9_PATH.read_text()).get('calibration_score', float('nan')):.3f})")
+          f"{json.loads(BASELINE_10_PATH.read_text()).get('calibration_score', float('nan')):.3f})")
     ratios = {}
     print(f"{'benchmark':28s} {'base units':>12s} {'now units':>12s} {'ratio':>7s}")
     for name, row in current["benchmarks"].items():
@@ -745,6 +867,12 @@ def main(argv=None) -> int:
                   "symmetric workload at P=4096",
                   file=sys.stderr)
             return 1
+    if not check_wildcard_devirt_engagement():
+        # counter-based, deterministic: no retry — a miss is a real bug
+        print("\nFAIL: wildcard devirtualization disengaged on the "
+              "1024-rank wildcard ring (see counter checks above)",
+              file=sys.stderr)
+        return 1
     print("\nOK: no benchmark regressed beyond tolerance")
     return 0
 

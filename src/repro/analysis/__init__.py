@@ -45,6 +45,15 @@ from repro.analysis.lint import (
     Severity,
     run_lint,
 )
+from repro.analysis.matchorder import (
+    MatchOrderReport,
+    MatchVerdict,
+    ScaleMatchOrderReport,
+    analyze_match_order,
+    analyze_match_order_scales,
+    devirt_sources,
+    program_has_wildcards,
+)
 from repro.analysis.scaleparam import (
     ScaleAnalysis,
     ScaleLintReport,
@@ -83,6 +92,13 @@ __all__ = [
     "ScalingSkeleton",
     "build_comm_graph",
     "extract_concrete",
+    "MatchOrderReport",
+    "MatchVerdict",
+    "ScaleMatchOrderReport",
+    "analyze_match_order",
+    "analyze_match_order_scales",
+    "devirt_sources",
+    "program_has_wildcards",
     "ScaleAnalysis",
     "ScaleLintReport",
     "analyze_scale_parametric",

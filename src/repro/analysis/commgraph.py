@@ -726,9 +726,10 @@ class CommGraph:
     def _emit_instance(self, family: CommFamily, rank: int, nprocs: int,
                        env: dict, mult: int, inst: CommInstance,
                        budget: list) -> None:
-        if family.guard is not None:
-            if not truthy(eval_term(family.guard, rank, nprocs, env)):
-                return
+        if family.guard is not None and not truthy(
+            eval_term(family.guard, rank, nprocs, env)
+        ):
+            return
         budget[0] -= mult
         if budget[0] < 0:
             raise SimulationError(

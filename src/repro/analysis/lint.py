@@ -31,7 +31,14 @@ rule                       severity  fires when
                                      before their first blocking operation
                                      (deadlocks under rendezvous MPI)
 ``wildcard-recv``          info      an ANY-source receive has at most one
-                                     possible sender (over-broad wildcard)
+                                     possible sender (over-broad wildcard), or
+                                     the match-order analysis proves its match
+                                     deterministic (unique feasible sender per
+                                     receiver — safe to devirtualize)
+``wildcard-race``          warning   an ANY-source receive has two or more
+                                     statically feasible senders whose arrival
+                                     order decides the match (see
+                                     :mod:`repro.analysis.matchorder`)
 ``request-leak``           warning   an isend/irecv request is never completed
                                      by a ``wait``/``waitall``
 ``double-wait``            error     a ``wait`` names a request with nothing
@@ -377,9 +384,11 @@ class _Replay:
                         return progressed
                 elif any(v > 0 for v in pending.values()):
                     return progressed
-            elif state == _BLK_COLL:
-                if self.coll_count[rank] - 1 not in self.coll_released:
-                    return progressed
+            elif (
+                state == _BLK_COLL
+                and self.coll_count[rank] - 1 not in self.coll_released
+            ):
+                return progressed
             if state != _RUN:
                 self.pos[rank] += 1
                 self.state[rank] = _RUN
@@ -569,9 +578,11 @@ def _send_send_cycles(
 
 def _wildcard_hygiene(
     streams: list[_Stream],
-) -> list[tuple[int, ops.RecvOp, set[int]]]:
-    """ANY-source receives whose possible-sender set has at most one
-    element (the wildcard buys nothing and hides mismatches)."""
+) -> list[tuple[int, ops.RecvOp, dict[int, ops.SendOp]]]:
+    """Every ANY-source receive with its possible-sender map (sender rank
+    -> one matching send, kept for related spans).  At most one sender
+    means the wildcard buys nothing and hides mismatches; two or more
+    hand the verdict to the match-order analysis."""
     sends_by_dest: dict[int, list[tuple[int, ops.SendOp]]] = {}
     for stream in streams:
         for op in stream.events:
@@ -589,13 +600,11 @@ def _wildcard_hygiene(
             if key in seen:
                 continue
             seen.add(key)
-            senders = {
-                src
-                for src, send in sends_by_dest.get(stream.rank, ())
-                if op.tag is ops.ANY or send.tag == op.tag
-            }
-            if len(senders) <= 1:
-                out.append((stream.rank, op, senders))
+            senders: dict[int, ops.SendOp] = {}
+            for src, send in sends_by_dest.get(stream.rank, ()):
+                if op.tag is ops.ANY or send.tag == op.tag:
+                    senders.setdefault(src, send)
+            out.append((stream.rank, op, senders))
     return out
 
 
@@ -797,17 +806,66 @@ def run_lint(
     else:
         _completion_findings(findings, replay, streams, leftovers)
 
-    for rank, op, senders in _wildcard_hygiene(streams):
-        if senders:
-            why = f"only rank {next(iter(senders))} ever sends a matching message"
+    wildcards = _wildcard_hygiene(streams)
+    match_report = None
+    if any(len(senders) > 1 for _, _, senders in wildcards):
+        from repro.analysis.matchorder import analyze_match_order
+
+        try:
+            match_report = analyze_match_order(
+                program, nprocs, params, entry=entry
+            )
+        except Exception:
+            match_report = None  # degraded analysis never blocks the lint
+    for rank, op, senders in wildcards:
+        if len(senders) <= 1:
+            why = (
+                f"only rank {next(iter(senders))} ever sends a matching message"
+                if senders
+                else "no rank ever sends a matching message"
+            )
+            findings.add(
+                "wildcard-recv", Severity.INFO,
+                f"receive from ANY source, but {why}; a concrete source "
+                "would catch mismatches",
+                op.location, ranks=(rank,),
+            )
+            continue
+        verdict = None
+        if (
+            match_report is not None
+            and match_report.exact
+            and op.location is not None
+        ):
+            verdict = match_report.verdict_at(
+                (op.location.filename, op.location.line, op.location.column)
+            )
+        if verdict is not None and verdict.deterministic:
+            findings.add(
+                "wildcard-recv", Severity.INFO,
+                "receive from ANY source is proven match-deterministic: "
+                "every receiver has exactly one feasible sender at "
+                f"{nprocs} ranks; safe to devirtualize to a concrete "
+                "source (see also: the unique matcher)",
+                op.location,
+                related=verdict.matchers,
+                ranks=(rank,),
+            )
         else:
-            why = "no rank ever sends a matching message"
-        findings.add(
-            "wildcard-recv", Severity.INFO,
-            f"receive from ANY source, but {why}; a concrete source would "
-            "catch mismatches",
-            op.location, ranks=(rank,),
-        )
+            racing = sorted(senders)
+            findings.add(
+                "wildcard-race", Severity.WARNING,
+                f"receive from ANY source has {len(racing)} feasible "
+                f"senders (ranks {','.join(map(str, racing))}) at "
+                f"{nprocs} ranks; the match depends on message timing",
+                op.location,
+                related=[
+                    senders[src].location
+                    for src in racing
+                    if senders[src].location is not None
+                ],
+                ranks=(rank,),
+            )
 
     leaks, double_waits = _request_hygiene(streams)
     for rank, op in leaks:

@@ -43,6 +43,7 @@ globals, so calls never mutate the caller frame).
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
 from enum import IntEnum
 from collections.abc import Iterator, Mapping
@@ -195,7 +196,7 @@ def _apply_binop(op: str, a: object, b: object) -> object:
     if op == "==":
         return a == b
     if op == "!=":
-        return not (a == b)
+        return a != b
     if op == "&&":
         return truthy(a) and truthy(b)
     if op == "||":
@@ -576,12 +577,10 @@ class _Analyzer:
 
     def _record_stmt_args(self, stmt: ast.Stmt, avs: tuple) -> None:
         old = self.stmt_args.get(stmt.stmt_id)
-        if old is None:
-            self.stmt_args[stmt.stmt_id] = avs
-        else:
-            self.stmt_args[stmt.stmt_id] = tuple(
-                join(a, b) for a, b in zip(old, avs)
-            )
+        self.stmt_args[stmt.stmt_id] = (
+            avs if old is None
+            else tuple(join(a, b) for a, b in zip(old, avs))
+        )
 
     def _record_decider(
         self, stmt: ast.Stmt, kind: str, av: AbstractValue
@@ -624,11 +623,12 @@ class _Analyzer:
                 result = True
             elif isinstance(stmt, ast.CallStmt):
                 callee = stmt.callee
-                if isinstance(callee, ast.VarRef) \
-                        and callee.name in self.program.functions:
-                    result = self._func_emits(callee.name, active)
-                else:
-                    result = True  # unknown target: assume it emits
+                result = (
+                    self._func_emits(callee.name, active)
+                    if isinstance(callee, ast.VarRef)
+                    and callee.name in self.program.functions
+                    else True  # unknown target: assume it emits
+                )
             elif isinstance(stmt, ast.IfStmt):
                 result = self._block_emits(stmt.then_body, active) or (
                     stmt.else_body is not None
@@ -1084,13 +1084,11 @@ class _Analyzer:
             else (av.kind, av.term)
             for av in arg_avs
         )
-        try:
+        with contextlib.suppress(TypeError):  # unhashable: just re-analyze
             hash(key)
             if key in self._summaries:
                 return  # same abstract context already analyzed
             self._summaries.add(key)
-        except TypeError:
-            pass  # unhashable arg value: just re-analyze
         self._analyze_function(target, dict(zip(func.params, arg_avs)))
 
     def _analyze_function(self, name: str, env: dict) -> None:

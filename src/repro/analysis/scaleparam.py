@@ -934,10 +934,11 @@ def run_lint_scales(
     lo, hi, explicit = parse_scales_spec(scales)
     with obs.span("lint.scales", lo=lo, hi=hi):
         sa = analyze_scale_parametric(program, params, entry=entry)
-        if explicit is not None:
-            status, witnesses = "enumerated", list(explicit)
-        else:
-            status, witnesses = select_witnesses(sa, lo, hi, valid=valid)
+        status, witnesses = (
+            ("enumerated", list(explicit))
+            if explicit is not None
+            else select_witnesses(sa, lo, hi, valid=valid)
+        )
         obs.emit(
             "lint_scales_started",
             lo=lo, hi=hi, status=status, witnesses=list(witnesses),

@@ -110,6 +110,13 @@ class AnalysisConfig:
     #: ``sim_*`` knobs: bit-identical results on or off, any degraded
     #: class falls back to per-rank interpretation silently.
     sim_class_batching: bool = True
+    #: Rewrite wildcard (``MPI_ANY_SOURCE``) receives the match-order
+    #: analysis proves deterministic to concrete-source receives at
+    #: compile time (see :mod:`repro.analysis.matchorder`).  Digest-NEUTRAL
+    #: like the other ``sim_*`` knobs: only *proven-unique* matches are
+    #: rewritten, so results are bit-identical on or off (test-gated, see
+    #: tests/test_wildcard_devirt_identity.py).
+    sim_wildcard_devirt: bool = True
     #: Run the static MPI lint before the first simulation of a profile
     #: and abort (raising :class:`repro.analysis.LintError`) on
     #: error-severity findings.  **Digest-relevant**, unlike the execution
@@ -168,6 +175,8 @@ class AnalysisConfig:
             raise ValueError("sim_class_sharing must be a bool")
         if not isinstance(self.sim_class_batching, bool):
             raise ValueError("sim_class_batching must be a bool")
+        if not isinstance(self.sim_wildcard_devirt, bool):
+            raise ValueError("sim_wildcard_devirt must be a bool")
         if not isinstance(self.lint_fail_fast, bool):
             raise ValueError("lint_fail_fast must be a bool")
         if not isinstance(self.obs_metrics, bool):
@@ -213,6 +222,11 @@ class AnalysisConfig:
                 if self.sim_class_batching
                 else {"sim_class_batching": False}
             ),
+            **(
+                {}
+                if self.sim_wildcard_devirt
+                else {"sim_wildcard_devirt": False}
+            ),
             **({"lint_fail_fast": True} if self.lint_fail_fast else {}),
             **({"obs_metrics": True} if self.obs_metrics else {}),
             **({"obs_spans": True} if self.obs_spans else {}),
@@ -241,6 +255,7 @@ class AnalysisConfig:
             sim_partition=str(doc.get("sim_partition", "contiguous")),
             sim_class_sharing=bool(doc.get("sim_class_sharing", True)),
             sim_class_batching=bool(doc.get("sim_class_batching", True)),
+            sim_wildcard_devirt=bool(doc.get("sim_wildcard_devirt", True)),
             lint_fail_fast=bool(doc.get("lint_fail_fast", False)),
             obs_metrics=bool(doc.get("obs_metrics", False)),
             obs_spans=bool(doc.get("obs_spans", False)),
@@ -278,6 +293,7 @@ class AnalysisConfig:
         doc.pop("sim_partition", None)
         doc.pop("sim_class_sharing", None)
         doc.pop("sim_class_batching", None)
+        doc.pop("sim_wildcard_devirt", None)
         # observability knobs are digest-neutral: attaching metrics or
         # recording spans never changes what a run computes, so obs-on
         # requests share cache entries with obs-off ones
@@ -308,6 +324,7 @@ class AnalysisConfig:
             sim_partition=self.sim_partition,
             sim_class_sharing=self.sim_class_sharing,
             sim_class_batching=self.sim_class_batching,
+            sim_wildcard_devirt=self.sim_wildcard_devirt,
         )
         kwargs.update(overrides)
         return SimulationConfig(**kwargs)

@@ -99,10 +99,11 @@ def sweep(
             )
             continue
         for seed in seeds:
-            if config is not None:
-                cfg = config.with_overrides(seed=seed, **config_overrides)
-            else:
-                cfg = AnalysisConfig.for_app(spec, seed=seed, **config_overrides)
+            cfg = (
+                config.with_overrides(seed=seed, **config_overrides)
+                if config is not None
+                else AnalysisConfig.for_app(spec, seed=seed, **config_overrides)
+            )
             pipe = Pipeline.for_app(spec, cfg, session=session)
             # static analysis is seed-independent: share it across the row
             skey = (pipe.source_digest, cfg.max_loop_depth)

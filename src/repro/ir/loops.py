@@ -85,9 +85,10 @@ def _fill_nesting(loops: list[Loop]) -> None:
         for outer in loops:
             if outer is inner:
                 continue
-            if inner.blocks < outer.blocks:
-                if best is None or len(outer.blocks) < len(best.blocks):
-                    best = outer
+            if inner.blocks < outer.blocks and (
+                best is None or len(outer.blocks) < len(best.blocks)
+            ):
+                best = outer
         inner.parent_header = best.header if best is not None else None
 
     by_header = {lp.header: lp for lp in loops}

@@ -32,6 +32,7 @@ unconditionally at round/scale granularity without a config knob.
 
 from __future__ import annotations
 
+import contextlib
 import queue as _queue
 import threading
 from dataclasses import dataclass, field
@@ -82,10 +83,8 @@ class EventBus:
         q: _queue.Queue[Event] = _queue.Queue(maxsize=maxsize)
 
         def push(ev: Event) -> None:
-            try:
+            with contextlib.suppress(_queue.Full):
                 q.put_nowait(ev)
-            except _queue.Full:
-                pass
 
         return q, self.subscribe(push)
 
@@ -95,7 +94,5 @@ class EventBus:
             return
         ev = Event(kind, data)
         for cb in subs:
-            try:
+            with contextlib.suppress(Exception):
                 cb(ev)
-            except Exception:
-                pass

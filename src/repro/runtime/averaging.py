@@ -42,10 +42,11 @@ def _merge_comm(runs: list[ProfiledRun]) -> CommDependence:
             merged.groups[key] = group
             count, max_wait, laggard = dep.group_stats[key]
             old = merged.group_stats.get(key, (0, 0.0, -1))
-            if max_wait >= old[1]:
-                merged.group_stats[key] = (old[0] + count, max_wait, laggard)
-            else:
-                merged.group_stats[key] = (old[0] + count, old[1], old[2])
+            merged.group_stats[key] = (
+                (old[0] + count, max_wait, laggard)
+                if max_wait >= old[1]
+                else (old[0] + count, old[1], old[2])
+            )
         for key, targets in dep.indirect_targets.items():
             merged.indirect_targets.setdefault(key, set()).update(targets)
     merged.observed_events //= n

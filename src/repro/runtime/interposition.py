@@ -251,10 +251,11 @@ def _collect_collectives(dep: CommDependence, result: SimulationResult,
     if not n:
         return
     cols = table.columns()
-    if sample_probability < 1.0:
-        keep = _collective_keep_mask(seed, threshold, cols["index"])
-    else:
-        keep = None
+    keep = (
+        _collective_keep_mask(seed, threshold, cols["index"])
+        if sample_probability < 1.0
+        else None
+    )
     offsets = cols["offsets"]
     starts = offsets[:-1]
     # Per-instance reductions over the ragged participant arrays: the

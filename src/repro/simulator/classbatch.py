@@ -99,12 +99,19 @@ def build_batched_streams(
     const_stmts,
     cost: CostModel,
     precost_compute: bool,
+    devirt: dict | None = None,
 ) -> BatchResult:
     """Materialize per-rank op streams for every batchable class.
 
     ``precost_compute`` must only be True when ``cost.compute_cost`` is
     rank-independent (no per-execution noise, no per-rank speed spread) —
     the engine checks the machine model before enabling it.
+
+    ``devirt`` is the match-order devirtualization map (see
+    ``Engine._devirt_map``): an ANY-source receive with a proven-unique
+    sender for *every* class member no longer forces the class onto the
+    per-rank path — it fans out as per-member concrete-source
+    :class:`ops.DevirtRecvOp` instances instead.
     """
     local = set(local_ranks)
     loc_index = op_stmt_index(program)
@@ -131,7 +138,7 @@ def build_batched_streams(
         try:
             base, patches = _build_template(
                 rep_stream, members, analysis, loc_index, template_cache,
-                nprocs, cost, precost_compute,
+                nprocs, cost, precost_compute, devirt,
             )
         except _Fallback as exc:
             _note(result, reasons, str(exc))
@@ -171,6 +178,7 @@ def _build_template(
     nprocs: int,
     cost: CostModel,
     precost_compute: bool,
+    devirt: dict | None,
 ):
     """One pass over the representative stream -> (base, patches).
 
@@ -182,7 +190,10 @@ def _build_template(
     """
     base: list = []
     patches: list[tuple[int, list]] = []
-    inst_cache: dict[int, tuple] = {}  # id(op) -> ("share", op) | ("vary", per_member)
+    # id(op) -> ("share", op) | ("vary", per_member) | ("vary0", per_member);
+    # "vary0" means even the representative's own op was rewritten
+    # (devirtualized wildcard), so base takes per_member[0], not op
+    inst_cache: dict[int, tuple] = {}
     value_cache: dict = {}  # (stmt_id, field) -> per-member coerced values
     precost_cache: dict[int, tuple] = {}  # id(workload) -> baked cost row
     varying_budget = _MAX_VARYING_INSTANCES
@@ -193,14 +204,18 @@ def _build_template(
             entry = _classify_op(
                 op, members, analysis, loc_index, template_cache,
                 value_cache, nprocs, cost, precost_compute, precost_cache,
+                devirt,
             )
             inst_cache[id(op)] = entry
-            if entry[0] == "vary":
+            if entry[0] != "share":
                 varying_budget -= len(members)
                 if varying_budget < 0:
                     raise _Fallback("rank-varying instances exceed size cap")
         if entry[0] == "share":
             base.append(entry[1])
+        elif entry[0] == "vary0":
+            base.append(entry[1][0])
+            patches.append((pos, entry[1]))
         else:
             base.append(op)  # the representative's own instance is correct
             patches.append((pos, entry[1]))
@@ -218,12 +233,26 @@ def _classify_op(
     cost: CostModel,
     precost_compute: bool,
     precost_cache: dict,
+    devirt: dict | None,
 ) -> tuple:
     op_type = type(op)
     if op_type is ops.IndirectCallNote:
         raise _Fallback(f"{op.location}: indirect call in batched stream")
+    devirt_srcs = None
     if op_type is ops.RecvOp and (op.src is ops.ANY or op.tag is ops.ANY):
-        raise _Fallback(f"{op.location}: wildcard receive in batched stream")
+        # An ANY-source receive with a proven-unique sender for every
+        # member devirtualizes (concrete per-member sources) instead of
+        # refusing the class; ANY-tag receives stay refused — the proof
+        # machinery only covers the source.
+        if devirt and op.src is ops.ANY and op.tag is not ops.ANY:
+            loc = op.location
+            srcs = devirt.get((loc.filename, loc.line, loc.column))
+            if srcs is not None and all(m in srcs for m in members):
+                devirt_srcs = srcs
+        if devirt_srcs is None:
+            raise _Fallback(
+                f"{op.location}: wildcard receive in batched stream"
+            )
 
     loc = op.location
     stmt = loc_index.get((loc.filename, loc.line, loc.column))
@@ -241,7 +270,7 @@ def _classify_op(
         raise _Fallback(str(template))
 
     rules = _rules_for(op, op_type, template)
-    if not rules:
+    if not rules and devirt_srcs is None:
         if precost_compute and op_type is ops.ComputeOp:
             return ("share", _precosted(op, op.workload, cost, precost_cache))
         if op_type is ops.SendOp:
@@ -266,6 +295,20 @@ def _classify_op(
                 f"(derived {derived!r}, observed {observed!r})"
             )
         columns.append((attr, values))
+
+    if devirt_srcs is not None:
+        # Devirtualized wildcard: every member (the representative
+        # included, hence "vary0") gets a concrete-source DevirtRecvOp;
+        # the tag column still applies when the tag is rank-varying.
+        per_member = []
+        for i, m in enumerate(members):
+            fields = {attr: vals[i] for attr, vals in columns}
+            per_member.append(ops.DevirtRecvOp(
+                vid=op.vid, location=op.location, src=devirt_srcs[m],
+                tag=fields.get("tag", op.tag), mpi_op=op.mpi_op,
+                blocking=op.blocking, request=op.request,
+            ))
+        return ("vary0", per_member)
 
     if op_type is ops.ComputeOp:
         per_member = _vary_compute(
@@ -324,10 +367,11 @@ def _member_values(rule, members: list[int], nprocs: int) -> list:
     affine = rule.affine
     if affine is not None:
         a, b, mod = affine
-        if mod is None:
-            raw = [a * r + b for r in members]
-        else:
-            raw = [(a * r + b) % mod for r in members]
+        raw = (
+            [a * r + b for r in members]
+            if mod is None
+            else [(a * r + b) % mod for r in members]
+        )
     else:
         try:
             raw = [eval_term(rule.term, r, nprocs) for r in members]

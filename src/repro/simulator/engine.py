@@ -175,6 +175,16 @@ class SimulationConfig:
     #: template derivation degrades falls back to per-rank interpretation
     #: silently.
     sim_class_batching: bool = True
+    #: Rewrite ``ANY``-source receives the static match-order analysis
+    #: proves match-deterministic (see :mod:`repro.analysis.matchorder`)
+    #: to concrete-source receives at compile time — which lifts the
+    #: class-batching wildcard refusal for those classes and lets sharded
+    #: runs skip the ANY-source ordering gate hold.  Execution strategy
+    #: like the knobs above: bit-identical on or off (the proof
+    #: guarantees the same match; gated by
+    #: tests/test_wildcard_devirt_identity.py).  A degraded proof simply
+    #: leaves the receive as written.
+    sim_wildcard_devirt: bool = True
 
     def __post_init__(self) -> None:
         if self.nprocs < 1:
@@ -197,6 +207,8 @@ class SimulationConfig:
             raise ValueError("sim_class_sharing must be a bool")
         if not isinstance(self.sim_class_batching, bool):
             raise ValueError("sim_class_batching must be a bool")
+        if not isinstance(self.sim_wildcard_devirt, bool):
+            raise ValueError("sim_wildcard_devirt must be a bool")
 
 
 @dataclass(frozen=True)
@@ -414,6 +426,11 @@ class Engine:
             "classes": 0, "ranks_batched": 0, "fallbacks": 0,
         }
         self.class_batch_reasons: tuple[str, ...] = ()
+        #: wildcard devirtualization outcome: ``devirt`` counts rewritten
+        #: receive executions, ``gate_skips`` counts devirtualized
+        #: receives a sharded engine serviced on the fast path where the
+        #: as-written op would have held the ANY-source ordering gate
+        self.wildcard_stats: dict[str, int] = {"devirt": 0, "gate_skips": 0}
 
     # ------------------------------------------------------------------
     # main loop
@@ -457,8 +474,9 @@ class Engine:
         if cfg.sim_class_sharing and analysis is not None \
                 and analysis.const_stmts:
             const_stmts = analysis.const_stmts
+        devirt = self._devirt_map()
         batched = self._build_batched_streams(
-            analysis, expr_cache, const_stmts
+            analysis, expr_cache, const_stmts, devirt
         )
         for pid in self.local_ranks:
             stream = batched.get(pid)
@@ -480,12 +498,33 @@ class Engine:
                     const_stmts=const_stmts,
                 )
                 gen = interp.run()
+                if devirt:
+                    gen = _devirt_stream(gen, pid, devirt)
             proc = _Proc(pid, gen)
             self.procs[pid] = proc
             self._push(proc)
 
+    def _devirt_map(self) -> dict:
+        """Proven-unique sources for wildcard receives, or ``{}``.
+
+        Purely an optimizer like class batching: the static proof either
+        holds (the rewrite is bit-identical by construction, gated by the
+        devirt identity sweep) or the analysis degrades and nothing is
+        rewritten."""
+        cfg = self.config
+        if not cfg.sim_wildcard_devirt or cfg.nprocs < 2:
+            return {}
+        from repro.analysis.matchorder import devirt_sources
+
+        try:
+            return devirt_sources(
+                self.program, cfg.nprocs, cfg.params, entry=cfg.entry
+            )
+        except Exception:
+            return {}
+
     def _build_batched_streams(
-        self, analysis, expr_cache: dict, const_stmts
+        self, analysis, expr_cache: dict, const_stmts, devirt: dict
     ) -> dict:
         """Per-rank op streams for every batchable equivalence class (see
         :mod:`repro.simulator.classbatch`); empty dict = everything runs
@@ -521,6 +560,7 @@ class Engine:
                 local_ranks=self.local_ranks,
                 expr_cache=expr_cache,
                 const_stmts=const_stmts,
+                devirt=devirt,
                 cost=self.cost,
                 # Baked compute costs are only sound when the cost model
                 # is rank- and execution-independent.
@@ -623,6 +663,9 @@ class Engine:
             stats["ranks_batched"]
         )
         reg.counter("sim.class_batch.fallbacks").inc(stats["fallbacks"])
+        wstats = self.wildcard_stats
+        reg.counter("sim.wildcard.devirt").inc(wstats["devirt"])
+        reg.counter("sim.wildcard.gate_skips").inc(wstats["gate_skips"])
         hist = reg.histogram("engine.rank_finish_seconds")
         for pid in self.local_ranks:
             proc = self.procs[pid]
@@ -645,7 +688,7 @@ class Engine:
         detail = ""
         if kind == "recv":
             recv: PostedRecv = proc.blocked_on[1]
-            src = "ANY" if recv.src is ops.ANY else recv.src
+            src = "ANY" if recv.src is ops.ANY or recv.wild_src else recv.src
             tag = "ANY" if recv.tag is ops.ANY else recv.tag
             detail = f"recv(src={src}, tag={tag})"
         elif kind == "wait":
@@ -848,6 +891,7 @@ class Engine:
             post_time=proc.clock,
             recv_vid=op.vid,
             request=op.request,
+            wild_src=type(op) is ops.DevirtRecvOp,
         )
         match = self.mailboxes[proc.pid].post_recv(recv)
         if op.request is not None:
@@ -876,6 +920,15 @@ class Engine:
         proc.status = _Status.BLOCKED
         return True
 
+    def _handle_devirt_recv(self, proc: _Proc, op: ops.DevirtRecvOp) -> bool:
+        """A wildcard receive rewritten to its proven-unique concrete
+        source (see :meth:`_devirt_map`).  Identical to
+        :meth:`_handle_recv` — which keeps the wildcard sentinel in trace
+        rows via ``PostedRecv.wild_src`` — except the rewrite is counted;
+        the sharded engine additionally counts skipped gate holds."""
+        self.wildcard_stats["devirt"] += 1
+        return self._handle_recv(proc, op)
+
     def _finish_blocking_recv(self, proc: _Proc, op: ops.RecvOp, match) -> None:
         msg, recv = match.message, match.recv
         start = proc.clock
@@ -894,7 +947,7 @@ class Engine:
         self._p2p_append(
             msg.src, msg.send_vid, proc.pid, op.vid, op.vid,
             msg.tag, msg.nbytes,
-            WILDCARD_CODE if recv.src is ops.ANY else recv.src,
+            WILDCARD_CODE if recv.src is ops.ANY or recv.wild_src else recv.src,
             WILDCARD_CODE if recv.tag is ops.ANY else recv.tag,
             msg.send_time, msg.arrival, recv.post_time, completion, wait,
         )
@@ -928,7 +981,8 @@ class Engine:
             match.message.src, match.message.send_vid,
             recv.rank, recv.recv_vid, -1,
             match.message.tag, match.message.nbytes,
-            WILDCARD_CODE if recv.src is ops.ANY else recv.src,
+            WILDCARD_CODE if recv.src is ops.ANY or recv.wild_src
+            else recv.src,
             WILDCARD_CODE if recv.tag is ops.ANY else recv.tag,
             match.message.send_time, match.message.arrival,
             recv.post_time, float("nan"), 0.0,
@@ -1088,6 +1142,42 @@ class Engine:
                 self._push(other)
 
 
+def _devirt_stream(gen, pid: int, devirt: dict):
+    """Rewrite proven-unique wildcard receives in one rank's op stream.
+
+    ``devirt`` maps ``(filename, line, column) -> {rank -> source}`` from
+    :func:`repro.analysis.matchorder.devirt_sources`.  Ops are immutable
+    and memoized per call site, so the rewrite allocates a replacement
+    :class:`ops.DevirtRecvOp` and caches it by the original op's identity
+    — a loop re-yielding the interpreter's memoized instance pays one
+    dict probe per iteration, mirroring the interpreter's own op cache.
+    Ranks without a proven source (racing, or never matched) keep the op
+    as written.
+    """
+    cache: dict = {}
+    for op in gen:
+        if type(op) is ops.RecvOp and op.src is ops.ANY:
+            loc = op.location
+            srcs = devirt.get((loc.filename, loc.line, loc.column))
+            if srcs is not None:
+                src = srcs.get(pid)
+                if src is not None:
+                    cached = cache.get(id(op))
+                    if cached is not None and cached[0] is op:
+                        yield cached[1]
+                        continue
+                    new = ops.DevirtRecvOp(
+                        vid=op.vid, location=op.location, src=src,
+                        tag=op.tag, mpi_op=op.mpi_op,
+                        blocking=op.blocking, request=op.request,
+                    )
+                    if len(cache) < 1024:
+                        cache[id(op)] = (op, new)
+                    yield new
+                    continue
+        yield op
+
+
 #: Op-type dispatch for the hot loop: bound per instance in ``__init__``
 #: (one dict lookup + bound call per op, and subclass overrides are
 #: honoured automatically).
@@ -1097,6 +1187,7 @@ _HANDLER_NAMES = {
     ops.PrecostedSendOp: "_handle_precosted_send_op",
     ops.SendOp: "_handle_send_op",
     ops.RecvOp: "_handle_recv",
+    ops.DevirtRecvOp: "_handle_devirt_recv",
     ops.WaitOp: "_handle_wait",
     ops.WaitAllOp: "_handle_waitall",
     ops.CollectiveOp: "_handle_collective",
@@ -1122,10 +1213,11 @@ def collective_completions(
         if inst.mpi_op in (MpiOp.BCAST, MpiOp.SCATTER):
             completions[rank] = max(arrival, root_arrival + cost)
         elif inst.mpi_op in (MpiOp.REDUCE, MpiOp.GATHER):
-            if rank == inst.root:
-                completions[rank] = max_arrival + cost
-            else:
-                completions[rank] = arrival + cost_model.network.call_overhead
+            completions[rank] = (
+                max_arrival + cost
+                if rank == inst.root
+                else arrival + cost_model.network.call_overhead
+            )
         else:  # synchronizing collectives
             completions[rank] = max_arrival + cost
     return completions, cost

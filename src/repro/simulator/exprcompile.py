@@ -345,7 +345,7 @@ def _compile_binary(
     elif op == "!=":
 
         def fn(frame, ctx):
-            return not (left(frame, ctx) == right(frame, ctx))
+            return left(frame, ctx) != right(frame, ctx)
 
     elif op in _NUMERIC_OPS:
         fn = _NUMERIC_OPS[op](left, right, loc, op)

@@ -78,6 +78,12 @@ class PostedRecv:
     #: None for a blocking recv; request name for irecv.
     request: str | None = None
     seq: int = field(default_factory=_recv_counter.__next__)
+    #: True when the program wrote ``src = ANY`` but the receive was
+    #: devirtualized to a proven-unique concrete source (see
+    #: :class:`repro.simulator.ops.DevirtRecvOp`).  Matching uses the
+    #: concrete ``src``; trace recording still emits the wildcard
+    #: sentinel so devirtualized runs stay bit-identical.
+    wild_src: bool = False
 
     def accepts(self, msg: Message) -> bool:
         if self.src is not ANY and self.src != msg.src:

@@ -30,6 +30,7 @@ __all__ = [
     "SendOp",
     "PrecostedSendOp",
     "RecvOp",
+    "DevirtRecvOp",
     "WaitOp",
     "WaitAllOp",
     "CollectiveOp",
@@ -105,6 +106,22 @@ class RecvOp(Op):
     mpi_op: MpiOp = MpiOp.RECV
     blocking: bool = True
     request: str | None = None  # irecv
+
+
+@dataclass(slots=True)
+class DevirtRecvOp(RecvOp):
+    """A wildcard receive rewritten to its proven-unique concrete source.
+
+    Produced by the engine's wildcard devirtualization pass (see
+    :mod:`repro.analysis.matchorder`): when the static match-order
+    analysis proves exactly one sender rank can ever match an
+    ``ANY``-source receive, the receive is re-issued with that concrete
+    ``src``.  The distinct type keeps the rewrite observable: trace rows
+    still record the wildcard sentinel (the program *wrote* ``ANY``), the
+    engine counts devirtualizations, and sharded runs skip the
+    ANY-source ordering gate — all bit-identical to the undevirtualized
+    path, which the proof guarantees and the identity sweep gates.
+    """
 
 
 @dataclass(slots=True)

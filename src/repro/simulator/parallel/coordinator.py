@@ -38,6 +38,7 @@ engine.
 
 from __future__ import annotations
 
+import contextlib
 from typing import Protocol
 
 from repro import obs
@@ -299,12 +300,10 @@ def plan_for(program: ast.Program, config: SimulationConfig) -> ShardPlan:
             program, config.params, entry=config.entry
         )
         if graph.exact:
-            try:
+            with contextlib.suppress(SimulationError):
                 return ShardPlan.from_comm_graph(
                     graph, config.nprocs, config.sim_shards
                 )
-            except SimulationError:
-                pass
     return ShardPlan.contiguous(config.nprocs, config.sim_shards)
 
 

@@ -17,6 +17,7 @@ objects cross the pipe.
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
 
 from repro.minilang import ast_nodes as ast
@@ -91,14 +92,10 @@ class _ProcessShardHandle:
         return self._recv()
 
     def shutdown(self) -> None:
-        try:
+        with contextlib.suppress(BrokenPipeError, OSError):
             self.conn.send(("stop",))
-        except (BrokenPipeError, OSError):
-            pass
-        try:
+        with contextlib.suppress(OSError):
             self.conn.close()
-        except OSError:
-            pass
         self.process.join(timeout=5)
         if self.process.is_alive():  # pragma: no cover - hung worker
             self.process.terminate()

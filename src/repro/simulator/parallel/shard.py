@@ -159,6 +159,7 @@ class ShardEngine(Engine):
             post_time=proc.clock,
             recv_vid=op.vid,
             request=op.request,
+            wild_src=type(op) is ops.DevirtRecvOp,
         )
         key = (proc.clock, proc.pid, proc.op_index)
         if gate is None:
@@ -200,6 +201,18 @@ class ShardEngine(Engine):
         proc.status = _Status.BLOCKED
         self._gate_process(gate)
         return True
+
+    def _handle_devirt_recv(self, proc: _Proc, op) -> bool:
+        """A devirtualized wildcard receive: concrete source, so it takes
+        the fast path through :meth:`_handle_recv` (no ANY-source gate is
+        opened and no gate hold is paid).  When this rank's mailbox has no
+        gate open, the as-written op *would* have opened one — count the
+        skip.  With a gate already open (another, unproven wildcard on the
+        same rank) the op still routes through it as a concrete receive,
+        which is correct either way."""
+        if self._sharded and self._gates.get(proc.pid) is None:
+            self.wildcard_stats["gate_skips"] += 1
+        return super()._handle_devirt_recv(proc, op)
 
     def _handle_collective(self, proc: _Proc, op: ops.CollectiveOp) -> bool:
         self.mpi_call_count += 1

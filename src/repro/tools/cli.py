@@ -27,6 +27,7 @@ observability on or off.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from pathlib import Path
 
@@ -51,6 +52,8 @@ def _sim_args(args) -> dict:
         out["sim_scheduler"] = args.sim_scheduler
     if getattr(args, "sim_partition", "contiguous") != "contiguous":
         out["sim_partition"] = args.sim_partition
+    if getattr(args, "no_wildcard_devirt", False):
+        out["sim_wildcard_devirt"] = False
     # observability knobs ride along (digest-neutral: they never change
     # analysis results or cache keys)
     if getattr(args, "metrics", False):
@@ -515,6 +518,12 @@ def build_parser() -> argparse.ArgumentParser:
                  "commgraph cuts along the parametric communication "
                  "graph to minimize cross-shard traffic)",
         )
+        p.add_argument(
+            "--no-wildcard-devirt", action="store_true",
+            help="disable compile-time rewriting of proven-deterministic "
+                 "wildcard receives to concrete sources (bit-identical "
+                 "results either way; see the match-order analysis)",
+        )
 
     p = sub.add_parser("apps", help="list registry applications")
     p.set_defaults(func=cmd_apps)
@@ -655,10 +664,8 @@ def main(argv: list[str] | None = None) -> int:
         # output piped into e.g. `head`; exit quietly like other CLIs
         import os
 
-        try:
+        with contextlib.suppress(Exception):
             sys.stdout.close()
-        except Exception:
-            pass
         os._exit(0)
     finally:
         if unsub is not None:

@@ -161,9 +161,11 @@ class TestSweep:
         assert [r.app for r in results] == ["ep"]
 
     def test_sweep_raises_when_every_cell_skipped(self):
-        with pytest.raises(ValueError, match=">= 2 valid scales"):
-            with pytest.warns(UserWarning, match="skipping bt"):
-                Session().sweep(["bt"], [5, 6, 7])
+        with (
+            pytest.raises(ValueError, match=">= 2 valid scales"),
+            pytest.warns(UserWarning, match="skipping bt"),
+        ):
+            Session().sweep(["bt"], [5, 6, 7])
 
 
 class TestAnalyzeProgramSessionIntegration:

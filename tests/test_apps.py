@@ -86,7 +86,7 @@ class TestCommunicationSkeletons:
         spec = get_app("cg")
         res = run_app(spec, 8, params={"niter": 2})
         # log2(8)=3 sendrecv per conj_grad call, (niter+1) calls, 8 ranks
-        sendrecvs = [r for r in res.p2p_records]
+        sendrecvs = list(res.p2p_records)
         assert len(sendrecvs) == 3 * 3 * 8
 
     def test_ft_uses_alltoall(self):

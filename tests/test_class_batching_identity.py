@@ -55,7 +55,7 @@ class TestRandomizedWorkloads:
         oracle = _fingerprint(program, psg, 6, sim_class_batching=False)
         for scheduler in ("heap", "calendar"):
             for extra in (
-                dict(),
+                {},
                 dict(sim_shards=2, sim_executor="process"),
             ):
                 fp = _fingerprint(
@@ -82,6 +82,9 @@ def main() {
 #: the identical statement sequence (one equivalence class), but ANY-src
 #: matching is arrival-order dependent, so the template check must refuse
 #: the whole class — batching a wildcard would bake in one arrival order.
+#: (PR 10: with ``sim_wildcard_devirt`` on, the match-order analysis
+#: proves this ring deterministic and the rewritten concrete-source
+#: stream batches after all — both behaviors are asserted below.)
 WILDCARD_IN_SYMMETRIC_PHASE = """\
 def main() {
     for (var it = 0; it < 3; it = it + 1) {
@@ -142,15 +145,34 @@ class TestBatchingEngages:
 
 class TestAdversarialFallback:
     def test_wildcard_recv_in_symmetric_phase_falls_back(self):
+        """With devirtualization disabled, a wildcard receive never rides
+        a template (batching one would bake in an arrival order)."""
         program, psg = _compiled(WILDCARD_IN_SYMMETRIC_PHASE, "wildsym")
+        oracle = _fingerprint(program, psg, 8, sim_class_batching=False)
+        assert _fingerprint(
+            program, psg, 8, sim_wildcard_devirt=False
+        ) == oracle
+        res = simulate(
+            program, psg,
+            SimulationConfig(nprocs=8, sim_wildcard_devirt=False),
+        )
+        stats = _batch_counters(res)
+        # The class containing the wildcard must fall back wholesale —
+        # an undevirtualized wildcard receive never rides a template.
+        assert stats["fallbacks"] >= 1
+        assert stats["ranks_batched"] == 0
+
+    def test_devirt_lifts_the_wildcard_refusal(self):
+        """PR 10: the match-order analysis proves this ring's wildcard
+        deterministic, so with devirtualization on (the default) the same
+        phase batches — bit-identically to the per-rank oracle."""
+        program, psg = _compiled(WILDCARD_IN_SYMMETRIC_PHASE, "wildsymdv")
         oracle = _fingerprint(program, psg, 8, sim_class_batching=False)
         assert _fingerprint(program, psg, 8) == oracle
         res = simulate(program, psg, SimulationConfig(nprocs=8))
         stats = _batch_counters(res)
-        # The class containing the wildcard must fall back wholesale —
-        # a wildcard receive never rides a template.
-        assert stats["fallbacks"] >= 1
-        assert stats["ranks_batched"] == 0
+        assert stats["fallbacks"] == 0
+        assert stats["ranks_batched"] == 8
 
     def test_one_rank_diverging_late_is_never_batched_in(self):
         program, psg = _compiled(ONE_RANK_DIVERGES_LATE, "lonediv")
@@ -171,7 +193,10 @@ class TestAdversarialFallback:
 
         program = parse_program(WILDCARD_IN_SYMMETRIC_PHASE, "wildsym.mm")
         psg = build_psg(program).psg
-        engine = Engine(program, psg, SimulationConfig(nprocs=8))
+        engine = Engine(
+            program, psg,
+            SimulationConfig(nprocs=8, sim_wildcard_devirt=False),
+        )
         engine.run()
         assert engine.class_batch_stats["fallbacks"] >= 1
         assert engine.class_batch_reasons

@@ -43,7 +43,7 @@ class TestRandomizedWorkloads:
         oracle = _fingerprint(program, psg, 6, sim_class_sharing=False)
         for scheduler in ("heap", "calendar"):
             for extra in (
-                dict(),
+                {},
                 dict(sim_shards=2, sim_executor="process"),
             ):
                 fp = _fingerprint(

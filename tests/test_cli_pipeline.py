@@ -108,6 +108,8 @@ class TestSweep:
             main(["sweep", "--apps", "nope", "--scales", "4,8"])
 
     def test_sweep_rejects_all_invalid_scales_cleanly(self):
-        with pytest.warns(UserWarning, match="skipping bt"):
-            with pytest.raises(SystemExit, match="valid scales"):
-                main(["sweep", "--apps", "bt", "--scales", "5,6"])
+        with (
+            pytest.warns(UserWarning, match="skipping bt"),
+            pytest.raises(SystemExit, match="valid scales"),
+        ):
+            main(["sweep", "--apps", "bt", "--scales", "5,6"])

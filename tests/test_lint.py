@@ -371,25 +371,108 @@ class TestNearMisses:
                 waitall();
             }
         """,
-        # enough senders for every wildcard receive (fan-in, nprocs - 1)
-        "wildcard_fan_in": """
-            def main() {
-                if (rank == 0) {
-                    for (var i = 1; i < nprocs; i = i + 1) {
-                        recv(src = ANY, tag = 2);
-                    }
-                } else {
-                    send(dest = 0, tag = 2, bytes = 8);
-                }
-            }
-        """,
     }
+
+    #: Enough senders for every wildcard receive (fan-in, nprocs - 1): the
+    #: unmatched-recv counting near-miss.  Not in CLEAN because the match-
+    #: order analysis now (correctly) reports the senders as racing — see
+    #: TestMatchOrderRules.test_fan_in_is_counting_clean_but_racy.
+    WILDCARD_FAN_IN = """
+        def main() {
+            if (rank == 0) {
+                for (var i = 1; i < nprocs; i = i + 1) {
+                    recv(src = ANY, tag = 2);
+                }
+            } else {
+                send(dest = 0, tag = 2, bytes = 8);
+            }
+        }
+    """
 
     @pytest.mark.parametrize("name", sorted(CLEAN))
     def test_clean(self, name):
         report = lint(self.CLEAN[name])
         assert report.findings == (), report.render()
         assert report.ok
+
+
+class TestMatchOrderRules:
+    """The PR 10 wildcard split: ``wildcard-race`` (two or more feasible
+    senders, timing decides) vs the refined ``wildcard-recv`` info for
+    receives the match-order analysis proves deterministic."""
+
+    #: senders in distinct epochs (unconditional barrier between them):
+    #: the first receive is proven match-deterministic
+    TWO_PHASE = """
+        def main() {
+            if (rank == 1) { send(dest = 0, tag = 5, bytes = 8); }
+            if (rank == 0) { recv(src = ANY, tag = 5); }
+            barrier();
+            if (rank == 2) { send(dest = 0, tag = 5, bytes = 8); }
+            if (rank == 0) { recv(src = ANY, tag = 5); }
+        }
+    """
+
+    def test_fan_in_is_counting_clean_but_racy(self):
+        report = lint(TestNearMisses.WILDCARD_FAN_IN)
+        assert not any(f.rule == "unmatched-recv" for f in report.findings)
+        (f,) = [f for f in report.findings if f.rule == "wildcard-race"]
+        assert f.severity is Severity.WARNING
+        assert f.ranks == (0,)
+        assert "3 feasible senders" in f.message  # nprocs=4 -> ranks 1,2,3
+        # related spans name the racing sends
+        assert [loc.line for loc in f.related] == [8]
+        assert report.ok  # a race is a warning, never an error
+
+    def test_wildcard_race_near_miss_epoch_separated(self):
+        """The same two-sender shape, but with an unconditional barrier
+        between the sends: the first receive must NOT be reported racing
+        — it is downgraded to the proven-deterministic info."""
+        report = lint(self.TWO_PHASE)
+        by_line = {}
+        for f in report.findings:
+            by_line.setdefault(f.location.line, []).append(f)
+        (first,) = by_line[4]
+        assert first.rule == "wildcard-recv"
+        assert first.severity is Severity.INFO
+        assert "proven match-deterministic" in first.message
+        # the related span names the unique matcher (rank 1's send, line 3)
+        assert any("t.mm:3" in str(loc) for loc in first.related)
+        (second,) = by_line[7]
+        assert second.rule == "wildcard-race"
+        assert second.severity is Severity.WARNING
+        assert "2 feasible senders" in second.message
+
+    def test_single_sender_keeps_legacy_info(self):
+        """<= 1 stream-level sender never consults the match-order
+        analysis: the over-broad-wildcard wording is unchanged."""
+        report = lint(
+            """
+            def main() {
+                if (rank == 0) {
+                    recv(src = ANY, tag = 1);
+                }
+                if (rank == 1) {
+                    send(dest = 0, tag = 1, bytes = 8);
+                }
+            }
+            """
+        )
+        (f,) = report.findings
+        assert f.rule == "wildcard-recv"
+        assert f.severity is Severity.INFO
+        assert "only rank 1 ever sends" in f.message
+
+    def test_race_survives_cross_scale_lint(self):
+        from repro.analysis import run_lint_scales
+
+        program = parse_program(TestNearMisses.WILDCARD_FAN_IN, "t.mm")
+        psg = build_psg(program).psg
+        report = run_lint_scales(program, psg, "4..16")
+        for p, rep in report.reports.items():
+            rules = {f.rule for f in rep.findings}
+            assert "wildcard-race" in rules, (p, rep.render())
+            assert "unmatched-recv" not in rules
 
 
 class TestNoFalsePositivesOnApps:
@@ -448,6 +531,7 @@ class TestPrettyRoundTrip:
                 }
             }
         """,
+        "wildcard_fan_in": TestNearMisses.WILDCARD_FAN_IN,
     }
 
     @staticmethod

@@ -1,0 +1,331 @@
+"""Static match-order analysis: determinism proofs and their limits.
+
+Two halves, mirroring the zero-false-positive stance of the lint:
+
+* **Unit coverage** of the proof machinery — epoch pruning across sure
+  separators, chain refinement, per-rank devirtualization maps, the
+  cross-scale claim discipline.
+* **Adversarial soundness corpus**: programs engineered so a sloppy
+  analysis would prove determinism it must not — equal-virtual-time
+  racing senders, sender sets that diverge only beyond the default
+  witness window, data-dependent sends.  Every case must FAIL the proof
+  (racy verdict, degraded report, or an honest ``sampled`` status); a
+  single false proof here is a correctness bug in the engine's wildcard
+  devirtualization, not just a lint inaccuracy.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import (
+    analyze_match_order,
+    analyze_match_order_scales,
+    devirt_sources,
+    program_has_wildcards,
+)
+from repro.minilang import parse_program
+
+
+def _prog(source, name="t"):
+    return parse_program(source, f"{name}.mm")
+
+
+RING = """
+def main() {
+    for (var i = 0; i < 3; i = i + 1) {
+        send(dest = (rank + 1) % nprocs, tag = 7, bytes = 64);
+        recv(src = ANY, tag = 7);
+        barrier();
+    }
+}
+"""
+
+FAN_IN = """
+def main() {
+    if (rank == 0) {
+        for (var i = 1; i < nprocs; i = i + 1) {
+            recv(src = ANY, tag = 1);
+        }
+    } else {
+        send(dest = 0, tag = 1, bytes = 8);
+    }
+}
+"""
+
+TWO_PHASE = """
+def main() {
+    if (rank == 1) { send(dest = 0, tag = 5, bytes = 8); }
+    if (rank == 0) { recv(src = ANY, tag = 5); }
+    barrier();
+    if (rank == 2) { send(dest = 0, tag = 5, bytes = 8); }
+    if (rank == 0) { recv(src = ANY, tag = 5); }
+}
+"""
+
+
+class TestConcreteVerdicts:
+    def test_ring_is_deterministic_with_full_devirt_map(self):
+        report = analyze_match_order(_prog(RING), 8)
+        assert report.exact
+        (v,) = report.verdicts
+        assert v.deterministic
+        assert v.op == "recv" and v.blocking
+        assert v.sources == {r: (r - 1) % 8 for r in range(8)}
+        assert v.witness_rank is None
+
+    def test_fan_in_is_racy_with_witness(self):
+        report = analyze_match_order(_prog(FAN_IN), 8)
+        assert report.exact
+        (v,) = report.verdicts
+        assert not v.deterministic
+        assert v.witness_rank == 0
+        assert v.witness_sources == tuple(range(1, 8))
+        assert v.sources == {}  # nothing to devirtualize
+
+    def test_two_phase_epoch_pruning(self):
+        """The unconditional barrier separates the epochs: the first
+        blocking wildcard cannot match the post-barrier sender."""
+        report = analyze_match_order(_prog(TWO_PHASE), 4)
+        assert report.exact
+        first, second = report.verdicts
+        assert first.deterministic and first.sources == {0: 1}
+        # the second receive keeps both candidates (the matched first
+        # receive is guarded, so chain refinement must not trust it) —
+        # conservative, and exactly what keeps the proof sound
+        assert not second.deterministic
+        assert second.witness_sources == (1, 2)
+
+    def test_nonblocking_wildcard_is_not_epoch_pruned(self):
+        """An irecv posted before a barrier can complete after it: epoch
+        pruning applies to blocking receives only."""
+        source = """
+        def main() {
+            if (rank == 0) {
+                irecv(src = ANY, tag = 5, req = r);
+                barrier();
+                wait(req = r);
+            } else {
+                barrier();
+                if (rank == 1) { send(dest = 0, tag = 5, bytes = 8); }
+            }
+        }
+        """
+        report = analyze_match_order(_prog(source), 4)
+        assert report.exact
+        (v,) = report.verdicts
+        assert v.op == "irecv" and not v.blocking
+        # exactly one sender exists, so it is still deterministic — the
+        # point is the sender was NOT pruned away by the barrier
+        assert v.deterministic and v.sources == {0: 1}
+
+    def test_wildcard_tag_aggregates_candidates(self):
+        source = """
+        def main() {
+            if (rank == 0) {
+                recv(src = ANY, tag = ANY);
+            }
+            if (rank == 1) { send(dest = 0, tag = 1, bytes = 8); }
+            if (rank == 2) { send(dest = 0, tag = 2, bytes = 8); }
+        }
+        """
+        report = analyze_match_order(_prog(source), 4)
+        (v,) = report.verdicts
+        assert not v.deterministic
+        assert v.witness_sources == (1, 2)
+
+    def test_wildcard_presence_scan(self):
+        assert program_has_wildcards(_prog(RING))
+        assert not program_has_wildcards(
+            _prog("def main() { barrier(); }")
+        )
+
+
+class TestDevirtSources:
+    def test_ring_map_matches_verdict(self):
+        maps = devirt_sources(_prog(RING), 8)
+        (loc_key,) = maps
+        assert maps[loc_key] == {r: (r - 1) % 8 for r in range(8)}
+
+    def test_racy_program_gets_no_map(self):
+        assert devirt_sources(_prog(FAN_IN), 8) == {}
+
+    def test_partial_map_covers_only_proven_ranks(self):
+        """Per-receiver proofs survive other ranks racing at the same
+        location (the rewrite key is (location, receiver rank))."""
+        source = """
+        def main() {
+            if (rank < 2) {
+                recv(src = ANY, tag = 3);
+            }
+            if (rank == 2) { send(dest = 0, tag = 3, bytes = 8); }
+            if (rank == 3) { send(dest = 1, tag = 3, bytes = 8); }
+            if (rank == 4) { send(dest = 1, tag = 3, bytes = 8); }
+        }
+        """
+        maps = devirt_sources(_prog(source), 5)
+        (loc_key,) = maps
+        # rank 0 has a unique sender; rank 1 races (3 vs 4) and is absent
+        assert maps[loc_key] == {0: 2}
+
+    def test_wildcard_free_program_fast_path(self):
+        assert devirt_sources(_prog("def main() { allreduce(bytes = 8); }"), 8) == {}
+
+
+class TestCrossScaleClaims:
+    def test_ring_determinism_extends_over_the_range(self):
+        report = analyze_match_order_scales(_prog(RING), "4..64")
+        assert report.status in ("proven", "exhaustive")
+        assert len(report.deterministic) == 1
+        assert report.racy == ()
+
+    def test_explicit_scales_are_enumerated_only(self):
+        report = analyze_match_order_scales(_prog(RING), "4,8")
+        assert report.status == "enumerated"
+        assert report.witnesses == (4, 8)
+
+    def test_fan_in_racy_at_every_witness(self):
+        report = analyze_match_order_scales(_prog(FAN_IN), "4..32")
+        assert report.deterministic == ()
+        assert len(report.racy) == 1
+        (loc, p) = report.racy[0]
+        assert p >= 4
+
+
+class TestAdversarialSoundness:
+    """Programs built to extract a false determinism proof.  Every one
+    must fail the proof — the acceptance gate is *zero* false proofs."""
+
+    #: two senders with byte-identical cost structure: their messages
+    #: carry equal virtual timestamps, the most hostile race there is
+    EQUAL_TIME = """
+    def main() {
+        if (rank == 0) {
+            recv(src = ANY, tag = 9);
+            recv(src = ANY, tag = 9);
+        }
+        if (rank == 1) { send(dest = 0, tag = 9, bytes = 256); }
+        if (rank == 2) { send(dest = 0, tag = 9, bytes = 256); }
+    }
+    """
+
+    #: the sender set changes only past P = 40: an analysis that samples
+    #: small witnesses and extrapolates would prove a determinism that
+    #: silently breaks at scale
+    THRESHOLD = """
+    def main() {
+        if (rank == 0) { recv(src = ANY, tag = 2); }
+        if (rank == 1) { send(dest = 0, tag = 2, bytes = 8); }
+        if (nprocs > 40) {
+            if (rank == 2) { send(dest = 0, tag = 2, bytes = 8); }
+        }
+    }
+    """
+
+    #: the destination is loop-carried state the comm graph cannot close
+    #: over: the graph degrades and nothing may be claimed
+    DATA_DEPENDENT = """
+    def main() {
+        var d = 1;
+        for (var i = 0; i < 3; i = i + 1) {
+            if (rank == 0) {
+                recv(src = ANY, tag = 1);
+            }
+            if (rank == d) {
+                send(dest = 0, tag = 1, bytes = 8);
+            }
+            d = (d * 2) % nprocs;
+            barrier();
+        }
+    }
+    """
+
+    def test_equal_time_race_is_never_proven(self):
+        report = analyze_match_order(_prog(self.EQUAL_TIME), 4)
+        assert report.exact
+        for v in report.verdicts:
+            assert not v.deterministic, v
+        assert devirt_sources(_prog(self.EQUAL_TIME), 4) == {}
+
+    def test_threshold_race_is_caught_beyond_small_witnesses(self):
+        """At small P the program IS deterministic — but the range claim
+        must either extend the witness window past the flip (finding the
+        race) or degrade to ``sampled``; it must never range-prove."""
+        program = _prog(self.THRESHOLD)
+        # per-P analysis at P=8: genuinely deterministic there (sound —
+        # the engine devirtualizes per concrete run scale)
+        at8 = analyze_match_order(program, 8)
+        assert at8.verdicts[0].deterministic
+        report = analyze_match_order_scales(program, "all")
+        if report.status in ("proven", "exhaustive"):
+            # the window extended past the flip: the race must be on file
+            assert report.racy, report
+            assert any(p > 40 for _, p in report.racy)
+            assert report.deterministic == ()
+        else:
+            assert report.status == "sampled"
+        # either way: no location is range-claimed deterministic
+        assert report.deterministic == ()
+
+    def test_threshold_per_scale_verdicts_flip_honestly(self):
+        program = _prog(self.THRESHOLD)
+        racy = analyze_match_order(program, 41)
+        assert not racy.verdicts[0].deterministic
+        assert racy.verdicts[0].witness_sources == (1, 2)
+
+    def test_data_dependent_sends_degrade(self):
+        program = _prog(self.DATA_DEPENDENT)
+        report = analyze_match_order(program, 8)
+        assert not report.exact
+        assert report.verdicts == ()
+        assert devirt_sources(program, 8) == {}
+        scales = analyze_match_order_scales(program, "all")
+        assert scales.status == "degraded"
+        assert scales.deterministic == ()
+
+    def test_racy_witness_poisons_later_deterministic_witnesses(self):
+        """Claim extension regression: a location racy at one witness
+        must stay out of ``deterministic`` even if other witnesses prove
+        it (enumerated order must not matter)."""
+        program = _prog(self.THRESHOLD)
+        for spec in ("41,8", "8,41"):
+            report = analyze_match_order_scales(program, spec)
+            assert report.deterministic == (), spec
+            assert any(p == 41 for _, p in report.racy), spec
+
+
+class TestPropertySweep:
+    """Randomized corpora: the proof may be conservative (miss proofs)
+    but must never be wrong — every devirtualization map entry names a
+    sender that really is the only feasible one at that P."""
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_devirt_map_entries_are_unique_feasible(self, seed):
+        rng = random.Random(seed)
+        nprocs = rng.randint(4, 9)
+        tag = rng.randint(1, 3)
+        shape = rng.choice(("ring", "fan", "pair"))
+        if shape == "ring":
+            source = RING
+        elif shape == "fan":
+            source = FAN_IN
+        else:
+            source = f"""
+            def main() {{
+                if (rank == 0) {{ recv(src = ANY, tag = {tag}); }}
+                if (rank == 1) {{ send(dest = 0, tag = {tag}, bytes = 8); }}
+            }}
+            """
+        program = _prog(source, f"sweep{seed}")
+        report = analyze_match_order(program, nprocs)
+        maps = devirt_sources(program, nprocs)
+        if not report.exact:
+            assert maps == {}
+            return
+        for v in report.verdicts:
+            srcs = maps.get(v.loc_key, {})
+            # map entries must be exactly the verdict's proven sources
+            assert srcs == v.sources
+            if not v.deterministic:
+                assert v.witness_rank is not None
+                assert len(v.witness_sources) >= 2

@@ -188,9 +188,8 @@ class TestSpans:
     def test_enabled_scope_records_chrome_complete_events(self):
         rec = SpanRecorder()
         with rec.enabled_scope():
-            with rec.span("outer", nprocs=8):
-                with rec.span("inner"):
-                    pass
+            with rec.span("outer", nprocs=8), rec.span("inner"):
+                pass
             rec.instant("marker", note="hi")
         assert rec.span("after") is NULL_SPAN  # scope ended
         trace = rec.to_chrome_trace()

@@ -98,12 +98,11 @@ _names = st.sampled_from(["a", "b", "c", "x", "y"])
 
 @st.composite
 def exprs(draw, depth=0):
-    if depth >= 3:
-        leaf = draw(st.sampled_from(["int", "var"]))
-    else:
-        leaf = draw(
-            st.sampled_from(["int", "float", "var", "bin", "un", "call"])
-        )
+    leaf = draw(
+        st.sampled_from(["int", "var"])
+        if depth >= 3
+        else st.sampled_from(["int", "float", "var", "bin", "un", "call"])
+    )
     if leaf == "int":
         return str(draw(st.integers(min_value=0, max_value=9999)))
     if leaf == "float":

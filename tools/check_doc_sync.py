@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Doc-sync lint: lint rule ids must match the README rule catalog.
+
+Three sources of truth must agree, in both directions:
+
+1. **code** — rule ids the implementation can actually emit: string
+   literals in ``src/repro/analysis/lint.py`` passed to a
+   ``findings.add(...)`` call alongside a ``Severity.*`` argument, plus
+   rule-shaped strings heading the deferred ``(rule, instance, ...)``
+   tuples the collective checker queues for later emission.
+2. **module catalog** — the "Rule catalog (stable ids)" table in the
+   :mod:`repro.analysis.lint` docstring (rows marked ````rule-id````).
+3. **README catalog** — the markdown rule table in the "Static MPI
+   lint" section of ``README.md`` (rows ``| `rule-id` | severity |``).
+
+A rule implemented but undocumented, or documented but unimplemented,
+fails CI (the lint job runs this script after ``ruff check``).  Exits
+nonzero with a per-direction diff on any mismatch.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+LINT_PY = REPO / "src" / "repro" / "analysis" / "lint.py"
+README = REPO / "README.md"
+
+#: every rule id is lowercase words joined by hyphens (at least one hyphen,
+#: so plain words like "heap" in unrelated tuples never look like rules)
+RULE_SHAPE = re.compile(r"^[a-z][a-z0-9]*(?:-[a-z0-9]+)+$")
+
+
+def rules_from_code(tree: ast.Module) -> set[str]:
+    found: set[str] = set()
+    for node in ast.walk(tree):
+        # findings.add("rule-id", Severity.X, ...)
+        if isinstance(node, ast.Call) and node.args:
+            has_severity = any(
+                isinstance(a, ast.Attribute)
+                and isinstance(a.value, ast.Name)
+                and a.value.id == "Severity"
+                for a in node.args
+            )
+            first = node.args[0]
+            if (
+                has_severity
+                and isinstance(first, ast.Constant)
+                and isinstance(first.value, str)
+                and RULE_SHAPE.match(first.value)
+            ):
+                found.add(first.value)
+        # deferred ("rule-id", instance, payload) work-queue tuples
+        if isinstance(node, ast.Tuple) and len(node.elts) >= 2:
+            head = node.elts[0]
+            if (
+                isinstance(head, ast.Constant)
+                and isinstance(head.value, str)
+                and RULE_SHAPE.match(head.value)
+            ):
+                found.add(head.value)
+    return found
+
+
+def rules_from_module_catalog(tree: ast.Module) -> set[str]:
+    doc = ast.get_docstring(tree) or ""
+    # catalog rows start with ``rule-id`` at the beginning of a line
+    return {
+        m.group(1)
+        for m in re.finditer(r"^``([a-z0-9-]+)``", doc, flags=re.MULTILINE)
+        if RULE_SHAPE.match(m.group(1))
+    }
+
+
+def rules_from_readme(text: str) -> set[str]:
+    # markdown table rows: | `rule-id` | severity | fires when |
+    return {
+        m.group(1)
+        for m in re.finditer(r"^\|\s*`([a-z0-9-]+)`\s*\|", text, flags=re.MULTILINE)
+        if RULE_SHAPE.match(m.group(1))
+    }
+
+
+def main() -> int:
+    tree = ast.parse(LINT_PY.read_text(encoding="utf-8"))
+    code = rules_from_code(tree)
+    catalog = rules_from_module_catalog(tree)
+    readme = rules_from_readme(README.read_text(encoding="utf-8"))
+
+    ok = True
+
+    def diff(label_a: str, a: set[str], label_b: str, b: set[str]) -> None:
+        nonlocal ok
+        missing = sorted(a - b)
+        if missing:
+            ok = False
+            print(
+                f"doc-sync: rules in {label_a} but missing from {label_b}: "
+                + ", ".join(missing)
+            )
+
+    diff("lint.py code", code, "lint.py docstring catalog", catalog)
+    diff("lint.py docstring catalog", catalog, "lint.py code", code)
+    diff("lint.py docstring catalog", catalog, "README catalog", readme)
+    diff("README catalog", readme, "lint.py docstring catalog", catalog)
+
+    if not code:
+        print("doc-sync: extracted zero rule ids from lint.py — checker broken?")
+        ok = False
+    if ok:
+        print(
+            f"doc-sync: {len(code)} lint rule ids consistent across "
+            "lint.py code, module catalog, and README"
+        )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
